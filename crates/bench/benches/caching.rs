@@ -1,0 +1,48 @@
+//! Criterion companion to Table 5: warm-cache vs cache-off `getPR` per data
+//! source, over the wire, plus the raw PrCache hit path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pperf_bench::setup::{deploy_fixture, first_exec, representative_query, Scale, SourceKind};
+use pperfgrid::PrCache;
+
+fn cached_vs_uncached_getpr(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("table5_getPR");
+    group.sample_size(15);
+    for kind in [SourceKind::HplRdbms, SourceKind::RmaAscii] {
+        for (tag, cache_enabled) in [("cache_on", true), ("cache_off", false)] {
+            let fixture = deploy_fixture(kind, &scale, cache_enabled);
+            let exec = first_exec(&fixture, kind);
+            let query = representative_query(kind);
+            exec.get_pr(&query).unwrap(); // warm-up / populate
+            group.bench_function(BenchmarkId::new(tag, kind.label()), |b| {
+                b.iter(|| exec.get_pr(std::hint::black_box(&query)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn raw_cache_paths(c: &mut Criterion) {
+    let cache = PrCache::new();
+    let rows: Vec<String> = (0..100).map(|i| format!("row-{i}")).collect();
+    cache.insert("warm".into(), rows.clone());
+    let mut group = c.benchmark_group("prcache");
+    group.bench_function("hit", |b| {
+        b.iter(|| cache.get(std::hint::black_box("warm")).unwrap());
+    });
+    group.bench_function("miss", |b| {
+        b.iter(|| cache.get(std::hint::black_box("cold")));
+    });
+    group.bench_function("insert_100_rows", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(format!("k{i}"), rows.clone())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cached_vs_uncached_getpr, raw_cache_paths);
+criterion_main!(benches);

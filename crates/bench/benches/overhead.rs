@@ -1,0 +1,75 @@
+//! Criterion decomposition of the Table 4 overhead: where do the
+//! milliseconds go? Benchmarks the SOAP marshalling/demarshalling path for
+//! each source's representative payload, and the full over-the-wire `getPR`
+//! against the direct (in-process) Mapping Layer call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pperf_bench::setup::{build_wrapper, deploy_fixture, first_exec, representative_query, Scale, SourceKind};
+use pperf_soap::{decode_call, decode_response, encode_call, encode_response, Value};
+
+fn soap_marshalling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soap_marshalling");
+    // Payloads shaped like the three sources' results.
+    let hpl = Value::StrArray(vec!["14.532".into()]);
+    let rma = Value::StrArray(
+        (0..100)
+            .map(|i| format!("op=unidir msgsize={} bandwidth_mbps=57.312", 1 << (i % 20)))
+            .collect(),
+    );
+    let smg = Value::StrArray(
+        (0..5000)
+            .map(|i| format!("/Code/MPI|{}|{}.123456|{}.654321|16384", i % 16, i, i + 1))
+            .collect(),
+    );
+    for (name, payload) in [("hpl_8B", &hpl), ("rma_5KB", &rma), ("smg_300KB", &smg)] {
+        group.bench_function(BenchmarkId::new("encode_response", name), |b| {
+            b.iter(|| encode_response("getPR", std::hint::black_box(payload)));
+        });
+        let wire = encode_response("getPR", payload);
+        group.bench_function(BenchmarkId::new("decode_response", name), |b| {
+            b.iter(|| decode_response(std::hint::black_box(&wire)).unwrap());
+        });
+    }
+    let call_wire = encode_call(
+        "getPR",
+        "urn:pperfgrid:Execution",
+        &[
+            ("metric", Value::from("gflops")),
+            ("foci", Value::StrArray(vec!["/Execution".into()])),
+            ("startTime", Value::from("")),
+            ("endTime", Value::from("")),
+            ("type", Value::from("UNDEFINED")),
+        ],
+    );
+    group.bench_function("decode_call_getPR", |b| {
+        b.iter(|| decode_call(std::hint::black_box(&call_wire)).unwrap());
+    });
+    group.finish();
+}
+
+fn end_to_end_vs_mapping(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("getPR_layers");
+    group.sample_size(20);
+    for kind in [SourceKind::HplRdbms, SourceKind::RmaAscii] {
+        // Over-the-wire (Virtualization Layer) path.
+        let fixture = deploy_fixture(kind, &scale, false);
+        let exec = first_exec(&fixture, kind);
+        let query = representative_query(kind);
+        exec.get_pr(&query).unwrap();
+        group.bench_function(BenchmarkId::new("virtualization", kind.label()), |b| {
+            b.iter(|| exec.get_pr(std::hint::black_box(&query)).unwrap());
+        });
+        // Direct Mapping Layer path (no SOAP, no HTTP).
+        let (wrapper, _guard) = build_wrapper(kind, &scale);
+        let id = wrapper.all_exec_ids()[0].clone();
+        let mapping = wrapper.execution(&id).unwrap();
+        group.bench_function(BenchmarkId::new("mapping", kind.label()), |b| {
+            b.iter(|| mapping.get_pr(std::hint::black_box(&query)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, soap_marshalling, end_to_end_vs_mapping);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion companion to Figure 12: the parallel query set against one
+//! host vs two, at a fixed N, plus the Manager ablation (A3) — instance
+//! resolution with a warm vs cold instance cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pperf_bench::setup::Scale;
+use pperf_client::{ExecQuery, ExecutionQueryPanel};
+use pperf_datastore::HplStore;
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub};
+use pperfgrid::wrappers::HplSqlWrapper;
+use pperfgrid::{
+    ApplicationStub, ApplicationWrapper, Manager, PrQuery, Site, SiteConfig, TYPE_UNDEFINED,
+};
+use std::sync::Arc;
+
+struct Deployment {
+    _containers: Vec<Arc<Container>>,
+    app: ApplicationStub,
+    client: Arc<HttpClient>,
+    site: Site,
+}
+
+fn deploy(hosts: usize, scale: &Scale) -> Deployment {
+    let config = ContainerConfig {
+        workers: scale.host_workers,
+        injected_latency: Some(scale.host_latency),
+        ..Default::default()
+    };
+    let containers: Vec<Arc<Container>> = (0..hosts)
+        .map(|_| Container::start("127.0.0.1:0", config.clone()).unwrap())
+        .collect();
+    let client = Arc::new(HttpClient::new());
+    let replicas: Vec<(&Container, Arc<dyn ApplicationWrapper>)> = containers
+        .iter()
+        .map(|c| {
+            let store = HplStore::build(scale.hpl_spec.clone());
+            let wrapper: Arc<dyn ApplicationWrapper> =
+                Arc::new(HplSqlWrapper::new(store.database().clone()));
+            (&**c, wrapper)
+        })
+        .collect();
+    let site = Site::deploy_replicated(
+        &containers[0],
+        &replicas,
+        Arc::clone(&client),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
+    let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
+    let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+    Deployment { _containers: containers, app, client, site }
+}
+
+fn parallel_query_set(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let n = 8;
+    let mut group = c.benchmark_group("figure12_query_set");
+    group.sample_size(10);
+    for hosts in [1usize, 2] {
+        let deployment = deploy(hosts, &scale);
+        let execs = deployment.app.get_all_execs().unwrap();
+        let mut panel = ExecutionQueryPanel::open(Arc::clone(&deployment.client), &execs[..n]);
+        panel.add_query(ExecQuery {
+            query: PrQuery {
+                metric: "gflops".into(),
+                foci: vec!["/Execution".into()],
+                start: String::new(),
+                end: String::new(),
+                rtype: TYPE_UNDEFINED.into(),
+            },
+            repeats: scale.repeats,
+        });
+        panel.run_queries().unwrap(); // warm-up
+        group.bench_function(BenchmarkId::new("hosts", hosts), |b| {
+            b.iter(|| panel.run_queries().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn manager_instance_cache(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let deployment = deploy(1, &scale);
+    let ids: Vec<String> = (100..108).map(|i| i.to_string()).collect();
+    let mut group = c.benchmark_group("manager_ablation");
+    group.sample_size(10);
+
+    // Warm path: the site's manager already holds the instances.
+    deployment.site.manager.get_execs(&ids, None).unwrap();
+    group.bench_function("resolve_cached", |b| {
+        b.iter(|| deployment.site.manager.get_execs(std::hint::black_box(&ids), None).unwrap());
+    });
+
+    // Cold path: a fresh manager per batch creates instances anew — the
+    // "relatively expensive operation... best avoided whenever possible".
+    group.bench_function("resolve_uncached", |b| {
+        b.iter_batched(
+            || Manager::new(Arc::clone(&deployment.client), deployment.site.exec_factories.clone()),
+            |manager| manager.get_execs(std::hint::black_box(&ids), None).unwrap(),
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, parallel_query_set, manager_instance_cache);
+criterion_main!(benches);

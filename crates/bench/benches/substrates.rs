@@ -1,0 +1,90 @@
+//! Substrate microbenchmarks: XML parsing/serialization, the SQL engine,
+//! and the HTTP transport — the three cost centers under every PPerfGrid
+//! query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pperf_datastore::{SmgSpec, SmgStore};
+use pperf_httpd::{HttpClient, HttpServer, Request, Response, ServerConfig};
+use pperf_xml::Element;
+use std::sync::Arc;
+
+fn xml_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml");
+    for items in [1usize, 100, 5000] {
+        let mut root = Element::new("soap:Envelope");
+        let mut body = Element::new("soap:Body");
+        let mut resp = Element::new("m:getPRResponse");
+        let mut ret = Element::new("return");
+        for i in 0..items {
+            ret.push_child(Element::with_text("item", format!("/Process/{i}|func_time|{i}.5")));
+        }
+        resp.push_child(ret);
+        body.push_child(resp);
+        root.push_child(body);
+        let text = root.to_xml();
+        group.bench_function(BenchmarkId::new("serialize", items), |b| {
+            b.iter(|| std::hint::black_box(&root).to_xml());
+        });
+        group.bench_function(BenchmarkId::new("parse", items), |b| {
+            b.iter(|| pperf_xml::parse(std::hint::black_box(&text)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn sql_engine(c: &mut Criterion) {
+    let store = SmgStore::build(SmgSpec {
+        num_execs: 1,
+        procs: 8,
+        events_per_proc: 1000,
+        num_functions: 16,
+        seed: 1,
+    });
+    let conn = store.database().connect();
+    let mut group = c.benchmark_group("minidb");
+    group.sample_size(20);
+    group.bench_function("point_select", |b| {
+        b.iter(|| conn.query("SELECT COUNT(*) AS n FROM executions WHERE execid = 0").unwrap());
+    });
+    group.bench_function("scan_filter_8k_events", |b| {
+        b.iter(|| {
+            conn.query("SELECT COUNT(*) AS n FROM events WHERE procid = 3 AND starttime > 1.0")
+                .unwrap()
+        });
+    });
+    group.bench_function("join_events_functions", |b| {
+        b.iter(|| {
+            conn.query(
+                "SELECT COUNT(*) AS n FROM events e, functions f \
+                 WHERE e.funcid = f.funcid AND f.module = 'MPI'",
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("group_by_procid", |b| {
+        b.iter(|| {
+            conn.query("SELECT procid, COUNT(*) AS n FROM events GROUP BY procid ORDER BY procid")
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn http_roundtrip(c: &mut Criterion) {
+    let handler = Arc::new(|req: &Request| Response::ok("text/xml", req.body.clone()));
+    let server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+    let client = HttpClient::new();
+    let url = format!("{}/echo", server.base_url());
+    let mut group = c.benchmark_group("httpd");
+    group.sample_size(30);
+    for size in [64usize, 8 * 1024, 512 * 1024] {
+        let body = vec![b'x'; size];
+        group.bench_function(BenchmarkId::new("echo_roundtrip", size), |b| {
+            b.iter(|| client.post(&url, "text/xml", body.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, xml_roundtrip, sql_engine, http_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablations the thesis proposes as future work.
+//!
+//! * **A1** (§7): "an XML version of the HPL data store should be used to
+//!   compare performance and overhead between data stores of the same
+//!   content but different formats" — [`hpl_xml_vs_rdbms`].
+//! * **A2** (§6.6): "Future tests performed with both the ASCII text files
+//!   and an RDBMS version of the RMA data source could confirm this theory"
+//!   (that RMA's small caching speedup comes from text parsing being cheap
+//!   relative to RDBMS access) — [`rma_ascii_vs_rdbms`].
+
+use crate::setup::{Scale, SourceKind};
+use crate::table4::{self, OverheadRow};
+use crate::table5::{self, CachingRow};
+
+/// A1: overhead rows for the same HPL content in two formats.
+pub fn hpl_xml_vs_rdbms(scale: &Scale) -> Vec<OverheadRow> {
+    vec![
+        table4::run_source(SourceKind::HplRdbms, scale),
+        table4::run_source(SourceKind::HplXml, scale),
+    ]
+}
+
+/// A2: caching rows for the same RMA content in two formats. The theory
+/// holds if the RDBMS variant shows a clearly larger caching speedup than
+/// the ASCII variant.
+pub fn rma_ascii_vs_rdbms(scale: &Scale) -> Vec<CachingRow> {
+    vec![
+        table5::run_source(SourceKind::RmaAscii, scale),
+        table5::run_source(SourceKind::RmaRdbms, scale),
+    ]
+}

@@ -1,0 +1,14 @@
+//! Ablation A1 (thesis §7 future work): HPL stored as XML files vs the
+//! RDBMS — same content, different Mapping Layer.
+//!
+//! Usage: `cargo run -p pperf-bench --bin ablation_hpl_xml --release`
+
+use pperf_bench::{ablation, banner, setup::Scale, table4};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", banner("Ablation A1: HPL XML files vs RDBMS"));
+    let rows = ablation::hpl_xml_vs_rdbms(&scale);
+    println!("{}", table4::render(&rows));
+    println!("reading: identical payloads; the Mapping Layer column isolates the format cost");
+}

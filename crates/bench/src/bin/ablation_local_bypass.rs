@@ -1,0 +1,69 @@
+//! Ablation A3 (thesis §7 future work): the local-bypass optimization —
+//! a client co-located with the data store accesses it directly through the
+//! Mapping Layer, skipping SOAP/HTTP entirely. Quantifies how much of
+//! Table 4's per-query cost the Services Layer adds when it isn't needed.
+//!
+//! Usage: `cargo run -p pperf-bench --bin ablation_local_bypass --release`
+
+use pperf_bench::setup::{deploy_fixture, representative_query, Scale, SourceKind};
+use pperf_client::chart;
+use pperfgrid::stats::{speedup, summarize};
+use pperfgrid::LocalSites;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Ablation A3: local bypass vs Services Layer\n");
+    let mut rows = Vec::new();
+    for kind in [SourceKind::HplRdbms, SourceKind::RmaAscii] {
+        let fixture = deploy_fixture(kind, &scale, false);
+        let execs = fixture.all_execs().expect("getAllExecs");
+        let query = representative_query(kind);
+
+        // Remote path (normal Grid access).
+        let remote = pperfgrid::ExecutionStub::bind(Arc::clone(&fixture.client), &execs[0]);
+        remote.get_pr(&query).unwrap();
+        let mut remote_ms = Vec::with_capacity(scale.fast_queries);
+        for _ in 0..scale.fast_queries {
+            let t = Instant::now();
+            remote.get_pr(&query).unwrap();
+            remote_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+
+        // Local path: advertise the site and upgrade the same handle.
+        let sites = LocalSites::new();
+        let (wrapper, _guard) = pperf_bench::setup::build_wrapper(kind, &scale);
+        sites.advertise(&fixture.site.exec_factories[0], wrapper);
+        let access = sites.open(Arc::clone(&fixture.client), &execs[0]).unwrap();
+        assert!(access.is_local());
+        access.get_pr(&query).unwrap();
+        let mut local_ms = Vec::with_capacity(scale.fast_queries);
+        for _ in 0..scale.fast_queries {
+            let t = Instant::now();
+            access.get_pr(&query).unwrap();
+            local_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+
+        let r = summarize(&remote_ms).mean;
+        let l = summarize(&local_ms).mean;
+        rows.push(vec![
+            kind.label().to_owned(),
+            format!("{r:.3} ms"),
+            format!("{l:.3} ms"),
+            format!("{:.2}", speedup(r, l)),
+        ]);
+    }
+    println!(
+        "{}",
+        chart::table(
+            &["Data Source", "Through Services Layer", "Local bypass", "Speedup"],
+            &rows,
+        )
+    );
+    println!(
+        "reading: the bypass removes the whole Table 4 overhead column (plus HTTP), at the\n\
+         cost of losing location transparency — why the thesis keeps it opt-in for\n\
+         co-located stores only"
+    );
+}

@@ -1,0 +1,15 @@
+//! Ablation A2 (thesis §6.6 future test): RMA in ASCII text files vs the
+//! same data imported into an RDBMS — does the caching speedup grow when the
+//! backend is slower, confirming the thesis's explanation for RMA's ~1.03?
+//!
+//! Usage: `cargo run -p pperf-bench --bin ablation_rma_rdbms --release`
+
+use pperf_bench::{ablation, banner, setup::Scale, table5};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", banner("Ablation A2: RMA ASCII vs RDBMS caching"));
+    let rows = ablation::rma_ascii_vs_rdbms(&scale);
+    println!("{}", table5::render(&rows));
+    println!("reading: the theory holds if the RDBMS speedup clearly exceeds the ASCII speedup");
+}

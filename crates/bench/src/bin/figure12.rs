@@ -1,0 +1,18 @@
+//! Regenerate thesis Figure 12 (scalability via replica distribution).
+//!
+//! Usage: `cargo run -p pperf-bench --bin figure12 --release`
+//! (set `PPG_QUICK=1` for a fast, smaller-sample run).
+
+use pperf_bench::{banner, figure12, setup::Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", banner("Figure 12: PPerfGrid Scalability"));
+    println!(
+        "execution counts {:?}, {} repeats per thread, {} runs per set\n",
+        scale.exec_counts, scale.repeats, scale.sets
+    );
+    let result = figure12::run(&scale);
+    println!("{}", figure12::render(&result));
+    println!("expected shape (thesis): two-host curve ~half the one-host curve; mean speedup ~2 (thesis: 2.14)");
+}

@@ -1,0 +1,21 @@
+//! Regenerate thesis Table 4 (Grid services overhead).
+//!
+//! Usage: `cargo run -p pperf-bench --bin table4 --release`
+//! (set `PPG_QUICK=1` for a fast, smaller-sample run).
+
+use pperf_bench::{banner, setup::Scale, table4};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", banner("Table 4: PPerfGrid Overhead"));
+    println!(
+        "samples: {} per fast source, {} for SMG98\n",
+        scale.fast_queries, scale.smg_queries
+    );
+    let rows = table4::run(&scale);
+    println!("{}", table4::render(&rows));
+    println!(
+        "expected shape (thesis): overhead%% RMA (71%) > HPL (28%) > SMG98 (11%);\n\
+         payloads HPL ~8 B < RMA ~5.7 kB < SMG98 ~hundreds of kB"
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerate thesis Table 5 (Performance Results caching).
+//!
+//! Usage: `cargo run -p pperf-bench --bin table5 --release`
+//! (set `PPG_QUICK=1` for a fast, smaller-sample run).
+
+use pperf_bench::{banner, setup::Scale, table5};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("{}", banner("Table 5: PPerfGrid Caching"));
+    println!("{} queries per configuration\n", scale.caching_queries);
+    let rows = table5::run(&scale);
+    println!("{}", table5::render(&rows));
+    println!(
+        "expected shape (thesis): speedup SMG98 (137.5) >> HPL (1.96) > RMA (1.03);\n\
+         caching pays off in proportion to backend query cost"
+    );
+}

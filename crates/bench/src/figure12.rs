@@ -1,0 +1,197 @@
+//! Experiment E2 — thesis Figure 12: scalability through replica
+//! distribution.
+//!
+//! §6.5: Performance Result queries against N ∈ {2,4,8,16,32,64,124} HPL
+//! Execution service instances, each query in its own client thread and
+//! repeated 10×, the combined set run 10×. The *optimized* configuration
+//! distributes Execution instances across two hosts via the Manager's
+//! interleaving; the *non-optimized* configuration keeps them on one host.
+//!
+//! Host model: the thesis's Grid hosts were 440 MHz Ultra 5 workstations —
+//! a saturated, fixed per-host capacity. We model each "host" as a container
+//! with a small worker pool and a fixed per-request service time
+//! ([`Scale::host_workers`], [`Scale::host_latency`]); two containers thus
+//! have twice the aggregate capacity of one, exactly the resource the
+//! thesis's distribution exploits.
+
+use crate::setup::Scale;
+use pperf_client::{chart, ExecQuery, ExecutionQueryPanel};
+use pperf_datastore::HplStore;
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub};
+use pperfgrid::stats::{relative_change_pct, speedup, summarize};
+use pperfgrid::wrappers::HplSqlWrapper;
+use pperfgrid::{ApplicationStub, ApplicationWrapper, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+
+/// One x-position of Figure 12.
+#[derive(Debug, Clone)]
+pub struct ScalabilityPoint {
+    /// Number of Execution service instances queried.
+    pub execs: usize,
+    /// Mean combined-set wall time on one host, ms.
+    pub non_optimized_ms: f64,
+    /// Mean combined-set wall time distributed across two hosts, ms.
+    pub optimized_ms: f64,
+    /// Relative change (%) — the figure's companion row.
+    pub relative_change_pct: f64,
+    /// Speedup — the figure's companion row.
+    pub speedup: f64,
+}
+
+/// The full Figure 12 result.
+#[derive(Debug, Clone)]
+pub struct Scalability {
+    /// Per-N points.
+    pub points: Vec<ScalabilityPoint>,
+    /// Mean relative change across N (thesis: 113.78%).
+    pub mean_relative_change_pct: f64,
+    /// Mean speedup across N (thesis: 2.14).
+    pub mean_speedup: f64,
+}
+
+struct Deployment {
+    /// Containers kept alive for the run.
+    _containers: Vec<Arc<Container>>,
+    app: ApplicationStub,
+    client: Arc<HttpClient>,
+}
+
+/// Deploy the HPL site over `hosts` capacity-limited containers.
+fn deploy(hosts: usize, scale: &Scale) -> Deployment {
+    let config = ContainerConfig {
+        workers: scale.host_workers,
+        injected_latency: Some(scale.host_latency),
+        ..Default::default()
+    };
+    let containers: Vec<Arc<Container>> = (0..hosts)
+        .map(|_| Container::start("127.0.0.1:0", config.clone()).expect("start container"))
+        .collect();
+    let client = Arc::new(HttpClient::new());
+    // Each host gets its own replica of the data store (thesis: "data
+    // existing in two replicated data stores").
+    let replicas: Vec<(&Container, Arc<dyn ApplicationWrapper>)> = containers
+        .iter()
+        .map(|c| {
+            let store = HplStore::build(scale.hpl_spec.clone());
+            let wrapper: Arc<dyn ApplicationWrapper> =
+                Arc::new(HplSqlWrapper::new(store.database().clone()));
+            (&**c, wrapper)
+        })
+        .collect();
+    let site = Site::deploy_replicated(
+        &containers[0],
+        &replicas,
+        Arc::clone(&client),
+        &SiteConfig::new("hpl"),
+    )
+    .expect("deploy replicated site");
+    let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
+    let app_gsh = factory.create_service(&[]).expect("create application");
+    let app = ApplicationStub::bind(Arc::clone(&client), &app_gsh);
+    Deployment { _containers: containers, app, client }
+}
+
+/// Measure the mean combined-set wall time for the first `n` executions.
+fn measure(deployment: &Deployment, n: usize, scale: &Scale) -> f64 {
+    let all = deployment.app.get_all_execs().expect("getAllExecs");
+    assert!(all.len() >= n, "store has {} executions, need {n}", all.len());
+    let subset = &all[..n];
+    let mut panel = ExecutionQueryPanel::open(Arc::clone(&deployment.client), subset);
+    panel.add_query(ExecQuery {
+        query: PrQuery {
+            metric: "gflops".into(),
+            foci: vec!["/Execution".into()],
+            start: String::new(),
+            end: String::new(),
+            rtype: TYPE_UNDEFINED.into(),
+        },
+        repeats: scale.repeats,
+    });
+    // Warm-up run (connection pools, instance-side lazy state).
+    panel.run_queries().expect("warm-up");
+    let mut set_times = Vec::with_capacity(scale.sets);
+    for _ in 0..scale.sets {
+        let (_, timing) = panel.run_queries().expect("run query set");
+        set_times.push(timing.total.as_secs_f64() * 1e3);
+    }
+    summarize(&set_times).mean
+}
+
+/// Run the scalability experiment.
+pub fn run(scale: &Scale) -> Scalability {
+    let single = deploy(1, scale);
+    let double = deploy(2, scale);
+    let mut points = Vec::with_capacity(scale.exec_counts.len());
+    for &n in &scale.exec_counts {
+        let non_optimized_ms = measure(&single, n, scale);
+        let optimized_ms = measure(&double, n, scale);
+        points.push(ScalabilityPoint {
+            execs: n,
+            non_optimized_ms,
+            optimized_ms,
+            relative_change_pct: relative_change_pct(non_optimized_ms, optimized_ms),
+            speedup: speedup(non_optimized_ms, optimized_ms),
+        });
+    }
+    let mean_relative_change_pct =
+        points.iter().map(|p| p.relative_change_pct).sum::<f64>() / points.len().max(1) as f64;
+    let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;
+    Scalability { points, mean_relative_change_pct, mean_speedup }
+}
+
+/// Render the figure (ASCII line chart) and its companion table.
+pub fn render(result: &Scalability) -> String {
+    let mut out = String::new();
+    let series = vec![
+        chart::Series {
+            name: "Optimized (2 hosts)".into(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.execs as f64, p.optimized_ms))
+                .collect(),
+            glyph: 'o',
+        },
+        chart::Series {
+            name: "Non-Optimized (1 host)".into(),
+            points: result
+                .points
+                .iter()
+                .map(|p| (p.execs as f64, p.non_optimized_ms))
+                .collect(),
+            glyph: 'x',
+        },
+    ];
+    out.push_str(&chart::line_chart(
+        "PPerfGrid Scalability",
+        "# of Execution GSs in Query",
+        "Milliseconds",
+        &series,
+        64,
+        16,
+    ));
+    out.push('\n');
+    let rows: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.execs.to_string(),
+                format!("{:.1}", p.non_optimized_ms),
+                format!("{:.1}", p.optimized_ms),
+                format!("{:.2}%", p.relative_change_pct),
+                format!("{:.2}", p.speedup),
+            ]
+        })
+        .collect();
+    out.push_str(&chart::table(
+        &["Executions", "Non-Optimized (ms)", "Optimized (ms)", "Relative Change", "Speedup"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\n  Mean Relative Change: {:.2}%   Mean Speedup: {:.2}\n",
+        result.mean_relative_change_pct, result.mean_speedup
+    ));
+    out
+}

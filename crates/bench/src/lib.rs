@@ -1,0 +1,32 @@
+//! The experiment harness: code that regenerates every table and figure of
+//! the thesis's evaluation (Section 6), plus the ablations it proposes as
+//! future work.
+//!
+//! | Experiment | Thesis artifact | Module | Binary |
+//! |---|---|---|---|
+//! | E1 overhead | Table 4 | [`table4`] | `cargo run -p pperf-bench --bin table4 --release` |
+//! | E2 scalability | Figure 12 | [`figure12`] | `... --bin figure12 --release` |
+//! | E3 caching | Table 5 | [`table5`] | `... --bin table5 --release` |
+//! | A1 XML vs RDBMS | §7 future work | [`ablation`] | `... --bin ablation_hpl_xml --release` |
+//! | A2 RMA RDBMS | §6.6 future test | [`ablation`] | `... --bin ablation_rma_rdbms --release` |
+//!
+//! Every experiment takes a [`Scale`]; `Scale::full()` approximates the
+//! thesis's sample sizes, `Scale::quick()` is used by the integration tests
+//! to validate experiment *shapes* in seconds. Absolute milliseconds differ
+//! from the thesis (440 MHz UltraSPARC + PostgreSQL 7.4 vs a modern CPU and
+//! an embedded engine); the reproduction targets are the orderings and
+//! ratios, checked in `tests/experiment_shapes.rs`.
+
+pub mod ablation;
+pub mod figure12;
+pub mod setup;
+pub mod table4;
+pub mod table5;
+
+pub use setup::{Scale, SourceKind};
+
+/// Render a thesis-style numbered artifact header.
+pub fn banner(title: &str) -> String {
+    let bar = "=".repeat(title.len().max(8));
+    format!("{bar}\n{title}\n{bar}\n")
+}

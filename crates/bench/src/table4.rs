@@ -1,0 +1,118 @@
+//! Experiment E1 — thesis Table 4: Grid services overhead.
+//!
+//! §6.4: each `getPR` is timed at two layers; the Virtualization Layer time
+//! is the total query time at the client, the Mapping Layer time is the
+//! local data-store query, and their difference is the Grid services
+//! overhead (SOAP marshalling/demarshalling, XML encode/decode, routing).
+//! "In order to eliminate as much network traffic variability as possible,
+//! the test was performed with both the Virtualization Layer service and the
+//! Mapping Layer service instantiated on the same machine" — ours likewise
+//! run over loopback.
+
+use crate::setup::{deploy_fixture, first_exec, representative_query, Scale, SourceKind};
+use pperf_client::chart;
+use pperfgrid::stats::{summarize, Summary};
+use std::time::Instant;
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Data source.
+    pub source: SourceKind,
+    /// Mean total (Virtualization Layer) query time, ms.
+    pub mean_total_ms: f64,
+    /// Mean Mapping Layer query time, ms.
+    pub mapping_ms: f64,
+    /// Mean overhead (total − mapping), ms.
+    pub overhead_ms: f64,
+    /// Overhead as a percentage of total time.
+    pub overhead_pct: f64,
+    /// Coefficient of variation of the total times.
+    pub cov: f64,
+    /// Approximate payload bytes transferred per query.
+    pub bytes_per_query: f64,
+    /// Full summary of the total times.
+    pub total_summary: Summary,
+}
+
+/// Run the overhead experiment for one source.
+pub fn run_source(kind: SourceKind, scale: &Scale) -> OverheadRow {
+    // Caching must be off: every query has to reach the Mapping Layer for
+    // the two-layer timing to be meaningful.
+    let fixture = deploy_fixture(kind, scale, false);
+    let exec = first_exec(&fixture, kind);
+    let query = representative_query(kind);
+    let n = match kind {
+        SourceKind::SmgRdbms => scale.smg_queries,
+        _ => scale.fast_queries,
+    };
+
+    // One warm-up query outside the sample: first-touch costs (connection
+    // setup, lazily-opened files) are not what Table 4 measures.
+    exec.get_pr(&query).expect("warm-up query");
+    fixture.mapping_log.clear();
+
+    let mut totals_ms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let rows = exec.get_pr(&query).expect("getPR");
+        totals_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(!rows.is_empty(), "representative query must return data");
+    }
+
+    let total_summary = summarize(&totals_ms);
+    let mapping_ms = fixture.mapping_log.mean_ms();
+    let overhead_ms = (total_summary.mean - mapping_ms).max(0.0);
+    OverheadRow {
+        source: kind,
+        mean_total_ms: total_summary.mean,
+        mapping_ms,
+        overhead_ms,
+        overhead_pct: if total_summary.mean > 0.0 {
+            overhead_ms / total_summary.mean * 100.0
+        } else {
+            0.0
+        },
+        cov: total_summary.cov,
+        bytes_per_query: fixture.mapping_log.mean_bytes(),
+        total_summary,
+    }
+}
+
+/// Run the full Table 4 (the thesis's three sources).
+pub fn run(scale: &Scale) -> Vec<OverheadRow> {
+    [SourceKind::HplRdbms, SourceKind::RmaAscii, SourceKind::SmgRdbms]
+        .into_iter()
+        .map(|kind| run_source(kind, scale))
+        .collect()
+}
+
+/// Render rows in the thesis's Table 4 format.
+pub fn render(rows: &[OverheadRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.source.label().to_owned(),
+                format!("{:.2}", r.mean_total_ms),
+                format!("{:.2}", r.mapping_ms),
+                format!("{:.2}", r.overhead_ms),
+                format!("{:.0}%", r.overhead_pct),
+                format!("{:.2}", r.cov),
+                format!("~{:.0} bytes", r.bytes_per_query),
+            ]
+        })
+        .collect();
+    chart::table(
+        &[
+            "Data Source",
+            "Mean Total Query Time (ms)",
+            "Mapping Layer Query Time (ms)",
+            "Mean Overhead (ms)",
+            "Overhead as % of Total",
+            "COV",
+            "Bytes per Query",
+        ],
+        &data,
+    )
+}

@@ -1,0 +1,91 @@
+//! `pperfgrid-demo` — stand up a complete, explorable PPerfGrid deployment:
+//! a registry plus three published heterogeneous data stores across three
+//! containers, then serve until stdin closes (press Enter to stop).
+//!
+//! While it runs you can poke at it with any HTTP client:
+//!
+//! ```text
+//! curl http://<host:port>/ogsa/services                 # deployed paths
+//! curl 'http://<host:port>/ogsa/services/hpl-app?wsdl'  # service description
+//! ```
+//!
+//! Run with: `cargo run -p pperf-client --bin pperfgrid-demo --release`
+
+use pperf_client::PublisherPanel;
+use pperf_datastore::{HplSpec, HplStore, RmaSpec, RmaTextStore, SmgSpec, SmgStore};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, RegistryService};
+use pperfgrid::wrappers::{HplSqlWrapper, RmaTextWrapper, SmgSqlWrapper};
+use pperfgrid::{ApplicationWrapper, Site, SiteConfig};
+use std::sync::Arc;
+
+fn main() {
+    let client = Arc::new(HttpClient::new());
+
+    println!("building synthetic data stores...");
+    let hpl = HplStore::build(HplSpec::default());
+    let rma_dir = std::env::temp_dir().join(format!("ppg-demo-rma-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rma_dir);
+    let rma = RmaTextStore::generate(&rma_dir, &RmaSpec::default()).expect("generate RMA store");
+    let smg = SmgStore::build(SmgSpec::default());
+
+    let psu = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
+    let llnl = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
+    let anl = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
+
+    let registry_gsh = psu
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .expect("deploy registry");
+
+    let sites = [
+        (
+            &psu,
+            "PSU",
+            "Portland, OR",
+            "HPL",
+            "Linpack runs (RDBMS)",
+            Arc::new(HplSqlWrapper::new(hpl.database().clone())) as Arc<dyn ApplicationWrapper>,
+        ),
+        (
+            &llnl,
+            "LLNL",
+            "Livermore, CA",
+            "PRESTA-RMA",
+            "MPI benchmark (ASCII files)",
+            Arc::new(RmaTextWrapper::new(rma)) as Arc<dyn ApplicationWrapper>,
+        ),
+        (
+            &anl,
+            "ANL",
+            "Argonne, IL",
+            "SMG98",
+            "Vampir trace (5-table RDBMS)",
+            Arc::new(SmgSqlWrapper::new(smg.database().clone())) as Arc<dyn ApplicationWrapper>,
+        ),
+    ];
+
+    let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
+    println!("\nPPerfGrid demo deployment");
+    println!("  registry: {registry_gsh}");
+    for (container, org, contact, name, desc, wrapper) in sites {
+        let site = Site::deploy(
+            container,
+            Arc::clone(&client),
+            wrapper,
+            &SiteConfig::new(name.to_lowercase()),
+        )
+        .expect("deploy site");
+        publisher.register_organization(org, contact).expect("register org");
+        publisher
+            .publish_service(org, name, desc, &site.app_factory)
+            .expect("publish service");
+        println!("  {org:>5} {name:<11} app factory: {}", site.app_factory);
+        println!("        {:<11} services:    {}/ogsa/services", "", container.base_url());
+    }
+
+    println!("\nserving; press Enter (or close stdin) to stop.");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let _ = std::fs::remove_dir_all(&rma_dir);
+    println!("shutting down.");
+}

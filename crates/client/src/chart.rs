@@ -1,0 +1,223 @@
+//! Terminal visualization (the JFreeChart stand-in for thesis Fig. 11).
+//!
+//! Two renderers:
+//!
+//! * [`bar_chart`] — one labelled bar per execution, for "a metric value
+//!   (e.g. gflops or runtimesec) plotted for each Execution in a query";
+//! * [`line_chart`] — multi-series x/y plot used for the Figure 12
+//!   scalability curves.
+//!
+//! Output is plain ASCII so it renders anywhere a 2004 terminal would.
+
+/// Render a horizontal bar chart. `rows` are `(label, value)` pairs.
+pub fn bar_chart(title: &str, metric: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let bar_w = width.saturating_sub(label_w + 16).max(8);
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * bar_w as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{}{} {value:.3} {metric}\n",
+            "#".repeat(filled.min(bar_w)),
+            " ".repeat(bar_w - filled.min(bar_w)),
+        ));
+    }
+    out
+}
+
+/// One series for [`line_chart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, assumed sorted by x.
+    pub points: Vec<(f64, f64)>,
+    /// Plot glyph.
+    pub glyph: char,
+}
+
+/// Render an x/y scatter/line chart with multiple series.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for (x, y) in &all {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let plot_w = width.max(20);
+    let plot_h = height.max(5);
+    let mut grid = vec![vec![' '; plot_w]; plot_h];
+    for s in series {
+        for (x, y) in &s.points {
+            let col = (((x - x0) / (x1 - x0)) * (plot_w - 1) as f64).round() as usize;
+            let row = (((y - y0) / (y1 - y0)) * (plot_h - 1) as f64).round() as usize;
+            let row = plot_h - 1 - row; // y grows upward
+            grid[row][col] = s.glyph;
+        }
+    }
+    out.push_str(&format!("  {y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_val = y1 - (y1 - y0) * i as f64 / (plot_h - 1) as f64;
+        out.push_str(&format!("  {y_val:>10.1} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "  {:>10} +{}\n",
+        "",
+        "-".repeat(plot_w)
+    ));
+    out.push_str(&format!(
+        "  {:>10}  {:<w$}{:>12}\n",
+        "",
+        format!("{x0:.0}"),
+        format!("{x1:.0} {x_label}"),
+        w = plot_w.saturating_sub(12)
+    ));
+    for s in series {
+        out.push_str(&format!("    {} = {}\n", s.glyph, s.name));
+    }
+    out
+}
+
+/// Render a fixed-width table: header row plus data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{cell:<w$}  ", w = widths.get(i).copied().unwrap_or(0)));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&format!(
+        "  {}\n",
+        widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![
+            ("run-100".to_owned(), 10.0),
+            ("run-101".to_owned(), 5.0),
+            ("run-102".to_owned(), 0.0),
+        ];
+        let chart = bar_chart("gflops per execution", "gflops", &rows, 60);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let hashes = |s: &str| s.chars().filter(|c| *c == '#').count();
+        assert!(hashes(lines[1]) > hashes(lines[2]));
+        assert_eq!(hashes(lines[3]), 0);
+        assert!(lines[1].contains("10.000 gflops"));
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert!(bar_chart("t", "m", &[], 40).contains("(no data)"));
+    }
+
+    #[test]
+    fn line_chart_renders_both_series() {
+        let series = vec![
+            Series {
+                name: "Optimized".into(),
+                points: vec![(2.0, 10.0), (4.0, 20.0), (8.0, 40.0)],
+                glyph: 'o',
+            },
+            Series {
+                name: "Non-Optimized".into(),
+                points: vec![(2.0, 20.0), (4.0, 40.0), (8.0, 80.0)],
+                glyph: 'x',
+            },
+        ];
+        let chart = line_chart("Scalability", "# executions", "ms", &series, 40, 10);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('x'));
+        assert!(chart.contains("Optimized"));
+        assert!(chart.contains("# executions"));
+    }
+
+    #[test]
+    fn line_chart_degenerate_ranges() {
+        let series = vec![Series { name: "flat".into(), points: vec![(1.0, 5.0)], glyph: '*' }];
+        let chart = line_chart("t", "x", "y", &series, 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["Data Source", "Mean (ms)"],
+            &[
+                vec!["HPL".into(), "112.85".into()],
+                vec!["SMG98 (RDBMS)".into(), "74306.9".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Data Source"));
+        assert!(lines[3].contains("SMG98"));
+        // All data rows start at the same column.
+        let col = lines[2].find("112.85").unwrap();
+        assert_eq!(lines[3].find("74306.9").unwrap(), col);
+    }
+}

@@ -1,0 +1,118 @@
+//! Service publishing and discovery (thesis §5.5.1, Fig. 8).
+
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Gsh, OgsiError, Organization, RegistryStub, Result, ServiceEntry};
+use std::sync::Arc;
+
+/// One entry in the client's *Current Bindings* list: a discovered service
+/// the user chose to work with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Owning organization.
+    pub organization: String,
+    /// Service (dataset) name.
+    pub service: String,
+    /// The Application factory handle.
+    pub factory: Gsh,
+}
+
+/// The consumer side of Fig. 8: search the registry, browse services, bind.
+pub struct DiscoveryPanel {
+    registry: RegistryStub,
+    bindings: Vec<Binding>,
+}
+
+impl DiscoveryPanel {
+    /// Connect to a registry.
+    pub fn connect(client: Arc<HttpClient>, registry: &Gsh) -> DiscoveryPanel {
+        DiscoveryPanel {
+            registry: RegistryStub::bind(client, registry),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// All organizations, or those whose name contains `pattern`.
+    pub fn find_organizations(&self, pattern: &str) -> Result<Vec<Organization>> {
+        self.registry.find_organizations(pattern)
+    }
+
+    /// Services published by an organization.
+    pub fn services_of(&self, organization: &str) -> Result<Vec<ServiceEntry>> {
+        self.registry.list_services(organization)
+    }
+
+    /// Add a service to the Current Bindings list. Duplicate (org, service)
+    /// pairs are ignored.
+    pub fn bind(&mut self, entry: &ServiceEntry) -> Result<&Binding> {
+        let factory = Gsh::parse(&entry.factory_url)
+            .map_err(|_| OgsiError::BadHandle(entry.factory_url.clone()))?;
+        if !self
+            .bindings
+            .iter()
+            .any(|b| b.organization == entry.organization && b.service == entry.name)
+        {
+            self.bindings.push(Binding {
+                organization: entry.organization.clone(),
+                service: entry.name.clone(),
+                factory,
+            });
+        }
+        Ok(self
+            .bindings
+            .iter()
+            .find(|b| b.organization == entry.organization && b.service == entry.name)
+            .expect("just inserted"))
+    }
+
+    /// Remove a binding. Returns whether it existed.
+    pub fn unbind(&mut self, organization: &str, service: &str) -> bool {
+        let before = self.bindings.len();
+        self.bindings
+            .retain(|b| !(b.organization == organization && b.service == service));
+        self.bindings.len() != before
+    }
+
+    /// The Current Bindings list — "the list of Applications under
+    /// comparison in other sections of the client application".
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+}
+
+/// The publisher side of Fig. 8: create Organization and Service entries.
+pub struct PublisherPanel {
+    registry: RegistryStub,
+}
+
+impl PublisherPanel {
+    /// Connect to a registry.
+    pub fn connect(client: Arc<HttpClient>, registry: &Gsh) -> PublisherPanel {
+        PublisherPanel { registry: RegistryStub::bind(client, registry) }
+    }
+
+    /// Create (or update) an Organization entry.
+    pub fn register_organization(&self, name: &str, contact: &str) -> Result<()> {
+        self.registry.register_organization(name, contact)
+    }
+
+    /// Publish a Service entry for an Application dataset.
+    pub fn publish_service(
+        &self,
+        organization: &str,
+        name: &str,
+        description: &str,
+        factory: &Gsh,
+    ) -> Result<()> {
+        self.registry.register_service(&ServiceEntry {
+            organization: organization.to_owned(),
+            name: name.to_owned(),
+            description: description.to_owned(),
+            factory_url: factory.as_str().to_owned(),
+        })
+    }
+
+    /// Withdraw a Service entry.
+    pub fn unpublish_service(&self, organization: &str, name: &str) -> Result<bool> {
+        self.registry.unregister_service(organization, name)
+    }
+}

@@ -1,0 +1,28 @@
+//! The PPerfGrid Virtualization Layer — the client application.
+//!
+//! The thesis's client is a Swing GUI (Figs. 8–11) with four panels:
+//! Service Publishing and Discovery, Application Query, Execution Query, and
+//! Visualization. This crate provides the same workflow as a programmatic
+//! API (each panel is a struct) plus terminal rendering, so the examples and
+//! experiment harness drive exactly the path a GUI user would:
+//!
+//! 1. [`DiscoveryPanel`] — query a UDDI-like registry, browse organizations
+//!    and their services, and add Application factories to a *Current
+//!    Bindings* list (Fig. 8).
+//! 2. [`ApplicationQueryPanel`] — build Application–Attribute–Value query
+//!    tuples and run them, producing bound Execution instances (Fig. 9).
+//! 3. [`ExecutionQueryPanel`] — build Metric/Foci/Type/Time tuples and run
+//!    them against the bound Executions, producing Performance Results
+//!    (Fig. 10). Each query to an Execution runs in its own thread (the
+//!    behaviour the scalability experiment measures, §6.5).
+//! 4. [`chart`] — ASCII rendering of Performance Results per Execution
+//!    (Fig. 11's JFreeChart stand-in) and of experiment series.
+
+pub mod chart;
+pub mod discovery;
+pub mod query;
+
+pub use discovery::{Binding, DiscoveryPanel, PublisherPanel};
+pub use query::{
+    AppQuery, ApplicationQueryPanel, ExecQuery, ExecutionQueryPanel, PrResult, QueryTiming,
+};

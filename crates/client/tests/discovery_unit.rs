@@ -1,0 +1,102 @@
+//! Focused tests of the discovery panel's binding bookkeeping and the
+//! publisher panel's registry round trips.
+
+use pperf_client::{DiscoveryPanel, PublisherPanel};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, Gsh, RegistryService, ServiceEntry};
+use std::sync::Arc;
+
+struct Fx {
+    container: Arc<Container>,
+    client: Arc<HttpClient>,
+    registry: Gsh,
+}
+
+fn fx() -> Fx {
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let registry = container
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    Fx { container, client: Arc::new(HttpClient::new()), registry }
+}
+
+fn dummy_factory(fx: &Fx, name: &str) -> Gsh {
+    // Any URL on the live container parses as a handle; discovery only needs
+    // the string to be well-formed until a client binds.
+    Gsh::parse(format!("{}/ogsa/services/{name}", fx.container.base_url())).unwrap()
+}
+
+#[test]
+fn publisher_and_discovery_round_trip() {
+    let fx = fx();
+    let publisher = PublisherPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    publisher.register_organization("PSU", "Portland").unwrap();
+    let factory = dummy_factory(&fx, "hpl-app");
+    publisher.publish_service("PSU", "HPL", "runs", &factory).unwrap();
+
+    let discovery = DiscoveryPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    let orgs = discovery.find_organizations("").unwrap();
+    assert_eq!(orgs.len(), 1);
+    assert_eq!(orgs[0].contact, "Portland");
+    let services = discovery.services_of("PSU").unwrap();
+    assert_eq!(services.len(), 1);
+    assert_eq!(services[0].factory_url, factory.as_str());
+
+    // Unpublish removes it; a second unpublish reports absence.
+    assert!(publisher.unpublish_service("PSU", "HPL").unwrap());
+    assert!(!publisher.unpublish_service("PSU", "HPL").unwrap());
+    assert!(discovery.services_of("PSU").unwrap().is_empty());
+}
+
+#[test]
+fn binding_list_is_a_set_keyed_by_org_and_service() {
+    let fx = fx();
+    let publisher = PublisherPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    publisher.register_organization("A", "a").unwrap();
+    publisher.register_organization("B", "b").unwrap();
+    // Same service name under two organizations: both bindable.
+    let fa = dummy_factory(&fx, "one-app");
+    let fb = dummy_factory(&fx, "two-app");
+    publisher.publish_service("A", "HPL", "d", &fa).unwrap();
+    publisher.publish_service("B", "HPL", "d", &fb).unwrap();
+
+    let mut discovery = DiscoveryPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    for org in ["A", "B"] {
+        for svc in discovery.services_of(org).unwrap() {
+            discovery.bind(&svc).unwrap();
+            discovery.bind(&svc).unwrap(); // idempotent
+        }
+    }
+    assert_eq!(discovery.bindings().len(), 2);
+    assert!(discovery.unbind("A", "HPL"));
+    assert_eq!(discovery.bindings().len(), 1);
+    assert_eq!(discovery.bindings()[0].organization, "B");
+}
+
+#[test]
+fn bind_rejects_malformed_factory_urls() {
+    let fx = fx();
+    let mut discovery = DiscoveryPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    let bad = ServiceEntry {
+        organization: "X".into(),
+        name: "bad".into(),
+        description: String::new(),
+        factory_url: "not a url".into(),
+    };
+    assert!(discovery.bind(&bad).is_err());
+    assert!(discovery.bindings().is_empty());
+}
+
+#[test]
+fn pattern_search_narrows_organizations() {
+    let fx = fx();
+    let publisher = PublisherPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    for org in ["PSU", "PSU-HPC", "LLNL"] {
+        publisher.register_organization(org, "c").unwrap();
+    }
+    let discovery = DiscoveryPanel::connect(Arc::clone(&fx.client), &fx.registry);
+    assert_eq!(discovery.find_organizations("PSU").unwrap().len(), 2);
+    assert_eq!(discovery.find_organizations("LLNL").unwrap().len(), 1);
+    assert_eq!(discovery.find_organizations("CERN").unwrap().len(), 0);
+    assert_eq!(discovery.find_organizations("").unwrap().len(), 3);
+}

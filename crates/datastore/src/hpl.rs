@@ -1,0 +1,215 @@
+//! The HPL data store: a single-table relational database, plus an XML file
+//! variant for the format-comparison ablation (thesis §7: "an XML version of
+//! the HPL data store should be used to compare performance and overhead
+//! between data stores of the same content but different formats").
+
+use crate::spec::HplSpec;
+use pperf_minidb::{Database, DbValue};
+use pperf_xml::Element;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Column set of the `hpl_runs` table.
+pub const HPL_COLUMNS: &[&str] = &[
+    "runid", "rundate", "numprocs", "n", "nb", "gflops", "runtimesec", "starttime", "endtime",
+];
+
+/// The HPL store: one relational table of Linpack runs.
+pub struct HplStore {
+    db: Database,
+    spec: HplSpec,
+}
+
+impl HplStore {
+    /// Generate the store from a spec.
+    pub fn build(spec: HplSpec) -> HplStore {
+        let db = Database::new();
+        let conn = db.connect();
+        conn.execute(
+            "CREATE TABLE hpl_runs (runid INT, rundate TEXT, numprocs INT, n INT, nb INT, \
+             gflops DOUBLE, runtimesec DOUBLE, starttime DOUBLE, endtime DOUBLE)",
+        )
+        .expect("create hpl_runs");
+        let rows = generate_rows(&spec);
+        db.bulk_insert("hpl_runs", rows).expect("load hpl_runs");
+        HplStore { db, spec }
+    }
+
+    /// The underlying database (wrappers connect to this).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The generation spec.
+    pub fn spec(&self) -> &HplSpec {
+        &self.spec
+    }
+}
+
+fn generate_rows(spec: &HplSpec) -> Vec<Vec<DbValue>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rows = Vec::with_capacity(spec.num_execs);
+    for i in 0..spec.num_execs {
+        let runid = spec.first_runid + i as i64;
+        let numprocs = 1i64 << rng.random_range(0..6); // 1..32
+        let n = [5000i64, 10000, 20000, 40000][rng.random_range(0..4)];
+        let nb = [32i64, 64, 128, 256][rng.random_range(0..4)];
+        // Plausible scaling: more procs → more gflops, with noise.
+        let gflops =
+            0.9 * numprocs as f64 * (0.8 + 0.4 * rng.random::<f64>()) * (n as f64 / 20000.0);
+        let runtimesec = (2.0 * (n as f64).powi(3) / 3.0) / (gflops.max(0.05) * 1e9);
+        let day = 1 + (i % 28) as i64;
+        let month = 1 + (i / 28 % 12) as i64;
+        rows.push(vec![
+            DbValue::Int(runid),
+            DbValue::Text(format!("2004-{month:02}-{day:02}")),
+            DbValue::Int(numprocs),
+            DbValue::Int(n),
+            DbValue::Int(nb),
+            DbValue::Double((gflops * 1000.0).round() / 1000.0),
+            DbValue::Double((runtimesec * 1000.0).round() / 1000.0),
+            DbValue::Double(0.0),
+            DbValue::Double((runtimesec * 1000.0).round() / 1000.0),
+        ]);
+    }
+    rows
+}
+
+/// The HPL XML store: the same logical content as [`HplStore`], one XML file
+/// per execution plus an `index.xml`, exercising a different Mapping Layer.
+pub struct HplXmlStore {
+    dir: PathBuf,
+}
+
+impl HplXmlStore {
+    /// Generate XML files for `spec` under `dir` (created if needed).
+    pub fn generate(dir: impl Into<PathBuf>, spec: &HplSpec) -> std::io::Result<HplXmlStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let rows = generate_rows(spec);
+        let mut index = Element::new("hplRuns");
+        for row in &rows {
+            let runid = row[0].as_int().expect("runid is int");
+            let mut run = Element::new("run");
+            run.set_attr("runid", runid.to_string());
+            for (value, name) in row.iter().zip(HPL_COLUMNS) {
+                run.push_child(Element::with_text(*name, value.render()));
+            }
+            std::fs::write(dir.join(format!("run-{runid}.xml")), run.to_document())?;
+            let mut entry = Element::new("run");
+            entry.set_attr("runid", runid.to_string());
+            entry.set_attr("file", format!("run-{runid}.xml"));
+            index.push_child(entry);
+        }
+        std::fs::write(dir.join("index.xml"), index.to_document())?;
+        Ok(HplXmlStore { dir })
+    }
+
+    /// Open an existing XML store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> HplXmlStore {
+        HplXmlStore { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// All run ids listed in the index.
+    pub fn run_ids(&self) -> std::io::Result<Vec<i64>> {
+        let text = std::fs::read_to_string(self.dir.join("index.xml"))?;
+        let index = pperf_xml::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(index
+            .children_named("run")
+            .filter_map(|r| r.attr("runid")?.parse().ok())
+            .collect())
+    }
+
+    /// Parse one run's field map from its XML file.
+    pub fn read_run(&self, runid: i64) -> std::io::Result<Vec<(String, String)>> {
+        let text = std::fs::read_to_string(self.dir.join(format!("run-{runid}.xml")))?;
+        let run = pperf_xml::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(run
+            .child_elements()
+            .map(|c| (c.name.clone(), c.text().into_owned()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_has_expected_shape() {
+        let store = HplStore::build(HplSpec::tiny());
+        assert_eq!(store.database().row_count("hpl_runs"), Some(8));
+        let rs = store
+            .database()
+            .connect()
+            .query("SELECT MIN(runid) AS lo, MAX(runid) AS hi FROM hpl_runs")
+            .unwrap();
+        assert_eq!(rs.get_i64(0, "lo").unwrap(), 100);
+        assert_eq!(rs.get_i64(0, "hi").unwrap(), 107);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = HplStore::build(HplSpec::tiny());
+        let b = HplStore::build(HplSpec::tiny());
+        let qa = a.database().connect().query("SELECT gflops FROM hpl_runs ORDER BY runid").unwrap();
+        let qb = b.database().connect().query("SELECT gflops FROM hpl_runs ORDER BY runid").unwrap();
+        assert_eq!(qa.rows(), qb.rows());
+    }
+
+    #[test]
+    fn default_spec_has_124_executions() {
+        let store = HplStore::build(HplSpec::default());
+        assert_eq!(store.database().row_count("hpl_runs"), Some(124));
+    }
+
+    #[test]
+    fn metrics_are_positive() {
+        let store = HplStore::build(HplSpec::tiny());
+        let rs = store
+            .database()
+            .connect()
+            .query("SELECT MIN(gflops) AS g, MIN(runtimesec) AS r FROM hpl_runs")
+            .unwrap();
+        assert!(rs.get_f64(0, "g").unwrap() > 0.0);
+        assert!(rs.get_f64(0, "r").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn xml_store_roundtrips_content() {
+        let dir = std::env::temp_dir().join(format!("hplxml-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = HplXmlStore::generate(&dir, &HplSpec::tiny()).unwrap();
+        let ids = store.run_ids().unwrap();
+        assert_eq!(ids.len(), 8);
+        let fields = store.read_run(ids[0]).unwrap();
+        assert_eq!(fields.len(), HPL_COLUMNS.len());
+        assert_eq!(fields[0].0, "runid");
+        assert_eq!(fields[0].1, ids[0].to_string());
+        // Same logical content as the relational store.
+        let rel = HplStore::build(HplSpec::tiny());
+        let rs = rel
+            .database()
+            .connect()
+            .query(&format!("SELECT gflops FROM hpl_runs WHERE runid = {}", ids[0]))
+            .unwrap();
+        let gflops_rel = rs.get_f64(0, "gflops").unwrap();
+        let gflops_xml: f64 = fields
+            .iter()
+            .find(|(n, _)| n == "gflops")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!((gflops_rel - gflops_xml).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! Data-layer backends and synthetic dataset generators.
+//!
+//! The thesis evaluated PPerfGrid against three real performance data stores
+//! (§6.1):
+//!
+//! * **HPL** — High Performance Linpack runs, stored in a single-table
+//!   relational database (and, as future work, in XML files),
+//! * **PRESTA RMA** — MPI bandwidth/latency benchmark output, stored as flat
+//!   ASCII text files read by a custom parser,
+//! * **SMG98** — a Vampir trace of the semicoarsening multigrid solver,
+//!   stored in a five-table relational database (250 MB class; queries took
+//!   ~66 s at the mapping layer).
+//!
+//! Those datasets are not redistributable, so this crate generates synthetic
+//! stand-ins with the same *shape*: the same storage formats, schema
+//! cardinalities, payload sizes (~8 B per HPL result, ~5.7 kB per RMA result,
+//! hundreds of kB per SMG98 result) and relative mapping-layer costs
+//! (HPL ≈ RMA ≪ SMG98). Generation is deterministic given a seed.
+//!
+//! Sizes are controlled by the [`spec`] types; defaults are scaled down from
+//! the thesis hardware (440 MHz UltraSPARC) to keep test runtimes sane while
+//! preserving the orderings the experiments depend on.
+
+pub mod hpl;
+pub mod rma;
+pub mod smg;
+pub mod spec;
+
+pub use hpl::{HplStore, HplXmlStore};
+pub use rma::{rma_to_database, RmaRecord, RmaTextStore};
+pub use smg::SmgStore;
+pub use spec::{HplSpec, RmaSpec, SmgSpec};

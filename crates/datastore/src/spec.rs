@@ -1,0 +1,141 @@
+//! Dataset size/shape specifications.
+
+/// Shape of the synthetic HPL dataset.
+///
+/// The thesis's HPL store held 124 executions with run ids starting at 100
+/// (Fig. 9 queries runid 100–109; §6.5: "124 (the maximum number of
+/// executions in the HPL dataset)").
+#[derive(Debug, Clone)]
+pub struct HplSpec {
+    /// Number of executions.
+    pub num_execs: usize,
+    /// First run id.
+    pub first_runid: i64,
+    /// RNG seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl Default for HplSpec {
+    fn default() -> Self {
+        HplSpec { num_execs: 124, first_runid: 100, seed: 0x48504c }
+    }
+}
+
+/// Shape of the synthetic PRESTA RMA dataset.
+///
+/// One ASCII file per execution; each file holds per-message-size bandwidth
+/// and latency samples for several MPI operations. The thesis measured
+/// ~5,692 bytes returned per RMA query; `msg_sizes × ops` rows of rendered
+/// text reproduce that payload scale.
+#[derive(Debug, Clone)]
+pub struct RmaSpec {
+    /// Number of executions (files).
+    pub num_execs: usize,
+    /// Message sizes measured, in bytes (powers of two).
+    pub msg_sizes: Vec<u64>,
+    /// Operation names measured.
+    pub ops: Vec<String>,
+    /// Repeated samples per (op, size) pair — PRESTA reruns each
+    /// configuration several times.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmaSpec {
+    fn default() -> Self {
+        RmaSpec {
+            num_execs: 16,
+            // 8 B .. 4 MiB, powers of two: 20 sizes.
+            msg_sizes: (3..23).map(|p| 1u64 << p).collect(),
+            ops: ["unidir", "bidir", "put", "get", "latency"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            trials: 4,
+            seed: 0x524d41,
+        }
+    }
+}
+
+/// Shape of the synthetic SMG98 trace database.
+///
+/// Five tables mirroring a Vampir-style trace schema: `executions`,
+/// `processes`, `functions`, `events`, `intervals`. The `events` table
+/// carries the bulk (the 250 MB of the original store); its size makes
+/// mapping-layer queries slow relative to HPL/RMA, which is the property the
+/// overhead and caching experiments depend on.
+#[derive(Debug, Clone)]
+pub struct SmgSpec {
+    /// Number of executions.
+    pub num_execs: usize,
+    /// Processes per execution.
+    pub procs: usize,
+    /// Events per process per execution.
+    pub events_per_proc: usize,
+    /// Distinct instrumented functions.
+    pub num_functions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SmgSpec {
+    fn default() -> Self {
+        SmgSpec {
+            num_execs: 4,
+            procs: 16,
+            events_per_proc: 2_000,
+            num_functions: 48,
+            seed: 0x534d47,
+        }
+    }
+}
+
+impl SmgSpec {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> SmgSpec {
+        SmgSpec { num_execs: 2, procs: 4, events_per_proc: 50, num_functions: 8, seed: 7 }
+    }
+
+    /// Total event rows this spec will generate.
+    pub fn total_events(&self) -> usize {
+        self.num_execs * self.procs * self.events_per_proc
+    }
+}
+
+impl HplSpec {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> HplSpec {
+        HplSpec { num_execs: 8, first_runid: 100, seed: 7 }
+    }
+}
+
+impl RmaSpec {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> RmaSpec {
+        RmaSpec {
+            num_execs: 3,
+            msg_sizes: vec![8, 64, 512],
+            ops: vec!["unidir".into(), "latency".into()],
+            trials: 1,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_thesis_cardinalities() {
+        let hpl = HplSpec::default();
+        assert_eq!(hpl.num_execs, 124);
+        assert_eq!(hpl.first_runid, 100);
+        let rma = RmaSpec::default();
+        assert_eq!(rma.msg_sizes.len(), 20);
+        assert_eq!(rma.ops.len(), 5);
+        let smg = SmgSpec::default();
+        assert_eq!(smg.total_events(), 4 * 16 * 2000);
+    }
+}

@@ -1,0 +1,187 @@
+//! Keep-alive HTTP client with per-authority connection pooling.
+
+use crate::error::{HttpError, Result};
+use crate::message::{Request, Response};
+use crate::url::Url;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One pooled connection.
+struct PooledConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl PooledConn {
+    fn connect(authority: &str, timeout: Duration) -> Result<PooledConn> {
+        let addrs: Vec<_> = std::net::ToSocketAddrs::to_socket_addrs(authority)
+            .map_err(HttpError::Io)?
+            .collect();
+        let addr = addrs
+            .first()
+            .ok_or_else(|| HttpError::BadUrl(format!("{authority:?} did not resolve")))?;
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(PooledConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn exchange(&mut self, request: &Request, host: &str) -> Result<Response> {
+        request.write_to(&mut self.writer, host)?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader)
+    }
+}
+
+/// A blocking HTTP client.
+///
+/// Connections are pooled per `host:port` and reused across requests (HTTP
+/// keep-alive), which matters for the overhead experiment: without reuse,
+/// TCP connection setup would dominate the measured SOAP overhead and distort
+/// the Table 4 shape. A request that fails on a pooled (possibly stale)
+/// connection is retried once on a fresh connection.
+pub struct HttpClient {
+    pool: Mutex<HashMap<String, Vec<PooledConn>>>,
+    connect_timeout: Duration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpClient {
+    /// A client with a 10-second connect timeout.
+    pub fn new() -> HttpClient {
+        HttpClient {
+            pool: Mutex::new(HashMap::new()),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Override the connect timeout.
+    pub fn with_connect_timeout(timeout: Duration) -> HttpClient {
+        HttpClient { pool: Mutex::new(HashMap::new()), connect_timeout: timeout }
+    }
+
+    /// POST `body` to `url`.
+    pub fn post(&self, url: &str, content_type: &str, body: Vec<u8>) -> Result<Response> {
+        let url = Url::parse(url)?;
+        let mut request = Request::post(url.path.clone(), content_type, body);
+        request.query = url.query.clone();
+        self.send(&url, &request)
+    }
+
+    /// GET `url`.
+    pub fn get(&self, url: &str) -> Result<Response> {
+        let url = Url::parse(url)?;
+        let mut request = Request::get(url.path.clone());
+        request.query = url.query.clone();
+        self.send(&url, &request)
+    }
+
+    /// Send a prebuilt request to a parsed URL.
+    pub fn send(&self, url: &Url, request: &Request) -> Result<Response> {
+        let authority = url.authority();
+        // Try a pooled connection first; it may have been closed by the peer.
+        if let Some(mut conn) = self.checkout(&authority) {
+            match conn.exchange(request, &authority) {
+                Ok(resp) => {
+                    self.checkin(&authority, conn);
+                    return Ok(resp);
+                }
+                Err(_) => { /* stale — fall through to a fresh connection */ }
+            }
+        }
+        let mut conn = PooledConn::connect(&authority, self.connect_timeout)?;
+        let resp = conn.exchange(request, &authority)?;
+        self.checkin(&authority, conn);
+        Ok(resp)
+    }
+
+    fn checkout(&self, authority: &str) -> Option<PooledConn> {
+        self.pool.lock().get_mut(authority)?.pop()
+    }
+
+    fn checkin(&self, authority: &str, conn: PooledConn) {
+        let mut pool = self.pool.lock();
+        let slot = pool.entry(authority.to_owned()).or_default();
+        // Bound the pool: beyond this, extra connections are dropped (closed).
+        if slot.len() < 16 {
+            slot.push(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Status;
+    use crate::server::{HttpServer, ServerConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn get_and_post() {
+        let handler = Arc::new(|req: &Request| {
+            if req.method == "GET" {
+                Response::ok("text/plain", format!("got {}", req.path).into_bytes())
+            } else {
+                Response::ok("text/plain", req.body.clone())
+            }
+        });
+        let server =
+            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let client = HttpClient::new();
+        let resp = client.get(&format!("{}/info?wsdl", server.base_url())).unwrap();
+        assert_eq!(resp.body_str(), "got /info");
+        let resp = client
+            .post(&format!("{}/svc", server.base_url()), "text/xml", b"<x/>".to_vec())
+            .unwrap();
+        assert_eq!(resp.body, b"<x/>");
+    }
+
+    #[test]
+    fn stale_connection_retried() {
+        // First server dies; a new one takes over the same handler logic on a
+        // new port — but for the pool key to match we need the same port, so
+        // instead simulate staleness by shutting the server's keep-alive side:
+        // easiest reliable check is to make two sequential servers and verify
+        // the client works again after pool entries go stale.
+        let handler = Arc::new(|_: &Request| Response::ok("text/plain", b"one".to_vec()));
+        let mut server =
+            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let addr = server.addr();
+        let client = HttpClient::new();
+        let url = format!("http://{addr}/x");
+        assert_eq!(client.get(&url).unwrap().body, b"one");
+        server.shutdown();
+        // Pooled connection is now dead; a fresh connect will fail (nobody
+        // listening) — expect an error, not a hang or panic.
+        assert!(client.get(&url).is_err());
+    }
+
+    #[test]
+    fn connection_refused_is_error() {
+        let client = HttpClient::with_connect_timeout(Duration::from_millis(300));
+        // Port 1 on localhost is essentially guaranteed closed.
+        assert!(client.get("http://127.0.0.1:1/x").is_err());
+    }
+
+    #[test]
+    fn status_passthrough() {
+        let handler =
+            Arc::new(|_: &Request| Response::text(Status::NOT_FOUND, "nope"));
+        let server =
+            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let client = HttpClient::new();
+        let resp = client.get(&format!("{}/missing", server.base_url())).unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+        assert_eq!(resp.body_str(), "nope");
+    }
+}

@@ -1,0 +1,51 @@
+//! Transport-level errors.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HttpError>;
+
+/// An HTTP transport error.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The peer sent bytes that are not valid HTTP.
+    Malformed(String),
+    /// A request or response body exceeded the configured limit.
+    BodyTooLarge { limit: usize, got: usize },
+    /// A URL could not be parsed.
+    BadUrl(String),
+    /// The connection closed before a complete message arrived.
+    ConnectionClosed,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
+            HttpError::BodyTooLarge { limit, got } => {
+                write!(f, "http body of {got} bytes exceeds limit {limit}")
+            }
+            HttpError::BadUrl(u) => write!(f, "bad url: {u}"),
+            HttpError::ConnectionClosed => write!(f, "connection closed mid-message"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}

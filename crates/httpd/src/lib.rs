@@ -1,0 +1,33 @@
+//! Minimal blocking HTTP/1.1 transport for SOAP messaging.
+//!
+//! The thesis hosted its services in Apache Tomcat ("which provides web
+//! server functionality", §5.4) and moved SOAP documents over HTTP. This
+//! crate is that substrate: a thread-pooled blocking server, a keep-alive
+//! client, and just enough HTTP/1.1 (request line, headers, Content-Length
+//! framing, persistent connections) to carry RPC traffic between PPerfGrid
+//! containers.
+//!
+//! Design notes:
+//!
+//! * Blocking I/O with a worker pool, not async — Grid service calls are
+//!   long-lived (seconds for the SMG98 store), so a thread per in-flight
+//!   request mirrors both the 2004 servlet model and the measured behaviour
+//!   (the scalability experiment saturates hosts with concurrent calls).
+//! * The server owns an accept thread plus N workers fed over a crossbeam
+//!   channel; [`HttpServer::shutdown`] is graceful and idempotent.
+//! * The client pools persistent connections per `host:port` and
+//!   transparently reconnects when a pooled connection has gone stale.
+
+mod client;
+mod error;
+mod message;
+mod router;
+mod server;
+mod url;
+
+pub use client::HttpClient;
+pub use error::{HttpError, Result};
+pub use message::{Headers, Request, Response, Status};
+pub use router::Router;
+pub use server::{Handler, HttpServer, ServerConfig};
+pub use url::Url;

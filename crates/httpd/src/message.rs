@@ -1,0 +1,436 @@
+//! HTTP request/response types and their wire codecs.
+
+use crate::error::{HttpError, Result};
+use std::io::{BufRead, Write};
+
+/// Maximum accepted body size (64 MiB) — large enough for the SMG98 payloads,
+/// small enough to bound a misbehaving peer.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Maximum accepted header section size.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A case-insensitive header multimap (order-preserving).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// Empty header set.
+    pub fn new() -> Headers {
+        Headers::default()
+    }
+
+    /// Append a header (duplicates allowed, as in HTTP).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all occurrences of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_owned(), value.into()));
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of header entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no headers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An HTTP status code with its canonical reason phrase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    pub const OK: Status = Status(200);
+    pub const BAD_REQUEST: Status = Status(400);
+    pub const NOT_FOUND: Status = Status(404);
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    pub const PAYLOAD_TOO_LARGE: Status = Status(413);
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether this is a 2xx status.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, percent-decoding not applied (SOAP paths are plain).
+    pub path: String,
+    /// Raw query string after `?`, or empty.
+    pub query: String,
+    /// Request headers.
+    pub headers: Headers,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a POST request.
+    pub fn post(path: impl Into<String>, content_type: &str, body: Vec<u8>) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: String::new(),
+            headers,
+            body,
+        }
+    }
+
+    /// Build a GET request.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// Read one request from a buffered stream. `Ok(None)` means the peer
+    /// closed the connection cleanly between requests (keep-alive end).
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Option<Request>> {
+        let Some(start_line) = read_line_opt(reader)? else {
+            return Ok(None);
+        };
+        let mut parts = start_line.split_whitespace();
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v),
+            _ => return Err(HttpError::Malformed(format!("bad request line {start_line:?}"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (target, String::new()),
+        };
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers)?;
+        Ok(Some(Request { method, path, query, headers, body }))
+    }
+
+    /// Serialize to the wire, including framing headers.
+    pub fn write_to(&self, w: &mut impl Write, host: &str) -> Result<()> {
+        let target = if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        };
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, target)?;
+        write!(w, "Host: {host}\r\n")?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in self.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length") || name.eq_ignore_ascii_case("Host") {
+                continue;
+            }
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Whether the client asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.headers
+            .get("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: Status,
+    /// Response headers.
+    pub headers: Headers,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with the given content type and body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        Response { status: Status::OK, headers, body }
+    }
+
+    /// A plain-text response with an arbitrary status.
+    pub fn text(status: Status, msg: impl Into<String>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "text/plain; charset=utf-8");
+        Response { status, headers, body: msg.into().into_bytes() }
+    }
+
+    /// An XML response (used for SOAP payloads and WSDL documents).
+    pub fn xml(status: Status, body: impl Into<String>) -> Response {
+        let mut headers = Headers::new();
+        headers.set("Content-Type", "text/xml; charset=utf-8");
+        Response { status, headers, body: body.into().into_bytes() }
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// Read one response from a buffered stream.
+    pub fn read_from(reader: &mut impl BufRead) -> Result<Response> {
+        let status_line =
+            read_line_opt(reader)?.ok_or(HttpError::ConnectionClosed)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad status line {status_line:?}")));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers)?;
+        Ok(Response { status: Status(code), headers, body })
+    }
+
+    /// Serialize to the wire, including framing headers.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status.0, self.status.reason())?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        for (name, value) in self.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length") {
+                continue;
+            }
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// Read a CRLF- (or LF-) terminated line; `None` on clean EOF at a boundary.
+fn read_line_opt(reader: &mut impl BufRead) -> Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn read_headers(reader: &mut impl BufRead) -> Result<Headers> {
+    let mut headers = Headers::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line_opt(reader)?.ok_or(HttpError::ConnectionClosed)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.insert(name.trim(), value.trim());
+    }
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &Headers) -> Result<Vec<u8>> {
+    let len: usize = match headers.get("Content-Length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(HttpError::BodyTooLarge { limit: MAX_BODY, got: len });
+    }
+    let mut body = vec![0u8; len];
+    let mut read = 0;
+    while read < len {
+        let n = std::io::Read::read(reader, &mut body[read..])?;
+        if n == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        read += n;
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip_request(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "localhost:1").unwrap();
+        Request::read_from(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = Request::post("/svc/app", "text/xml", b"<a/>".to_vec());
+        req.headers.set("SOAPAction", "\"getExecs\"");
+        let back = roundtrip_request(&req);
+        assert_eq!(back.method, "POST");
+        assert_eq!(back.path, "/svc/app");
+        assert_eq!(back.body, b"<a/>");
+        assert_eq!(back.headers.get("soapaction"), Some("\"getExecs\""));
+        assert_eq!(back.headers.get("content-type"), Some("text/xml"));
+    }
+
+    #[test]
+    fn request_query_split() {
+        let mut req = Request::get("/svc/app");
+        req.query = "wsdl".into();
+        let back = roundtrip_request(&req);
+        assert_eq!(back.path, "/svc/app");
+        assert_eq!(back.query, "wsdl");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::xml(Status::OK, "<r/>");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status, Status::OK);
+        assert_eq!(back.body, b"<r/>");
+    }
+
+    #[test]
+    fn empty_body_response() {
+        let resp = Response::text(Status::NOT_FOUND, "");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(back.status.0, 404);
+        assert!(back.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_returns_none() {
+        let empty: &[u8] = b"";
+        assert!(Request::read_from(&mut BufReader::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(
+            Request::read_from(&mut BufReader::new(&wire[..])),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn bad_content_length_rejected() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(Request::read_from(&mut BufReader::new(&wire[..])).is_err());
+    }
+
+    #[test]
+    fn oversize_body_rejected() {
+        let wire = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            Request::read_from(&mut BufReader::new(wire.as_bytes())),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let mut h = Headers::new();
+        h.insert("Content-Type", "a");
+        assert_eq!(h.get("CONTENT-TYPE"), Some("a"));
+        h.set("content-type", "b");
+        assert_eq!(h.get("Content-Type"), Some("b"));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(Status::OK.reason(), "OK");
+        assert!(Status::OK.is_success());
+        assert!(!Status::INTERNAL_SERVER_ERROR.is_success());
+        assert_eq!(Status(799).reason(), "Unknown");
+    }
+
+    #[test]
+    fn lf_only_lines_tolerated() {
+        let wire = b"GET /x HTTP/1.1\nHost: h\n\n";
+        let req = Request::read_from(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.headers.get("host"), Some("h"));
+    }
+
+    #[test]
+    fn wants_close_detection() {
+        let mut req = Request::get("/");
+        assert!(!req.wants_close());
+        req.headers.set("Connection", "close");
+        assert!(req.wants_close());
+        req.headers.set("Connection", "keep-alive");
+        assert!(!req.wants_close());
+    }
+}

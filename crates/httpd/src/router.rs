@@ -1,0 +1,144 @@
+//! Path routing: dispatch requests to handlers by longest matching prefix.
+//!
+//! The Grid container mounts each deployed service (and each transient
+//! service *instance*) at its own path; the router is the "routing" third of
+//! the thesis's marshalling/encoding/routing pipeline.
+
+use crate::message::{Request, Response, Status};
+use crate::server::Handler;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A mutable routing table usable as a server [`Handler`].
+///
+/// Routes can be added and removed while the server is live — required
+/// because Factory services create (and Destroy removes) service instances
+/// at runtime.
+#[derive(Default)]
+pub struct Router {
+    routes: RwLock<Vec<(String, Arc<dyn Handler>)>>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Mount `handler` at `prefix`. The longest mounted prefix wins, so
+    /// `/svc/app/instances/7` shadows `/svc/app`.
+    pub fn mount(&self, prefix: impl Into<String>, handler: Arc<dyn Handler>) {
+        let prefix = prefix.into();
+        let mut routes = self.routes.write();
+        routes.retain(|(p, _)| *p != prefix);
+        routes.push((prefix, handler));
+        // Longest prefix first so lookup can take the first match.
+        routes.sort_by(|(a, _), (b, _)| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    }
+
+    /// Remove the route mounted exactly at `prefix`. Returns whether a route
+    /// was removed.
+    pub fn unmount(&self, prefix: &str) -> bool {
+        let mut routes = self.routes.write();
+        let before = routes.len();
+        routes.retain(|(p, _)| p != prefix);
+        routes.len() != before
+    }
+
+    /// Number of mounted routes.
+    pub fn len(&self) -> usize {
+        self.routes.read().len()
+    }
+
+    /// Whether no routes are mounted.
+    pub fn is_empty(&self) -> bool {
+        self.routes.read().is_empty()
+    }
+
+    /// All mounted prefixes (for diagnostics).
+    pub fn prefixes(&self) -> Vec<String> {
+        self.routes.read().iter().map(|(p, _)| p.clone()).collect()
+    }
+
+    fn lookup(&self, path: &str) -> Option<Arc<dyn Handler>> {
+        let routes = self.routes.read();
+        for (prefix, handler) in routes.iter() {
+            if path == prefix
+                || (path.starts_with(prefix)
+                    && (prefix.ends_with('/') || path.as_bytes().get(prefix.len()) == Some(&b'/')))
+            {
+                return Some(Arc::clone(handler));
+            }
+        }
+        None
+    }
+}
+
+impl Handler for Router {
+    fn handle(&self, request: &Request) -> Response {
+        match self.lookup(&request.path) {
+            Some(handler) => handler.handle(request),
+            None => Response::text(Status::NOT_FOUND, format!("no service at {}", request.path)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(t: &'static str) -> Arc<dyn Handler> {
+        Arc::new(move |_: &Request| Response::ok("text/plain", t.as_bytes().to_vec()))
+    }
+
+    fn route(router: &Router, path: &str) -> String {
+        router.handle(&Request::get(path)).body_str().into_owned()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let router = Router::new();
+        router.mount("/svc", tag("svc"));
+        router.mount("/svc/app", tag("app"));
+        router.mount("/svc/app/instances/1", tag("inst"));
+        assert_eq!(route(&router, "/svc/app/instances/1"), "inst");
+        assert_eq!(route(&router, "/svc/app/instances/1/extra"), "inst");
+        assert_eq!(route(&router, "/svc/app"), "app");
+        assert_eq!(route(&router, "/svc/other"), "svc");
+    }
+
+    #[test]
+    fn prefix_must_match_on_segment_boundary() {
+        let router = Router::new();
+        router.mount("/svc/app", tag("app"));
+        let resp = router.handle(&Request::get("/svc/apple"));
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn unmount_removes() {
+        let router = Router::new();
+        router.mount("/a", tag("a"));
+        assert_eq!(router.len(), 1);
+        assert!(router.unmount("/a"));
+        assert!(!router.unmount("/a"));
+        assert!(router.is_empty());
+        assert_eq!(router.handle(&Request::get("/a")).status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn remount_replaces() {
+        let router = Router::new();
+        router.mount("/a", tag("one"));
+        router.mount("/a", tag("two"));
+        assert_eq!(router.len(), 1);
+        assert_eq!(route(&router, "/a"), "two");
+    }
+
+    #[test]
+    fn unmatched_is_404() {
+        let router = Router::new();
+        let resp = router.handle(&Request::get("/nothing"));
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+}

@@ -1,0 +1,403 @@
+//! The HTTP server: one lightweight thread per connection, with a
+//! fixed-size *worker permit* pool bounding concurrent request handling.
+//!
+//! The permit pool is the unit of host capacity: a host with `workers = 2`
+//! processes at most two requests at any instant, no matter how many
+//! keep-alive connections are parked on it. (A worker-per-connection design
+//! would let idle persistent connections exhaust the pool and deadlock
+//! nested service-to-service calls — the Grid container routinely calls
+//! itself when an Application instance asks its co-located Execution
+//! factory to create instances.)
+
+use crate::error::Result;
+use crate::message::{Request, Response, Status};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A request handler. Handlers run concurrently on connection threads while
+/// holding a worker permit.
+pub trait Handler: Send + Sync + 'static {
+    /// Produce the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently-processed requests (the host's capacity).
+    pub workers: usize,
+    /// Artificial service time added to every request while its permit is
+    /// held, to emulate slower hardware / a LAN hop. `None` disables it.
+    pub injected_latency: Option<Duration>,
+    /// Retained for configuration compatibility; connection handling is
+    /// thread-per-connection, so no accept queue applies.
+    pub backlog: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 8, injected_latency: None, backlog: 1024 }
+    }
+}
+
+/// A counting semaphore built on a token channel: `acquire` = receive a
+/// token, release = the token dropping back into the channel.
+struct Permits {
+    tokens: Receiver<()>,
+    returns: Sender<()>,
+}
+
+impl Permits {
+    fn new(count: usize) -> Permits {
+        let (tx, rx) = bounded(count.max(1));
+        for _ in 0..count.max(1) {
+            tx.send(()).expect("fill permit pool");
+        }
+        Permits { tokens: rx, returns: tx }
+    }
+
+    fn acquire(&self) -> PermitGuard<'_> {
+        self.tokens.recv().expect("permit channel closed");
+        PermitGuard { permits: self }
+    }
+}
+
+struct PermitGuard<'a> {
+    permits: &'a Permits,
+}
+
+impl Drop for PermitGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.permits.returns.send(());
+    }
+}
+
+struct Shared {
+    handler: Arc<dyn Handler>,
+    permits: Permits,
+    stop: AtomicBool,
+    requests_served: AtomicU64,
+    open_connections: AtomicUsize,
+    latency: Option<Duration>,
+}
+
+/// A running HTTP server. Dropping the value shuts it down and joins the
+/// accept thread; connection threads drain within their poll interval.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving with `handler`.
+    pub fn bind(addr: &str, config: ServerConfig, handler: Arc<dyn Handler>) -> Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            handler,
+            permits: Permits::new(config.workers),
+            stop: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+            open_connections: AtomicUsize::new(0),
+            latency: config.injected_latency,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("httpd-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_shared = Arc::clone(&accept_shared);
+                    conn_shared.open_connections.fetch_add(1, Ordering::AcqRel);
+                    let spawned = std::thread::Builder::new()
+                        .name("httpd-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &conn_shared);
+                            conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        accept_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(HttpServer { addr: local, shared, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL of this server.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Total requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, wake the accept loop, and wait for connection threads
+    /// to drain. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Connection threads notice the stop flag within their read-timeout
+        // poll interval; give them a bounded grace period.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while self.shared.open_connections.load(Ordering::Acquire) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve a keep-alive connection until close, error, or shutdown. The worker
+/// permit is held only while a request is actually being processed.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
+    stream.set_nodelay(true)?;
+    // A read timeout lets the thread notice shutdown instead of parking
+    // forever on an idle keep-alive connection.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let request = match Request::read_from(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // clean close between requests
+            Err(crate::HttpError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle keep-alive; poll the stop flag again
+            }
+            Err(crate::HttpError::BodyTooLarge { .. }) => {
+                let resp = Response::text(Status::PAYLOAD_TOO_LARGE, "body too large");
+                let _ = resp.write_to(&mut writer);
+                return Ok(());
+            }
+            Err(_) => {
+                let resp = Response::text(Status::BAD_REQUEST, "malformed request");
+                let _ = resp.write_to(&mut writer);
+                return Ok(());
+            }
+        };
+        let close = request.wants_close();
+        let response = {
+            let _permit = shared.permits.acquire();
+            if let Some(d) = shared.latency {
+                std::thread::sleep(d);
+            }
+            shared.handler.handle(&request)
+        };
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        response.write_to(&mut writer)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn echo_server(workers: usize) -> HttpServer {
+        let handler = Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()));
+        HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig { workers, ..Default::default() },
+            handler,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let server = echo_server(2);
+        let client = HttpClient::new();
+        let url = format!("{}/echo", server.base_url());
+        let resp = client.post(&url, "text/plain", b"hello".to_vec()).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.body, b"hello");
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let server = echo_server(1);
+        let client = HttpClient::new();
+        let url = format!("{}/echo", server.base_url());
+        for i in 0..5 {
+            let body = format!("msg-{i}").into_bytes();
+            let resp = client.post(&url, "text/plain", body.clone()).unwrap();
+            assert_eq!(resp.body, body);
+        }
+        assert_eq!(server.requests_served(), 5);
+    }
+
+    #[test]
+    fn concurrent_requests() {
+        let server = echo_server(8);
+        let url = format!("{}/echo", server.base_url());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let url = url.clone();
+                scope.spawn(move || {
+                    let client = HttpClient::new();
+                    for i in 0..20 {
+                        let body = format!("t{t}-i{i}").into_bytes();
+                        let resp = client.post(&url, "text/plain", body.clone()).unwrap();
+                        assert_eq!(resp.body, body);
+                    }
+                });
+            }
+        });
+        assert_eq!(server.requests_served(), 8 * 20);
+    }
+
+    #[test]
+    fn more_connections_than_workers_make_progress() {
+        // The regression behind the Figure 12 deadlock: idle keep-alive
+        // connections must not starve the worker pool.
+        let server = echo_server(2);
+        let url = format!("{}/echo", server.base_url());
+        std::thread::scope(|scope| {
+            for t in 0..12 {
+                let url = url.clone();
+                scope.spawn(move || {
+                    let client = HttpClient::new(); // separate pool per thread
+                    for i in 0..5 {
+                        let body = format!("t{t}-i{i}").into_bytes();
+                        let resp = client.post(&url, "text/plain", body.clone()).unwrap();
+                        assert_eq!(resp.body, body);
+                    }
+                });
+            }
+        });
+        assert_eq!(server.requests_served(), 12 * 5);
+    }
+
+    #[test]
+    fn worker_limit_bounds_concurrency() {
+        use std::sync::atomic::AtomicUsize;
+        static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+        static MAX_SEEN: AtomicUsize = AtomicUsize::new(0);
+        let handler = Arc::new(|_: &Request| {
+            let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+            MAX_SEEN.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(20));
+            IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+            Response::ok("text/plain", vec![])
+        });
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig { workers: 2, ..Default::default() },
+            handler,
+        )
+        .unwrap();
+        let url = format!("{}/x", server.base_url());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let url = url.clone();
+                scope.spawn(move || {
+                    let client = HttpClient::new();
+                    client.post(&url, "text/plain", vec![]).unwrap();
+                });
+            }
+        });
+        assert!(
+            MAX_SEEN.load(Ordering::SeqCst) <= 2,
+            "permits must cap concurrency, saw {}",
+            MAX_SEEN.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let mut server = echo_server(2);
+        server.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_latency_slows_responses() {
+        let handler = Arc::new(|_: &Request| Response::ok("text/plain", vec![]));
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                injected_latency: Some(Duration::from_millis(30)),
+                ..Default::default()
+            },
+            handler,
+        )
+        .unwrap();
+        let client = HttpClient::new();
+        let url = format!("{}/x", server.base_url());
+        let start = std::time::Instant::now();
+        client.post(&url, "text/plain", vec![]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server = echo_server(1);
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        sock.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        sock.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+
+    #[test]
+    fn large_body_roundtrip() {
+        let server = echo_server(2);
+        let client = HttpClient::new();
+        let url = format!("{}/echo", server.base_url());
+        let body = vec![b'x'; 1_000_000];
+        let resp = client.post(&url, "application/octet-stream", body.clone()).unwrap();
+        assert_eq!(resp.body.len(), body.len());
+    }
+}

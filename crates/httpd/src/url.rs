@@ -1,0 +1,105 @@
+//! Tiny URL parser for `http://host:port/path?query` endpoints (GSHs are
+//! URLs of this shape).
+
+use crate::error::{HttpError, Result};
+
+/// A parsed `http://` URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Url {
+    /// Hostname or IP literal.
+    pub host: String,
+    /// Port (defaults to 80).
+    pub port: u16,
+    /// Path beginning with `/`.
+    pub path: String,
+    /// Query string after `?`, or empty.
+    pub query: String,
+}
+
+impl Url {
+    /// Parse an absolute `http://` URL.
+    pub fn parse(s: &str) -> Result<Url> {
+        let rest = s
+            .strip_prefix("http://")
+            .ok_or_else(|| HttpError::BadUrl(format!("{s:?}: only http:// is supported")))?;
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(HttpError::BadUrl(format!("{s:?}: empty host")));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port = p
+                    .parse::<u16>()
+                    .map_err(|_| HttpError::BadUrl(format!("{s:?}: bad port {p:?}")))?;
+                (h.to_owned(), port)
+            }
+            None => (authority.to_owned(), 80),
+        };
+        if host.is_empty() {
+            return Err(HttpError::BadUrl(format!("{s:?}: empty host")));
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (path_query.to_owned(), String::new()),
+        };
+        Ok(Url { host, port, path, query })
+    }
+
+    /// `host:port` for connecting and the `Host` header.
+    pub fn authority(&self) -> String {
+        format!("{}:{}", self.host, self.port)
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http://{}:{}{}", self.host, self.port, self.path)?;
+        if !self.query.is_empty() {
+            write!(f, "?{}", self.query)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_url() {
+        let u = Url::parse("http://127.0.0.1:8080/svc/app?wsdl").unwrap();
+        assert_eq!(u.host, "127.0.0.1");
+        assert_eq!(u.port, 8080);
+        assert_eq!(u.path, "/svc/app");
+        assert_eq!(u.query, "wsdl");
+        assert_eq!(u.authority(), "127.0.0.1:8080");
+    }
+
+    #[test]
+    fn defaults() {
+        let u = Url::parse("http://example.org").unwrap();
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/");
+        assert_eq!(u.query, "");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["http://a:1/", "http://a:1/p/q", "http://a:1/p?x=y"] {
+            assert_eq!(Url::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad() {
+        assert!(Url::parse("https://secure").is_err());
+        assert!(Url::parse("ftp://x").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://host:notaport/").is_err());
+        assert!(Url::parse("http://:8080/").is_err());
+        assert!(Url::parse("plain").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: HTTP message framing is lossless and the parsers never
+//! panic on arbitrary bytes.
+
+use pperf_httpd::{Request, Response, Status, Url};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,20}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // No CR/LF or leading/trailing spaces (normalized away by trimming).
+    "[ -~]{0,40}".prop_map(|s| s.trim().to_owned())
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(
+        path in "/[a-zA-Z0-9/_.-]{0,40}",
+        query in "[a-zA-Z0-9=&]{0,20}",
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+        headers in proptest::collection::vec((header_name(), header_value()), 0..5),
+    ) {
+        let mut req = Request::post(path.clone(), "text/xml", body.clone());
+        req.query = query.clone();
+        // Dedupe header names (HTTP allows duplicates, but `get` returns the
+        // first — comparing duplicates against it would be ill-posed) and
+        // skip names that collide with framing headers.
+        let mut seen = std::collections::HashSet::new();
+        let headers: Vec<(String, String)> = headers
+            .into_iter()
+            .filter(|(n, _)| {
+                !n.eq_ignore_ascii_case("content-length")
+                    && !n.eq_ignore_ascii_case("content-type")
+                    && !n.eq_ignore_ascii_case("host")
+                    && seen.insert(n.to_ascii_lowercase())
+            })
+            .collect();
+        for (n, v) in &headers {
+            req.headers.insert(n.clone(), v.clone());
+        }
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "h:1").unwrap();
+        let back = Request::read_from(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        prop_assert_eq!(back.method, "POST");
+        prop_assert_eq!(back.path, path);
+        prop_assert_eq!(back.query, query);
+        prop_assert_eq!(back.body, body);
+        for (n, v) in &headers {
+            prop_assert_eq!(back.headers.get(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(
+        code in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let resp = Response { status: Status(code), headers: Default::default(), body: body.clone() };
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let back = Response::read_from(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(back.status.0, code);
+        prop_assert_eq!(back.body, body);
+    }
+
+    #[test]
+    fn request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::read_from(&mut BufReader::new(&bytes[..]));
+    }
+
+    #[test]
+    fn response_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Response::read_from(&mut BufReader::new(&bytes[..]));
+    }
+
+    #[test]
+    fn url_roundtrip(
+        host in "[a-z][a-z0-9.-]{0,20}",
+        port in 1u16..,
+        path in "/[a-zA-Z0-9/_.-]{0,30}",
+        query in proptest::option::of("[a-zA-Z0-9=&]{1,20}"),
+    ) {
+        let s = match &query {
+            Some(q) => format!("http://{host}:{port}{path}?{q}"),
+            None => format!("http://{host}:{port}{path}"),
+        };
+        let url = Url::parse(&s).unwrap();
+        prop_assert_eq!(&url.host, &host);
+        prop_assert_eq!(url.port, port);
+        prop_assert_eq!(&url.path, &path);
+        prop_assert_eq!(&url.query, &query.unwrap_or_default());
+        prop_assert_eq!(url.to_string(), s);
+    }
+
+    #[test]
+    fn url_parser_never_panics(s in "\\PC{0,80}") {
+        let _ = Url::parse(&s);
+    }
+}

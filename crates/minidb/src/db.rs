@@ -1,0 +1,308 @@
+//! The database object and its JDBC-like connection API.
+
+use crate::error::{DbError, Result};
+use crate::executor::{self, QueryOutput};
+use crate::schema::{Column, TableSchema};
+use crate::sql::{parse_statement, Statement};
+use crate::types::DbValue;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Table {
+    schema: TableSchema,
+    rows: Vec<Vec<DbValue>>,
+}
+
+#[derive(Default)]
+struct Inner {
+    tables: RwLock<HashMap<String, Table>>,
+    /// Simulated per-statement server round-trip, in microseconds (0 = off).
+    ///
+    /// The original PPerfGrid reached PostgreSQL over JDBC: every statement
+    /// paid a client/server IPC, parse, and plan cost on 2004 hardware
+    /// (the thesis's HPL mapping-layer time was ~82 ms for a trivial
+    /// one-row SELECT). This knob restores that constant so experiments
+    /// comparing RDBMS-backed stores against direct file parsing keep the
+    /// paper's cost ordering.
+    query_latency_us: std::sync::atomic::AtomicU64,
+}
+
+/// An in-process relational database. Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct Database {
+    inner: Arc<Inner>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Open a connection. Connections are lightweight handles; any number may
+    /// exist concurrently (readers run in parallel, writers serialize).
+    pub fn connect(&self) -> Connection {
+        Connection { db: self.clone() }
+    }
+
+    /// Set the simulated per-statement server round-trip cost (see the
+    /// field docs). `None` disables it.
+    pub fn set_query_latency(&self, latency: Option<std::time::Duration>) {
+        let us = latency.map(|d| d.as_micros() as u64).unwrap_or(0);
+        self.inner
+            .query_latency_us
+            .store(us, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn apply_query_latency(&self) {
+        let us = self
+            .inner
+            .query_latency_us
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.inner
+            .tables
+            .read()
+            .get(&table.to_ascii_lowercase())
+            .map(|t| t.rows.len())
+    }
+
+    /// Bulk-load rows directly (bypassing SQL parsing) — used by the dataset
+    /// generators to build the large SMG98 store quickly.
+    pub fn bulk_insert(&self, table: &str, rows: Vec<Vec<DbValue>>) -> Result<usize> {
+        let mut tables = self.inner.tables.write();
+        let table = tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| DbError::UnknownTable(table.to_owned()))?;
+        let arity = table.schema.arity();
+        let mut staged = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != arity {
+                return Err(DbError::BadInsert(format!(
+                    "expected {arity} values, got {}",
+                    row.len()
+                )));
+            }
+            let mut converted = Vec::with_capacity(arity);
+            for (v, col) in row.into_iter().zip(&table.schema.columns) {
+                if !v.fits(col.ty) {
+                    return Err(DbError::BadInsert(format!(
+                        "value {v} does not fit column {} ({})",
+                        col.name, col.ty
+                    )));
+                }
+                converted.push(v.coerce(col.ty));
+            }
+            staged.push(converted);
+        }
+        let n = staged.len();
+        table.rows.extend(staged);
+        Ok(n)
+    }
+}
+
+/// A connection to a [`Database`].
+pub struct Connection {
+    db: Database,
+}
+
+impl Connection {
+    /// Execute a statement that returns no rows (CREATE/INSERT/DROP/DELETE).
+    /// Returns the number of affected rows (0 for DDL).
+    pub fn execute(&self, sql: &str) -> Result<usize> {
+        self.db.apply_query_latency();
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                let mut tables = self.db.inner.tables.write();
+                if tables.contains_key(&name) {
+                    return Err(DbError::TableExists(name));
+                }
+                let schema = TableSchema {
+                    name: name.clone(),
+                    columns: columns
+                        .into_iter()
+                        .map(|(name, ty)| Column { name, ty })
+                        .collect(),
+                };
+                tables.insert(name, Table { schema, rows: Vec::new() });
+                Ok(0)
+            }
+            Statement::Insert { name, columns, rows } => {
+                let mut tables = self.db.inner.tables.write();
+                let table = tables
+                    .get_mut(&name)
+                    .ok_or(DbError::UnknownTable(name))?;
+                let arity = table.schema.arity();
+                // Map explicit column lists to schema positions.
+                let positions: Vec<usize> = match &columns {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| {
+                            table
+                                .schema
+                                .column_index(c)
+                                .ok_or_else(|| DbError::UnknownColumn(c.clone()))
+                        })
+                        .collect::<Result<_>>()?,
+                    None => (0..arity).collect(),
+                };
+                let mut staged = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    if row.len() != positions.len() {
+                        return Err(DbError::BadInsert(format!(
+                            "expected {} values, got {}",
+                            positions.len(),
+                            row.len()
+                        )));
+                    }
+                    let mut full = vec![DbValue::Null; arity];
+                    for (value, &pos) in row.iter().zip(&positions) {
+                        let col = &table.schema.columns[pos];
+                        if !value.fits(col.ty) {
+                            return Err(DbError::BadInsert(format!(
+                                "value {value} does not fit column {} ({})",
+                                col.name, col.ty
+                            )));
+                        }
+                        full[pos] = value.clone().coerce(col.ty);
+                    }
+                    staged.push(full);
+                }
+                let n = staged.len();
+                table.rows.extend(staged);
+                Ok(n)
+            }
+            Statement::DropTable { name } => {
+                let removed = self.db.inner.tables.write().remove(&name);
+                if removed.is_none() {
+                    return Err(DbError::UnknownTable(name));
+                }
+                Ok(0)
+            }
+            Statement::Delete { name, predicate } => {
+                let mut tables = self.db.inner.tables.write();
+                let table = tables
+                    .get_mut(&name)
+                    .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+                let before = table.rows.len();
+                match predicate {
+                    None => table.rows.clear(),
+                    Some(pred) => {
+                        let tref = crate::sql::TableRef { table: name.clone(), alias: name };
+                        let layout =
+                            executor::Layout::build(&[(tref, &table.schema)]);
+                        // Evaluate the predicate per row; errors abort without
+                        // partial deletion.
+                        let mut keep = Vec::with_capacity(table.rows.len());
+                        for row in &table.rows {
+                            let refs: Vec<&DbValue> = row.iter().collect();
+                            let v = executor::eval_value(&pred, &layout, &refs)?;
+                            keep.push(!matches!(v, DbValue::Int(1)));
+                        }
+                        let mut it = keep.into_iter();
+                        table.rows.retain(|_| it.next().unwrap_or(true));
+                    }
+                }
+                Ok(before - table.rows.len())
+            }
+            Statement::Select(_) => Err(DbError::Execution(
+                "use query() for SELECT statements".into(),
+            )),
+        }
+    }
+
+    /// Execute a SELECT and return its result set.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        self.db.apply_query_latency();
+        let Statement::Select(stmt) = parse_statement(sql)? else {
+            return Err(DbError::Execution("query() requires a SELECT".into()));
+        };
+        let tables = self.db.inner.tables.read();
+        let mut bound: Vec<(&TableSchema, &[Vec<DbValue>])> = Vec::with_capacity(stmt.from.len());
+        for tref in &stmt.from {
+            let table = tables
+                .get(&tref.table)
+                .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+            bound.push((&table.schema, &table.rows));
+        }
+        let QueryOutput { columns, rows } = executor::execute_select(&stmt, &bound)?;
+        Ok(ResultSet { columns, rows })
+    }
+}
+
+/// A materialized query result with typed accessors.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    columns: Vec<String>,
+    rows: Vec<Vec<DbValue>>,
+}
+
+impl ResultSet {
+    /// Output column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<DbValue>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell by row index and column label.
+    pub fn get(&self, row: usize, column: &str) -> Result<&DbValue> {
+        let col = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))
+            .ok_or_else(|| DbError::UnknownColumn(column.to_owned()))?;
+        self.rows
+            .get(row)
+            .map(|r| &r[col])
+            .ok_or_else(|| DbError::Execution(format!("row {row} out of range")))
+    }
+
+    /// Text cell (errors if the value is not text).
+    pub fn get_str(&self, row: usize, column: &str) -> Result<&str> {
+        self.get(row, column)?
+            .as_text()
+            .ok_or_else(|| DbError::TypeError(format!("{column} is not text")))
+    }
+
+    /// Integer cell.
+    pub fn get_i64(&self, row: usize, column: &str) -> Result<i64> {
+        self.get(row, column)?
+            .as_int()
+            .ok_or_else(|| DbError::TypeError(format!("{column} is not an integer")))
+    }
+
+    /// Numeric cell as f64 (Int widens).
+    pub fn get_f64(&self, row: usize, column: &str) -> Result<f64> {
+        self.get(row, column)?
+            .as_f64()
+            .ok_or_else(|| DbError::TypeError(format!("{column} is not numeric")))
+    }
+}

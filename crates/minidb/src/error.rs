@@ -1,0 +1,41 @@
+//! Database error type.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// Errors from SQL parsing, planning, or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Lexical or syntactic error in the SQL text.
+    Syntax(String),
+    /// Reference to a table that does not exist.
+    UnknownTable(String),
+    /// Reference to a column that does not exist (or is ambiguous).
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Wrong value count or type in an INSERT.
+    BadInsert(String),
+    /// A type error during expression evaluation.
+    TypeError(String),
+    /// Anything else (used sparingly).
+    Execution(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Syntax(m) => write!(f, "sql syntax error: {m}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::BadInsert(m) => write!(f, "bad insert: {m}"),
+            DbError::TypeError(m) => write!(f, "type error: {m}"),
+            DbError::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

@@ -1,0 +1,61 @@
+//! Table schemas.
+
+use crate::types::DbType;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lowercase; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: DbType,
+}
+
+/// A table's schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Build a schema; names are lowercased.
+    pub fn new(name: &str, columns: Vec<(&str, DbType)>) -> TableSchema {
+        TableSchema {
+            name: name.to_ascii_lowercase(),
+            columns: columns
+                .into_iter()
+                .map(|(n, ty)| Column { name: n.to_ascii_lowercase(), ty })
+                .collect(),
+        }
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let s = TableSchema::new("Runs", vec![("Id", DbType::Int), ("GFlops", DbType::Double)]);
+        assert_eq!(s.name, "runs");
+        assert_eq!(s.column_index("ID"), Some(0));
+        assert_eq!(s.column_index("gflops"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.arity(), 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! SQL tokenizer.
+
+use crate::error::{DbError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the parser;
+    /// the original text is preserved here, lowercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Double(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// Punctuation / operators.
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Dot,
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Tokenize a SQL statement.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '.' if !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(DbError::Syntax(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        match bytes.get(i) {
+            None => return Err(DbError::Syntax("unterminated string literal".into())),
+            Some(b'\'') => {
+                if bytes.get(i + 1) == Some(&b'\'') {
+                    out.push('\'');
+                    i += 2;
+                } else {
+                    return Ok((out, i + 1));
+                }
+            }
+            Some(_) => {
+                let c = input[i..].chars().next().expect("char boundary");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    let mut is_float = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !is_float => {
+                is_float = true;
+                i += 1;
+            }
+            b'e' | b'E' => {
+                is_float = true;
+                i += 1;
+                if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|d| (Token::Double(d), i))
+            .map_err(|_| DbError::Syntax(format!("bad number {text:?}")))
+    } else {
+        text.parse::<i64>()
+            .map(|n| (Token::Int(n), i))
+            .map_err(|_| DbError::Syntax(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_punctuation() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a >= 1.5 AND b <> 'x''y'").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Double(1.5)));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::Str("x'y".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("-7").unwrap(), vec![Token::Minus, Token::Int(7)]);
+        assert_eq!(tokenize("3.25").unwrap(), vec![Token::Double(3.25)]);
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Double(1000.0)]);
+        assert_eq!(tokenize("2.5e-2").unwrap(), vec![Token::Double(0.025)]);
+        assert_eq!(tokenize(".5").unwrap(), vec![Token::Double(0.5)]);
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("t.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Dot,
+                Token::Ident("col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("SELECT #").is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! SQL front end: lexer, AST, and recursive-descent parser.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    AggFunc, BinOp, Expr, OrderKey, SelectItem, SelectStmt, Statement, TableRef,
+};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_statement;

@@ -1,0 +1,224 @@
+//! Value and type model.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DbType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Double,
+    /// UTF-8 text.
+    Text,
+}
+
+impl fmt::Display for DbType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DbType::Int => "INT",
+            DbType::Double => "DOUBLE",
+            DbType::Text => "TEXT",
+        })
+    }
+}
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbValue {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Double.
+    Double(f64),
+    /// Text.
+    Text(String),
+}
+
+impl DbValue {
+    /// The value's type, if not NULL.
+    pub fn db_type(&self) -> Option<DbType> {
+        match self {
+            DbValue::Null => None,
+            DbValue::Int(_) => Some(DbType::Int),
+            DbValue::Double(_) => Some(DbType::Double),
+            DbValue::Text(_) => Some(DbType::Text),
+        }
+    }
+
+    /// Whether this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, DbValue::Null)
+    }
+
+    /// Coerce to f64 for arithmetic/aggregation (Int widens; Text fails).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            DbValue::Int(i) => Some(*i as f64),
+            DbValue::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Borrow the text, if this is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            DbValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            DbValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Whether the value can be stored in a column of `ty` (NULL fits any;
+    /// Int fits Double columns, widened on insert).
+    pub fn fits(&self, ty: DbType) -> bool {
+        matches!(
+            (self, ty),
+            (DbValue::Null, _)
+                | (DbValue::Int(_), DbType::Int | DbType::Double)
+                | (DbValue::Double(_), DbType::Double)
+                | (DbValue::Text(_), DbType::Text)
+        )
+    }
+
+    /// Widen to match a column type where allowed (`Int` → `Double`).
+    pub fn coerce(self, ty: DbType) -> DbValue {
+        match (self, ty) {
+            (DbValue::Int(i), DbType::Double) => DbValue::Double(i as f64),
+            (v, _) => v,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares less than everything (for
+    /// ORDER BY determinism), numerics compare numerically across Int/Double,
+    /// text compares lexicographically. Cross-type (number vs text) compares
+    /// by type rank, again for ORDER BY determinism.
+    pub fn compare(&self, other: &DbValue) -> Ordering {
+        use DbValue::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                (Some(_), None) => Ordering::Less, // numbers sort before text
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => Ordering::Equal,
+            },
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (including NULL); Int 1 == Double 1.0.
+    pub fn sql_eq(&self, other: &DbValue) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (DbValue::Text(a), DbValue::Text(b)) => a == b,
+            (DbValue::Text(_), _) | (_, DbValue::Text(_)) => false,
+            (a, b) => a.as_f64() == b.as_f64(),
+        })
+    }
+
+    /// Render as displayed text (used by wrappers converting rows to the
+    /// PPerfGrid string formats).
+    pub fn render(&self) -> String {
+        match self {
+            DbValue::Null => "NULL".to_owned(),
+            DbValue::Int(i) => i.to_string(),
+            DbValue::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    format!("{d:.1}")
+                } else {
+                    format!("{d}")
+                }
+            }
+            DbValue::Text(s) => s.clone(),
+        }
+    }
+}
+
+impl fmt::Display for DbValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for DbValue {
+    fn from(i: i64) -> Self {
+        DbValue::Int(i)
+    }
+}
+
+impl From<f64> for DbValue {
+    fn from(d: f64) -> Self {
+        DbValue::Double(d)
+    }
+}
+
+impl From<&str> for DbValue {
+    fn from(s: &str) -> Self {
+        DbValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for DbValue {
+    fn from(s: String) -> Self {
+        DbValue::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_coerce() {
+        assert!(DbValue::Int(1).fits(DbType::Int));
+        assert!(DbValue::Int(1).fits(DbType::Double));
+        assert!(!DbValue::Double(1.0).fits(DbType::Int));
+        assert!(!DbValue::Text("x".into()).fits(DbType::Int));
+        assert!(DbValue::Null.fits(DbType::Text));
+        assert_eq!(DbValue::Int(2).coerce(DbType::Double), DbValue::Double(2.0));
+        assert_eq!(DbValue::Int(2).coerce(DbType::Int), DbValue::Int(2));
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        assert_eq!(DbValue::Int(1).compare(&DbValue::Double(1.5)), Ordering::Less);
+        assert_eq!(DbValue::Double(2.0).compare(&DbValue::Int(2)), Ordering::Equal);
+        assert_eq!(DbValue::Null.compare(&DbValue::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            DbValue::Text("a".into()).compare(&DbValue::Text("b".into())),
+            Ordering::Less
+        );
+        assert_eq!(DbValue::Int(9).compare(&DbValue::Text("1".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn sql_equality() {
+        assert_eq!(DbValue::Int(1).sql_eq(&DbValue::Double(1.0)), Some(true));
+        assert_eq!(DbValue::Null.sql_eq(&DbValue::Null), None);
+        assert_eq!(DbValue::Text("1".into()).sql_eq(&DbValue::Int(1)), Some(false));
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(DbValue::Int(42).render(), "42");
+        assert_eq!(DbValue::Double(2.0).render(), "2.0");
+        assert_eq!(DbValue::Double(2.5).render(), "2.5");
+        assert_eq!(DbValue::Text("x".into()).render(), "x");
+        assert_eq!(DbValue::Null.render(), "NULL");
+    }
+}

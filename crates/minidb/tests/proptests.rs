@@ -1,0 +1,215 @@
+//! Property tests for the SQL engine: inserted data is faithfully returned,
+//! filters partition rows, aggregates agree with a reference computation,
+//! ORDER BY sorts, and the parser never panics.
+
+use pperf_minidb::{sql_quote, Database, DbValue};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Row {
+    id: i64,
+    v: f64,
+    s: String,
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (any::<i32>(), proptest::num::f64::NORMAL, "[a-z]{0,8}"),
+        0..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (id, v, s))| Row { id: i64::from(id) + i as i64, v, s })
+            .collect()
+    })
+}
+
+fn load(rows: &[Row]) -> Database {
+    let db = Database::new();
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT, v DOUBLE, s TEXT)").unwrap();
+    let data: Vec<Vec<DbValue>> = rows
+        .iter()
+        .map(|r| vec![DbValue::Int(r.id), DbValue::Double(r.v), DbValue::Text(r.s.clone())])
+        .collect();
+    db.bulk_insert("t", data).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn count_matches(rows in rows_strategy()) {
+        let db = load(&rows);
+        let rs = db.connect().query("SELECT COUNT(*) AS n FROM t").unwrap();
+        prop_assert_eq!(rs.get_i64(0, "n").unwrap(), rows.len() as i64);
+    }
+
+    #[test]
+    fn filter_partitions(rows in rows_strategy(), pivot in any::<i32>()) {
+        let db = load(&rows);
+        let c = db.connect();
+        let pivot = i64::from(pivot);
+        let lo = c.query(&format!("SELECT COUNT(*) AS n FROM t WHERE id < {pivot}")).unwrap();
+        let hi = c.query(&format!("SELECT COUNT(*) AS n FROM t WHERE id >= {pivot}")).unwrap();
+        prop_assert_eq!(
+            lo.get_i64(0, "n").unwrap() + hi.get_i64(0, "n").unwrap(),
+            rows.len() as i64,
+            "< and >= partition"
+        );
+    }
+
+    #[test]
+    fn aggregates_match_reference(rows in rows_strategy()) {
+        // Keep sums finite (see arithmetic_matches_reference).
+        let rows: Vec<Row> = rows.into_iter().filter(|r| r.v.abs() < 1e100).collect();
+        prop_assume!(!rows.is_empty());
+        let db = load(&rows);
+        let rs = db
+            .connect()
+            .query("SELECT SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS a FROM t")
+            .unwrap();
+        let sum: f64 = rows.iter().map(|r| r.v).sum();
+        let min = rows.iter().map(|r| r.v).fold(f64::INFINITY, f64::min);
+        let max = rows.iter().map(|r| r.v).fold(f64::NEG_INFINITY, f64::max);
+        let tolerance = 1e-9 * (1.0 + sum.abs());
+        prop_assert!((rs.get_f64(0, "s").unwrap() - sum).abs() <= tolerance);
+        prop_assert_eq!(rs.get_f64(0, "lo").unwrap(), min);
+        prop_assert_eq!(rs.get_f64(0, "hi").unwrap(), max);
+        prop_assert!((rs.get_f64(0, "a").unwrap() - sum / rows.len() as f64).abs() <= tolerance);
+    }
+
+    #[test]
+    fn order_by_sorts(rows in rows_strategy()) {
+        let db = load(&rows);
+        let rs = db.connect().query("SELECT id FROM t ORDER BY id").unwrap();
+        let got: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+        let mut expected: Vec<i64> = rows.iter().map(|r| r.id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+
+        let rs = db.connect().query("SELECT id FROM t ORDER BY id DESC LIMIT 5").unwrap();
+        let got: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+        let mut expected: Vec<i64> = rows.iter().map(|r| r.id).collect();
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        expected.truncate(5);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn distinct_dedupes(rows in rows_strategy()) {
+        let db = load(&rows);
+        let rs = db.connect().query("SELECT DISTINCT s FROM t").unwrap();
+        let mut expected: Vec<&str> = rows.iter().map(|r| r.s.as_str()).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(rs.len(), expected.len());
+    }
+
+    #[test]
+    fn string_literals_roundtrip(s in "\\PC{0,40}") {
+        let db = Database::new();
+        let c = db.connect();
+        c.execute("CREATE TABLE q (s TEXT)").unwrap();
+        c.execute(&format!("INSERT INTO q VALUES ({})", sql_quote(&s))).unwrap();
+        let rs = c.query("SELECT s FROM q").unwrap();
+        prop_assert_eq!(rs.get_str(0, "s").unwrap(), s.as_str());
+        // And the value is findable by equality filter.
+        let rs = c
+            .query(&format!("SELECT COUNT(*) AS n FROM q WHERE s = {}", sql_quote(&s)))
+            .unwrap();
+        prop_assert_eq!(rs.get_i64(0, "n").unwrap(), 1);
+    }
+
+    #[test]
+    fn parser_never_panics(sql in "\\PC{0,120}") {
+        let db = Database::new();
+        let c = db.connect();
+        let _ = c.execute(&sql);
+        let _ = c.query(&sql);
+    }
+
+    #[test]
+    fn group_by_counts_sum_to_total(rows in rows_strategy()) {
+        let db = load(&rows);
+        let rs = db
+            .connect()
+            .query("SELECT s, COUNT(*) AS n FROM t GROUP BY s")
+            .unwrap();
+        let total: i64 = (0..rs.len()).map(|i| rs.get_i64(i, "n").unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+    }
+
+    #[test]
+    fn join_on_equality_matches_reference(rows in rows_strategy()) {
+        let db = load(&rows);
+        let c = db.connect();
+        c.execute("CREATE TABLE u (id INT, tag TEXT)").unwrap();
+        // Join partner: every third row id.
+        let partner: Vec<Vec<DbValue>> = rows
+            .iter()
+            .step_by(3)
+            .map(|r| vec![DbValue::Int(r.id), DbValue::Text("x".into())])
+            .collect();
+        let expected: usize = {
+            let ids: Vec<i64> = rows.iter().step_by(3).map(|r| r.id).collect();
+            rows.iter().map(|r| ids.iter().filter(|i| **i == r.id).count()).sum()
+        };
+        db.bulk_insert("u", partner).unwrap();
+        let rs = c
+            .query("SELECT COUNT(*) AS n FROM t, u WHERE t.id = u.id")
+            .unwrap();
+        prop_assert_eq!(rs.get_i64(0, "n").unwrap(), expected as i64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arithmetic_matches_reference(rows in rows_strategy()) {
+        // Huge magnitudes overflow f64 under v+v (inf − inf = NaN), which is
+        // IEEE behaviour, not an engine property worth asserting about:
+        // drop such rows instead of rejecting the whole case.
+        let rows: Vec<Row> = rows.into_iter().filter(|r| r.v.abs() < 1e100).collect();
+        prop_assume!(!rows.is_empty());
+        let db = load(&rows);
+        let rs = db
+            .connect()
+            .query("SELECT SUM(v + v) AS s2, SUM(v) AS s1, SUM(v * 2.0) AS sm FROM t")
+            .unwrap();
+        let s1 = rs.get_f64(0, "s1").unwrap();
+        let s2 = rs.get_f64(0, "s2").unwrap();
+        let sm = rs.get_f64(0, "sm").unwrap();
+        let tolerance = 1e-9 * (1.0 + s1.abs());
+        prop_assert!((s2 - 2.0 * s1).abs() <= tolerance, "SUM(v+v) == 2*SUM(v)");
+        prop_assert!((sm - s2).abs() <= tolerance, "SUM(2v) == SUM(v+v)");
+    }
+
+    #[test]
+    fn negation_is_involutive(rows in rows_strategy()) {
+        let db = load(&rows);
+        let a = db.connect().query("SELECT - -id AS x FROM t ORDER BY x").unwrap();
+        let b = db.connect().query("SELECT id AS x FROM t ORDER BY x").unwrap();
+        prop_assert_eq!(a.rows(), b.rows());
+    }
+
+    #[test]
+    fn filter_on_shifted_column_matches_shifted_filter(rows in rows_strategy(), k in -1000i64..1000) {
+        let db = load(&rows);
+        let c = db.connect();
+        let a = c
+            .query(&format!("SELECT COUNT(*) AS n FROM t WHERE id + {k} > 0"))
+            .unwrap()
+            .get_i64(0, "n")
+            .unwrap();
+        let b = c
+            .query(&format!("SELECT COUNT(*) AS n FROM t WHERE id > 0 - {k}"))
+            .unwrap()
+            .get_i64(0, "n")
+            .unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,445 @@
+//! SQL engine integration tests: the query shapes PPerfGrid's wrappers
+//! actually issue, plus general correctness of the subset.
+
+use pperf_minidb::{Database, DbError, DbValue};
+
+fn fixture() -> Database {
+    let db = Database::new();
+    let c = db.connect();
+    c.execute("CREATE TABLE runs (id INT, numprocs INT, gflops DOUBLE, host TEXT)")
+        .unwrap();
+    c.execute("INSERT INTO runs VALUES (100, 2, 1.5, 'alpha')").unwrap();
+    c.execute("INSERT INTO runs VALUES (101, 4, 2.75, 'alpha')").unwrap();
+    c.execute("INSERT INTO runs VALUES (102, 4, 3.5, 'beta')").unwrap();
+    c.execute("INSERT INTO runs VALUES (103, 8, NULL, 'beta')").unwrap();
+    db
+}
+
+#[test]
+fn basic_projection_and_filter() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c.query("SELECT id, host FROM runs WHERE numprocs = 4 ORDER BY id").unwrap();
+    assert_eq!(rs.columns(), ["id", "host"]);
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.get_i64(0, "id").unwrap(), 101);
+    assert_eq!(rs.get_str(1, "host").unwrap(), "beta");
+}
+
+#[test]
+fn wildcard_projection() {
+    let db = fixture();
+    let rs = db.connect().query("SELECT * FROM runs WHERE id = 100").unwrap();
+    assert_eq!(rs.columns(), ["id", "numprocs", "gflops", "host"]);
+    assert_eq!(rs.get_f64(0, "gflops").unwrap(), 1.5);
+}
+
+#[test]
+fn distinct_values() {
+    let db = fixture();
+    let rs = db
+        .connect()
+        .query("SELECT DISTINCT numprocs FROM runs ORDER BY numprocs")
+        .unwrap();
+    let vals: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "numprocs").unwrap()).collect();
+    assert_eq!(vals, [2, 4, 8]);
+}
+
+#[test]
+fn or_and_precedence() {
+    let db = fixture();
+    // AND binds tighter than OR: id=100 OR (numprocs=4 AND host='beta')
+    let rs = db
+        .connect()
+        .query("SELECT id FROM runs WHERE id = 100 OR numprocs = 4 AND host = 'beta' ORDER BY id")
+        .unwrap();
+    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    assert_eq!(ids, [100, 102]);
+}
+
+#[test]
+fn null_semantics() {
+    let db = fixture();
+    let c = db.connect();
+    // NULL never matches comparisons.
+    assert_eq!(c.query("SELECT id FROM runs WHERE gflops > 0").unwrap().len(), 3);
+    assert_eq!(c.query("SELECT id FROM runs WHERE gflops = NULL").unwrap().len(), 0);
+    assert_eq!(c.query("SELECT id FROM runs WHERE NOT gflops > 0").unwrap().len(), 0);
+    // IS NULL does.
+    let rs = c.query("SELECT id FROM runs WHERE gflops IS NULL").unwrap();
+    assert_eq!(rs.get_i64(0, "id").unwrap(), 103);
+    assert_eq!(c.query("SELECT id FROM runs WHERE gflops IS NOT NULL").unwrap().len(), 3);
+}
+
+#[test]
+fn like_patterns() {
+    let db = fixture();
+    let c = db.connect();
+    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE 'al%'").unwrap().len(), 2);
+    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE '%eta'").unwrap().len(), 2);
+    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE '_lpha'").unwrap().len(), 2);
+    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE 'gamma'").unwrap().len(), 0);
+}
+
+#[test]
+fn aggregates_whole_table() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query("SELECT COUNT(*) AS n, COUNT(gflops) AS ng, SUM(numprocs) AS s, AVG(gflops) AS a, MIN(id) AS lo, MAX(id) AS hi FROM runs")
+        .unwrap();
+    assert_eq!(rs.get_i64(0, "n").unwrap(), 4);
+    assert_eq!(rs.get_i64(0, "ng").unwrap(), 3, "COUNT(col) skips NULLs");
+    assert_eq!(rs.get_i64(0, "s").unwrap(), 18);
+    assert!((rs.get_f64(0, "a").unwrap() - (1.5 + 2.75 + 3.5) / 3.0).abs() < 1e-12);
+    assert_eq!(rs.get_i64(0, "lo").unwrap(), 100);
+    assert_eq!(rs.get_i64(0, "hi").unwrap(), 103);
+}
+
+#[test]
+fn aggregates_empty_input() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query("SELECT COUNT(*) AS n, SUM(gflops) AS s FROM runs WHERE id > 9999")
+        .unwrap();
+    assert_eq!(rs.get_i64(0, "n").unwrap(), 0);
+    assert!(rs.get(0, "s").unwrap().is_null(), "SUM of empty is NULL");
+}
+
+#[test]
+fn group_by_with_ordering() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query("SELECT host, COUNT(*) AS n, MAX(gflops) AS best FROM runs GROUP BY host ORDER BY host")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.get_str(0, "host").unwrap(), "alpha");
+    assert_eq!(rs.get_i64(0, "n").unwrap(), 2);
+    assert_eq!(rs.get_f64(0, "best").unwrap(), 2.75);
+    assert_eq!(rs.get_str(1, "host").unwrap(), "beta");
+    assert_eq!(rs.get_f64(1, "best").unwrap(), 3.5);
+}
+
+#[test]
+fn order_by_desc_and_limit() {
+    let db = fixture();
+    let rs = db
+        .connect()
+        .query("SELECT id FROM runs ORDER BY id DESC LIMIT 2")
+        .unwrap();
+    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    assert_eq!(ids, [103, 102]);
+}
+
+#[test]
+fn order_by_output_label() {
+    let db = fixture();
+    let rs = db
+        .connect()
+        .query("SELECT host, SUM(numprocs) AS total FROM runs GROUP BY host ORDER BY total DESC")
+        .unwrap();
+    assert_eq!(rs.get_str(0, "host").unwrap(), "beta"); // 8+4 = 12 > 6
+}
+
+#[test]
+fn implicit_join_two_tables() {
+    let db = fixture();
+    let c = db.connect();
+    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)").unwrap();
+    c.execute("INSERT INTO hosts VALUES ('alpha', 16), ('beta', 32)").unwrap();
+    let rs = c
+        .query(
+            "SELECT runs.id, hosts.cpus FROM runs, hosts \
+             WHERE runs.host = hosts.name AND hosts.cpus > 16 ORDER BY runs.id",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.get_i64(0, "id").unwrap(), 102);
+    assert_eq!(rs.get_i64(0, "cpus").unwrap(), 32);
+}
+
+#[test]
+fn join_with_aliases() {
+    let db = fixture();
+    let c = db.connect();
+    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)").unwrap();
+    c.execute("INSERT INTO hosts VALUES ('alpha', 16)").unwrap();
+    let rs = c
+        .query("SELECT r.id FROM runs r, hosts h WHERE r.host = h.name ORDER BY r.id")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn self_join_requires_qualification() {
+    let db = fixture();
+    let c = db.connect();
+    // Ambiguous unqualified column across a self-join must error.
+    let err = c
+        .query("SELECT id FROM runs a, runs b WHERE a.id = b.id")
+        .unwrap_err();
+    assert!(matches!(err, DbError::UnknownColumn(_)), "{err}");
+    // Qualified works.
+    let rs = c
+        .query("SELECT a.id FROM runs a, runs b WHERE a.id = b.id")
+        .unwrap();
+    assert_eq!(rs.len(), 4);
+}
+
+#[test]
+fn three_table_join() {
+    let db = Database::new();
+    let c = db.connect();
+    c.execute("CREATE TABLE a (x INT)").unwrap();
+    c.execute("CREATE TABLE b (x INT, y INT)").unwrap();
+    c.execute("CREATE TABLE d (y INT, label TEXT)").unwrap();
+    c.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
+    c.execute("INSERT INTO b VALUES (1, 10), (2, 20), (9, 90)").unwrap();
+    c.execute("INSERT INTO d VALUES (10, 'ten'), (20, 'twenty')").unwrap();
+    let rs = c
+        .query(
+            "SELECT a.x, d.label FROM a, b, d \
+             WHERE a.x = b.x AND b.y = d.y ORDER BY a.x",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.get_str(0, "label").unwrap(), "ten");
+    assert_eq!(rs.get_str(1, "label").unwrap(), "twenty");
+}
+
+#[test]
+fn delete_with_and_without_predicate() {
+    let db = fixture();
+    let c = db.connect();
+    assert_eq!(c.execute("DELETE FROM runs WHERE numprocs = 4").unwrap(), 2);
+    assert_eq!(db.row_count("runs"), Some(2));
+    assert_eq!(c.execute("DELETE FROM runs").unwrap(), 2);
+    assert_eq!(db.row_count("runs"), Some(0));
+}
+
+#[test]
+fn drop_table() {
+    let db = fixture();
+    let c = db.connect();
+    c.execute("DROP TABLE runs").unwrap();
+    assert!(db.table_names().is_empty());
+    assert!(matches!(c.query("SELECT * FROM runs"), Err(DbError::UnknownTable(_))));
+    assert!(matches!(c.execute("DROP TABLE runs"), Err(DbError::UnknownTable(_))));
+}
+
+#[test]
+fn insert_with_column_list_fills_nulls() {
+    let db = fixture();
+    let c = db.connect();
+    c.execute("INSERT INTO runs (id, host) VALUES (999, 'gamma')").unwrap();
+    let rs = c.query("SELECT * FROM runs WHERE id = 999").unwrap();
+    assert!(rs.get(0, "gflops").unwrap().is_null());
+    assert!(rs.get(0, "numprocs").unwrap().is_null());
+}
+
+#[test]
+fn insert_type_checking() {
+    let db = fixture();
+    let c = db.connect();
+    assert!(matches!(
+        c.execute("INSERT INTO runs VALUES ('text', 1, 1.0, 'h')"),
+        Err(DbError::BadInsert(_))
+    ));
+    assert!(matches!(
+        c.execute("INSERT INTO runs VALUES (1, 2, 3.0)"),
+        Err(DbError::BadInsert(_))
+    ));
+    // Int widens into DOUBLE columns.
+    c.execute("INSERT INTO runs VALUES (200, 2, 7, 'h')").unwrap();
+    let rs = c.query("SELECT gflops FROM runs WHERE id = 200").unwrap();
+    assert_eq!(rs.get_f64(0, "gflops").unwrap(), 7.0);
+}
+
+#[test]
+fn duplicate_table_rejected() {
+    let db = fixture();
+    assert!(matches!(
+        db.connect().execute("CREATE TABLE runs (x INT)"),
+        Err(DbError::TableExists(_))
+    ));
+}
+
+#[test]
+fn bulk_insert_validates() {
+    let db = fixture();
+    assert_eq!(
+        db.bulk_insert(
+            "runs",
+            vec![
+                vec![DbValue::Int(300), DbValue::Int(2), DbValue::Int(5), DbValue::from("h")],
+                vec![DbValue::Int(301), DbValue::Int(2), DbValue::Null, DbValue::from("h")],
+            ],
+        )
+        .unwrap(),
+        2
+    );
+    assert_eq!(db.row_count("runs"), Some(6));
+    // Widened on the way in.
+    let rs = db.connect().query("SELECT gflops FROM runs WHERE id = 300").unwrap();
+    assert_eq!(rs.get_f64(0, "gflops").unwrap(), 5.0);
+    assert!(db.bulk_insert("runs", vec![vec![DbValue::Int(1)]]).is_err());
+    assert!(db.bulk_insert("nope", vec![]).is_err());
+}
+
+#[test]
+fn concurrent_readers() {
+    let db = fixture();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let db = db.clone();
+            scope.spawn(move || {
+                let c = db.connect();
+                for _ in 0..50 {
+                    let rs = c.query("SELECT COUNT(*) AS n FROM runs").unwrap();
+                    assert_eq!(rs.get_i64(0, "n").unwrap(), 4);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_writer_and_readers() {
+    let db = Database::new();
+    db.connect().execute("CREATE TABLE t (x INT)").unwrap();
+    std::thread::scope(|scope| {
+        let writer_db = db.clone();
+        scope.spawn(move || {
+            let c = writer_db.connect();
+            for i in 0..200 {
+                c.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+            }
+        });
+        for _ in 0..4 {
+            let db = db.clone();
+            scope.spawn(move || {
+                let c = db.connect();
+                let mut last = 0;
+                for _ in 0..50 {
+                    let n = c.query("SELECT COUNT(*) AS n FROM t").unwrap().get_i64(0, "n").unwrap();
+                    assert!(n >= last, "row count must be monotonic");
+                    last = n;
+                }
+            });
+        }
+    });
+    assert_eq!(db.row_count("t"), Some(200));
+}
+
+#[test]
+fn unknown_column_reported() {
+    let db = fixture();
+    assert!(matches!(
+        db.connect().query("SELECT missing FROM runs"),
+        Err(DbError::UnknownColumn(_))
+    ));
+    assert!(matches!(
+        db.connect().query("SELECT id FROM runs ORDER BY missing"),
+        Err(DbError::UnknownColumn(_))
+    ));
+}
+
+#[test]
+fn select_via_execute_rejected_and_vice_versa() {
+    let db = fixture();
+    let c = db.connect();
+    assert!(c.execute("SELECT * FROM runs").is_err());
+    assert!(c.query("DELETE FROM runs").is_err());
+}
+
+#[test]
+fn arithmetic_in_projection() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query("SELECT id, gflops * 2.0 AS doubled, id + 1 AS next FROM runs WHERE id = 101")
+        .unwrap();
+    assert_eq!(rs.get_f64(0, "doubled").unwrap(), 5.5);
+    assert_eq!(rs.get_i64(0, "next").unwrap(), 102);
+}
+
+#[test]
+fn arithmetic_in_where_and_precedence() {
+    let db = fixture();
+    let c = db.connect();
+    // 2 + 2 * 3 = 8, so id > 100 - 1 + 8 = id > 107 matches nothing...
+    let rs = c.query("SELECT id FROM runs WHERE id - 100 = 2 + 2 * 0").unwrap();
+    assert_eq!(rs.get_i64(0, "id").unwrap(), 102);
+    // Parentheses override precedence.
+    let rs = c.query("SELECT (2 + 2) * 3 AS v FROM runs LIMIT 1").unwrap();
+    assert_eq!(rs.get_i64(0, "v").unwrap(), 12);
+}
+
+#[test]
+fn aggregate_over_arithmetic_expression() {
+    let db = Database::new();
+    let c = db.connect();
+    c.execute("CREATE TABLE ev (s DOUBLE, e DOUBLE)").unwrap();
+    c.execute("INSERT INTO ev VALUES (1.0, 3.0), (2.0, 2.5), (0.0, 10.0)").unwrap();
+    let rs = c
+        .query("SELECT SUM(e - s) AS total, MAX(e - s) AS longest FROM ev")
+        .unwrap();
+    assert!((rs.get_f64(0, "total").unwrap() - 12.5).abs() < 1e-12);
+    assert!((rs.get_f64(0, "longest").unwrap() - 10.0).abs() < 1e-12);
+}
+
+#[test]
+fn unary_minus_and_negative_literals() {
+    let db = fixture();
+    let c = db.connect();
+    c.execute("INSERT INTO runs VALUES (-5, 1, -2.5, 'x')").unwrap();
+    let rs = c.query("SELECT id, gflops FROM runs WHERE id = -5").unwrap();
+    assert_eq!(rs.get_i64(0, "id").unwrap(), -5);
+    assert_eq!(rs.get_f64(0, "gflops").unwrap(), -2.5);
+    let rs = c.query("SELECT -id AS pos FROM runs WHERE id = -5").unwrap();
+    assert_eq!(rs.get_i64(0, "pos").unwrap(), 5);
+    let rs = c.query("SELECT - -id AS same FROM runs WHERE id = -5").unwrap();
+    assert_eq!(rs.get_i64(0, "same").unwrap(), -5);
+}
+
+#[test]
+fn arithmetic_null_propagation_and_errors() {
+    let db = fixture();
+    let c = db.connect();
+    // gflops is NULL for id 103: arithmetic yields NULL, filters drop it.
+    let rs = c.query("SELECT gflops + 1 AS g1 FROM runs WHERE id = 103").unwrap();
+    assert!(rs.get(0, "g1").unwrap().is_null());
+    assert_eq!(c.query("SELECT id FROM runs WHERE gflops + 1 > 0").unwrap().len(), 3);
+    // Division by integer zero is an error; text arithmetic is an error.
+    assert!(c.query("SELECT id / 0 FROM runs").is_err());
+    assert!(c.query("SELECT host + 1 FROM runs").is_err());
+    // Int division truncates; mixed widens.
+    let rs = c.query("SELECT 7 / 2 AS i, 7 / 2.0 AS d FROM runs LIMIT 1").unwrap();
+    assert_eq!(rs.get_i64(0, "i").unwrap(), 3);
+    assert_eq!(rs.get_f64(0, "d").unwrap(), 3.5);
+}
+
+#[test]
+fn order_by_arithmetic_expression() {
+    let db = fixture();
+    let rs = db
+        .connect()
+        .query("SELECT id FROM runs WHERE gflops IS NOT NULL ORDER BY 0 - gflops")
+        .unwrap();
+    // Descending by gflops: 102 (3.5), 101 (2.75), 100 (1.5).
+    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    assert_eq!(ids, [102, 101, 100]);
+}
+
+#[test]
+fn int_overflow_widens_to_double() {
+    let db = fixture();
+    let c = db.connect();
+    let big = i64::MAX;
+    let rs = c
+        .query(&format!("SELECT {big} + {big} AS v FROM runs LIMIT 1"))
+        .unwrap();
+    assert!(rs.get_f64(0, "v").unwrap() > 1e18);
+}

@@ -1,0 +1,535 @@
+//! The Grid service hosting environment.
+//!
+//! The container plays the role of Apache Axis + Tomcat in the thesis's
+//! Services Layer (Fig. 6): it receives SOAP-over-HTTP messages, demarshals
+//! them, routes them to the right deployed component, handles the standard
+//! OGSI PortType operations itself (findServiceData, setTerminationTime,
+//! destroy, createService, notifications), and marshals results or faults
+//! back onto the wire.
+//!
+//! Services live at paths under `/ogsa/services/`:
+//!
+//! * persistent services and factories at `/ogsa/services/{name}`,
+//! * transient instances at `/ogsa/services/{name}/instances/{n}` where `n`
+//!   is a container-wide monotonic counter — the uniqueness guarantee GSHs
+//!   require.
+//!
+//! A background sweeper enforces soft-state lifetimes: instances whose
+//! termination time has passed are destroyed exactly as if a client had
+//! called `destroy` (thesis Table 3, SetTerminationTime).
+
+use crate::error::{OgsiError, Result};
+use crate::factory::Factory;
+use crate::gsh::Gsh;
+use crate::notification::NotificationHub;
+use crate::service::ServicePort;
+use crate::service_data::ServiceData;
+use parking_lot::{Mutex, RwLock};
+use pperf_httpd::{Handler, HttpClient, HttpServer, Request, Response, ServerConfig, Status};
+use pperf_soap::{decode_call, encode_fault, encode_response, Call, Fault, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Container tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ContainerConfig {
+    /// HTTP worker threads (one per in-flight request).
+    pub workers: usize,
+    /// Artificial per-request latency, to emulate a LAN (see
+    /// [`ServerConfig::injected_latency`]).
+    pub injected_latency: Option<Duration>,
+    /// Default lifetime granted to new transient instances. `None` means
+    /// instances live until explicitly destroyed.
+    pub default_lifetime: Option<Duration>,
+    /// How often the lifetime sweeper runs.
+    pub sweep_interval: Duration,
+}
+
+impl Default for ContainerConfig {
+    fn default() -> Self {
+        ContainerConfig {
+            workers: 16,
+            injected_latency: None,
+            default_lifetime: None,
+            sweep_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+enum Kind {
+    /// Long-lived service deployed at container start (Registry, Manager...).
+    Persistent,
+    /// A factory; `createService` routes to it.
+    Factory(Arc<dyn Factory>),
+    /// A transient instance with a soft-state lifetime.
+    Instance { termination: Mutex<Option<Instant>> },
+}
+
+struct Deployed {
+    port: Arc<dyn ServicePort>,
+    kind: Kind,
+    created: Instant,
+}
+
+struct Inner {
+    host: String,
+    port: AtomicU64, // u16 widened; set once after bind
+    services: RwLock<HashMap<String, Arc<Deployed>>>,
+    instance_counter: AtomicU64,
+    instances_created: AtomicU64,
+    instances_destroyed: AtomicU64,
+    config: ContainerConfig,
+    hub: NotificationHub,
+    stopping: AtomicBool,
+}
+
+impl Inner {
+    fn port_u16(&self) -> u16 {
+        self.port.load(Ordering::Acquire) as u16
+    }
+
+    fn gsh_for_path(&self, path: &str) -> Gsh {
+        Gsh::from_parts(&self.host, self.port_u16(), path)
+    }
+
+    fn lookup(&self, path: &str) -> Option<Arc<Deployed>> {
+        self.services.read().get(path).cloned()
+    }
+
+    /// Remove and finalize an instance. Idempotent per path.
+    fn destroy_path(&self, path: &str) -> bool {
+        let removed = self.services.write().remove(path);
+        match removed {
+            Some(dep) => {
+                dep.port.on_destroy();
+                self.instances_destroyed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn sweep_expired(&self) {
+        let now = Instant::now();
+        let expired: Vec<String> = {
+            let services = self.services.read();
+            services
+                .iter()
+                .filter(|(_, dep)| match &dep.kind {
+                    Kind::Instance { termination } => {
+                        termination.lock().is_some_and(|t| t <= now)
+                    }
+                    _ => false,
+                })
+                .map(|(path, _)| path.clone())
+                .collect()
+        };
+        for path in expired {
+            self.destroy_path(&path);
+        }
+    }
+}
+
+/// A running Grid service container.
+pub struct Container {
+    inner: Arc<Inner>,
+    server: Mutex<Option<HttpServer>>,
+    sweeper: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+struct Dispatch {
+    inner: Weak<Inner>,
+}
+
+impl Handler for Dispatch {
+    fn handle(&self, request: &Request) -> Response {
+        let Some(inner) = self.inner.upgrade() else {
+            return Response::text(Status::SERVICE_UNAVAILABLE, "container stopped");
+        };
+        dispatch(&inner, request)
+    }
+}
+
+impl Container {
+    /// Start a container bound to `addr` (use port 0 for an ephemeral port).
+    pub fn start(addr: &str, config: ContainerConfig) -> Result<Arc<Container>> {
+        let host = addr.rsplit_once(':').map(|(h, _)| h).unwrap_or("127.0.0.1");
+        let inner = Arc::new(Inner {
+            host: host.to_owned(),
+            port: AtomicU64::new(0),
+            services: RwLock::new(HashMap::new()),
+            instance_counter: AtomicU64::new(0),
+            instances_created: AtomicU64::new(0),
+            instances_destroyed: AtomicU64::new(0),
+            config: config.clone(),
+            hub: NotificationHub::new(Arc::new(HttpClient::new())),
+            stopping: AtomicBool::new(false),
+        });
+        let handler = Arc::new(Dispatch { inner: Arc::downgrade(&inner) });
+        let server = HttpServer::bind(
+            addr,
+            ServerConfig {
+                workers: config.workers,
+                injected_latency: config.injected_latency,
+                ..Default::default()
+            },
+            handler,
+        )?;
+        inner
+            .port
+            .store(u64::from(server.addr().port()), Ordering::Release);
+
+        // Lifetime sweeper.
+        let sweep_inner = Arc::downgrade(&inner);
+        let interval = config.sweep_interval;
+        let sweeper = std::thread::Builder::new()
+            .name("ogsi-sweeper".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                match sweep_inner.upgrade() {
+                    Some(inner) => {
+                        if inner.stopping.load(Ordering::Acquire) {
+                            break;
+                        }
+                        inner.sweep_expired();
+                    }
+                    None => break,
+                }
+            })
+            .expect("spawn sweeper");
+
+        Ok(Arc::new(Container {
+            inner,
+            server: Mutex::new(Some(server)),
+            sweeper: Mutex::new(Some(sweeper)),
+        }))
+    }
+
+    /// The container's base URL.
+    pub fn base_url(&self) -> String {
+        format!("http://{}:{}", self.inner.host, self.inner.port_u16())
+    }
+
+    /// Deploy a persistent (non-transient) service under
+    /// `/ogsa/services/{name}`. Returns its handle.
+    pub fn deploy_service(&self, name: &str, port: Arc<dyn ServicePort>) -> Result<Gsh> {
+        let path = format!("/ogsa/services/{name}");
+        self.deploy_at(&path, Deployed { port, kind: Kind::Persistent, created: Instant::now() })
+    }
+
+    /// Deploy a factory under `/ogsa/services/{name}`. Returns its handle.
+    pub fn deploy_factory(&self, name: &str, factory: Arc<dyn Factory>) -> Result<Gsh> {
+        let path = format!("/ogsa/services/{name}");
+        let port: Arc<dyn ServicePort> = Arc::new(FactoryPort { factory: Arc::clone(&factory) });
+        self.deploy_at(
+            &path,
+            Deployed { port, kind: Kind::Factory(factory), created: Instant::now() },
+        )
+    }
+
+    fn deploy_at(&self, path: &str, deployed: Deployed) -> Result<Gsh> {
+        let mut services = self.inner.services.write();
+        if services.contains_key(path) {
+            return Err(OgsiError::Deployment(format!("{path} already deployed")));
+        }
+        services.insert(path.to_owned(), Arc::new(deployed));
+        Ok(self.inner.gsh_for_path(path))
+    }
+
+    /// Remove a deployed service/factory/instance by name or full path.
+    pub fn undeploy(&self, name_or_path: &str) -> bool {
+        let path = if name_or_path.starts_with('/') {
+            name_or_path.to_owned()
+        } else {
+            format!("/ogsa/services/{name_or_path}")
+        };
+        self.inner.destroy_path(&path)
+    }
+
+    /// The handle a service deployed as `name` would have.
+    pub fn gsh_for(&self, name: &str) -> Gsh {
+        self.inner.gsh_for_path(&format!("/ogsa/services/{name}"))
+    }
+
+    /// Create an instance of a deployed factory *in process*, bypassing SOAP.
+    ///
+    /// The thesis notes Grid services "can be composed and aggregated" as
+    /// software components (§5.3.1.4); co-located composition skips the wire.
+    /// Returns the new instance's handle, exactly as `createService` would.
+    pub fn create_local_instance(&self, factory_name: &str, call: &Call) -> Result<Gsh> {
+        let path = format!("/ogsa/services/{factory_name}");
+        let dep = self
+            .inner
+            .lookup(&path)
+            .ok_or_else(|| OgsiError::NotFound(path.clone()))?;
+        let Kind::Factory(factory) = &dep.kind else {
+            return Err(OgsiError::Deployment(format!("{path} is not a factory")));
+        };
+        let port = factory.create(call).map_err(OgsiError::Fault)?;
+        Ok(self.register_instance(&path, port))
+    }
+
+    fn register_instance(&self, factory_path: &str, port: Arc<dyn ServicePort>) -> Gsh {
+        register_instance_inner(&self.inner, factory_path, port)
+    }
+
+    /// Number of live transient instances.
+    pub fn live_instances(&self) -> usize {
+        self.inner
+            .services
+            .read()
+            .values()
+            .filter(|d| matches!(d.kind, Kind::Instance { .. }))
+            .count()
+    }
+
+    /// Counters: `(instances_created, instances_destroyed)`.
+    pub fn instance_counters(&self) -> (u64, u64) {
+        (
+            self.inner.instances_created.load(Ordering::Relaxed),
+            self.inner.instances_destroyed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Publish a notification on `topic` from the service at `source_path`;
+    /// delivered to every subscribed sink.
+    pub fn notify(&self, source_path: &str, topic: &str, message: &str) {
+        self.inner.hub.publish(source_path, topic, message);
+    }
+
+    /// Stop the container: shut the HTTP server down and join the sweeper.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        if let Some(mut server) = self.server.lock().take() {
+            server.shutdown();
+        }
+        if let Some(sweeper) = self.sweeper.lock().take() {
+            let _ = sweeper.join();
+        }
+    }
+}
+
+impl Drop for Container {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Adapter exposing a [`Factory`] as a [`ServicePort`] for description and
+/// service-data purposes (its `createService` op is intercepted by the
+/// container's dispatch).
+struct FactoryPort {
+    factory: Arc<dyn Factory>,
+}
+
+impl ServicePort for FactoryPort {
+    fn description(&self) -> pperf_soap::wsdl::ServiceDescription {
+        self.factory.description()
+    }
+
+    fn invoke(&self, operation: &str, _call: &Call) -> std::result::Result<Value, Fault> {
+        Err(Fault::client(format!(
+            "operation {operation:?} is not implemented by this factory"
+        )))
+    }
+}
+
+fn register_instance_inner(inner: &Arc<Inner>, factory_path: &str, port: Arc<dyn ServicePort>) -> Gsh {
+    let n = inner.instance_counter.fetch_add(1, Ordering::Relaxed);
+    let path = format!("{factory_path}/instances/{n}");
+    let termination = inner
+        .config
+        .default_lifetime
+        .map(|life| Instant::now() + life);
+    inner.services.write().insert(
+        path.clone(),
+        Arc::new(Deployed {
+            port,
+            kind: Kind::Instance { termination: Mutex::new(termination) },
+            created: Instant::now(),
+        }),
+    );
+    inner.instances_created.fetch_add(1, Ordering::Relaxed);
+    inner.gsh_for_path(&path)
+}
+
+/// Top-level request dispatch (the architecture adapter's demarshalling /
+/// decoding / routing stage).
+fn dispatch(inner: &Arc<Inner>, request: &Request) -> Response {
+    match request.method.as_str() {
+        "GET" => dispatch_get(inner, request),
+        "POST" => dispatch_post(inner, request),
+        _ => Response::text(Status::METHOD_NOT_ALLOWED, "use GET or POST"),
+    }
+}
+
+fn dispatch_get(inner: &Arc<Inner>, request: &Request) -> Response {
+    if request.path == "/ogsa/services" {
+        // Diagnostic index of deployed paths.
+        let mut paths: Vec<String> = inner.services.read().keys().cloned().collect();
+        paths.sort();
+        return Response::ok("text/plain; charset=utf-8", paths.join("\n").into_bytes());
+    }
+    let Some(dep) = inner.lookup(&request.path) else {
+        return Response::text(Status::NOT_FOUND, format!("no service at {}", request.path));
+    };
+    if request.query == "wsdl" {
+        return Response::xml(Status::OK, dep.port.description().to_xml());
+    }
+    Response::text(Status::OK, format!("grid service at {}", request.path))
+}
+
+fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
+    let call = match decode_call(&request.body_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            let fault = Fault::client(format!("malformed SOAP request: {e}"));
+            return Response::xml(Status::BAD_REQUEST, encode_fault(&fault));
+        }
+    };
+    let Some(dep) = inner.lookup(&request.path) else {
+        let fault = Fault::client(format!("no service at {}", request.path));
+        return Response::xml(Status::NOT_FOUND, encode_fault(&fault));
+    };
+    let outcome = invoke_operation(inner, &request.path, &dep, &call);
+    match outcome {
+        Ok(value) => Response::xml(Status::OK, encode_response(&call.method, &value)),
+        Err(fault) => Response::xml(Status::INTERNAL_SERVER_ERROR, encode_fault(&fault)),
+    }
+}
+
+fn invoke_operation(
+    inner: &Arc<Inner>,
+    path: &str,
+    dep: &Arc<Deployed>,
+    call: &Call,
+) -> std::result::Result<Value, Fault> {
+    match call.method.as_str() {
+        "findServiceData" => {
+            let name = call
+                .param("name")
+                .and_then(Value::as_str)
+                .unwrap_or_default();
+            let mut data = introspection_data(inner, path, dep);
+            data.merge(dep.port.service_data());
+            if name.is_empty() {
+                return Ok(Value::StrArray(data.names()));
+            }
+            data.get(name)
+                .cloned()
+                .ok_or_else(|| Fault::client(format!("no service data element {name:?}")))
+        }
+        "setTerminationTime" => {
+            let seconds = call
+                .param("seconds")
+                .and_then(Value::as_int)
+                .ok_or_else(|| Fault::client("setTerminationTime requires integer 'seconds'"))?;
+            match &dep.kind {
+                Kind::Instance { termination } => {
+                    let mut slot = termination.lock();
+                    if seconds < 0 {
+                        *slot = None; // negative ⇒ indefinite lifetime
+                        Ok(Value::Int(-1))
+                    } else {
+                        *slot = Some(Instant::now() + Duration::from_secs(seconds as u64));
+                        Ok(Value::Int(seconds))
+                    }
+                }
+                _ => Err(Fault::client("only transient instances have termination times")),
+            }
+        }
+        "destroy" => match &dep.kind {
+            Kind::Instance { .. } => {
+                inner.destroy_path(path);
+                Ok(Value::Nil)
+            }
+            _ => Err(Fault::client("persistent services cannot be destroyed remotely")),
+        },
+        "createService" => match &dep.kind {
+            Kind::Factory(factory) => {
+                let port = factory.create(call)?;
+                let gsh = register_instance_inner(inner, path, port);
+                Ok(Value::Str(gsh.into()))
+            }
+            _ => Err(Fault::client(format!("{path} is not a factory"))),
+        },
+        "queryServiceDataXPath" => {
+            // Thesis §7: "a user could conceivably enter an XPath query" over
+            // the service data elements — GT3.2's WS Information Services.
+            let expr = call
+                .param("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Fault::client("queryServiceDataXPath requires 'path'"))?;
+            let mut data = introspection_data(inner, path, dep);
+            data.merge(dep.port.service_data());
+            let doc = data.to_xml();
+            let hits = pperf_xml::xpath::select_strings(&doc, expr)
+                .map_err(|e| Fault::client(e.to_string()))?;
+            Ok(Value::StrArray(hits))
+        }
+        "subscribeToNotificationTopic" => {
+            let topic = call
+                .param("topic")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Fault::client("missing 'topic'"))?;
+            let sink = call
+                .param("sink")
+                .and_then(Value::as_str)
+                .ok_or_else(|| Fault::client("missing 'sink'"))?;
+            let id = inner.hub.subscribe(path, topic, sink);
+            Ok(Value::Str(id))
+        }
+        "deliverNotification" => {
+            let topic = call
+                .param("topic")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            let message = call
+                .param("message")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned();
+            dep.port.on_notification(&topic, &message);
+            Ok(Value::Nil)
+        }
+        _ => dep.port.invoke(&call.method, call),
+    }
+}
+
+fn introspection_data(inner: &Arc<Inner>, path: &str, dep: &Arc<Deployed>) -> ServiceData {
+    let mut data = ServiceData::new();
+    data.set("handle", Value::Str(inner.gsh_for_path(path).into()));
+    data.set(
+        "serviceKind",
+        Value::from(match dep.kind {
+            Kind::Persistent => "persistent",
+            Kind::Factory(_) => "factory",
+            Kind::Instance { .. } => "instance",
+        }),
+    );
+    data.set("ageMillis", Value::Int(dep.created.elapsed().as_millis() as i64));
+    if matches!(dep.kind, Kind::Factory(_)) {
+        // Host-load signal for placement decisions: how many transient
+        // instances this container currently hosts (thesis §6.5 closes by
+        // suggesting Manager strategies that adjust "to the changing loads
+        // of hosts involved in a query").
+        let live = inner
+            .services
+            .read()
+            .values()
+            .filter(|d| matches!(d.kind, Kind::Instance { .. }))
+            .count();
+        data.set("hostLiveInstances", Value::Int(live as i64));
+    }
+    if let Kind::Instance { termination } = &dep.kind {
+        let remaining = termination
+            .lock()
+            .map(|t| t.saturating_duration_since(Instant::now()).as_millis() as i64)
+            .unwrap_or(-1);
+        data.set("terminationRemainingMillis", Value::Int(remaining));
+    }
+    data
+}

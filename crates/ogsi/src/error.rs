@@ -1,0 +1,63 @@
+//! Framework error type.
+
+use pperf_soap::{Fault, SoapError};
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, OgsiError>;
+
+/// Errors surfaced by the Grid services framework.
+#[derive(Debug)]
+pub enum OgsiError {
+    /// Transport failure reaching a service.
+    Transport(pperf_httpd::HttpError),
+    /// SOAP encode/decode failure.
+    Soap(SoapError),
+    /// The remote service returned a fault.
+    Fault(Fault),
+    /// A handle that is not a valid URL or is unknown.
+    BadHandle(String),
+    /// The requested service or operation does not exist.
+    NotFound(String),
+    /// The HTTP exchange succeeded but with a non-SOAP error status.
+    HttpStatus(u16, String),
+    /// A deployment-time misuse (duplicate name, container stopped, ...).
+    Deployment(String),
+}
+
+impl fmt::Display for OgsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OgsiError::Transport(e) => write!(f, "ogsi transport: {e}"),
+            OgsiError::Soap(e) => write!(f, "ogsi soap: {e}"),
+            OgsiError::Fault(fault) => write!(f, "ogsi fault: {fault}"),
+            OgsiError::BadHandle(h) => write!(f, "bad grid service handle: {h}"),
+            OgsiError::NotFound(s) => write!(f, "not found: {s}"),
+            OgsiError::HttpStatus(code, body) => write!(f, "http status {code}: {body}"),
+            OgsiError::Deployment(m) => write!(f, "deployment error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OgsiError {}
+
+impl From<pperf_httpd::HttpError> for OgsiError {
+    fn from(e: pperf_httpd::HttpError) -> Self {
+        OgsiError::Transport(e)
+    }
+}
+
+impl From<SoapError> for OgsiError {
+    fn from(e: SoapError) -> Self {
+        match e {
+            SoapError::Fault(f) => OgsiError::Fault(f),
+            other => OgsiError::Soap(other),
+        }
+    }
+}
+
+impl From<Fault> for OgsiError {
+    fn from(f: Fault) -> Self {
+        OgsiError::Fault(f)
+    }
+}

@@ -1,0 +1,52 @@
+//! The Factory PortType: creation of transient service instances.
+
+use crate::error::{OgsiError, Result};
+use crate::gsh::Gsh;
+use crate::service::ServicePort;
+use crate::stub::ServiceStub;
+use pperf_httpd::HttpClient;
+use pperf_soap::wsdl::ServiceDescription;
+use pperf_soap::{Call, Fault, Value};
+use std::sync::Arc;
+
+/// A deployed factory: creates new transient service instances on demand
+/// (thesis Table 3: "Factory / CreateService / Create new Grid service
+/// instance").
+pub trait Factory: Send + Sync {
+    /// Description advertised at the factory's `?wsdl` endpoint; should
+    /// include both the Factory PortType and the PortTypes of the instances
+    /// it creates, so clients can build stubs before creating one.
+    fn description(&self) -> ServiceDescription;
+
+    /// Create one service instance. `call` carries the (possibly empty)
+    /// creation parameters from the `createService` request.
+    fn create(&self, call: &Call) -> std::result::Result<Arc<dyn ServicePort>, Fault>;
+}
+
+/// Typed client stub for the Factory PortType.
+pub struct FactoryStub {
+    stub: ServiceStub,
+}
+
+impl FactoryStub {
+    /// Bind to a factory by handle.
+    pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> FactoryStub {
+        FactoryStub { stub: ServiceStub::new(client, handle.clone()) }
+    }
+
+    /// Access the untyped stub.
+    pub fn stub(&self) -> &ServiceStub {
+        &self.stub
+    }
+
+    /// `createService`: create a new instance, returning its handle.
+    pub fn create_service(&self, args: &[(&str, Value)]) -> Result<Gsh> {
+        let v = self.stub.call("createService", args)?;
+        let handle = v.as_str().ok_or_else(|| {
+            OgsiError::Soap(pperf_soap::SoapError::Envelope(
+                "createService returned a non-string".into(),
+            ))
+        })?;
+        Gsh::parse(handle)
+    }
+}

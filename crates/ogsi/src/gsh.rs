@@ -1,0 +1,109 @@
+//! Grid Service Handles.
+
+use crate::error::{OgsiError, Result};
+use pperf_httpd::Url;
+use std::fmt;
+
+/// A Grid Service Handle: the globally unique, location-bearing name of a
+/// Grid service or service instance.
+///
+/// Thesis §4.4: *"Each GSH must be unique — there cannot be two Grid
+/// services or Grid service instances with the same GSH. These handles can
+/// then be used by the client to bind to the service instances they
+/// represent."* Uniqueness is guaranteed by the issuing [`Container`]
+/// (monotonic instance counter per container, container-unique host:port).
+///
+/// [`Container`]: crate::Container
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gsh(String);
+
+impl Gsh {
+    /// Wrap a handle string, validating that it is a well-formed service URL.
+    pub fn parse(s: impl Into<String>) -> Result<Gsh> {
+        let s = s.into();
+        let url = Url::parse(&s).map_err(|_| OgsiError::BadHandle(s.clone()))?;
+        if url.path == "/" || url.path.is_empty() {
+            return Err(OgsiError::BadHandle(format!("{s}: missing service path")));
+        }
+        Ok(Gsh(s))
+    }
+
+    /// The handle as a string (a URL).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The parsed URL form.
+    pub fn url(&self) -> Url {
+        Url::parse(&self.0).expect("validated at construction")
+    }
+
+    /// The path component (the container-local service identity).
+    pub fn path(&self) -> String {
+        self.url().path
+    }
+
+    /// Construct from container base address and service path.
+    pub(crate) fn from_parts(host: &str, port: u16, path: &str) -> Gsh {
+        debug_assert!(path.starts_with('/'));
+        Gsh(format!("http://{host}:{port}{path}"))
+    }
+}
+
+impl fmt::Display for Gsh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<Gsh> for String {
+    fn from(g: Gsh) -> String {
+        g.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid() {
+        let g = Gsh::parse("http://127.0.0.1:9000/ogsa/services/app/instances/1").unwrap();
+        assert_eq!(g.path(), "/ogsa/services/app/instances/1");
+        assert_eq!(g.url().port, 9000);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Gsh::parse("not a url").is_err());
+        assert!(Gsh::parse("http://host:1/").is_err());
+        assert!(Gsh::parse("http://host:1").is_err());
+        assert!(Gsh::parse("ftp://host:1/x").is_err());
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let g = Gsh::from_parts("10.0.0.1", 8080, "/ogsa/services/reg");
+        assert_eq!(g.as_str(), "http://10.0.0.1:8080/ogsa/services/reg");
+        assert!(Gsh::parse(g.as_str()).is_ok());
+    }
+
+    #[test]
+    fn display_is_url() {
+        let g = Gsh::from_parts("h", 1, "/p");
+        assert_eq!(g.to_string(), "http://h:1/p");
+    }
+
+    #[test]
+    fn ordering_and_hash_usable_as_key() {
+        use std::collections::HashSet;
+        let a = Gsh::from_parts("h", 1, "/a");
+        let b = Gsh::from_parts("h", 1, "/b");
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+        assert!(a < b);
+    }
+}

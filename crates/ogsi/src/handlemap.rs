@@ -1,0 +1,61 @@
+//! The HandleMap PortType: resolve a Grid Service Handle to a Grid Service
+//! Reference (thesis Table 3: "Return Grid Service Reference currently
+//! associated with supplied Grid Service Handle").
+//!
+//! In full OGSI a GSH is an abstract name and the reference (GSR) carries
+//! binding details; in this implementation handles are already URLs, so the
+//! reference adds liveness and description metadata obtained by probing the
+//! service.
+
+use crate::error::Result;
+use crate::gsh::Gsh;
+use crate::stub::ServiceStub;
+use pperf_httpd::HttpClient;
+use pperf_soap::wsdl::ServiceDescription;
+use std::sync::Arc;
+
+/// A resolved reference: the handle plus what the prober learned about it.
+#[derive(Debug, Clone)]
+pub struct ServiceReference {
+    /// The handle that was resolved.
+    pub handle: Gsh,
+    /// Whether the service answered at resolution time.
+    pub alive: bool,
+    /// Its service description, when it answered the `?wsdl` probe.
+    pub description: Option<ServiceDescription>,
+}
+
+/// Client-side handle resolution.
+pub struct HandleMapStub {
+    client: Arc<HttpClient>,
+}
+
+impl HandleMapStub {
+    /// A resolver sharing the given connection pool.
+    pub fn new(client: Arc<HttpClient>) -> HandleMapStub {
+        HandleMapStub { client }
+    }
+
+    /// `findByHandle`: probe the handle and build a reference.
+    pub fn find_by_handle(&self, handle: &Gsh) -> Result<ServiceReference> {
+        let stub = ServiceStub::new(Arc::clone(&self.client), handle.clone());
+        match stub.fetch_description() {
+            Ok(description) => Ok(ServiceReference {
+                handle: handle.clone(),
+                alive: true,
+                description: Some(description),
+            }),
+            Err(crate::OgsiError::Transport(_)) => Ok(ServiceReference {
+                handle: handle.clone(),
+                alive: false,
+                description: None,
+            }),
+            Err(crate::OgsiError::HttpStatus(_, _)) => Ok(ServiceReference {
+                handle: handle.clone(),
+                alive: true, // the host answered; the path just isn't a service
+                description: None,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+}

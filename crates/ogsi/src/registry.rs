@@ -1,0 +1,528 @@
+//! The UDDI-like registry service.
+//!
+//! Thesis §5.5.1: publishers create an Organization entry (contact
+//! information) and one Service entry per Application dataset they expose;
+//! the Service entry carries the URL of the Application factory. Consumers
+//! retrieve all Organizations or query them by name, then bind to the
+//! factories of the services that interest them.
+//!
+//! The registry is itself a Grid service (a [`ServicePort`]), deployed
+//! persistently in a container; [`RegistryStub`] is the typed client.
+
+use crate::error::{OgsiError, Result};
+use crate::gsh::Gsh;
+use crate::service::ServicePort;
+use crate::service_data::ServiceData;
+use crate::stub::ServiceStub;
+use parking_lot::RwLock;
+use pperf_httpd::HttpClient;
+use pperf_soap::wsdl::{Operation, PortType, ServiceDescription};
+use pperf_soap::{Call, Fault, Value, ValueType};
+use std::sync::Arc;
+
+/// A publisher organization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Organization {
+    /// Organization name (unique key).
+    pub name: String,
+    /// Free-form contact info (address, email, ...).
+    pub contact: String,
+}
+
+/// One published service entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceEntry {
+    /// Owning organization name.
+    pub organization: String,
+    /// Service (Application dataset) name.
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// URL (GSH) of the Application factory for this dataset.
+    pub factory_url: String,
+}
+
+impl ServiceEntry {
+    fn encode(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.organization, self.name, self.description, self.factory_url
+        )
+    }
+
+    fn decode(s: &str) -> Option<ServiceEntry> {
+        let mut parts = s.splitn(4, '|');
+        Some(ServiceEntry {
+            organization: parts.next()?.to_owned(),
+            name: parts.next()?.to_owned(),
+            description: parts.next()?.to_owned(),
+            factory_url: parts.next()?.to_owned(),
+        })
+    }
+}
+
+#[derive(Default)]
+struct State {
+    organizations: Vec<Organization>,
+    services: Vec<(ServiceEntry, Option<std::time::Instant>)>,
+}
+
+impl State {
+    /// Drop entries whose soft-state lease has lapsed (OGSI registration is
+    /// soft-state: "Conduct soft-state registration of Grid service
+    /// handles", Table 3 — publishers must refresh or their entries age
+    /// out). Called lazily on every access.
+    fn expire(&mut self) {
+        let now = std::time::Instant::now();
+        self.services.retain(|(_, deadline)| deadline.is_none_or(|d| d > now));
+    }
+}
+
+/// The registry service implementation.
+#[derive(Default)]
+pub struct RegistryService {
+    state: RwLock<State>,
+}
+
+impl RegistryService {
+    /// An empty registry.
+    pub fn new() -> RegistryService {
+        RegistryService::default()
+    }
+
+    /// Direct (in-process) view of organizations, for tests and diagnostics.
+    pub fn organizations(&self) -> Vec<Organization> {
+        self.state.read().organizations.clone()
+    }
+
+    /// Direct (in-process) view of live service entries.
+    pub fn services(&self) -> Vec<ServiceEntry> {
+        let mut state = self.state.write();
+        state.expire();
+        state.services.iter().map(|(e, _)| e.clone()).collect()
+    }
+
+    /// The registry's service description.
+    pub fn describe() -> ServiceDescription {
+        ServiceDescription::new("PPerfGridRegistry", "urn:ogsi:registry").with_port_type(
+            PortType::new(
+                "Registry",
+                vec![
+                    Operation::new(
+                        "registerOrganization",
+                        vec![("name", ValueType::Str), ("contact", ValueType::Str)],
+                        ValueType::Bool,
+                        "Create or update an Organization entry",
+                    ),
+                    Operation::new(
+                        "registerService",
+                        vec![
+                            ("organization", ValueType::Str),
+                            ("name", ValueType::Str),
+                            ("description", ValueType::Str),
+                            ("factoryUrl", ValueType::Str),
+                            ("ttlSeconds", ValueType::Int),
+                        ],
+                        ValueType::Bool,
+                        "Conduct soft-state registration of Grid service handles; entries \
+                         with a ttlSeconds lease expire unless re-registered",
+                    ),
+                    Operation::new(
+                        "unregisterService",
+                        vec![("organization", ValueType::Str), ("name", ValueType::Str)],
+                        ValueType::Bool,
+                        "Deregister a Grid service handle",
+                    ),
+                    Operation::new(
+                        "findOrganizations",
+                        vec![("pattern", ValueType::Str)],
+                        ValueType::StrArray,
+                        "All organizations whose name contains the pattern (empty = all); \
+                         entries are 'name|contact'",
+                    ),
+                    Operation::new(
+                        "listServices",
+                        vec![("organization", ValueType::Str)],
+                        ValueType::StrArray,
+                        "Service entries for an organization (empty = all); entries are \
+                         'org|name|description|factoryUrl'",
+                    ),
+                ],
+            ),
+        )
+    }
+}
+
+impl ServicePort for RegistryService {
+    fn description(&self) -> ServiceDescription {
+        Self::describe()
+    }
+
+    fn invoke(&self, operation: &str, call: &Call) -> std::result::Result<Value, Fault> {
+        let str_param = |name: &str| -> std::result::Result<String, Fault> {
+            call.param(name)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| Fault::client(format!("missing string parameter {name:?}")))
+        };
+        match operation {
+            "registerOrganization" => {
+                let name = str_param("name")?;
+                if name.is_empty() {
+                    return Err(Fault::client("organization name must not be empty"));
+                }
+                let contact = str_param("contact")?;
+                let mut state = self.state.write();
+                if let Some(org) = state.organizations.iter_mut().find(|o| o.name == name) {
+                    org.contact = contact;
+                } else {
+                    state.organizations.push(Organization { name, contact });
+                }
+                Ok(Value::Bool(true))
+            }
+            "registerService" => {
+                let entry = ServiceEntry {
+                    organization: str_param("organization")?,
+                    name: str_param("name")?,
+                    description: str_param("description")?,
+                    factory_url: str_param("factoryUrl")?,
+                };
+                if Gsh::parse(&entry.factory_url).is_err() {
+                    return Err(Fault::client(format!(
+                        "factoryUrl {:?} is not a valid handle",
+                        entry.factory_url
+                    )));
+                }
+                // Soft-state lease: re-registering refreshes the deadline.
+                let deadline = match call.param("ttlSeconds").and_then(Value::as_int) {
+                    Some(ttl) if ttl > 0 => Some(
+                        std::time::Instant::now() + std::time::Duration::from_secs(ttl as u64),
+                    ),
+                    Some(_) => return Err(Fault::client("ttlSeconds must be positive")),
+                    None => None,
+                };
+                let mut state = self.state.write();
+                state.expire();
+                if !state.organizations.iter().any(|o| o.name == entry.organization) {
+                    return Err(Fault::client(format!(
+                        "unknown organization {:?}; register it first",
+                        entry.organization
+                    )));
+                }
+                state.services.retain(|(s, _)| {
+                    !(s.organization == entry.organization && s.name == entry.name)
+                });
+                state.services.push((entry, deadline));
+                Ok(Value::Bool(true))
+            }
+            "unregisterService" => {
+                let org = str_param("organization")?;
+                let name = str_param("name")?;
+                let mut state = self.state.write();
+                state.expire();
+                let before = state.services.len();
+                state
+                    .services
+                    .retain(|(s, _)| !(s.organization == org && s.name == name));
+                Ok(Value::Bool(state.services.len() != before))
+            }
+            "findOrganizations" => {
+                let pattern = str_param("pattern")?;
+                let state = self.state.read();
+                let hits = state
+                    .organizations
+                    .iter()
+                    .filter(|o| pattern.is_empty() || o.name.contains(&pattern))
+                    .map(|o| format!("{}|{}", o.name, o.contact))
+                    .collect();
+                Ok(Value::StrArray(hits))
+            }
+            "listServices" => {
+                let org = str_param("organization")?;
+                let mut state = self.state.write();
+                state.expire();
+                let hits = state
+                    .services
+                    .iter()
+                    .filter(|(s, _)| org.is_empty() || s.organization == org)
+                    .map(|(s, _)| s.encode())
+                    .collect();
+                Ok(Value::StrArray(hits))
+            }
+            other => Err(Fault::client(format!("unknown registry operation {other:?}"))),
+        }
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let mut state = self.state.write();
+        state.expire();
+        ServiceData::new()
+            .with("organizationCount", Value::Int(state.organizations.len() as i64))
+            .with("serviceCount", Value::Int(state.services.len() as i64))
+    }
+}
+
+/// Typed client stub for the registry.
+pub struct RegistryStub {
+    stub: ServiceStub,
+}
+
+impl RegistryStub {
+    /// Bind to a registry by handle.
+    pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> RegistryStub {
+        RegistryStub { stub: ServiceStub::new(client, handle.clone()) }
+    }
+
+    /// Create or update an organization.
+    pub fn register_organization(&self, name: &str, contact: &str) -> Result<()> {
+        self.stub.call(
+            "registerOrganization",
+            &[("name", Value::from(name)), ("contact", Value::from(contact))],
+        )?;
+        Ok(())
+    }
+
+    /// Publish a service entry with an indefinite lease.
+    pub fn register_service(&self, entry: &ServiceEntry) -> Result<()> {
+        self.stub.call(
+            "registerService",
+            &[
+                ("organization", Value::from(entry.organization.as_str())),
+                ("name", Value::from(entry.name.as_str())),
+                ("description", Value::from(entry.description.as_str())),
+                ("factoryUrl", Value::from(entry.factory_url.as_str())),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Publish a service entry under a soft-state lease of `ttl_seconds`;
+    /// the publisher must re-register before it lapses or the entry ages
+    /// out of the registry.
+    pub fn register_service_with_ttl(
+        &self,
+        entry: &ServiceEntry,
+        ttl_seconds: i64,
+    ) -> Result<()> {
+        self.stub.call(
+            "registerService",
+            &[
+                ("organization", Value::from(entry.organization.as_str())),
+                ("name", Value::from(entry.name.as_str())),
+                ("description", Value::from(entry.description.as_str())),
+                ("factoryUrl", Value::from(entry.factory_url.as_str())),
+                ("ttlSeconds", Value::Int(ttl_seconds)),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Remove a service entry. Returns whether it existed.
+    pub fn unregister_service(&self, organization: &str, name: &str) -> Result<bool> {
+        let v = self.stub.call(
+            "unregisterService",
+            &[("organization", Value::from(organization)), ("name", Value::from(name))],
+        )?;
+        Ok(v.as_bool().unwrap_or(false))
+    }
+
+    /// Organizations whose name contains `pattern` (empty = all).
+    pub fn find_organizations(&self, pattern: &str) -> Result<Vec<Organization>> {
+        let rows = self
+            .stub
+            .call_str_array("findOrganizations", &[("pattern", Value::from(pattern))])?;
+        Ok(rows
+            .iter()
+            .filter_map(|r| {
+                let (name, contact) = r.split_once('|')?;
+                Some(Organization { name: name.to_owned(), contact: contact.to_owned() })
+            })
+            .collect())
+    }
+
+    /// Service entries for `organization` (empty = all).
+    pub fn list_services(&self, organization: &str) -> Result<Vec<ServiceEntry>> {
+        let rows = self
+            .stub
+            .call_str_array("listServices", &[("organization", Value::from(organization))])?;
+        rows.iter()
+            .map(|r| {
+                ServiceEntry::decode(r).ok_or_else(|| {
+                    OgsiError::Soap(pperf_soap::SoapError::Envelope(format!(
+                        "malformed service entry {r:?}"
+                    )))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pperf_soap::Call;
+
+    fn call(method: &str, params: &[(&str, Value)]) -> Call {
+        Call {
+            method: method.to_owned(),
+            namespace: None,
+            params: params.iter().map(|(n, v)| ((*n).to_owned(), v.clone())).collect(),
+        }
+    }
+
+    fn invoke(reg: &RegistryService, method: &str, params: &[(&str, Value)]) -> std::result::Result<Value, Fault> {
+        reg.invoke(method, &call(method, params))
+    }
+
+    #[test]
+    fn organization_lifecycle() {
+        let reg = RegistryService::new();
+        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "pdx".into())]).unwrap();
+        invoke(&reg, "registerOrganization", &[("name", "LLNL".into()), ("contact", "ca".into())]).unwrap();
+        // Re-register updates contact, no duplicate.
+        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "new".into())]).unwrap();
+        let orgs = reg.organizations();
+        assert_eq!(orgs.len(), 2);
+        assert_eq!(orgs[0].contact, "new");
+    }
+
+    #[test]
+    fn empty_org_name_rejected() {
+        let reg = RegistryService::new();
+        assert!(invoke(&reg, "registerOrganization", &[("name", "".into()), ("contact", "c".into())]).is_err());
+    }
+
+    #[test]
+    fn service_requires_known_org_and_valid_url() {
+        let reg = RegistryService::new();
+        let params = [
+            ("organization", Value::from("PSU")),
+            ("name", Value::from("HPL")),
+            ("description", Value::from("linpack")),
+            ("factoryUrl", Value::from("http://h:1/ogsa/services/hpl")),
+        ];
+        assert!(invoke(&reg, "registerService", &params).is_err(), "unknown org");
+        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "c".into())]).unwrap();
+        invoke(&reg, "registerService", &params).unwrap();
+        let bad_url = [
+            ("organization", Value::from("PSU")),
+            ("name", Value::from("X")),
+            ("description", Value::from("d")),
+            ("factoryUrl", Value::from("not-a-url")),
+        ];
+        assert!(invoke(&reg, "registerService", &bad_url).is_err());
+        assert_eq!(reg.services().len(), 1);
+    }
+
+    #[test]
+    fn find_and_list_filtering() {
+        let reg = RegistryService::new();
+        for (org, contact) in [("PSU", "pdx"), ("PSU-Lab2", "pdx2"), ("LLNL", "ca")] {
+            invoke(&reg, "registerOrganization", &[("name", org.into()), ("contact", contact.into())]).unwrap();
+        }
+        for (org, name) in [("PSU", "HPL"), ("PSU", "SMG98"), ("LLNL", "RMA")] {
+            invoke(
+                &reg,
+                "registerService",
+                &[
+                    ("organization", org.into()),
+                    ("name", name.into()),
+                    ("description", "d".into()),
+                    ("factoryUrl", format!("http://h:1/ogsa/services/{name}").into()),
+                ],
+            )
+            .unwrap();
+        }
+        let all = invoke(&reg, "findOrganizations", &[("pattern", "".into())]).unwrap();
+        assert_eq!(all.as_str_array().unwrap().len(), 3);
+        let psu = invoke(&reg, "findOrganizations", &[("pattern", "PSU".into())]).unwrap();
+        assert_eq!(psu.as_str_array().unwrap().len(), 2);
+        let svcs = invoke(&reg, "listServices", &[("organization", "PSU".into())]).unwrap();
+        assert_eq!(svcs.as_str_array().unwrap().len(), 2);
+        let every = invoke(&reg, "listServices", &[("organization", "".into())]).unwrap();
+        assert_eq!(every.as_str_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unregister() {
+        let reg = RegistryService::new();
+        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerService",
+            &[
+                ("organization", "O".into()),
+                ("name", "S".into()),
+                ("description", "d".into()),
+                ("factoryUrl", "http://h:1/f".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            invoke(&reg, "unregisterService", &[("organization", "O".into()), ("name", "S".into())]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            invoke(&reg, "unregisterService", &[("organization", "O".into()), ("name", "S".into())]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn entry_roundtrip_with_pipes_in_description_fails_gracefully() {
+        // '|' is the delimiter; description is the 3rd field so a pipe there
+        // bleeds into factory_url. decode uses splitn(4) so org/name survive.
+        let entry = ServiceEntry {
+            organization: "O".into(),
+            name: "N".into(),
+            description: "a|b".into(),
+            factory_url: "http://h:1/f".into(),
+        };
+        let decoded = ServiceEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(decoded.organization, "O");
+        assert_eq!(decoded.name, "N");
+    }
+
+    #[test]
+    fn soft_state_lease_expires_and_refreshes() {
+        let reg = RegistryService::new();
+        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        let params = |ttl: i64| {
+            vec![
+                ("organization", Value::from("O")),
+                ("name", Value::from("S")),
+                ("description", Value::from("d")),
+                ("factoryUrl", Value::from("http://h:1/f")),
+                ("ttlSeconds", Value::Int(ttl)),
+            ]
+        };
+        invoke(&reg, "registerService", &params(1)).unwrap();
+        assert_eq!(reg.services().len(), 1, "live before the lease lapses");
+        // Re-registering refreshes the lease without duplicating.
+        invoke(&reg, "registerService", &params(3600)).unwrap();
+        assert_eq!(reg.services().len(), 1);
+        // A lapsed lease ages the entry out: register again with a tiny TTL
+        // and wait it out.
+        invoke(&reg, "registerService", &params(1)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(1100));
+        assert!(reg.services().is_empty(), "expired entry removed lazily");
+        // Zero / negative TTLs are rejected.
+        assert!(invoke(&reg, "registerService", &params(0)).is_err());
+        assert!(invoke(&reg, "registerService", &params(-5)).is_err());
+    }
+
+    #[test]
+    fn unknown_operation_faults() {
+        let reg = RegistryService::new();
+        assert!(invoke(&reg, "selfDestruct", &[]).is_err());
+    }
+
+    #[test]
+    fn service_data_counts() {
+        let reg = RegistryService::new();
+        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        let sd = reg.service_data();
+        assert_eq!(sd.get("organizationCount").unwrap().as_int(), Some(1));
+        assert_eq!(sd.get("serviceCount").unwrap().as_int(), Some(0));
+    }
+}

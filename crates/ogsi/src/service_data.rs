@@ -1,0 +1,127 @@
+//! Service Data Elements.
+//!
+//! OGSI attaches queryable, named data to every service instance ("basic
+//! introspection information... richer per-interface information, and
+//! service-specific information", thesis Table 3). `findServiceData` looks
+//! elements up by name.
+
+use pperf_soap::Value;
+
+/// A set of named service data elements.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceData {
+    entries: Vec<(String, Value)>,
+}
+
+impl ServiceData {
+    /// Empty set.
+    pub fn new() -> ServiceData {
+        ServiceData::default()
+    }
+
+    /// Insert or replace an element.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        let name = name.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+        self
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Look up an element by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All element names, in insertion order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge another set into this one (other wins on name collisions).
+    pub fn merge(&mut self, other: ServiceData) {
+        for (n, v) in other.entries {
+            self.set(n, v);
+        }
+    }
+
+    /// Render the set as an XML document rooted at `<serviceData>`, the form
+    /// queried by `queryServiceDataXPath` (thesis §7: GT3.2's WS Information
+    /// Services "allows the service data elements of a Grid service to be
+    /// queried using XPath").
+    ///
+    /// Scalars become text elements; string arrays become an element with
+    /// `<item>` children; nil becomes an empty element.
+    pub fn to_xml(&self) -> pperf_xml::Element {
+        let mut root = pperf_xml::Element::new("serviceData");
+        for (name, value) in &self.entries {
+            let mut el = pperf_xml::Element::new(name.clone());
+            match value {
+                Value::Str(s) => {
+                    el.push_text(s.clone());
+                }
+                Value::Int(i) => {
+                    el.push_text(i.to_string());
+                }
+                Value::Double(d) => {
+                    el.push_text(format!("{d:?}"));
+                }
+                Value::Bool(b) => {
+                    el.push_text(if *b { "true" } else { "false" });
+                }
+                Value::StrArray(items) => {
+                    for item in items {
+                        el.push_child(pperf_xml::Element::with_text("item", item.clone()));
+                    }
+                }
+                Value::Nil => {}
+            }
+            root.push_child(el);
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut sd = ServiceData::new();
+        sd.set("handle", Value::from("http://h:1/x"));
+        sd.set("handle", Value::from("http://h:1/y"));
+        assert_eq!(sd.len(), 1);
+        assert_eq!(sd.get("handle").unwrap().as_str(), Some("http://h:1/y"));
+        assert!(sd.get("nope").is_none());
+    }
+
+    #[test]
+    fn merge_overrides() {
+        let mut a = ServiceData::new().with("x", Value::Int(1)).with("y", Value::Int(2));
+        let b = ServiceData::new().with("y", Value::Int(3)).with("z", Value::Int(4));
+        a.merge(b);
+        assert_eq!(a.get("x").unwrap().as_int(), Some(1));
+        assert_eq!(a.get("y").unwrap().as_int(), Some(3));
+        assert_eq!(a.get("z").unwrap().as_int(), Some(4));
+        assert_eq!(a.names(), ["x", "y", "z"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Dynamic client-side stubs — the runtime equivalent of the generated stub
+//! classes GT3.2/Axis produced from WSDL (thesis §4.5: "A client's interface
+//! to a Grid service, therefore, is a local stub and its associated
+//! architecture adapter modules").
+
+use crate::error::{OgsiError, Result};
+use crate::gsh::Gsh;
+use pperf_httpd::{HttpClient, Request, Url};
+use pperf_soap::wsdl::ServiceDescription;
+use pperf_soap::{decode_response, encode_call, SoapError, Value};
+use std::sync::Arc;
+
+/// An untyped stub bound to one Grid service (or service instance).
+///
+/// The stub is the client half of the architecture adapter: `call` marshals
+/// the invocation into a SOAP document, POSTs it, and demarshals the response
+/// or fault.
+#[derive(Clone)]
+pub struct ServiceStub {
+    client: Arc<HttpClient>,
+    handle: Gsh,
+    url: Url,
+    namespace: String,
+}
+
+impl ServiceStub {
+    /// Bind a stub to a handle, sharing an HTTP client (connection pool).
+    pub fn new(client: Arc<HttpClient>, handle: Gsh) -> ServiceStub {
+        let url = handle.url();
+        ServiceStub { client, handle, url, namespace: crate::OGSI_NS.to_owned() }
+    }
+
+    /// Use a specific call namespace instead of the OGSI default.
+    pub fn with_namespace(mut self, ns: impl Into<String>) -> ServiceStub {
+        self.namespace = ns.into();
+        self
+    }
+
+    /// The bound handle.
+    pub fn handle(&self) -> &Gsh {
+        &self.handle
+    }
+
+    /// Invoke `operation` with the given parameters.
+    pub fn call(&self, operation: &str, params: &[(&str, Value)]) -> Result<Value> {
+        let body = encode_call(operation, &self.namespace, params);
+        let request = Request::post(self.url.path.clone(), "text/xml; charset=utf-8", body.into_bytes());
+        let response = self.client.send(&self.url, &request)?;
+        if !response.status.is_success() && response.status.0 != 500 {
+            // 500 carries a SOAP fault body; anything else is transport-level.
+            return Err(OgsiError::HttpStatus(
+                response.status.0,
+                response.body_str().into_owned(),
+            ));
+        }
+        match decode_response(&response.body_str()) {
+            Ok(v) => Ok(v),
+            Err(SoapError::Fault(f)) => Err(OgsiError::Fault(f)),
+            Err(e) => Err(OgsiError::Soap(e)),
+        }
+    }
+
+    /// Convenience: invoke and coerce the result to a string array (the
+    /// dominant return type in the PPerfGrid PortTypes).
+    pub fn call_str_array(&self, operation: &str, params: &[(&str, Value)]) -> Result<Vec<String>> {
+        let v = self.call(operation, params)?;
+        v.into_str_array().ok_or_else(|| {
+            OgsiError::Soap(SoapError::Envelope(format!(
+                "{operation} returned a non-array"
+            )))
+        })
+    }
+
+    /// Convenience: invoke and coerce the result to an integer.
+    pub fn call_int(&self, operation: &str, params: &[(&str, Value)]) -> Result<i64> {
+        let v = self.call(operation, params)?;
+        v.as_int().ok_or_else(|| {
+            OgsiError::Soap(SoapError::Envelope(format!(
+                "{operation} returned a non-integer"
+            )))
+        })
+    }
+
+    /// Fetch the service description published at `?wsdl`.
+    pub fn fetch_description(&self) -> Result<ServiceDescription> {
+        let mut url = self.url.clone();
+        url.query = "wsdl".into();
+        let response = self.client.get(&url.to_string())?;
+        if !response.status.is_success() {
+            return Err(OgsiError::HttpStatus(
+                response.status.0,
+                response.body_str().into_owned(),
+            ));
+        }
+        Ok(ServiceDescription::from_xml(&response.body_str())?)
+    }
+}

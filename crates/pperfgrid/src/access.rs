@@ -1,0 +1,179 @@
+//! Uniform Execution access with the local-bypass optimization.
+//!
+//! Thesis §7: "If a data store exists on the same host as the PPerfGrid
+//! client, the client should access this data store directly through its
+//! wrapper, rather than incurring the overhead involved in going through the
+//! Services Layer. This functionality has been tested in an ad-hoc manner,
+//! but should be standardized and incorporated into the PPerfGrid client."
+//!
+//! [`ExecutionAccess`] is that standardization: one Table 2-shaped surface
+//! over either a remote SOAP stub or a co-located Mapping Layer wrapper. The
+//! [`LocalSites`] registry lets deployments advertise in-process sites so
+//! clients can upgrade handles to direct access automatically.
+
+use crate::execution::ExecutionStub;
+use crate::wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery};
+use parking_lot::RwLock;
+use pperf_ogsi::{Gsh, OgsiError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Client-side access to one Execution: remote (through the Services Layer)
+/// or local (directly through the Mapping Layer).
+pub enum ExecutionAccess {
+    /// A bound SOAP stub — the normal Grid path.
+    Remote(ExecutionStub),
+    /// A co-located wrapper — the §7 bypass.
+    Local {
+        /// The execution id this access represents.
+        exec_id: String,
+        /// The Mapping Layer wrapper.
+        wrapper: Arc<dyn ExecutionWrapper>,
+    },
+}
+
+impl ExecutionAccess {
+    /// Whether this access bypasses the Services Layer.
+    pub fn is_local(&self) -> bool {
+        matches!(self, ExecutionAccess::Local { .. })
+    }
+
+    /// `getInfo`.
+    pub fn get_info(&self) -> Result<Vec<(String, String)>> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_info(),
+            ExecutionAccess::Local { wrapper, .. } => Ok(wrapper.info()),
+        }
+    }
+
+    /// `getFoci`.
+    pub fn get_foci(&self) -> Result<Vec<String>> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_foci(),
+            ExecutionAccess::Local { wrapper, .. } => Ok(wrapper.foci()),
+        }
+    }
+
+    /// `getMetrics`.
+    pub fn get_metrics(&self) -> Result<Vec<String>> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_metrics(),
+            ExecutionAccess::Local { wrapper, .. } => Ok(wrapper.metrics()),
+        }
+    }
+
+    /// `getTypes`.
+    pub fn get_types(&self) -> Result<Vec<String>> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_types(),
+            ExecutionAccess::Local { wrapper, .. } => Ok(wrapper.types()),
+        }
+    }
+
+    /// `getTimeStartEnd`.
+    pub fn get_time_start_end(&self) -> Result<(String, String)> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_time_start_end(),
+            ExecutionAccess::Local { wrapper, .. } => Ok(wrapper.time_start_end()),
+        }
+    }
+
+    /// `getPR`.
+    pub fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>> {
+        match self {
+            ExecutionAccess::Remote(stub) => stub.get_pr(query),
+            ExecutionAccess::Local { wrapper, .. } => wrapper
+                .get_pr(query)
+                .map_err(|e| OgsiError::NotFound(e.to_string())),
+        }
+    }
+}
+
+/// A process-local registry of deployed sites, keyed by the URL prefix their
+/// Execution-instance handles carry. Clients consult it to upgrade remote
+/// handles to local access when the data actually lives in-process.
+#[derive(Default)]
+pub struct LocalSites {
+    /// `handle prefix → application wrapper` entries.
+    sites: RwLock<HashMap<String, Arc<dyn ApplicationWrapper>>>,
+}
+
+impl LocalSites {
+    /// An empty registry.
+    pub fn new() -> LocalSites {
+        LocalSites::default()
+    }
+
+    /// Advertise a deployed site: any Execution handle starting with the
+    /// site's Execution-factory URL can be served by `wrapper` directly.
+    pub fn advertise(&self, exec_factory: &Gsh, wrapper: Arc<dyn ApplicationWrapper>) {
+        self.sites
+            .write()
+            .insert(exec_factory.as_str().to_owned(), wrapper);
+    }
+
+    /// Number of advertised sites.
+    pub fn len(&self) -> usize {
+        self.sites.read().len()
+    }
+
+    /// Whether nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.sites.read().is_empty()
+    }
+
+    /// Open access to an Execution-instance handle: local if a matching site
+    /// is advertised (and the id resolves), remote otherwise.
+    ///
+    /// The execution id is recovered from the instance's `execId` service
+    /// data element when going remote→local would otherwise be ambiguous;
+    /// since instances are created per id by this crate's factories, we ask
+    /// the instance itself.
+    pub fn open(
+        &self,
+        client: Arc<pperf_httpd::HttpClient>,
+        handle: &Gsh,
+    ) -> Result<ExecutionAccess> {
+        let local_wrapper = {
+            let sites = self.sites.read();
+            sites
+                .iter()
+                .find(|(prefix, _)| handle.as_str().starts_with(prefix.as_str()))
+                .map(|(_, w)| Arc::clone(w))
+        };
+        if let Some(wrapper) = local_wrapper {
+            // Resolve the instance's execution id through its service data.
+            let gs = pperf_ogsi::GridServiceStub::bind(Arc::clone(&client), handle);
+            let exec_id = gs
+                .find_service_data("execId")?
+                .as_str()
+                .unwrap_or_default()
+                .to_owned();
+            if let Ok(exec) = wrapper.execution(&exec_id) {
+                return Ok(ExecutionAccess::Local { exec_id, wrapper: exec_wrapper_arc(exec) });
+            }
+        }
+        Ok(ExecutionAccess::Remote(ExecutionStub::bind(client, handle)))
+    }
+}
+
+fn exec_wrapper_arc(exec: Arc<dyn ExecutionWrapper>) -> Arc<dyn ExecutionWrapper> {
+    exec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrappers::{MemApplicationWrapper, MemExecution};
+
+    #[test]
+    fn advertise_and_lookup_prefixes() {
+        let sites = LocalSites::new();
+        assert!(sites.is_empty());
+        let app = MemApplicationWrapper::new(vec![]);
+        app.add_execution("7", MemExecution::default());
+        let gsh = Gsh::parse("http://127.0.0.1:9/ogsa/services/hpl-exec").unwrap();
+        sites.advertise(&gsh, Arc::new(app));
+        assert_eq!(sites.len(), 1);
+    }
+}

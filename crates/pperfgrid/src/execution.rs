@@ -1,0 +1,337 @@
+//! The Execution semantic object as a Grid service (thesis Table 2 and
+//! §5.3.2), its factory, and the typed client stub.
+
+use crate::prcache::{CachePolicy, PrCache};
+use crate::wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery};
+use crate::{EXECUTION_NS, TYPE_UNDEFINED};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Factory, Gsh, ServiceData, ServicePort, ServiceStub};
+use pperf_soap::wsdl::{Operation, PortType, ServiceDescription};
+use pperf_soap::{Call, Fault, Value, ValueType};
+use std::sync::Arc;
+
+/// The Execution PortType description (thesis Table 2, verbatim semantics).
+pub fn execution_description() -> ServiceDescription {
+    ServiceDescription::new("PPerfGridExecution", EXECUTION_NS).with_port_type(PortType::new(
+        "Execution",
+        vec![
+            Operation::new(
+                "getInfo",
+                vec![],
+                ValueType::StrArray,
+                "Returns general information about the Execution; elements are \
+                 name|value pairs",
+            ),
+            Operation::new(
+                "getFoci",
+                vec![],
+                ValueType::StrArray,
+                "Returns all possible unique focus values (resource-hierarchy nodes, \
+                 e.g. /Process/27 or /Code/MPI/MPI_Comm_rank)",
+            ),
+            Operation::new(
+                "getMetrics",
+                vec![],
+                ValueType::StrArray,
+                "Returns all possible unique metric values (e.g. func_calls, \
+                 msg_deliv_time)",
+            ),
+            Operation::new(
+                "getTypes",
+                vec![],
+                ValueType::StrArray,
+                "Returns all possible unique type values (the performance tool used \
+                 to collect the data)",
+            ),
+            Operation::new(
+                "getTimeStartEnd",
+                vec![],
+                ValueType::StrArray,
+                "Returns [start, end] times of the Execution",
+            ),
+            Operation::new(
+                "getPR",
+                vec![
+                    ("metric", ValueType::Str),
+                    ("foci", ValueType::StrArray),
+                    ("startTime", ValueType::Str),
+                    ("endTime", ValueType::Str),
+                    ("type", ValueType::Str),
+                ],
+                ValueType::StrArray,
+                "Returns Performance Results meeting the criteria",
+            ),
+        ],
+    ))
+}
+
+/// A transient, stateful Execution Grid service instance.
+///
+/// State: the execution id it represents, the mapping-layer wrapper it
+/// queries, and its Performance Results cache (§5.3.2.3).
+pub struct ExecutionService {
+    exec_id: String,
+    wrapper: Arc<dyn ExecutionWrapper>,
+    cache: PrCache,
+    cache_enabled: bool,
+}
+
+impl ExecutionService {
+    /// Wrap an execution wrapper as a service instance.
+    pub fn new(exec_id: String, wrapper: Arc<dyn ExecutionWrapper>, cache_enabled: bool) -> Self {
+        Self::with_cache(exec_id, wrapper, cache_enabled, PrCache::new())
+    }
+
+    /// Wrap with an explicitly configured cache (capacity / policy).
+    pub fn with_cache(
+        exec_id: String,
+        wrapper: Arc<dyn ExecutionWrapper>,
+        cache_enabled: bool,
+        cache: PrCache,
+    ) -> Self {
+        ExecutionService { exec_id, wrapper, cache, cache_enabled }
+    }
+
+    /// The execution id this instance represents.
+    pub fn exec_id(&self) -> &str {
+        &self.exec_id
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    fn get_pr(&self, call: &Call) -> Result<Value, Fault> {
+        let metric = req_str(call, "metric")?;
+        let foci = call
+            .param("foci")
+            .and_then(Value::as_str_array)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default();
+        let start = call
+            .param("startTime")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let end = call
+            .param("endTime")
+            .and_then(Value::as_str)
+            .unwrap_or_default()
+            .to_owned();
+        let rtype = call
+            .param("type")
+            .and_then(Value::as_str)
+            .unwrap_or(TYPE_UNDEFINED)
+            .to_owned();
+        let query = PrQuery { metric, foci, start, end, rtype };
+
+        if self.cache_enabled {
+            let key = query.cache_key();
+            if let Some(rows) = self.cache.get(&key) {
+                return Ok(Value::StrArray((*rows).clone()));
+            }
+            let rows = self
+                .wrapper
+                .get_pr(&query)
+                .map_err(|e| Fault::server(e.to_string()))?;
+            let shared = self.cache.insert(key, rows);
+            Ok(Value::StrArray((*shared).clone()))
+        } else {
+            let rows = self
+                .wrapper
+                .get_pr(&query)
+                .map_err(|e| Fault::server(e.to_string()))?;
+            Ok(Value::StrArray(rows))
+        }
+    }
+}
+
+fn req_str(call: &Call, name: &str) -> Result<String, Fault> {
+    call.param(name)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| Fault::client(format!("missing string parameter {name:?}")))
+}
+
+/// Render `(name, value)` pairs in the `name|value` wire format of Tables
+/// 1–2.
+pub(crate) fn render_pairs(pairs: Vec<(String, String)>) -> Value {
+    Value::StrArray(pairs.into_iter().map(|(n, v)| format!("{n}|{v}")).collect())
+}
+
+impl ServicePort for ExecutionService {
+    fn description(&self) -> ServiceDescription {
+        execution_description()
+    }
+
+    fn invoke(&self, operation: &str, call: &Call) -> Result<Value, Fault> {
+        match operation {
+            "getInfo" => Ok(render_pairs(self.wrapper.info())),
+            "getFoci" => Ok(Value::StrArray(self.wrapper.foci())),
+            "getMetrics" => Ok(Value::StrArray(self.wrapper.metrics())),
+            "getTypes" => Ok(Value::StrArray(self.wrapper.types())),
+            "getTimeStartEnd" => {
+                let (s, e) = self.wrapper.time_start_end();
+                Ok(Value::StrArray(vec![s, e]))
+            }
+            "getPR" => self.get_pr(call),
+            other => Err(Fault::client(format!("unknown Execution operation {other:?}"))),
+        }
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let (hits, misses) = self.cache.stats();
+        let (start, end) = self.wrapper.time_start_end();
+        // Metrics, foci, type, and time are exposed as service data elements
+        // so clients can discover the query vocabulary through
+        // `queryServiceDataXPath` — the extension the thesis sketches in §7.
+        ServiceData::new()
+            .with("execId", Value::Str(self.exec_id.clone()))
+            .with("metrics", Value::StrArray(self.wrapper.metrics()))
+            .with("foci", Value::StrArray(self.wrapper.foci()))
+            .with("types", Value::StrArray(self.wrapper.types()))
+            .with("timeStart", Value::Str(start))
+            .with("timeEnd", Value::Str(end))
+            .with("cacheEnabled", Value::Bool(self.cache_enabled))
+            .with("cacheEntries", Value::Int(self.cache.len() as i64))
+            .with("cacheHits", Value::Int(hits as i64))
+            .with("cacheMisses", Value::Int(misses as i64))
+    }
+}
+
+/// Factory creating Execution service instances for a site's data store.
+///
+/// `createService` takes `execId` (required) and `cacheEnabled` (optional,
+/// default true) parameters.
+pub struct ExecutionFactory {
+    app_wrapper: Arc<dyn ApplicationWrapper>,
+    default_cache_enabled: bool,
+    cache_capacity: usize,
+    cache_policy: CachePolicy,
+}
+
+impl ExecutionFactory {
+    /// A factory over the given Application wrapper.
+    pub fn new(app_wrapper: Arc<dyn ApplicationWrapper>) -> ExecutionFactory {
+        ExecutionFactory {
+            app_wrapper,
+            default_cache_enabled: true,
+            cache_capacity: 4096,
+            cache_policy: CachePolicy::Fifo,
+        }
+    }
+
+    /// Override the default caching behaviour of created instances.
+    pub fn with_cache_default(mut self, enabled: bool) -> ExecutionFactory {
+        self.default_cache_enabled = enabled;
+        self
+    }
+
+    /// Override the cache geometry of created instances.
+    pub fn with_cache_config(mut self, capacity: usize, policy: CachePolicy) -> ExecutionFactory {
+        self.cache_capacity = capacity;
+        self.cache_policy = policy;
+        self
+    }
+}
+
+impl Factory for ExecutionFactory {
+    fn description(&self) -> ServiceDescription {
+        execution_description()
+    }
+
+    fn create(&self, call: &Call) -> Result<Arc<dyn ServicePort>, Fault> {
+        let exec_id = req_str(call, "execId")?;
+        let cache_enabled = call
+            .param("cacheEnabled")
+            .and_then(Value::as_bool)
+            .unwrap_or(self.default_cache_enabled);
+        let wrapper = self
+            .app_wrapper
+            .execution(&exec_id)
+            .map_err(|e| Fault::client(e.to_string()))?;
+        Ok(Arc::new(ExecutionService::with_cache(
+            exec_id,
+            wrapper,
+            cache_enabled,
+            PrCache::with_policy(self.cache_capacity, self.cache_policy),
+        )))
+    }
+}
+
+/// Typed client stub for the Execution PortType.
+#[derive(Clone)]
+pub struct ExecutionStub {
+    stub: ServiceStub,
+}
+
+impl ExecutionStub {
+    /// Bind to an Execution instance by handle.
+    pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> ExecutionStub {
+        ExecutionStub {
+            stub: ServiceStub::new(client, handle.clone()).with_namespace(EXECUTION_NS),
+        }
+    }
+
+    /// The bound handle.
+    pub fn handle(&self) -> &Gsh {
+        self.stub.handle()
+    }
+
+    /// The untyped stub (for standard OGSI operations).
+    pub fn stub(&self) -> &ServiceStub {
+        &self.stub
+    }
+
+    /// `getInfo` as `(name, value)` pairs.
+    pub fn get_info(&self) -> pperf_ogsi::Result<Vec<(String, String)>> {
+        Ok(split_pairs(self.stub.call_str_array("getInfo", &[])?))
+    }
+
+    /// `getFoci`.
+    pub fn get_foci(&self) -> pperf_ogsi::Result<Vec<String>> {
+        self.stub.call_str_array("getFoci", &[])
+    }
+
+    /// `getMetrics`.
+    pub fn get_metrics(&self) -> pperf_ogsi::Result<Vec<String>> {
+        self.stub.call_str_array("getMetrics", &[])
+    }
+
+    /// `getTypes`.
+    pub fn get_types(&self) -> pperf_ogsi::Result<Vec<String>> {
+        self.stub.call_str_array("getTypes", &[])
+    }
+
+    /// `getTimeStartEnd` as `(start, end)`.
+    pub fn get_time_start_end(&self) -> pperf_ogsi::Result<(String, String)> {
+        let v = self.stub.call_str_array("getTimeStartEnd", &[])?;
+        let mut it = v.into_iter();
+        Ok((it.next().unwrap_or_default(), it.next().unwrap_or_default()))
+    }
+
+    /// `getPR`.
+    pub fn get_pr(&self, query: &PrQuery) -> pperf_ogsi::Result<Vec<String>> {
+        self.stub.call_str_array(
+            "getPR",
+            &[
+                ("metric", Value::from(query.metric.as_str())),
+                ("foci", Value::StrArray(query.foci.clone())),
+                ("startTime", Value::from(query.start.as_str())),
+                ("endTime", Value::from(query.end.as_str())),
+                ("type", Value::from(query.rtype.as_str())),
+            ],
+        )
+    }
+}
+
+/// Split `name|value` strings back into pairs.
+pub(crate) fn split_pairs(rows: Vec<String>) -> Vec<(String, String)> {
+    rows.into_iter()
+        .map(|row| match row.split_once('|') {
+            Some((n, v)) => (n.to_owned(), v.to_owned()),
+            None => (row, String::new()),
+        })
+        .collect()
+}

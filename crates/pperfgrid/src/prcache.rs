@@ -1,0 +1,237 @@
+//! The Performance Results cache (thesis §5.3.2.3).
+//!
+//! "This cache stores the results of Performance Result queries in a hash
+//! table indexed by a string value representing the parameters involved in
+//! the query... Any future queries to the Execution service instance first
+//! check the cache, only accessing the Mapping Layer and the data store if a
+//! miss occurs."
+//!
+//! The cache lives inside a stateful Execution Grid service instance — the
+//! capability Grid services add over plain Web services, and the mechanism
+//! behind the Table 5 speedups. Entries are shared (`Arc`) so hits avoid
+//! copying large SMG98 result sets.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache replacement policy.
+///
+/// The thesis implemented the simple scheme and left smarter replacement to
+/// future work ("the cache replacement policy implemented in the Execution
+/// service instances could adjust dynamically", §7); both options are
+/// available here and compared in the Criterion caching bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Evict the oldest-inserted entry.
+    #[default]
+    Fifo,
+    /// Evict the least-recently-used entry.
+    Lru,
+}
+
+/// A bounded map from query key to cached result rows.
+pub struct PrCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+    policy: CachePolicy,
+}
+
+struct Inner {
+    map: HashMap<String, Arc<Vec<String>>>,
+    order: VecDeque<String>, // eviction order (front = next victim)
+}
+
+impl PrCache {
+    /// A cache bounded to `capacity` entries with the given policy.
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> PrCache {
+        PrCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// A FIFO cache bounded to `capacity` entries (the thesis's scheme).
+    pub fn with_capacity(capacity: usize) -> PrCache {
+        PrCache::with_policy(capacity, CachePolicy::Fifo)
+    }
+
+    /// The default cache: 4096 entries, FIFO.
+    pub fn new() -> PrCache {
+        PrCache::with_capacity(4096)
+    }
+
+    /// Look up a key, counting a hit or miss.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<String>>> {
+        let mut inner = self.inner.lock();
+        let found = inner.map.get(key).cloned();
+        if found.is_some() && self.policy == CachePolicy::Lru {
+            // Refresh recency: move the key to the back of the order.
+            if let Some(pos) = inner.order.iter().position(|k| k == key) {
+                inner.order.remove(pos);
+                inner.order.push_back(key.to_owned());
+            }
+        }
+        drop(inner);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a result set, evicting the oldest entry when full. Returns the
+    /// shared handle (so callers can reuse it without re-locking).
+    pub fn insert(&self, key: String, rows: Vec<String>) -> Arc<Vec<String>> {
+        let rows = Arc::new(rows);
+        let mut inner = self.inner.lock();
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                match inner.order.pop_front() {
+                    Some(oldest) => {
+                        inner.map.remove(&oldest);
+                    }
+                    None => break,
+                }
+            }
+            inner.order.push_back(key.clone());
+        }
+        inner.map.insert(key, Arc::clone(&rows));
+        rows
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Drop all entries (counters retained).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+impl Default for PrCache {
+    fn default() -> Self {
+        PrCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = PrCache::new();
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), vec!["v".into()]);
+        let hit = cache.get("k").unwrap();
+        assert_eq!(*hit, vec!["v".to_owned()]);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn insert_replaces_value() {
+        let cache = PrCache::new();
+        cache.insert("k".into(), vec!["a".into()]);
+        cache.insert("k".into(), vec!["b".into()]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get("k").unwrap(), vec!["b".to_owned()]);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = PrCache::with_capacity(2);
+        cache.insert("a".into(), vec![]);
+        cache.insert("b".into(), vec![]);
+        cache.insert("c".into(), vec![]);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none(), "oldest evicted");
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = PrCache::new();
+        cache.insert("k".into(), vec![]);
+        cache.get("k");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().0, 1);
+        assert!(cache.get("k").is_none());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let cache = Arc::new(PrCache::with_capacity(64));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let key = format!("k{}", (t * 100 + i) % 32);
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, vec![format!("v{i}")]);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 800);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let cache = PrCache::with_policy(2, CachePolicy::Lru);
+        cache.insert("a".into(), vec![]);
+        cache.insert("b".into(), vec![]);
+        cache.get("a"); // refresh a; b becomes the LRU victim
+        cache.insert("c".into(), vec![]);
+        assert!(cache.get("a").is_some(), "recently used survives");
+        assert!(cache.get("b").is_none(), "LRU victim evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let cache = PrCache::with_policy(2, CachePolicy::Fifo);
+        cache.insert("a".into(), vec![]);
+        cache.insert("b".into(), vec![]);
+        cache.get("a"); // does not refresh under FIFO
+        cache.insert("c".into(), vec![]);
+        assert!(cache.get("a").is_none(), "oldest-inserted evicted regardless of use");
+        assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = PrCache::with_capacity(0);
+        cache.insert("a".into(), vec![]);
+        assert_eq!(cache.len(), 1);
+        cache.insert("b".into(), vec![]);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Summary statistics used by the experiment harness (mean, standard
+//! deviation, coefficient of variation, relative change, speedup — the
+//! columns of thesis Tables 4 and 5 and Figure 12).
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Coefficient of variation (stddev / mean); the thesis's variance
+    /// measure ("normalizes standard deviation with respect to the mean").
+    pub cov: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample. Empty input yields all zeros.
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary { n: 0, mean: 0.0, stddev: 0.0, cov: 0.0, min: 0.0, max: 0.0 };
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let stddev = var.sqrt();
+    let cov = if mean != 0.0 { stddev / mean } else { 0.0 };
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in samples {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Summary { n, mean, stddev, cov, min, max }
+}
+
+/// Speedup of `after` relative to `before`: `before / after` (thesis §6.5,
+/// e.g. "mean speedup of 2.14").
+pub fn speedup(before: f64, after: f64) -> f64 {
+    if after == 0.0 {
+        f64::INFINITY
+    } else {
+        before / after
+    }
+}
+
+/// Relative change in percent: `(before − after) / after × 100` (thesis
+/// Figure 12's "Relative Change" row, e.g. 113.78% for a 2.14× speedup).
+pub fn relative_change_pct(before: f64, after: f64) -> f64 {
+    (speedup(before, after) - 1.0) * 100.0
+}
+
+/// Convert a slice of durations to milliseconds.
+pub fn to_ms(durations: &[std::time::Duration]) -> Vec<f64> {
+    durations.iter().map(|d| d.as_secs_f64() * 1e3).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev with n-1: sqrt(32/7) ≈ 2.138
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.cov - s.stddev / 5.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summarize_degenerate() {
+        assert_eq!(summarize(&[]).n, 0);
+        let one = summarize(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.cov, 0.0);
+    }
+
+    #[test]
+    fn speedup_and_relative_change_agree_with_thesis_arithmetic() {
+        // Fig. 12: mean speedup 2.14 ⇔ mean relative change 113.78%.
+        let s = speedup(2.14, 1.0);
+        assert!((relative_change_pct(2.14, 1.0) - (s - 1.0) * 100.0).abs() < 1e-12);
+        assert!((speedup(107.39, 54.77) - 1.96).abs() < 0.01, "Table 5 HPL row");
+        assert!((relative_change_pct(107.39, 54.77) - 96.05).abs() < 0.1);
+        assert!((speedup(50_693.06, 368.58) - 137.54).abs() < 0.05, "Table 5 SMG98 row");
+    }
+
+    #[test]
+    fn zero_after_is_infinite() {
+        assert!(speedup(1.0, 0.0).is_infinite());
+    }
+}

@@ -1,0 +1,194 @@
+//! The Mapping Layer contract.
+//!
+//! Thesis §4.3: "The mapping layer acts as the intermediary between the data
+//! layer and the semantic layer, taking questions asked by the semantic
+//! layer, translating them into a query format that is understandable by the
+//! data layer given its native format and schema, processing query results,
+//! and returning them back to the semantic layer."
+//!
+//! A publisher exposes a dataset by implementing [`ApplicationWrapper`] (and
+//! its [`ExecutionWrapper`] children) over whatever storage they have; the
+//! Semantic Layer services are generic over these traits.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Error from a wrapper (data-layer access failure, unknown id, bad query).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapperError(pub String);
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wrapper error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+impl From<pperf_minidb::DbError> for WrapperError {
+    fn from(e: pperf_minidb::DbError) -> Self {
+        WrapperError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for WrapperError {
+    fn from(e: std::io::Error) -> Self {
+        WrapperError(e.to_string())
+    }
+}
+
+/// A Performance Result query: one metric, one or more foci, a time range,
+/// and a collection-tool type (thesis §4.4: "A Performance Result measures
+/// one metric, for one or more foci, for some time period... also has a
+/// type, which refers to the type of measurement tool used to collect it").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrQuery {
+    /// Metric name (e.g. `gflops`, `func_calls`).
+    pub metric: String,
+    /// Foci — resource-hierarchy nodes (e.g. `/Process/27`,
+    /// `/Code/MPI/MPI_Comm_rank`).
+    pub foci: Vec<String>,
+    /// Start of the time window (rendered seconds).
+    pub start: String,
+    /// End of the time window.
+    pub end: String,
+    /// Tool type, or [`crate::TYPE_UNDEFINED`] for any.
+    pub rtype: String,
+}
+
+impl PrQuery {
+    /// The cache key format of thesis §5.3.2.3:
+    /// `"func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"`.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "{} | {} | {} | {}-{}",
+            self.metric,
+            self.foci.join(","),
+            self.rtype,
+            self.start,
+            self.end
+        )
+    }
+
+    /// Parse the start/end as f64 seconds, tolerating empty strings (empty ⇒
+    /// unbounded side).
+    pub fn time_window(&self) -> Result<(f64, f64), WrapperError> {
+        let parse = |s: &str, default: f64| -> Result<f64, WrapperError> {
+            if s.is_empty() {
+                Ok(default)
+            } else {
+                s.trim()
+                    .parse()
+                    .map_err(|_| WrapperError(format!("bad time value {s:?}")))
+            }
+        };
+        let start = parse(&self.start, f64::NEG_INFINITY)?;
+        let end = parse(&self.end, f64::INFINITY)?;
+        if start > end {
+            return Err(WrapperError(format!(
+                "start time {start} is after end time {end}"
+            )));
+        }
+        Ok((start, end))
+    }
+}
+
+/// The Application side of the Mapping Layer (thesis Table 1 semantics).
+pub trait ApplicationWrapper: Send + Sync {
+    /// General information about the application as `(name, value)` pairs —
+    /// rendered on the wire as `name|value` strings.
+    fn app_info(&self) -> Vec<(String, String)>;
+
+    /// Number of unique executions available.
+    fn num_execs(&self) -> usize;
+
+    /// Attributes that describe executions, each with the set (no
+    /// duplicates) of its possible values.
+    fn exec_query_params(&self) -> Vec<(String, Vec<String>)>;
+
+    /// All unique execution ids.
+    fn all_exec_ids(&self) -> Vec<String>;
+
+    /// Execution ids whose `attribute` equals `value`.
+    fn exec_ids_matching(&self, attribute: &str, value: &str)
+        -> Result<Vec<String>, WrapperError>;
+
+    /// Open the Execution wrapper for one id.
+    fn execution(&self, exec_id: &str) -> Result<Arc<dyn ExecutionWrapper>, WrapperError>;
+}
+
+/// The Execution side of the Mapping Layer (thesis Table 2 semantics).
+pub trait ExecutionWrapper: Send + Sync {
+    /// General information about the execution as `(name, value)` pairs.
+    fn info(&self) -> Vec<(String, String)>;
+
+    /// All unique focus values (resource-hierarchy nodes).
+    fn foci(&self) -> Vec<String>;
+
+    /// All unique metric names.
+    fn metrics(&self) -> Vec<String>;
+
+    /// All unique tool-type values.
+    fn types(&self) -> Vec<String>;
+
+    /// `(start, end)` times of the execution, rendered.
+    fn time_start_end(&self) -> (String, String);
+
+    /// Performance Results matching the query, as rendered strings.
+    fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_matches_thesis_format() {
+        let q = PrQuery {
+            metric: "func_calls".into(),
+            foci: vec!["/Code/MPI/MPI_Allgather".into()],
+            start: "0.0".into(),
+            end: "11.047856".into(),
+            rtype: "UNDEFINED".into(),
+        };
+        assert_eq!(
+            q.cache_key(),
+            "func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"
+        );
+    }
+
+    #[test]
+    fn multi_foci_key_is_order_sensitive() {
+        let base = PrQuery {
+            metric: "m".into(),
+            foci: vec!["/a".into(), "/b".into()],
+            start: "0".into(),
+            end: "1".into(),
+            rtype: "t".into(),
+        };
+        let mut swapped = base.clone();
+        swapped.foci.reverse();
+        assert_ne!(base.cache_key(), swapped.cache_key());
+    }
+
+    #[test]
+    fn time_window_parsing() {
+        let mut q = PrQuery {
+            metric: "m".into(),
+            foci: vec![],
+            start: "1.5".into(),
+            end: "2.5".into(),
+            rtype: "t".into(),
+        };
+        assert_eq!(q.time_window().unwrap(), (1.5, 2.5));
+        q.start = String::new();
+        q.end = String::new();
+        let (s, e) = q.time_window().unwrap();
+        assert!(s.is_infinite() && s < 0.0 && e.is_infinite() && e > 0.0);
+        q.start = "oops".into();
+        assert!(q.time_window().is_err());
+        q.start = "5".into();
+        q.end = "1".into();
+        assert!(q.time_window().is_err(), "inverted window rejected");
+    }
+}

@@ -1,0 +1,271 @@
+//! HPL wrapper over the XML file store — the same logical content as
+//! [`super::HplSqlWrapper`] behind a different Mapping Layer, for the
+//! format-comparison ablation (thesis §7).
+
+use crate::wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
+use crate::TYPE_UNDEFINED;
+use pperf_datastore::HplXmlStore;
+use std::sync::Arc;
+
+const METRICS: &[&str] = &["gflops", "runtimesec"];
+
+/// The HPL-over-XML Application wrapper.
+pub struct HplXmlWrapper {
+    store: Arc<HplXmlStore>,
+}
+
+impl HplXmlWrapper {
+    /// Wrap an XML store directory.
+    pub fn new(store: HplXmlStore) -> HplXmlWrapper {
+        HplXmlWrapper { store: Arc::new(store) }
+    }
+
+    fn read_all(&self) -> Vec<Vec<(String, String)>> {
+        let Ok(ids) = self.store.run_ids() else { return vec![] };
+        ids.iter()
+            .filter_map(|id| self.store.read_run(*id).ok())
+            .collect()
+    }
+}
+
+impl ApplicationWrapper for HplXmlWrapper {
+    fn app_info(&self) -> Vec<(String, String)> {
+        vec![
+            ("name".into(), "HPL".into()),
+            ("version".into(), "1.0".into()),
+            ("description".into(), "HPL runs stored as XML documents".into()),
+            ("storage".into(), "XML files".into()),
+        ]
+    }
+
+    fn num_execs(&self) -> usize {
+        self.store.run_ids().map(|ids| ids.len()).unwrap_or(0)
+    }
+
+    fn exec_query_params(&self) -> Vec<(String, Vec<String>)> {
+        // Parse every run file and collect distinct values per attribute —
+        // the whole-store scan is the honest cost of a schemaless backend.
+        let runs = self.read_all();
+        ["runid", "rundate", "numprocs", "n", "nb"]
+            .iter()
+            .map(|attr| {
+                let mut values: Vec<String> = runs
+                    .iter()
+                    .filter_map(|fields| {
+                        fields.iter().find(|(n, _)| n == attr).map(|(_, v)| v.clone())
+                    })
+                    .collect();
+                values.sort();
+                values.dedup();
+                ((*attr).to_owned(), values)
+            })
+            .collect()
+    }
+
+    fn all_exec_ids(&self) -> Vec<String> {
+        self.store
+            .run_ids()
+            .map(|ids| ids.iter().map(i64::to_string).collect())
+            .unwrap_or_default()
+    }
+
+    fn exec_ids_matching(
+        &self,
+        attribute: &str,
+        value: &str,
+    ) -> Result<Vec<String>, WrapperError> {
+        if !["runid", "rundate", "numprocs", "n", "nb"]
+            .iter()
+            .any(|a| a.eq_ignore_ascii_case(attribute))
+        {
+            return Err(WrapperError(format!("unknown attribute {attribute:?}")));
+        }
+        let mut out = Vec::new();
+        for id in self.store.run_ids()? {
+            let fields = self.store.read_run(id)?;
+            if fields
+                .iter()
+                .any(|(n, v)| n.eq_ignore_ascii_case(attribute) && v == value)
+            {
+                out.push(id.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn execution(&self, exec_id: &str) -> Result<Arc<dyn ExecutionWrapper>, WrapperError> {
+        let runid: i64 = exec_id
+            .trim()
+            .parse()
+            .map_err(|_| WrapperError(format!("bad HPL execution id {exec_id:?}")))?;
+        // Fail fast if the file is missing.
+        self.store.read_run(runid)?;
+        Ok(Arc::new(HplXmlExecution { store: Arc::clone(&self.store), runid }))
+    }
+}
+
+struct HplXmlExecution {
+    store: Arc<HplXmlStore>,
+    runid: i64,
+}
+
+impl HplXmlExecution {
+    /// Each call re-reads and re-parses the XML file: parsing cost is the
+    /// Mapping Layer time the ablation compares against SQL.
+    fn fields(&self) -> Result<Vec<(String, String)>, WrapperError> {
+        Ok(self.store.read_run(self.runid)?)
+    }
+
+    fn field(&self, name: &str) -> Result<String, WrapperError> {
+        self.fields()?
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| WrapperError(format!("run {} has no field {name:?}", self.runid)))
+    }
+}
+
+impl ExecutionWrapper for HplXmlExecution {
+    fn info(&self) -> Vec<(String, String)> {
+        self.fields().unwrap_or_default()
+    }
+
+    fn foci(&self) -> Vec<String> {
+        vec!["/Execution".into()]
+    }
+
+    fn metrics(&self) -> Vec<String> {
+        METRICS.iter().map(|m| (*m).to_owned()).collect()
+    }
+
+    fn types(&self) -> Vec<String> {
+        vec!["hpl".into()]
+    }
+
+    fn time_start_end(&self) -> (String, String) {
+        (
+            self.field("starttime").unwrap_or_else(|_| "0.0".into()),
+            self.field("endtime").unwrap_or_else(|_| "0.0".into()),
+        )
+    }
+
+    fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
+        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
+            return Err(WrapperError(format!("unknown HPL metric {:?}", query.metric)));
+        }
+        if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("hpl") {
+            return Ok(vec![]);
+        }
+        if !query.foci.is_empty() && !query.foci.iter().any(|f| f == "/Execution") {
+            return Ok(vec![]);
+        }
+        let (t0, t1) = query.time_window()?;
+        let fields = self.fields()?;
+        let get = |name: &str| -> Result<f64, WrapperError> {
+            fields
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, v)| v.parse().ok())
+                .ok_or_else(|| WrapperError(format!("missing numeric field {name:?}")))
+        };
+        if get("endtime")? < t0 || get("starttime")? > t1 {
+            return Ok(vec![]);
+        }
+        let value = fields
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(&query.metric))
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| WrapperError(format!("missing metric {:?}", query.metric)))?;
+        Ok(vec![value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrappers::HplSqlWrapper;
+    use pperf_datastore::{HplSpec, HplStore};
+
+    fn stores() -> (tempdir::TempDirGuard, HplXmlWrapper, HplSqlWrapper) {
+        let dir = tempdir::TempDirGuard::new("hplxml-wrapper");
+        let xml = HplXmlWrapper::new(HplXmlStore::generate(dir.path(), &HplSpec::tiny()).unwrap());
+        let sql = HplSqlWrapper::new(HplStore::build(HplSpec::tiny()).database().clone());
+        (dir, xml, sql)
+    }
+
+    /// Minimal scoped temp dir helper.
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+
+        pub struct TempDirGuard(PathBuf);
+
+        impl TempDirGuard {
+            pub fn new(tag: &str) -> TempDirGuard {
+                let path = std::env::temp_dir().join(format!(
+                    "{tag}-{}-{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                ));
+                let _ = std::fs::remove_dir_all(&path);
+                std::fs::create_dir_all(&path).unwrap();
+                TempDirGuard(path)
+            }
+
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+
+        impl Drop for TempDirGuard {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn xml_and_sql_wrappers_agree() {
+        let (_dir, xml, sql) = stores();
+        assert_eq!(xml.num_execs(), sql.num_execs());
+        assert_eq!(xml.all_exec_ids(), sql.all_exec_ids());
+        // Same distinct attribute values (order may differ: sql orders
+        // numerically, xml lexically).
+        let xp: std::collections::HashMap<_, _> = xml.exec_query_params().into_iter().collect();
+        let sp: std::collections::HashMap<_, _> = sql.exec_query_params().into_iter().collect();
+        for (attr, mut sv) in sp {
+            let mut xv = xp.get(&attr).cloned().unwrap_or_default();
+            sv.sort();
+            xv.sort();
+            assert_eq!(xv, sv, "attribute {attr}");
+        }
+        // Same metric values per execution.
+        for id in sql.all_exec_ids() {
+            let q = PrQuery {
+                metric: "gflops".into(),
+                foci: vec![],
+                start: String::new(),
+                end: String::new(),
+                rtype: TYPE_UNDEFINED.into(),
+            };
+            let a: f64 = sql.execution(&id).unwrap().get_pr(&q).unwrap()[0].parse().unwrap();
+            let b: f64 = xml.execution(&id).unwrap().get_pr(&q).unwrap()[0].parse().unwrap();
+            assert!((a - b).abs() < 1e-9, "exec {id}: sql {a} vs xml {b}");
+        }
+    }
+
+    #[test]
+    fn matching_and_errors() {
+        let (_dir, xml, sql) = stores();
+        let params = sql.exec_query_params();
+        let (_, np) = params.iter().find(|(a, _)| a == "numprocs").unwrap();
+        for v in np {
+            let mut a = xml.exec_ids_matching("numprocs", v).unwrap();
+            let mut b = sql.exec_ids_matching("numprocs", v).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+        assert!(xml.exec_ids_matching("bogus", "1").is_err());
+        assert!(xml.execution("777").is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! An in-memory wrapper for tests and examples: a fully scriptable data
+//! store with no backend at all. Also handy to publishers prototyping a new
+//! dataset before writing a real wrapper.
+
+use crate::wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scripted execution.
+#[derive(Debug, Clone, Default)]
+pub struct MemExecution {
+    /// `(name, value)` info pairs; also searchable as attributes.
+    pub info: Vec<(String, String)>,
+    /// Focus values.
+    pub foci: Vec<String>,
+    /// Metric names.
+    pub metrics: Vec<String>,
+    /// Tool types.
+    pub types: Vec<String>,
+    /// `(start, end)` times.
+    pub time: (String, String),
+    /// Performance results keyed by `(metric, focus)`.
+    pub results: BTreeMap<(String, String), Vec<String>>,
+    /// Artificial mapping-layer delay per `get_pr` (simulates a slow
+    /// backend; used to model SMG98-class stores in fast tests).
+    pub query_delay: Option<Duration>,
+}
+
+/// The scriptable Application wrapper.
+#[derive(Default)]
+pub struct MemApplicationWrapper {
+    info: Vec<(String, String)>,
+    executions: RwLock<BTreeMap<String, Arc<MemExecution>>>,
+}
+
+impl MemApplicationWrapper {
+    /// A wrapper with the given `getAppInfo` pairs.
+    pub fn new(info: Vec<(&str, &str)>) -> MemApplicationWrapper {
+        MemApplicationWrapper {
+            info: info
+                .into_iter()
+                .map(|(n, v)| (n.to_owned(), v.to_owned()))
+                .collect(),
+            executions: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Add an execution under `id`.
+    pub fn add_execution(&self, id: impl Into<String>, exec: MemExecution) {
+        self.executions.write().insert(id.into(), Arc::new(exec));
+    }
+}
+
+impl ApplicationWrapper for MemApplicationWrapper {
+    fn app_info(&self) -> Vec<(String, String)> {
+        self.info.clone()
+    }
+
+    fn num_execs(&self) -> usize {
+        self.executions.read().len()
+    }
+
+    fn exec_query_params(&self) -> Vec<(String, Vec<String>)> {
+        let executions = self.executions.read();
+        let mut params: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for exec in executions.values() {
+            for (name, value) in &exec.info {
+                let slot = params.entry(name.clone()).or_default();
+                if !slot.contains(value) {
+                    slot.push(value.clone());
+                }
+            }
+        }
+        params.into_iter().collect()
+    }
+
+    fn all_exec_ids(&self) -> Vec<String> {
+        self.executions.read().keys().cloned().collect()
+    }
+
+    fn exec_ids_matching(
+        &self,
+        attribute: &str,
+        value: &str,
+    ) -> Result<Vec<String>, WrapperError> {
+        Ok(self
+            .executions
+            .read()
+            .iter()
+            .filter(|(_, e)| e.info.iter().any(|(n, v)| n == attribute && v == value))
+            .map(|(id, _)| id.clone())
+            .collect())
+    }
+
+    fn execution(&self, exec_id: &str) -> Result<Arc<dyn ExecutionWrapper>, WrapperError> {
+        self.executions
+            .read()
+            .get(exec_id)
+            .cloned()
+            .map(|e| e as Arc<dyn ExecutionWrapper>)
+            .ok_or_else(|| WrapperError(format!("no execution {exec_id:?}")))
+    }
+}
+
+impl ExecutionWrapper for MemExecution {
+    fn info(&self) -> Vec<(String, String)> {
+        self.info.clone()
+    }
+
+    fn foci(&self) -> Vec<String> {
+        self.foci.clone()
+    }
+
+    fn metrics(&self) -> Vec<String> {
+        self.metrics.clone()
+    }
+
+    fn types(&self) -> Vec<String> {
+        self.types.clone()
+    }
+
+    fn time_start_end(&self) -> (String, String) {
+        self.time.clone()
+    }
+
+    fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
+        if let Some(delay) = self.query_delay {
+            std::thread::sleep(delay);
+        }
+        if !self.metrics.iter().any(|m| m == &query.metric) {
+            return Err(WrapperError(format!("unknown metric {:?}", query.metric)));
+        }
+        let mut out = Vec::new();
+        let foci: Vec<String> = if query.foci.is_empty() {
+            self.foci.clone()
+        } else {
+            query.foci.clone()
+        };
+        for focus in &foci {
+            if let Some(rows) = self.results.get(&(query.metric.clone(), focus.clone())) {
+                out.extend(rows.iter().cloned());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scripted() -> MemApplicationWrapper {
+        let app = MemApplicationWrapper::new(vec![("name", "TestApp")]);
+        for i in 0..3 {
+            let mut exec = MemExecution {
+                info: vec![
+                    ("runid".into(), i.to_string()),
+                    ("numprocs".into(), if i < 2 { "4".into() } else { "8".into() }),
+                ],
+                foci: vec!["/Execution".into()],
+                metrics: vec!["m".into()],
+                types: vec!["test".into()],
+                time: ("0".into(), "1".into()),
+                ..Default::default()
+            };
+            exec.results
+                .insert(("m".into(), "/Execution".into()), vec![format!("v{i}")]);
+            app.add_execution(i.to_string(), exec);
+        }
+        app
+    }
+
+    #[test]
+    fn query_params_union_attributes() {
+        let app = scripted();
+        let params = app.exec_query_params();
+        let numprocs = params.iter().find(|(a, _)| a == "numprocs").unwrap();
+        assert_eq!(numprocs.1, ["4", "8"]);
+    }
+
+    #[test]
+    fn matching_and_lookup() {
+        let app = scripted();
+        assert_eq!(app.num_execs(), 3);
+        assert_eq!(app.exec_ids_matching("numprocs", "4").unwrap(), ["0", "1"]);
+        let exec = app.execution("2").unwrap();
+        let rows = exec
+            .get_pr(&PrQuery {
+                metric: "m".into(),
+                foci: vec![],
+                start: "0".into(),
+                end: "1".into(),
+                rtype: "UNDEFINED".into(),
+            })
+            .unwrap();
+        assert_eq!(rows, ["v2"]);
+        assert!(app.execution("9").is_err());
+    }
+
+    #[test]
+    fn query_delay_is_applied() {
+        let app = MemApplicationWrapper::new(vec![]);
+        app.add_execution(
+            "0",
+            MemExecution {
+                metrics: vec!["m".into()],
+                foci: vec!["/X".into()],
+                query_delay: Some(Duration::from_millis(20)),
+                ..Default::default()
+            },
+        );
+        let exec = app.execution("0").unwrap();
+        let start = std::time::Instant::now();
+        let _ = exec.get_pr(&PrQuery {
+            metric: "m".into(),
+            foci: vec![],
+            start: String::new(),
+            end: String::new(),
+            rtype: "UNDEFINED".into(),
+        });
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

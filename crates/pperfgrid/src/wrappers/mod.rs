@@ -1,0 +1,22 @@
+//! Concrete Mapping Layer wrappers for the thesis's data stores.
+//!
+//! Each wrapper translates PPerfGrid's uniform semantics (Tables 1–2) into
+//! the native access method of one backend, exactly as §5.2 prescribes:
+//! "a person wishing to publish Application data from a RDMS would implement
+//! a PPerfGrid operation (getExecs) by writing SQL queries... the wrapper
+//! may be implemented in C++, Python, or .NET and query an XML database
+//! through an XQuery API or parse a text file using custom in-line code."
+
+mod hpl_sql;
+mod hpl_xml;
+mod mem;
+mod rma_sql;
+mod rma_text;
+mod smg_sql;
+
+pub use hpl_sql::HplSqlWrapper;
+pub use hpl_xml::HplXmlWrapper;
+pub use mem::{MemApplicationWrapper, MemExecution};
+pub use rma_sql::RmaSqlWrapper;
+pub use rma_text::RmaTextWrapper;
+pub use smg_sql::SmgSqlWrapper;

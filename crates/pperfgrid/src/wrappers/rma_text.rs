@@ -1,0 +1,277 @@
+//! PRESTA RMA wrapper over the ASCII text-file store ("parse a text file
+//! using custom in-line code", thesis §5.2).
+
+use crate::wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
+use crate::TYPE_UNDEFINED;
+use pperf_datastore::RmaTextStore;
+use std::sync::Arc;
+
+const METRICS: &[&str] = &["bandwidth_mbps", "latency_us"];
+const ATTRIBUTES: &[&str] = &["execid", "rundate", "numprocs"];
+
+/// The RMA Application wrapper.
+pub struct RmaTextWrapper {
+    store: Arc<RmaTextStore>,
+}
+
+impl RmaTextWrapper {
+    /// Wrap a text store directory.
+    pub fn new(store: RmaTextStore) -> RmaTextWrapper {
+        RmaTextWrapper { store: Arc::new(store) }
+    }
+}
+
+impl ApplicationWrapper for RmaTextWrapper {
+    fn app_info(&self) -> Vec<(String, String)> {
+        vec![
+            ("name".into(), "PRESTA-RMA".into()),
+            ("version".into(), "1.2".into()),
+            (
+                "description".into(),
+                "PRESTA MPI Bandwidth and Latency Benchmark (RMA/one-sided operations)"
+                    .into(),
+            ),
+            ("storage".into(), "ASCII text files".into()),
+        ]
+    }
+
+    fn num_execs(&self) -> usize {
+        self.store.exec_ids().map(|v| v.len()).unwrap_or(0)
+    }
+
+    fn exec_query_params(&self) -> Vec<(String, Vec<String>)> {
+        let Ok(ids) = self.store.exec_ids() else { return vec![] };
+        let executions: Vec<_> = ids
+            .iter()
+            .filter_map(|id| self.store.read_execution(*id).ok())
+            .collect();
+        ATTRIBUTES
+            .iter()
+            .map(|attr| {
+                let mut values: Vec<String> = executions
+                    .iter()
+                    .filter_map(|e| e.header(attr).map(str::to_owned))
+                    .collect();
+                values.sort();
+                values.dedup();
+                ((*attr).to_owned(), values)
+            })
+            .collect()
+    }
+
+    fn all_exec_ids(&self) -> Vec<String> {
+        self.store
+            .exec_ids()
+            .map(|ids| ids.iter().map(i64::to_string).collect())
+            .unwrap_or_default()
+    }
+
+    fn exec_ids_matching(
+        &self,
+        attribute: &str,
+        value: &str,
+    ) -> Result<Vec<String>, WrapperError> {
+        if !ATTRIBUTES.iter().any(|a| a.eq_ignore_ascii_case(attribute)) {
+            return Err(WrapperError(format!("unknown attribute {attribute:?}")));
+        }
+        let mut out = Vec::new();
+        for id in self.store.exec_ids()? {
+            let exec = self.store.read_execution(id)?;
+            if exec.header(&attribute.to_ascii_lowercase()) == Some(value) {
+                out.push(id.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn execution(&self, exec_id: &str) -> Result<Arc<dyn ExecutionWrapper>, WrapperError> {
+        let execid: i64 = exec_id
+            .trim()
+            .parse()
+            .map_err(|_| WrapperError(format!("bad RMA execution id {exec_id:?}")))?;
+        self.store.read_execution(execid)?; // fail fast
+        Ok(Arc::new(RmaTextExecution { store: Arc::clone(&self.store), execid }))
+    }
+}
+
+struct RmaTextExecution {
+    store: Arc<RmaTextStore>,
+    execid: i64,
+}
+
+impl RmaTextExecution {
+    fn parse(&self) -> Result<pperf_datastore::rma::RmaExecution, WrapperError> {
+        Ok(self.store.read_execution(self.execid)?)
+    }
+}
+
+impl ExecutionWrapper for RmaTextExecution {
+    fn info(&self) -> Vec<(String, String)> {
+        self.parse().map(|e| e.headers).unwrap_or_default()
+    }
+
+    fn foci(&self) -> Vec<String> {
+        let Ok(exec) = self.parse() else { return vec![] };
+        let mut ops: Vec<String> = exec.records.iter().map(|r| format!("/Op/{}", r.op)).collect();
+        ops.sort();
+        ops.dedup();
+        ops
+    }
+
+    fn metrics(&self) -> Vec<String> {
+        METRICS.iter().map(|m| (*m).to_owned()).collect()
+    }
+
+    fn types(&self) -> Vec<String> {
+        vec!["presta".into()]
+    }
+
+    fn time_start_end(&self) -> (String, String) {
+        let exec = match self.parse() {
+            Ok(e) => e,
+            Err(_) => return ("0.0".into(), "0.0".into()),
+        };
+        (
+            exec.header("starttime").unwrap_or("0.0").to_owned(),
+            exec.header("endtime").unwrap_or("0.0").to_owned(),
+        )
+    }
+
+    /// Each call re-reads and re-parses the ASCII file — the Mapping Layer
+    /// cost the caching experiment (Table 5) found cheap relative to an
+    /// RDBMS, giving RMA its near-1.0 caching speedup.
+    fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
+        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
+            return Err(WrapperError(format!("unknown RMA metric {:?}", query.metric)));
+        }
+        if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("presta") {
+            return Ok(vec![]);
+        }
+        let (t0, t1) = query.time_window()?;
+        let exec = self.parse()?;
+        let start: f64 = exec.header("starttime").unwrap_or("0").parse().unwrap_or(0.0);
+        let end: f64 = exec.header("endtime").unwrap_or("0").parse().unwrap_or(0.0);
+        if end < t0 || start > t1 {
+            return Ok(vec![]);
+        }
+        // Focus filter: /Op/<name>; empty = all operations.
+        let ops: Vec<&str> = query
+            .foci
+            .iter()
+            .filter_map(|f| f.strip_prefix("/Op/"))
+            .collect();
+        if !query.foci.is_empty() && ops.is_empty() {
+            return Ok(vec![]); // foci given but none of the RMA form
+        }
+        let latency = query.metric.eq_ignore_ascii_case("latency_us");
+        let rows = exec
+            .records
+            .iter()
+            .filter(|r| ops.is_empty() || ops.contains(&r.op.as_str()))
+            .map(|r| {
+                let value = if latency { r.latency_us } else { r.bandwidth_mbps };
+                format!(
+                    "op={} msgsize={} {}={:.3}",
+                    r.op, r.msgsize, query.metric, value
+                )
+            })
+            .collect();
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pperf_datastore::RmaSpec;
+    use std::path::PathBuf;
+
+    struct Guard(PathBuf);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn wrapper(tag: &str, spec: &RmaSpec) -> (Guard, RmaTextWrapper) {
+        let dir = std::env::temp_dir().join(format!("rma-wrap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RmaTextStore::generate(&dir, spec).unwrap();
+        (Guard(dir), RmaTextWrapper::new(store))
+    }
+
+    fn pr(metric: &str, foci: Vec<String>) -> PrQuery {
+        PrQuery {
+            metric: metric.into(),
+            foci,
+            start: String::new(),
+            end: String::new(),
+            rtype: TYPE_UNDEFINED.into(),
+        }
+    }
+
+    #[test]
+    fn application_semantics() {
+        let (_g, w) = wrapper("app", &RmaSpec::tiny());
+        assert_eq!(w.num_execs(), 3);
+        assert_eq!(w.all_exec_ids(), ["0", "1", "2"]);
+        let params = w.exec_query_params();
+        assert!(params.iter().any(|(a, v)| a == "numprocs" && !v.is_empty()));
+        let hit = w.exec_ids_matching("execid", "1").unwrap();
+        assert_eq!(hit, ["1"]);
+        assert!(w.exec_ids_matching("nope", "x").is_err());
+    }
+
+    #[test]
+    fn execution_semantics() {
+        let (_g, w) = wrapper("exec", &RmaSpec::tiny());
+        let e = w.execution("0").unwrap();
+        assert_eq!(e.types(), ["presta"]);
+        assert_eq!(e.metrics(), ["bandwidth_mbps", "latency_us"]);
+        let foci = e.foci();
+        assert!(foci.contains(&"/Op/unidir".to_owned()));
+        assert!(foci.contains(&"/Op/latency".to_owned()));
+        let (s, end) = e.time_start_end();
+        assert_eq!(s, "0.0");
+        assert!(end.parse::<f64>().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn get_pr_payload_and_filtering() {
+        let (_g, w) = wrapper("pr", &RmaSpec::tiny());
+        let e = w.execution("0").unwrap();
+        let all = e.get_pr(&pr("bandwidth_mbps", vec![])).unwrap();
+        assert_eq!(all.len(), 2 * 3, "ops × sizes");
+        let unidir = e
+            .get_pr(&pr("bandwidth_mbps", vec!["/Op/unidir".into()]))
+            .unwrap();
+        assert_eq!(unidir.len(), 3);
+        assert!(unidir.iter().all(|r| r.starts_with("op=unidir ")));
+        let foreign_focus = e.get_pr(&pr("latency_us", vec!["/Process/1".into()])).unwrap();
+        assert!(foreign_focus.is_empty());
+        assert!(e.get_pr(&pr("mystery", vec![])).is_err());
+    }
+
+    #[test]
+    fn default_payload_is_multi_kb() {
+        let (_g, w) = wrapper("payload", &RmaSpec::default());
+        let e = w.execution("0").unwrap();
+        let rows = e
+            .get_pr(&pr("bandwidth_mbps", vec!["/Op/unidir".into()]))
+            .unwrap();
+        let bytes: usize = rows.iter().map(String::len).sum();
+        assert!(
+            (2_000..12_000).contains(&bytes),
+            "RMA payload {bytes} bytes should be ~5.7 kB-class"
+        );
+    }
+
+    #[test]
+    fn wrong_type_yields_empty() {
+        let (_g, w) = wrapper("type", &RmaSpec::tiny());
+        let e = w.execution("0").unwrap();
+        let mut q = pr("bandwidth_mbps", vec![]);
+        q.rtype = "vampir".into();
+        assert!(e.get_pr(&q).unwrap().is_empty());
+    }
+}

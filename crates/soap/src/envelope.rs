@@ -1,0 +1,112 @@
+//! SOAP envelope construction and validation.
+
+use crate::{Result, SoapError};
+use pperf_xml::Element;
+
+/// The SOAP 1.1 envelope namespace.
+pub const SOAP_ENV_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+/// XML Schema datatypes namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// XML Schema instance namespace.
+pub const XSI_NS: &str = "http://www.w3.org/2001/XMLSchema-instance";
+/// SOAP encoding namespace.
+pub const SOAP_ENC_NS: &str = "http://schemas.xmlsoap.org/soap/encoding/";
+
+/// A parsed SOAP envelope: optional header plus the body payload element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Header entries, if a `<Header>` element was present.
+    pub header: Option<Element>,
+    /// The single payload element inside `<Body>` (the call, the response, or
+    /// a `<Fault>`).
+    pub body: Element,
+}
+
+impl Envelope {
+    /// Wrap a payload element in a full envelope document.
+    pub fn wrap(payload: Element) -> Element {
+        let mut env = Element::new("soap:Envelope");
+        env.set_attr("xmlns:soap", SOAP_ENV_NS);
+        env.set_attr("xmlns:xsd", XSD_NS);
+        env.set_attr("xmlns:xsi", XSI_NS);
+        env.set_attr("xmlns:soapenc", SOAP_ENC_NS);
+        let mut body = Element::new("soap:Body");
+        body.push_child(payload);
+        env.push_child(body);
+        env
+    }
+
+    /// Parse and validate an envelope from wire text.
+    pub fn parse(text: &str) -> Result<Envelope> {
+        let root = pperf_xml::parse(text)?;
+        if root.local_name() != "Envelope" {
+            return Err(SoapError::Envelope(format!(
+                "root element is <{}>, expected Envelope",
+                root.name
+            )));
+        }
+        let header = root.child("Header").cloned();
+        let body = root
+            .child("Body")
+            .ok_or_else(|| SoapError::Envelope("missing <Body>".into()))?;
+        let mut elems = body.child_elements();
+        let payload = elems
+            .next()
+            .ok_or_else(|| SoapError::Envelope("empty <Body>".into()))?
+            .clone();
+        if elems.next().is_some() {
+            return Err(SoapError::Envelope("multiple elements in <Body>".into()));
+        }
+        Ok(Envelope { header, body: payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_then_parse() {
+        let payload = Element::with_text("ping", "1");
+        let doc = Envelope::wrap(payload.clone()).to_document();
+        let env = Envelope::parse(&doc).unwrap();
+        assert_eq!(env.body, payload);
+        assert!(env.header.is_none());
+    }
+
+    #[test]
+    fn header_preserved() {
+        let mut root = Element::new("soap:Envelope");
+        root.set_attr("xmlns:soap", SOAP_ENV_NS);
+        root.push_child(Element::with_text("soap:Header", "h"));
+        let mut body = Element::new("soap:Body");
+        body.push_child(Element::new("op"));
+        root.push_child(body);
+        let env = Envelope::parse(&root.to_xml()).unwrap();
+        assert_eq!(env.header.unwrap().text(), "h");
+    }
+
+    #[test]
+    fn rejects_non_envelope() {
+        assert!(matches!(Envelope::parse("<html/>"), Err(SoapError::Envelope(_))));
+    }
+
+    #[test]
+    fn rejects_missing_or_empty_body() {
+        let no_body = "<soap:Envelope xmlns:soap=\"x\"/>";
+        assert!(Envelope::parse(no_body).is_err());
+        let empty_body = "<soap:Envelope xmlns:soap=\"x\"><soap:Body/></soap:Envelope>";
+        assert!(Envelope::parse(empty_body).is_err());
+    }
+
+    #[test]
+    fn rejects_multi_payload_body() {
+        let multi = "<Envelope><Body><a/><b/></Body></Envelope>";
+        assert!(Envelope::parse(multi).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(Envelope::parse("not xml at all"), Err(SoapError::Xml(_))));
+    }
+}

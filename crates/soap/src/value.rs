@@ -1,0 +1,389 @@
+//! The RPC value model and its XML encoding.
+//!
+//! PPerfGrid's PortTypes (thesis Tables 1 & 2) exchange strings, string
+//! arrays, and integers; doubles and booleans round out the set for metric
+//! payloads. Each value is encoded as an element carrying an `xsi:type`
+//! attribute, SOAP section-5 style.
+
+use pperf_xml::Element;
+use std::fmt;
+
+/// A typed RPC value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `xsd:string`
+    Str(String),
+    /// `xsd:int` (64-bit on the Rust side; the wire format is just digits)
+    Int(i64),
+    /// `xsd:double`
+    Double(f64),
+    /// `xsd:boolean`
+    Bool(bool),
+    /// `soapenc:Array` of `xsd:string` — the workhorse of the PPerfGrid
+    /// interfaces (`getExecs`, `getFoci`, `getPR`, ... all return it).
+    StrArray(Vec<String>),
+    /// Absence of a value (`xsi:nil`); used for void returns.
+    Nil,
+}
+
+/// The wire-level type tag of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    Str,
+    Int,
+    Double,
+    Bool,
+    StrArray,
+    Nil,
+}
+
+impl ValueType {
+    /// The `xsi:type` attribute value used on the wire.
+    pub fn xsi_type(self) -> &'static str {
+        match self {
+            ValueType::Str => "xsd:string",
+            ValueType::Int => "xsd:int",
+            ValueType::Double => "xsd:double",
+            ValueType::Bool => "xsd:boolean",
+            ValueType::StrArray => "soapenc:Array",
+            ValueType::Nil => "xsd:anyType",
+        }
+    }
+
+    fn from_xsi(s: &str) -> Option<ValueType> {
+        // Accept any prefix; match the local part, as foreign stacks pick
+        // their own prefixes.
+        let local = s.rsplit(':').next().unwrap_or(s);
+        match local {
+            "string" => Some(ValueType::Str),
+            "int" | "long" | "integer" | "short" => Some(ValueType::Int),
+            "double" | "float" | "decimal" => Some(ValueType::Double),
+            "boolean" => Some(ValueType::Bool),
+            "Array" => Some(ValueType::StrArray),
+            "anyType" => Some(ValueType::Nil),
+            _ => None,
+        }
+    }
+}
+
+/// A decode failure for a single value element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad value: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl Value {
+    /// The type tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Str(_) => ValueType::Str,
+            Value::Int(_) => ValueType::Int,
+            Value::Double(_) => ValueType::Double,
+            Value::Bool(_) => ValueType::Bool,
+            Value::StrArray(_) => ValueType::StrArray,
+            Value::Nil => ValueType::Nil,
+        }
+    }
+
+    /// Borrow the string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The double, if this is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array, if this is a `StrArray`.
+    pub fn as_str_array(&self) -> Option<&[String]> {
+        match self {
+            Value::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Take ownership of the array, if this is a `StrArray`.
+    pub fn into_str_array(self) -> Option<Vec<String>> {
+        match self {
+            Value::StrArray(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate wire payload size in bytes: the length of the encoded
+    /// character data (used by the Table 4 "bytes transferred" column).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::Int(i) => {
+                let mut n = if *i < 0 { 1 } else { 0 };
+                let mut v = i.unsigned_abs();
+                loop {
+                    n += 1;
+                    v /= 10;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                n
+            }
+            Value::Double(_) => 8,
+            Value::Bool(_) => 5,
+            Value::StrArray(v) => v.iter().map(|s| s.len()).sum(),
+            Value::Nil => 0,
+        }
+    }
+
+    /// Encode as an element with tag `name`.
+    pub fn to_element(&self, name: &str) -> Element {
+        let mut el = Element::new(name);
+        el.set_attr("xsi:type", self.value_type().xsi_type());
+        match self {
+            Value::Str(s) => {
+                el.push_text(s.clone());
+            }
+            Value::Int(i) => {
+                el.push_text(i.to_string());
+            }
+            Value::Double(d) => {
+                // `{:?}` prints enough digits for exact f64 roundtrip.
+                el.push_text(format!("{d:?}"));
+            }
+            Value::Bool(b) => {
+                el.push_text(if *b { "true" } else { "false" });
+            }
+            Value::StrArray(items) => {
+                el.set_attr("soapenc:arrayType", format!("xsd:string[{}]", items.len()));
+                for item in items {
+                    let mut it = Element::new("item");
+                    it.set_attr("xsi:type", "xsd:string");
+                    it.push_text(item.clone());
+                    el.push_child(it);
+                }
+            }
+            Value::Nil => {
+                el.set_attr("xsi:nil", "true");
+            }
+        }
+        el
+    }
+
+    /// Decode from an element produced by [`Value::to_element`] (or a
+    /// compatible foreign encoding).
+    pub fn from_element(el: &Element) -> Result<Value, ValueError> {
+        if el.attr("xsi:nil") == Some("true") {
+            return Ok(Value::Nil);
+        }
+        let ty = match el.attr("xsi:type") {
+            Some(t) => ValueType::from_xsi(t)
+                .ok_or_else(|| ValueError(format!("unknown xsi:type {t:?} on <{}>", el.name)))?,
+            // Untyped elements: infer array if it has <item> children, else string.
+            None => {
+                if el.child("item").is_some() {
+                    ValueType::StrArray
+                } else {
+                    ValueType::Str
+                }
+            }
+        };
+        match ty {
+            ValueType::Str => Ok(Value::Str(el.text().into_owned())),
+            ValueType::Int => {
+                let t = el.text();
+                t.trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| ValueError(format!("bad int {t:?}")))
+            }
+            ValueType::Double => {
+                let t = el.text();
+                let trimmed = t.trim();
+                match trimmed {
+                    "NaN" => Ok(Value::Double(f64::NAN)),
+                    "INF" => Ok(Value::Double(f64::INFINITY)),
+                    "-INF" => Ok(Value::Double(f64::NEG_INFINITY)),
+                    _ => trimmed
+                        .parse::<f64>()
+                        .map(Value::Double)
+                        .map_err(|_| ValueError(format!("bad double {t:?}"))),
+                }
+            }
+            ValueType::Bool => match el.text().trim() {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                other => Err(ValueError(format!("bad boolean {other:?}"))),
+            },
+            ValueType::StrArray => {
+                let items = el
+                    .children_named("item")
+                    .map(|i| i.text().into_owned())
+                    .collect();
+                Ok(Value::StrArray(items))
+            }
+            ValueType::Nil => Ok(Value::Nil),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<Vec<String>> for Value {
+    fn from(v: Vec<String>) -> Self {
+        Value::StrArray(v)
+    }
+}
+
+impl From<&[&str]> for Value {
+    fn from(v: &[&str]) -> Self {
+        Value::StrArray(v.iter().map(|s| (*s).to_owned()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let el = v.to_element("param");
+        let back = Value::from_element(&el).unwrap();
+        match (&v, &back) {
+            (Value::Double(a), Value::Double(b)) if a.is_nan() => assert!(b.is_nan()),
+            _ => assert_eq!(v, back),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(Value::Str("hello | world".into()));
+        roundtrip(Value::Str(String::new()));
+        roundtrip(Value::Int(0));
+        roundtrip(Value::Int(i64::MIN));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Double(std::f64::consts::PI));
+        roundtrip(Value::Double(-0.0));
+        roundtrip(Value::Double(f64::NAN));
+        roundtrip(Value::Double(f64::INFINITY));
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::StrArray(vec![]));
+        roundtrip(Value::StrArray(vec!["a".into(), "".into(), "c|d".into()]));
+        roundtrip(Value::Nil);
+    }
+
+    #[test]
+    fn foreign_prefixes_accepted() {
+        let mut el = Element::with_text("p", "42");
+        el.set_attr("xsi:type", "ns1:int");
+        assert_eq!(Value::from_element(&el).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn untyped_defaults_to_string() {
+        let el = Element::with_text("p", "free-form");
+        assert_eq!(Value::from_element(&el).unwrap(), Value::Str("free-form".into()));
+    }
+
+    #[test]
+    fn untyped_with_items_is_array() {
+        let mut el = Element::new("p");
+        el.push_child(Element::with_text("item", "x"));
+        assert_eq!(
+            Value::from_element(&el).unwrap(),
+            Value::StrArray(vec!["x".into()])
+        );
+    }
+
+    #[test]
+    fn bad_scalars_rejected() {
+        let mut el = Element::with_text("p", "forty-two");
+        el.set_attr("xsi:type", "xsd:int");
+        assert!(Value::from_element(&el).is_err());
+        el.set_attr("xsi:type", "xsd:double");
+        assert!(Value::from_element(&el).is_err());
+        el.set_attr("xsi:type", "xsd:boolean");
+        assert!(Value::from_element(&el).is_err());
+        el.set_attr("xsi:type", "xsd:mystery");
+        assert!(Value::from_element(&el).is_err());
+    }
+
+    #[test]
+    fn payload_bytes_counts_data() {
+        assert_eq!(Value::Str("12345678".into()).payload_bytes(), 8);
+        assert_eq!(Value::Int(-100).payload_bytes(), 4);
+        assert_eq!(Value::Int(0).payload_bytes(), 1);
+        assert_eq!(
+            Value::StrArray(vec!["ab".into(), "cde".into()]).payload_bytes(),
+            5
+        );
+        assert_eq!(Value::Nil.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn array_type_attribute_present() {
+        let el = Value::StrArray(vec!["a".into(), "b".into()]).to_element("r");
+        assert_eq!(el.attr("soapenc:arrayType"), Some("xsd:string[2]"));
+    }
+}

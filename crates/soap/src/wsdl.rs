@@ -1,0 +1,257 @@
+//! WSDL-like service descriptions.
+//!
+//! GT3.2 described Grid services with GWSDL, and clients generated native
+//! stubs from it (thesis §3.1.4). We keep the same workflow in miniature: a
+//! service publishes a [`ServiceDescription`]; a client fetches it (the
+//! `?wsdl` query in `pperf-httpd`), checks the operations it intends to call,
+//! and builds dynamic stubs. The description is itself exchanged as XML.
+
+use crate::value::ValueType;
+use crate::{Result, SoapError};
+use pperf_xml::Element;
+
+/// One operation signature within a PortType.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (e.g. `getExecs`).
+    pub name: String,
+    /// Ordered `(name, type)` input parameters.
+    pub params: Vec<(String, ValueType)>,
+    /// Return type.
+    pub ret: ValueType,
+    /// One-line semantics, mirroring the "Operation Semantics" column of the
+    /// thesis's Tables 1–3.
+    pub doc: String,
+}
+
+impl Operation {
+    /// Construct an operation signature.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<(&str, ValueType)>,
+        ret: ValueType,
+        doc: impl Into<String>,
+    ) -> Operation {
+        Operation {
+            name: name.into(),
+            params: params.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+            ret,
+            doc: doc.into(),
+        }
+    }
+}
+
+/// A named interface: a set of operations (thesis: "Grid service interfaces
+/// are known as PortTypes").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortType {
+    /// Interface name (e.g. `Application`, `GridService`, `Factory`).
+    pub name: String,
+    /// The operations the interface defines.
+    pub operations: Vec<Operation>,
+}
+
+impl PortType {
+    /// Construct a PortType.
+    pub fn new(name: impl Into<String>, operations: Vec<Operation>) -> PortType {
+        PortType { name: name.into(), operations }
+    }
+
+    /// Find an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+}
+
+/// A complete service description: name, namespace, endpoint, PortTypes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name shown in registries.
+    pub service_name: String,
+    /// Target namespace used on call elements.
+    pub namespace: String,
+    /// The PortTypes the service implements.
+    pub port_types: Vec<PortType>,
+}
+
+impl ServiceDescription {
+    /// Construct a description.
+    pub fn new(service_name: impl Into<String>, namespace: impl Into<String>) -> Self {
+        ServiceDescription {
+            service_name: service_name.into(),
+            namespace: namespace.into(),
+            port_types: Vec::new(),
+        }
+    }
+
+    /// Add a PortType (builder style).
+    pub fn with_port_type(mut self, pt: PortType) -> Self {
+        self.port_types.push(pt);
+        self
+    }
+
+    /// Find a PortType by name.
+    pub fn port_type(&self, name: &str) -> Option<&PortType> {
+        self.port_types.iter().find(|p| p.name == name)
+    }
+
+    /// Find an operation across all PortTypes.
+    pub fn find_operation(&self, name: &str) -> Option<(&PortType, &Operation)> {
+        self.port_types
+            .iter()
+            .find_map(|pt| pt.operation(name).map(|op| (pt, op)))
+    }
+
+    /// Serialize to the on-wire XML document.
+    pub fn to_xml(&self) -> String {
+        let mut def = Element::new("definitions");
+        def.set_attr("name", self.service_name.clone());
+        def.set_attr("targetNamespace", self.namespace.clone());
+        for pt in &self.port_types {
+            let mut pt_el = Element::new("portType");
+            pt_el.set_attr("name", pt.name.clone());
+            for op in &pt.operations {
+                let mut op_el = Element::new("operation");
+                op_el.set_attr("name", op.name.clone());
+                if !op.doc.is_empty() {
+                    op_el.push_child(Element::with_text("documentation", op.doc.clone()));
+                }
+                for (pname, pty) in &op.params {
+                    let mut p = Element::new("input");
+                    p.set_attr("name", pname.clone());
+                    p.set_attr("type", pty.xsi_type());
+                    op_el.push_child(p);
+                }
+                let mut out = Element::new("output");
+                out.set_attr("type", op.ret.xsi_type());
+                op_el.push_child(out);
+                pt_el.push_child(op_el);
+            }
+            def.push_child(pt_el);
+        }
+        def.to_document()
+    }
+
+    /// Parse a description from XML text.
+    pub fn from_xml(text: &str) -> Result<ServiceDescription> {
+        let root = pperf_xml::parse(text)?;
+        if root.local_name() != "definitions" {
+            return Err(SoapError::Envelope(format!(
+                "expected <definitions>, got <{}>",
+                root.name
+            )));
+        }
+        let service_name = root.attr("name").unwrap_or_default().to_owned();
+        let namespace = root.attr("targetNamespace").unwrap_or_default().to_owned();
+        let mut desc = ServiceDescription::new(service_name, namespace);
+        for pt_el in root.children_named("portType") {
+            let name = pt_el
+                .attr("name")
+                .ok_or_else(|| SoapError::Envelope("portType without name".into()))?;
+            let mut operations = Vec::new();
+            for op_el in pt_el.children_named("operation") {
+                let op_name = op_el
+                    .attr("name")
+                    .ok_or_else(|| SoapError::Envelope("operation without name".into()))?;
+                let doc = op_el
+                    .child("documentation")
+                    .map(|d| d.text().into_owned())
+                    .unwrap_or_default();
+                let mut params = Vec::new();
+                for inp in op_el.children_named("input") {
+                    let pname = inp
+                        .attr("name")
+                        .ok_or_else(|| SoapError::Envelope("input without name".into()))?;
+                    params.push((pname.to_owned(), parse_type(inp.attr("type"))?));
+                }
+                let ret = match op_el.child("output") {
+                    Some(out) => parse_type(out.attr("type"))?,
+                    None => ValueType::Nil,
+                };
+                operations.push(Operation {
+                    name: op_name.to_owned(),
+                    params,
+                    ret,
+                    doc,
+                });
+            }
+            desc.port_types.push(PortType::new(name, operations));
+        }
+        Ok(desc)
+    }
+}
+
+fn parse_type(attr: Option<&str>) -> Result<ValueType> {
+    let s = attr.ok_or_else(|| SoapError::Envelope("missing type attribute".into()))?;
+    match s.rsplit(':').next().unwrap_or(s) {
+        "string" => Ok(ValueType::Str),
+        "int" => Ok(ValueType::Int),
+        "double" => Ok(ValueType::Double),
+        "boolean" => Ok(ValueType::Bool),
+        "Array" => Ok(ValueType::StrArray),
+        "anyType" => Ok(ValueType::Nil),
+        other => Err(SoapError::Envelope(format!("unknown WSDL type {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceDescription {
+        ServiceDescription::new("HPL-Application", "urn:pperfgrid:Application").with_port_type(
+            PortType::new(
+                "Application",
+                vec![
+                    Operation::new("getAppInfo", vec![], ValueType::StrArray, "general info"),
+                    Operation::new("getNumExecs", vec![], ValueType::Int, "execution count"),
+                    Operation::new(
+                        "getExecs",
+                        vec![("attribute", ValueType::Str), ("value", ValueType::Str)],
+                        ValueType::StrArray,
+                        "query executions",
+                    ),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let desc = sample();
+        let xml = desc.to_xml();
+        assert_eq!(ServiceDescription::from_xml(&xml).unwrap(), desc);
+    }
+
+    #[test]
+    fn lookup() {
+        let desc = sample();
+        assert!(desc.port_type("Application").is_some());
+        assert!(desc.port_type("Execution").is_none());
+        let (pt, op) = desc.find_operation("getExecs").unwrap();
+        assert_eq!(pt.name, "Application");
+        assert_eq!(op.params.len(), 2);
+        assert_eq!(op.ret, ValueType::StrArray);
+        assert!(desc.find_operation("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(ServiceDescription::from_xml("<other/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let bad = r#"<definitions name="s" targetNamespace="urn:x">
+            <portType name="P"><operation name="op">
+              <input name="a" type="xsd:duration"/><output type="xsd:string"/>
+            </operation></portType></definitions>"#;
+        assert!(ServiceDescription::from_xml(bad).is_err());
+    }
+
+    #[test]
+    fn empty_description_roundtrips() {
+        let desc = ServiceDescription::new("empty", "urn:none");
+        assert_eq!(ServiceDescription::from_xml(&desc.to_xml()).unwrap(), desc);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the SOAP codec is lossless for every value the PortTypes
+//! can carry, and the decoders never panic on arbitrary input.
+
+use pperf_soap::{
+    decode_call, decode_response, encode_call, encode_fault, encode_response, Fault, SoapError,
+    Value,
+};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        proptest::string::string_regex("\\PC{0,60}").unwrap().prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: NaN breaks equality, covered by a unit test.
+        proptest::num::f64::NORMAL.prop_map(Value::Double),
+        any::<bool>().prop_map(Value::Bool),
+        proptest::collection::vec(proptest::string::string_regex("\\PC{0,40}").unwrap(), 0..8)
+            .prop_map(Value::StrArray),
+        Just(Value::Nil),
+    ]
+}
+
+fn method_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,20}"
+}
+
+proptest! {
+    #[test]
+    fn call_roundtrip(
+        method in method_strategy(),
+        params in proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9]{0,12}", value_strategy()), 0..6),
+    ) {
+        let borrowed: Vec<(&str, Value)> =
+            params.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        let wire = encode_call(&method, "urn:test", &borrowed);
+        let call = decode_call(&wire).expect("own encoding must decode");
+        prop_assert_eq!(&call.method, &method);
+        prop_assert_eq!(call.params.len(), params.len());
+        for ((name, value), (dn, dv)) in params.iter().zip(&call.params) {
+            prop_assert_eq!(name, dn);
+            prop_assert_eq!(value, dv);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(method in method_strategy(), value in value_strategy()) {
+        let wire = encode_response(&method, &value);
+        let decoded = decode_response(&wire).expect("own encoding must decode");
+        prop_assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn fault_roundtrip(msg in "\\PC{0,60}", detail in proptest::option::of("\\PC{0,60}")) {
+        let mut fault = Fault::server(msg.clone());
+        if let Some(d) = &detail {
+            fault = fault.with_detail(d.clone());
+        }
+        let wire = encode_fault(&fault);
+        match decode_response(&wire) {
+            Err(SoapError::Fault(f)) => {
+                prop_assert_eq!(f.string, msg);
+                prop_assert_eq!(f.detail, detail);
+            }
+            other => prop_assert!(false, "expected fault, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic(input in "\\PC{0,300}") {
+        let _ = decode_call(&input);
+        let _ = decode_response(&input);
+    }
+
+    #[test]
+    fn doubles_roundtrip_exactly(d in any::<f64>()) {
+        let wire = encode_response("m", &Value::Double(d));
+        match decode_response(&wire).unwrap() {
+            Value::Double(back) => {
+                if d.is_nan() {
+                    prop_assert!(back.is_nan());
+                } else {
+                    prop_assert_eq!(back, d);
+                }
+            }
+            other => prop_assert!(false, "expected double, got {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Parse errors with byte-offset context.
+
+use std::fmt;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An XML parse error.
+///
+/// Carries the byte offset into the input at which the error was detected so
+/// callers can produce actionable diagnostics for malformed SOAP payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// Byte offset into the input where the error occurred.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// The category of parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</close>` did not match the open tag.
+    MismatchedTag { open: String, close: String },
+    /// An entity reference (`&...;`) that is malformed or unknown.
+    BadEntity(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// The document contains no root element.
+    NoRootElement,
+    /// Non-whitespace content after the root element closed.
+    TrailingContent,
+    /// The input is not valid UTF-8.
+    InvalidUtf8,
+    /// An element/attribute name that is empty or starts with an invalid char.
+    BadName,
+}
+
+impl Error {
+    pub(crate) fn new(offset: usize, kind: ErrorKind) -> Self {
+        Error { offset, kind }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            ErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            ErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ErrorKind::NoRootElement => write!(f, "no root element"),
+            ErrorKind::TrailingContent => write!(f, "content after root element"),
+            ErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+            ErrorKind::BadName => write!(f, "invalid element or attribute name"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

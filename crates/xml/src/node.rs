@@ -1,0 +1,230 @@
+//! The owned document tree: [`Element`] and [`Node`].
+
+/// A node in an element's child list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A run of character data (entity references already resolved).
+    Text(String),
+}
+
+impl Node {
+    /// The contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// The contained text, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            Node::Element(_) => None,
+        }
+    }
+}
+
+/// An XML element: a name, attributes in document order, and child nodes.
+///
+/// Attribute order is preserved because SOAP interop tests compare serialized
+/// bytes. Lookup is linear — SOAP elements carry a handful of attributes at
+/// most, so a map would cost more than it saves.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Qualified tag name, prefix included (e.g. `soap:Envelope`).
+    pub name: String,
+    /// `(name, value)` pairs in document order. Values are unescaped.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element with the given qualified name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Create an element whose only child is the given text.
+    pub fn with_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let mut e = Element::new(name);
+        e.children.push(Node::Text(text.into()));
+        e
+    }
+
+    /// The name with any `prefix:` stripped.
+    pub fn local_name(&self) -> &str {
+        match self.name.rfind(':') {
+            Some(i) => &self.name[i + 1..],
+            None => &self.name,
+        }
+    }
+
+    /// Set (or replace) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((name, value));
+        }
+        self
+    }
+
+    /// Look up an attribute value by exact (qualified) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Append a child element. Returns `&mut self` for chaining.
+    pub fn push_child(&mut self, child: Element) -> &mut Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Append a text node. Returns `&mut self` for chaining.
+    pub fn push_text(&mut self, text: impl Into<String>) -> &mut Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// First child element whose *local* name matches.
+    ///
+    /// Matching the local name lets callers ignore whatever namespace prefix a
+    /// peer chose — the behaviour SOAP engines need when consuming envelopes
+    /// produced by foreign stacks.
+    pub fn child(&self, local: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.local_name() == local)
+    }
+
+    /// Mutable variant of [`Element::child`].
+    pub fn child_mut(&mut self, local: &str) -> Option<&mut Element> {
+        self.children.iter_mut().find_map(|n| match n {
+            Node::Element(e) if e.local_name() == local => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Iterator over all child elements (skipping text nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// All child elements whose local name matches.
+    pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.local_name() == local)
+    }
+
+    /// Concatenation of all *direct* text children.
+    ///
+    /// Returns a borrowed `&str` when there is exactly one text child (the
+    /// common SOAP leaf case, avoiding an allocation) and allocates only for
+    /// mixed content.
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        let mut texts = self.children.iter().filter_map(Node::as_text);
+        match (texts.next(), texts.next()) {
+            (None, _) => std::borrow::Cow::Borrowed(""),
+            (Some(t), None) => std::borrow::Cow::Borrowed(t),
+            (Some(first), Some(second)) => {
+                let mut s = String::with_capacity(first.len() + second.len());
+                s.push_str(first);
+                s.push_str(second);
+                for t in texts {
+                    s.push_str(t);
+                }
+                std::borrow::Cow::Owned(s)
+            }
+        }
+    }
+
+    /// Descend through a path of local names, returning the first match at
+    /// each step. `el.path(&["Body", "getExecsResponse"])`.
+    pub fn path(&self, names: &[&str]) -> Option<&Element> {
+        let mut cur = self;
+        for n in names {
+            cur = cur.child(n)?;
+        }
+        Some(cur)
+    }
+
+    /// Number of element children.
+    pub fn element_count(&self) -> usize {
+        self.child_elements().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        let mut root = Element::new("soap:Envelope");
+        root.set_attr("xmlns:soap", "http://schemas.xmlsoap.org/soap/envelope/");
+        let mut body = Element::new("soap:Body");
+        let mut call = Element::new("getExecs");
+        call.push_child(Element::with_text("attribute", "numprocs"));
+        call.push_child(Element::with_text("value", "8"));
+        body.push_child(call);
+        root.push_child(body);
+        root
+    }
+
+    #[test]
+    fn local_name_strips_prefix() {
+        assert_eq!(sample().local_name(), "Envelope");
+        assert_eq!(Element::new("plain").local_name(), "plain");
+    }
+
+    #[test]
+    fn child_matches_local_name() {
+        let root = sample();
+        assert!(root.child("Body").is_some());
+        assert!(root.child("Envelope").is_none());
+    }
+
+    #[test]
+    fn path_descends() {
+        let root = sample();
+        let v = root.path(&["Body", "getExecs", "value"]).unwrap();
+        assert_eq!(v.text(), "8");
+        assert!(root.path(&["Body", "nope"]).is_none());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x");
+        e.set_attr("a", "1");
+        e.set_attr("a", "2");
+        assert_eq!(e.attrs.len(), 1);
+        assert_eq!(e.attr("a"), Some("2"));
+    }
+
+    #[test]
+    fn text_concatenates_mixed_content() {
+        let mut e = Element::new("x");
+        e.push_text("a");
+        e.push_child(Element::new("sep"));
+        e.push_text("b");
+        assert_eq!(e.text(), "ab");
+    }
+
+    #[test]
+    fn text_borrowed_single() {
+        let e = Element::with_text("x", "only");
+        assert!(matches!(e.text(), std::borrow::Cow::Borrowed("only")));
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let mut e = Element::new("list");
+        e.push_child(Element::with_text("item", "1"));
+        e.push_child(Element::with_text("other", "x"));
+        e.push_child(Element::with_text("item", "2"));
+        let items: Vec<_> = e.children_named("item").map(|i| i.text().into_owned()).collect();
+        assert_eq!(items, ["1", "2"]);
+    }
+}

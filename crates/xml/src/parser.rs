@@ -1,0 +1,356 @@
+//! Recursive-descent XML parser.
+//!
+//! Handles: XML declaration, comments, CDATA sections, elements with
+//! attributes, character data with entity references. Rejects: DTDs, general
+//! processing instructions (other than the declaration), mismatched tags,
+//! duplicate attributes, trailing content.
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::escape::unescape;
+use crate::node::{Element, Node};
+
+/// Parse a complete document from a string, returning the root element.
+pub fn parse(input: &str) -> Result<Element> {
+    Parser { input, pos: 0 }.document()
+}
+
+/// Parse a complete document from bytes (must be UTF-8).
+pub fn parse_bytes(input: &[u8]) -> Result<Element> {
+    let s = std::str::from_utf8(input).map_err(|e| Error::new(e.valid_up_to(), ErrorKind::InvalidUtf8))?;
+    parse(s)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn document(&mut self) -> Result<Element> {
+        self.skip_misc()?;
+        if self.rest().starts_with("<?xml") {
+            self.skip_past("?>")?;
+        }
+        self.skip_misc()?;
+        if !self.rest().starts_with('<') {
+            return Err(self.err(ErrorKind::NoRootElement));
+        }
+        let root = self.element()?;
+        self.skip_misc()?;
+        if !self.rest().is_empty() {
+            return Err(self.err(ErrorKind::TrailingContent));
+        }
+        Ok(root)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(self.pos, kind)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(Error::new(self.pos - c.len_utf8(), ErrorKind::UnexpectedChar(c))),
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    /// Skip whitespace and comments between top-level constructs.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("<!--") {
+                self.skip_past("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn skip_past(&mut self, marker: &str) -> Result<()> {
+        match self.rest().find(marker) {
+            Some(i) => {
+                self.pos += i + marker.len();
+                Ok(())
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(_) | None => return Err(self.err(ErrorKind::BadName)),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Parse an element whose `<` has *not* yet been consumed.
+    fn element(&mut self) -> Result<Element> {
+        self.eat('<')?;
+        let open_pos = self.pos;
+        let name = self.name()?;
+        let mut el = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.eat('>')?;
+                    return Ok(el); // self-closing
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    self.eat('=')?;
+                    self.skip_ws();
+                    let value = self.attr_value()?;
+                    if el.attr(&attr_name).is_some() {
+                        return Err(self.err(ErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    el.attrs.push((attr_name, value));
+                }
+                Some(c) => return Err(self.err(ErrorKind::UnexpectedChar(c))),
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+
+        // Content until matching close tag.
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close_pos = self.pos;
+                let close = self.name()?;
+                if close != el.name {
+                    return Err(Error::new(
+                        close_pos.min(open_pos),
+                        ErrorKind::MismatchedTag { open: el.name.clone(), close },
+                    ));
+                }
+                self.skip_ws();
+                self.eat('>')?;
+                return Ok(el);
+            } else if self.rest().starts_with("<!--") {
+                self.skip_past("-->")?;
+            } else if self.rest().starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let end = self
+                    .rest()
+                    .find("]]>")
+                    .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+                let data = self.rest()[..end].to_owned();
+                self.pos += end + 3;
+                push_text(&mut el, data);
+            } else if self.rest().starts_with('<') {
+                let child = self.element()?;
+                el.children.push(Node::Element(child));
+            } else if self.rest().is_empty() {
+                return Err(self.err(ErrorKind::UnexpectedEof));
+            } else {
+                let raw = self.char_data();
+                let text = unescape(raw).map_err(|e| Error::new(self.pos - raw.len() + e.offset, e.kind))?;
+                // Whitespace-only runs between child elements are formatting,
+                // not data; keep them only if the element has no other content
+                // yet and they might be significant. SOAP treats pure
+                // inter-element whitespace as ignorable.
+                if !text.trim().is_empty() {
+                    push_text(&mut el, text);
+                }
+            }
+        }
+    }
+
+    /// Consume character data up to the next `<`.
+    fn char_data(&mut self) -> &'a str {
+        let start = self.pos;
+        match self.rest().find('<') {
+            Some(i) => self.pos += i,
+            None => self.pos = self.input.len(),
+        }
+        &self.input[start..self.pos]
+    }
+
+    fn attr_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(Error::new(self.pos - c.len_utf8(), ErrorKind::UnexpectedChar(c))),
+            None => return Err(self.err(ErrorKind::UnexpectedEof)),
+        };
+        let start = self.pos;
+        let end = self
+            .rest()
+            .find(quote)
+            .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+        let raw = &self.input[start..start + end];
+        self.pos = start + end + 1;
+        unescape(raw).map_err(|e| Error::new(start + e.offset, e.kind))
+    }
+}
+
+/// Append text, merging with a trailing text node (CDATA adjacency).
+fn push_text(el: &mut Element, text: String) {
+    if let Some(Node::Text(prev)) = el.children.last_mut() {
+        prev.push_str(&text);
+    } else {
+        el.children.push(Node::Text(text));
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn declaration_and_comments() {
+        let e = parse("<?xml version=\"1.0\"?><!-- hi --><a>x</a><!-- bye -->").unwrap();
+        assert_eq!(e.text(), "x");
+    }
+
+    #[test]
+    fn attributes() {
+        let e = parse(r#"<a one="1" two='2'/>"#).unwrap();
+        assert_eq!(e.attr("one"), Some("1"));
+        assert_eq!(e.attr("two"), Some("2"));
+    }
+
+    #[test]
+    fn attribute_entities() {
+        let e = parse(r#"<a v="&lt;&amp;&gt;"/>"#).unwrap();
+        assert_eq!(e.attr("v"), Some("<&>"));
+    }
+
+    #[test]
+    fn nested_and_mixed() {
+        let e = parse("<a>pre<b>inner</b>post</a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.child("b").unwrap().text(), "inner");
+    }
+
+    #[test]
+    fn inter_element_whitespace_ignored() {
+        let e = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn cdata() {
+        let e = parse("<a><![CDATA[<raw> & stuff]]></a>").unwrap();
+        assert_eq!(e.text(), "<raw> & stuff");
+    }
+
+    #[test]
+    fn cdata_adjacent_text_merges() {
+        let e = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        assert_eq!(e.text(), "xyz");
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        let err = parse("<a></b>").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        assert!(matches!(parse("<a/>junk").unwrap_err().kind, ErrorKind::TrailingContent));
+        assert!(matches!(parse("<a/><b/>").unwrap_err().kind, ErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn eof_mid_element_rejected() {
+        for bad in ["<a", "<a>", "<a><b></b>", "<a attr", "<a attr=", "<a attr=\"v"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse("").unwrap_err().kind, ErrorKind::NoRootElement));
+        assert!(matches!(parse("   ").unwrap_err().kind, ErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let e = parse("<π>τ=2π</π>").unwrap();
+        assert_eq!(e.name, "π");
+        assert_eq!(e.text(), "τ=2π");
+    }
+
+    #[test]
+    fn parse_bytes_rejects_invalid_utf8() {
+        assert!(matches!(parse_bytes(b"<a>\xff</a>").unwrap_err().kind, ErrorKind::InvalidUtf8));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let depth = 200;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let mut e = &parse(&s).unwrap();
+        let mut count = 1;
+        while let Some(c) = e.child("d") {
+            e = c;
+            count += 1;
+        }
+        assert_eq!(count, depth);
+    }
+}

@@ -1,0 +1,143 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::escape::{escape_attr_into, escape_text_into};
+use crate::node::{Element, Node};
+
+impl Element {
+    /// Serialize compactly (no added whitespace). The output always reparses
+    /// to an equal tree — the property the SOAP layer relies on.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(256);
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Serialize with an XML declaration prepended, as sent on the wire.
+    pub fn to_document(&self) -> String {
+        let mut out = String::with_capacity(256 + 40);
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation for logs and diagnostics.
+    ///
+    /// Elements with mixed or text-only content are kept on one line so that
+    /// significant whitespace is never introduced inside them.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut out = String::with_capacity(256);
+        write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+fn write_open_tag(el: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_attr_into(v, out);
+        out.push('"');
+    }
+}
+
+fn write_compact(el: &Element, out: &mut String) {
+    write_open_tag(el, out);
+    if el.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &el.children {
+        match child {
+            Node::Element(e) => write_compact(e, out),
+            Node::Text(t) => escape_text_into(t, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+fn write_pretty(el: &Element, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    // Any text child ⇒ whitespace inside would change meaning; stay compact.
+    let has_text = el.children.iter().any(|c| matches!(c, Node::Text(_)));
+    if el.children.is_empty() || has_text {
+        write_compact(el, out);
+        return;
+    }
+    write_open_tag(el, out);
+    out.push('>');
+    for child in &el.children {
+        out.push('\n');
+        match child {
+            Node::Element(e) => write_pretty(e, indent + 1, out),
+            Node::Text(_) => unreachable!("text-bearing elements stay compact"),
+        }
+    }
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Element::new("a").to_xml(), "<a/>");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut e = Element::new("a");
+        e.set_attr("v", "a\"b<c");
+        assert_eq!(e.to_xml(), r#"<a v="a&quot;b&lt;c"/>"#);
+    }
+
+    #[test]
+    fn text_escaped() {
+        let e = Element::with_text("a", "1 < 2 & 3 > 2");
+        assert_eq!(e.to_xml(), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = Element::new("a").to_document();
+        assert!(doc.starts_with("<?xml"));
+        assert!(parse(&doc).is_ok());
+    }
+
+    #[test]
+    fn pretty_keeps_text_inline() {
+        let mut root = Element::new("r");
+        root.push_child(Element::with_text("leaf", "v"));
+        root.push_child(Element::new("empty"));
+        let pretty = root.to_xml_pretty();
+        assert_eq!(pretty, "<r>\n  <leaf>v</leaf>\n  <empty/>\n</r>");
+        assert_eq!(parse(&pretty).unwrap(), root);
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let mut root = Element::new("soap:Envelope");
+        root.set_attr("xmlns:soap", "http://x/");
+        let mut body = Element::new("soap:Body");
+        body.push_child(Element::with_text("item", "a&b"));
+        body.push_child(Element::with_text("item", "c<d"));
+        root.push_child(body);
+        assert_eq!(parse(&root.to_xml()).unwrap(), root);
+        assert_eq!(parse(&root.to_xml_pretty()).unwrap(), root);
+    }
+}

@@ -1,0 +1,453 @@
+//! An XPath subset for querying document trees.
+//!
+//! GT3.2's WS Information Services let clients query a Grid service's
+//! service data elements with XPath (thesis §7 proposes exposing metrics,
+//! foci, type, and time this way). This module implements the portion of
+//! XPath 1.0 that such queries use:
+//!
+//! * absolute (`/a/b`) and descendant (`//b`, `/a//c`) location paths,
+//! * the wildcard step `*`,
+//! * attribute tests `[@name='value']` and attribute existence `[@name]`,
+//! * positional predicates `[n]` (1-based, per XPath),
+//! * child-text tests `[child='value']`,
+//! * a final `text()` step selecting string values,
+//! * a final `@name` step selecting attribute values.
+//!
+//! # Example
+//!
+//! ```
+//! use pperf_xml::{parse, xpath};
+//!
+//! let doc = parse(r#"<sde>
+//!   <metrics><m>gflops</m><m>runtimesec</m></metrics>
+//!   <foci><f kind="proc">/Process/0</f><f kind="code">/Code/MPI</f></foci>
+//! </sde>"#).unwrap();
+//! let metrics = xpath::select_strings(&doc, "/sde/metrics/m/text()").unwrap();
+//! assert_eq!(metrics, ["gflops", "runtimesec"]);
+//! let code = xpath::select_strings(&doc, "//f[@kind='code']/text()").unwrap();
+//! assert_eq!(code, ["/Code/MPI"]);
+//! ```
+
+use crate::node::Element;
+
+/// An XPath evaluation error (parse failure of the expression itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError(pub String);
+
+impl std::fmt::Display for XPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xpath error: {}", self.0)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// One parsed location step.
+#[derive(Debug, Clone, PartialEq)]
+enum Step {
+    /// `name` or `*`, with optional predicates; `descendant` marks a `//`
+    /// axis before this step.
+    Element { name: String, predicates: Vec<Predicate>, descendant: bool },
+    /// Final `text()` step.
+    Text,
+    /// Final `@attr` step.
+    Attribute(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Predicate {
+    /// `[n]` — 1-based position among the step's matches within one parent.
+    Position(usize),
+    /// `[@name]`
+    HasAttr(String),
+    /// `[@name='value']`
+    AttrEquals(String, String),
+    /// `[child='value']` — a child element with matching text.
+    ChildEquals(String, String),
+    /// `[text()='value']`
+    TextEquals(String),
+}
+
+/// The result of evaluating a path: elements, or strings (for `text()` /
+/// `@attr` terminal steps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection<'a> {
+    /// Element nodes.
+    Elements(Vec<&'a Element>),
+    /// String values.
+    Strings(Vec<String>),
+}
+
+/// Evaluate `path` against `root`, returning matched elements.
+///
+/// Errors if the path is malformed or ends in `text()`/`@attr` (use
+/// [`select_strings`] for those).
+pub fn select<'a>(root: &'a Element, path: &str) -> Result<Vec<&'a Element>, XPathError> {
+    match evaluate(root, path)? {
+        Selection::Elements(e) => Ok(e),
+        Selection::Strings(_) => Err(XPathError(format!(
+            "{path:?} selects strings; use select_strings"
+        ))),
+    }
+}
+
+/// Evaluate `path` against `root`, returning string values. Element results
+/// are converted to their text content.
+pub fn select_strings(root: &Element, path: &str) -> Result<Vec<String>, XPathError> {
+    match evaluate(root, path)? {
+        Selection::Strings(s) => Ok(s),
+        Selection::Elements(els) => Ok(els.iter().map(|e| e.text().into_owned()).collect()),
+    }
+}
+
+/// Evaluate `path` against `root`.
+pub fn evaluate<'a>(root: &'a Element, path: &str) -> Result<Selection<'a>, XPathError> {
+    let steps = parse_path(path)?;
+    // The first element step must match the root itself (an XML document has
+    // exactly one root), unless it is a descendant step, which searches the
+    // whole tree.
+    let mut current: Vec<&'a Element> = Vec::new();
+    let mut steps_iter = steps.iter().peekable();
+    match steps_iter.peek() {
+        Some(Step::Element { name, predicates, descendant }) => {
+            if *descendant {
+                let mut pool = Vec::new();
+                collect_descendants_and_self(root, &mut pool);
+                current = filter_by_name_and_predicates(pool, name, predicates);
+            } else if name_matches(root, name) {
+                current = apply_predicates(vec![root], predicates);
+            }
+            steps_iter.next();
+        }
+        Some(_) => return Err(XPathError("path cannot start with text() or @attr".into())),
+        None => return Err(XPathError("empty path".into())),
+    }
+
+    for step in steps_iter {
+        match step {
+            Step::Element { name, predicates, descendant } => {
+                let mut pool: Vec<&Element> = Vec::new();
+                for el in &current {
+                    if *descendant {
+                        for child in el.child_elements() {
+                            collect_descendants_and_self(child, &mut pool);
+                        }
+                    } else {
+                        pool.extend(el.child_elements());
+                    }
+                }
+                current = filter_by_name_and_predicates(pool, name, predicates);
+            }
+            Step::Text => {
+                return Ok(Selection::Strings(
+                    current.iter().map(|e| e.text().into_owned()).collect(),
+                ));
+            }
+            Step::Attribute(attr) => {
+                return Ok(Selection::Strings(
+                    current
+                        .iter()
+                        .filter_map(|e| e.attr(attr).map(str::to_owned))
+                        .collect(),
+                ));
+            }
+        }
+    }
+    Ok(Selection::Elements(current))
+}
+
+fn name_matches(el: &Element, name: &str) -> bool {
+    name == "*" || el.local_name() == name
+}
+
+fn collect_descendants_and_self<'a>(el: &'a Element, out: &mut Vec<&'a Element>) {
+    out.push(el);
+    for child in el.child_elements() {
+        collect_descendants_and_self(child, out);
+    }
+}
+
+fn filter_by_name_and_predicates<'a>(
+    pool: Vec<&'a Element>,
+    name: &str,
+    predicates: &[Predicate],
+) -> Vec<&'a Element> {
+    let named: Vec<&Element> = pool.into_iter().filter(|e| name_matches(e, name)).collect();
+    apply_predicates(named, predicates)
+}
+
+fn apply_predicates<'a>(mut els: Vec<&'a Element>, predicates: &[Predicate]) -> Vec<&'a Element> {
+    for p in predicates {
+        els = match p {
+            Predicate::Position(n) => {
+                // XPath positions are 1-based.
+                if *n >= 1 && *n <= els.len() {
+                    vec![els[n - 1]]
+                } else {
+                    Vec::new()
+                }
+            }
+            Predicate::HasAttr(a) => els.into_iter().filter(|e| e.attr(a).is_some()).collect(),
+            Predicate::AttrEquals(a, v) => {
+                els.into_iter().filter(|e| e.attr(a) == Some(v.as_str())).collect()
+            }
+            Predicate::ChildEquals(c, v) => els
+                .into_iter()
+                .filter(|e| e.children_named(c).any(|ch| ch.text() == v.as_str()))
+                .collect(),
+            Predicate::TextEquals(v) => {
+                els.into_iter().filter(|e| e.text() == v.as_str()).collect()
+            }
+        };
+    }
+    els
+}
+
+fn parse_path(path: &str) -> Result<Vec<Step>, XPathError> {
+    let path = path.trim();
+    if !path.starts_with('/') {
+        return Err(XPathError(format!("{path:?}: only absolute paths are supported")));
+    }
+    let mut steps = Vec::new();
+    let mut rest = path;
+    while !rest.is_empty() {
+        let descendant = if let Some(r) = rest.strip_prefix("//") {
+            rest = r;
+            true
+        } else if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+            false
+        } else {
+            return Err(XPathError(format!("expected '/' at {rest:?}")));
+        };
+        if rest.is_empty() {
+            return Err(XPathError("path ends with a dangling '/'".into()));
+        }
+        // Find the end of this step: the next '/' not inside a predicate.
+        let mut depth = 0usize;
+        let mut end = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                '/' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let step_text = &rest[..end];
+        rest = &rest[end..];
+        steps.push(parse_step(step_text, descendant)?);
+    }
+    // text()/@attr must be terminal.
+    for (i, s) in steps.iter().enumerate() {
+        if matches!(s, Step::Text | Step::Attribute(_)) && i + 1 != steps.len() {
+            return Err(XPathError("text() or @attr must be the final step".into()));
+        }
+    }
+    Ok(steps)
+}
+
+fn parse_step(text: &str, descendant: bool) -> Result<Step, XPathError> {
+    if text == "text()" {
+        return Ok(Step::Text);
+    }
+    if let Some(attr) = text.strip_prefix('@') {
+        if attr.is_empty() || attr.contains('[') {
+            return Err(XPathError(format!("bad attribute step {text:?}")));
+        }
+        return Ok(Step::Attribute(attr.to_owned()));
+    }
+    let (name, mut preds_text) = match text.find('[') {
+        Some(i) => (&text[..i], &text[i..]),
+        None => (text, ""),
+    };
+    if name.is_empty() {
+        return Err(XPathError(format!("empty step name in {text:?}")));
+    }
+    let mut predicates = Vec::new();
+    while !preds_text.is_empty() {
+        let Some(stripped) = preds_text.strip_prefix('[') else {
+            return Err(XPathError(format!("expected '[' in predicates {preds_text:?}")));
+        };
+        let Some(close) = stripped.find(']') else {
+            return Err(XPathError(format!("unclosed predicate in {text:?}")));
+        };
+        let body = &stripped[..close];
+        preds_text = &stripped[close + 1..];
+        predicates.push(parse_predicate(body)?);
+    }
+    Ok(Step::Element { name: name.to_owned(), predicates, descendant })
+}
+
+fn parse_predicate(body: &str) -> Result<Predicate, XPathError> {
+    let body = body.trim();
+    if let Ok(n) = body.parse::<usize>() {
+        return Ok(Predicate::Position(n));
+    }
+    if let Some((lhs, rhs)) = body.split_once('=') {
+        let lhs = lhs.trim();
+        let value = parse_quoted(rhs.trim())?;
+        if lhs == "text()" {
+            return Ok(Predicate::TextEquals(value));
+        }
+        if let Some(attr) = lhs.strip_prefix('@') {
+            return Ok(Predicate::AttrEquals(attr.to_owned(), value));
+        }
+        return Ok(Predicate::ChildEquals(lhs.to_owned(), value));
+    }
+    if let Some(attr) = body.strip_prefix('@') {
+        if attr.is_empty() {
+            return Err(XPathError("empty attribute name in predicate".into()));
+        }
+        return Ok(Predicate::HasAttr(attr.to_owned()));
+    }
+    Err(XPathError(format!("unsupported predicate [{body}]")))
+}
+
+fn parse_quoted(s: &str) -> Result<String, XPathError> {
+    let inner = s
+        .strip_prefix('\'')
+        .and_then(|r| r.strip_suffix('\''))
+        .or_else(|| s.strip_prefix('"').and_then(|r| r.strip_suffix('"')))
+        .ok_or_else(|| XPathError(format!("expected quoted value, got {s:?}")))?;
+    Ok(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn doc() -> Element {
+        parse(
+            r#"<serviceData>
+              <execId>42</execId>
+              <metrics>
+                <metric>gflops</metric>
+                <metric>runtimesec</metric>
+              </metrics>
+              <foci>
+                <focus kind="proc">/Process/0</focus>
+                <focus kind="proc">/Process/1</focus>
+                <focus kind="code">/Code/MPI/MPI_Send</focus>
+              </foci>
+              <time start="0.0" end="11.047856"/>
+              <nested><foci><focus kind="deep">/X</focus></foci></nested>
+            </serviceData>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_paths() {
+        let d = doc();
+        assert_eq!(select_strings(&d, "/serviceData/execId/text()").unwrap(), ["42"]);
+        assert_eq!(
+            select_strings(&d, "/serviceData/metrics/metric/text()").unwrap(),
+            ["gflops", "runtimesec"]
+        );
+        assert_eq!(select(&d, "/serviceData/foci/focus").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn wildcard_and_root_mismatch() {
+        let d = doc();
+        assert_eq!(select(&d, "/*/metrics/*").unwrap().len(), 2);
+        assert!(select(&d, "/wrongRoot/metrics").unwrap().is_empty());
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        // // from the root finds all focus elements, including nested ones.
+        assert_eq!(select(&d, "//focus").unwrap().len(), 4);
+        assert_eq!(select(&d, "/serviceData//focus").unwrap().len(), 4);
+        assert_eq!(
+            select_strings(&d, "//focus[@kind='deep']/text()").unwrap(),
+            ["/X"]
+        );
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let d = doc();
+        assert_eq!(
+            select_strings(&d, "/serviceData/foci/focus[@kind='proc']/text()").unwrap(),
+            ["/Process/0", "/Process/1"]
+        );
+        assert_eq!(select(&d, "//focus[@kind]").unwrap().len(), 4);
+        assert!(select(&d, "//focus[@missing]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        assert_eq!(
+            select_strings(&d, "/serviceData/metrics/metric[2]/text()").unwrap(),
+            ["runtimesec"]
+        );
+        assert!(select(&d, "/serviceData/metrics/metric[3]").unwrap().is_empty());
+        // Predicates compose left to right.
+        assert_eq!(
+            select_strings(&d, "/serviceData/foci/focus[@kind='proc'][2]/text()").unwrap(),
+            ["/Process/1"]
+        );
+    }
+
+    #[test]
+    fn attribute_value_step() {
+        let d = doc();
+        assert_eq!(select_strings(&d, "/serviceData/time/@start").unwrap(), ["0.0"]);
+        assert_eq!(select_strings(&d, "/serviceData/time/@end").unwrap(), ["11.047856"]);
+        assert!(select_strings(&d, "/serviceData/time/@missing").unwrap().is_empty());
+    }
+
+    #[test]
+    fn text_and_child_equality_predicates() {
+        let d = doc();
+        assert_eq!(
+            select(&d, "/serviceData/metrics/metric[text()='gflops']").unwrap().len(),
+            1
+        );
+        assert_eq!(select(&d, "//metrics[metric='gflops']").unwrap().len(), 1);
+        assert!(select(&d, "//metrics[metric='nope']").unwrap().is_empty());
+    }
+
+    #[test]
+    fn elements_coerce_to_strings() {
+        let d = doc();
+        assert_eq!(
+            select_strings(&d, "/serviceData/execId").unwrap(),
+            ["42"],
+            "element selection renders text content"
+        );
+    }
+
+    #[test]
+    fn malformed_paths_rejected() {
+        let d = doc();
+        for bad in [
+            "",
+            "relative/path",
+            "/a/",
+            "/a/text()/b",
+            "/a/@x/b",
+            "/a[unclosed",
+            "/a[@]",
+            "/a[bad~pred]",
+            "/@attr",
+            "/a[@k=unquoted]",
+        ] {
+            assert!(evaluate(&d, bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn select_rejects_string_results() {
+        let d = doc();
+        assert!(select(&d, "/serviceData/execId/text()").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests: serialize → parse is the identity on normalized
+//! trees, and the parser never panics on arbitrary input.
+
+use pperf_xml::{parse, Element, Node};
+use proptest::prelude::*;
+
+/// Valid element/attribute name.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Text with at least one non-whitespace char (whitespace-only runs are
+/// ignorable per the parser's SOAP-oriented whitespace rule).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}[!-~][ -~]{0,20}".prop_map(|s| s)
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,24}").unwrap()
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // set_attr dedups names
+            }
+            e
+        });
+    leaf.prop_recursive(4, 32, 5, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(NodeKind::Element),
+                    text_strategy().prop_map(NodeKind::Text),
+                ],
+                0..5,
+            ),
+        )
+            .prop_map(|(name, attrs, kinds)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                // Avoid adjacent text nodes: the parser merges them, so the
+                // normalized form keeps them separated by elements.
+                let mut last_was_text = false;
+                for kind in kinds {
+                    match kind {
+                        NodeKind::Element(child) => {
+                            e.children.push(Node::Element(child));
+                            last_was_text = false;
+                        }
+                        NodeKind::Text(t) => {
+                            if !last_was_text {
+                                e.children.push(Node::Text(t));
+                                last_was_text = true;
+                            }
+                        }
+                    }
+                }
+                e
+            })
+    })
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Element(Element),
+    Text(String),
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_compact(el in element_strategy()) {
+        let text = el.to_xml();
+        let parsed = parse(&text).expect("own output must reparse");
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn roundtrip_document(el in element_strategy()) {
+        let text = el.to_document();
+        let parsed = parse(&text).expect("own document output must reparse");
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn parser_never_panics_bytes(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = pperf_xml::parse_bytes(&input);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip(s in "\\PC{0,100}") {
+        prop_assert_eq!(pperf_xml::unescape(&pperf_xml::escape_text(&s)).unwrap(), s.clone());
+        prop_assert_eq!(pperf_xml::unescape(&pperf_xml::escape_attr(&s)).unwrap(), s);
+    }
+}
+
+mod xpath_props {
+    use super::*;
+    use pperf_xml::xpath;
+
+    proptest! {
+        #[test]
+        fn xpath_parser_never_panics(expr in "\\PC{0,60}") {
+            let root = Element::new("root");
+            let _ = xpath::evaluate(&root, &expr);
+        }
+
+        #[test]
+        fn every_named_child_is_selectable(el in element_strategy()) {
+            // For each direct child element, /root-name/child-name selects at
+            // least that child.
+            let child_names: Vec<String> = el
+                .child_elements()
+                .map(|c| c.local_name().to_owned())
+                .collect();
+            for name in child_names {
+                // Names containing ':' denote prefixes; local-name matching
+                // still applies, but skip names our path grammar cannot spell.
+                if name.contains(|c: char| "[]/@='\"".contains(c)) {
+                    continue;
+                }
+                let path = format!("/{}/{}", el.local_name(), name);
+                if el.local_name().contains(|c: char| "[]/@='\"".contains(c)) {
+                    continue;
+                }
+                let hits = xpath::select(&el, &path).unwrap();
+                prop_assert!(!hits.is_empty(), "path {} found nothing", path);
+            }
+        }
+
+        #[test]
+        fn descendant_wildcard_counts_all_elements(el in element_strategy()) {
+            fn count(el: &Element) -> usize {
+                1 + el.child_elements().map(count).sum::<usize>()
+            }
+            let hits = xpath::select(&el, "//*").unwrap();
+            prop_assert_eq!(hits.len(), count(&el));
+        }
+    }
+}

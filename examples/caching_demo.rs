@@ -1,0 +1,64 @@
+//! Performance Results caching (thesis §5.3.2.3 / §6.6): stateful Execution
+//! Grid service instances remember query results, so repeat queries skip the
+//! Mapping Layer and the data store entirely — the capability plain
+//! (stateless) Web services could not offer.
+//!
+//! Run with: `cargo run -p pperf-client --example caching_demo --release`
+
+use pperf_datastore::{SmgSpec, SmgStore};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub, GridServiceStub};
+use pperfgrid::wrappers::SmgSqlWrapper;
+use pperfgrid::{ApplicationStub, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client = Arc::new(HttpClient::new());
+
+    // SMG98: the store where caching matters — every cold query joins the
+    // large events table.
+    let store = SmgStore::build(SmgSpec::default());
+    let wrapper = Arc::new(SmgSqlWrapper::new(store.database().clone()));
+    let site = Site::deploy(&container, Arc::clone(&client), wrapper, &SiteConfig::new("smg"))
+        .unwrap();
+    let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
+    let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+    let exec_gsh = &app.get_execs("execid", "0").unwrap()[0];
+    let exec = ExecutionStub::bind(Arc::clone(&client), exec_gsh);
+
+    // The thesis's example cache key: func_calls | /Code/MPI/MPI_Allgather |
+    // UNDEFINED | 0.0-<end>.
+    let (start, end) = exec.get_time_start_end().unwrap();
+    let query = PrQuery {
+        metric: "func_calls".into(),
+        foci: vec!["/Code/MPI/MPI_Allgather".into()],
+        start,
+        end,
+        rtype: TYPE_UNDEFINED.into(),
+    };
+    println!("cache key: \"{}\"\n", query.cache_key());
+
+    for round in 1..=4 {
+        let t = Instant::now();
+        let rows = exec.get_pr(&query).unwrap();
+        println!(
+            "query {round}: {:>9.3} ms  ({} row(s): {:?})",
+            t.elapsed().as_secs_f64() * 1e3,
+            rows.len(),
+            rows[0]
+        );
+    }
+
+    // The instance's service data exposes the cache counters (OGSI
+    // findServiceData).
+    let gs = GridServiceStub::bind(Arc::clone(&client), exec_gsh);
+    println!(
+        "\ninstance service data: cacheHits={} cacheMisses={} cacheEntries={}",
+        gs.find_service_data("cacheHits").unwrap().as_int().unwrap(),
+        gs.find_service_data("cacheMisses").unwrap().as_int().unwrap(),
+        gs.find_service_data("cacheEntries").unwrap().as_int().unwrap(),
+    );
+    println!("(query 1 misses and pays the Mapping Layer; queries 2-4 hit the PR cache)");
+}

@@ -1,0 +1,130 @@
+//! The thesis's motivating scenario (§1): geographically dispersed groups
+//! with *heterogeneous* performance data stores — a relational HPL database,
+//! PRESTA RMA ASCII files, and a five-table SMG98 Vampir trace — exchanged
+//! and compared through one uniform, virtual view.
+//!
+//! Three containers play three organizations' hosts; a registry makes them
+//! discoverable; the client walks all of them with the same PortType calls,
+//! never seeing a schema, file format, or SQL dialect.
+//!
+//! Run with: `cargo run -p pperf-client --example federated_comparison`
+
+use pperf_client::{chart, DiscoveryPanel, PublisherPanel};
+use pperf_datastore::{HplSpec, HplStore, RmaSpec, RmaTextStore, SmgSpec, SmgStore};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub, RegistryService};
+use pperfgrid::wrappers::{HplSqlWrapper, RmaTextWrapper, SmgSqlWrapper};
+use pperfgrid::{ApplicationStub, ApplicationWrapper, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+
+fn main() {
+    let client = Arc::new(HttpClient::new());
+
+    // ---- Three organizations, three hosts, three storage formats --------
+    let psu = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let llnl = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let anl = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+
+    let registry_gsh = psu
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+
+    let hpl = HplStore::build(HplSpec::default());
+    let hpl_wrapper: Arc<dyn ApplicationWrapper> =
+        Arc::new(HplSqlWrapper::new(hpl.database().clone()));
+    let hpl_site =
+        Site::deploy(&psu, Arc::clone(&client), hpl_wrapper, &SiteConfig::new("hpl")).unwrap();
+
+    let rma_dir = std::env::temp_dir().join(format!("ppg-federated-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rma_dir);
+    let rma_store = RmaTextStore::generate(&rma_dir, &RmaSpec::default()).unwrap();
+    let rma_wrapper: Arc<dyn ApplicationWrapper> = Arc::new(RmaTextWrapper::new(rma_store));
+    let rma_site =
+        Site::deploy(&llnl, Arc::clone(&client), rma_wrapper, &SiteConfig::new("rma")).unwrap();
+
+    let smg = SmgStore::build(SmgSpec::default());
+    let smg_wrapper: Arc<dyn ApplicationWrapper> =
+        Arc::new(SmgSqlWrapper::new(smg.database().clone()));
+    let smg_site =
+        Site::deploy(&anl, Arc::clone(&client), smg_wrapper, &SiteConfig::new("smg")).unwrap();
+
+    let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
+    for (org, contact, name, desc, site) in [
+        ("PSU", "Portland, OR", "HPL", "Linpack runs (RDBMS)", &hpl_site),
+        ("LLNL", "Livermore, CA", "PRESTA-RMA", "MPI benchmark (ASCII files)", &rma_site),
+        ("ANL", "Argonne, IL", "SMG98", "Vampir trace (5-table RDBMS)", &smg_site),
+    ] {
+        publisher.register_organization(org, contact).unwrap();
+        publisher.publish_service(org, name, desc, &site.app_factory).unwrap();
+        println!("{org:>5} published {name:<11} at {}", site.app_factory);
+    }
+    println!();
+
+    // ---- One client, one uniform view ------------------------------------
+    let mut discovery = DiscoveryPanel::connect(Arc::clone(&client), &registry_gsh);
+    for org in discovery.find_organizations("").unwrap() {
+        for service in discovery.services_of(&org.name).unwrap() {
+            discovery.bind(&service).unwrap();
+        }
+    }
+
+    let mut summary_rows = Vec::new();
+    for binding in discovery.bindings().to_vec() {
+        let factory = FactoryStub::bind(Arc::clone(&client), &binding.factory);
+        let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+        let info = app.get_app_info().unwrap();
+        let storage = info
+            .iter()
+            .find(|(n, _)| n == "storage")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let n = app.get_num_execs().unwrap();
+
+        // Bind to the first execution and discover its vocabulary — the same
+        // five calls regardless of what is underneath.
+        let gsh = &app.get_all_execs().unwrap()[0];
+        let exec = ExecutionStub::bind(Arc::clone(&client), gsh);
+        let metrics = exec.get_metrics().unwrap();
+        let foci = exec.get_foci().unwrap();
+        let (start, end) = exec.get_time_start_end().unwrap();
+
+        println!("=== {} / {} ===", binding.organization, binding.service);
+        println!("  storage: {storage}   executions: {n}");
+        println!("  metrics: {}", metrics.join(", "));
+        println!("  foci ({}): {} ...", foci.len(), foci.iter().take(3).cloned().collect::<Vec<_>>().join(", "));
+        println!("  time range: {start} .. {end}");
+
+        // One representative result per store.
+        let (metric, focus) = match binding.service.as_str() {
+            "HPL" => ("gflops", "/Execution".to_owned()),
+            "PRESTA-RMA" => ("bandwidth_mbps", "/Op/unidir".to_owned()),
+            _ => ("func_calls", "/Code/MPI/MPI_Allgather".to_owned()),
+        };
+        let rows = exec
+            .get_pr(&PrQuery {
+                metric: metric.into(),
+                foci: vec![focus.clone()],
+                start: String::new(),
+                end: String::new(),
+                rtype: TYPE_UNDEFINED.into(),
+            })
+            .unwrap();
+        println!("  getPR({metric}, {focus}) -> {} row(s), e.g. {:?}\n", rows.len(), rows[0]);
+        summary_rows.push(vec![
+            binding.organization.clone(),
+            binding.service.clone(),
+            storage,
+            n.to_string(),
+            rows.len().to_string(),
+        ]);
+    }
+
+    println!(
+        "{}",
+        chart::table(
+            &["Organization", "Application", "Storage", "Executions", "PR rows"],
+            &summary_rows,
+        )
+    );
+    let _ = std::fs::remove_dir_all(&rma_dir);
+}

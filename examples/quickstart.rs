@@ -1,0 +1,81 @@
+//! Quickstart: publish one performance data store as Grid services, discover
+//! it through the registry, and query it — the full component interaction of
+//! thesis Fig. 3 in ~60 lines of user code.
+//!
+//! Run with: `cargo run -p pperf-client --example quickstart`
+
+use pperf_client::{chart, DiscoveryPanel, PublisherPanel};
+use pperf_datastore::{HplSpec, HplStore};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub, RegistryService};
+use pperfgrid::wrappers::HplSqlWrapper;
+use pperfgrid::{ApplicationStub, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+
+fn main() {
+    // ---- Publisher side -------------------------------------------------
+    // A Grid service container (the Tomcat/Axis stand-in) on an ephemeral
+    // port, hosting a UDDI-like registry and one PPerfGrid site.
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client = Arc::new(HttpClient::new());
+    let registry_gsh = container
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+
+    // The data: 124 synthetic HPL (Linpack) runs in a relational store,
+    // wrapped by the Mapping Layer and deployed as Application + Execution
+    // Grid service factories.
+    let store = HplStore::build(HplSpec::default());
+    let wrapper = Arc::new(HplSqlWrapper::new(store.database().clone()));
+    let site = Site::deploy(&container, Arc::clone(&client), wrapper, &SiteConfig::new("hpl"))
+        .unwrap();
+
+    let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
+    publisher.register_organization("PSU", "Portland, OR").unwrap();
+    publisher
+        .publish_service("PSU", "HPL", "High-Performance Linpack runs", &site.app_factory)
+        .unwrap();
+    println!("published HPL at {}\n", site.app_factory);
+
+    // ---- Consumer side ---------------------------------------------------
+    // Discover the service (Fig. 8), bind to its factory, create an
+    // Application instance (Fig. 3 steps 1-2).
+    let mut discovery = DiscoveryPanel::connect(Arc::clone(&client), &registry_gsh);
+    let org = &discovery.find_organizations("PSU").unwrap()[0];
+    println!("found organization: {} ({})", org.name, org.contact);
+    let service = discovery.services_of(&org.name).unwrap()[0].clone();
+    let binding = discovery.bind(&service).unwrap().clone();
+
+    let factory = FactoryStub::bind(Arc::clone(&client), &binding.factory);
+    let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+    for (name, value) in app.get_app_info().unwrap() {
+        println!("  {name}: {value}");
+    }
+    println!("  executions available: {}\n", app.get_num_execs().unwrap());
+
+    // Query executions by attribute (Fig. 9): runs on 8 processors.
+    let exec_gshs = app.get_execs("numprocs", "8").unwrap();
+    println!("numprocs=8 matched {} executions", exec_gshs.len());
+
+    // Query Performance Results (Fig. 10) and visualize (Fig. 11).
+    let query = PrQuery {
+        metric: "gflops".into(),
+        foci: vec!["/Execution".into()],
+        start: String::new(),
+        end: String::new(),
+        rtype: TYPE_UNDEFINED.into(),
+    };
+    let mut rows = Vec::new();
+    for gsh in exec_gshs.iter().take(10) {
+        let exec = ExecutionStub::bind(Arc::clone(&client), gsh);
+        let info = exec.get_info().unwrap();
+        let runid = info
+            .iter()
+            .find(|(n, _)| n == "runid")
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let pr = exec.get_pr(&query).unwrap();
+        rows.push((format!("runid {runid}"), pr[0].parse::<f64>().unwrap()));
+    }
+    println!("\n{}", chart::bar_chart("HPL gflops per execution", "gflops", &rows, 72));
+}

@@ -1,0 +1,104 @@
+//! Workspace integration test: the full Fig. 3 component interaction across
+//! *separate* containers (registry host, application host, replica host),
+//! driven through the client panels — every crate in the workspace in one
+//! flow.
+
+use pperf_client::{
+    AppQuery, ApplicationQueryPanel, DiscoveryPanel, ExecQuery, ExecutionQueryPanel,
+    PublisherPanel,
+};
+use pperf_datastore::{HplSpec, HplStore};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, GridServiceStub, RegistryService};
+use pperfgrid::wrappers::HplSqlWrapper;
+use pperfgrid::{ApplicationWrapper, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+
+fn hpl_wrapper() -> Arc<dyn ApplicationWrapper> {
+    Arc::new(HplSqlWrapper::new(
+        HplStore::build(HplSpec::tiny()).database().clone(),
+    ))
+}
+
+#[test]
+fn three_host_federation_end_to_end() {
+    let client = Arc::new(HttpClient::new());
+
+    // Three distinct hosts: the registry's, and two replica hosts for the
+    // data (the application factory + manager live on host_a).
+    let registry_host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let host_a = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let host_b = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+
+    let registry_gsh = registry_host
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    let site = Site::deploy_replicated(
+        &host_a,
+        &[(&host_a, hpl_wrapper()), (&host_b, hpl_wrapper())],
+        Arc::clone(&client),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
+
+    // Publish (Fig. 8, publisher side).
+    let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
+    publisher.register_organization("PSU", "Portland, OR").unwrap();
+    publisher
+        .publish_service("PSU", "HPL", "Linpack runs", &site.app_factory)
+        .unwrap();
+
+    // Discover and bind (Fig. 8, consumer side).
+    let mut discovery = DiscoveryPanel::connect(Arc::clone(&client), &registry_gsh);
+    let services = discovery.services_of("PSU").unwrap();
+    discovery.bind(&services[0]).unwrap();
+
+    // Application queries (Fig. 9): two attribute/value tuples OR-ed.
+    let mut app_panel =
+        ApplicationQueryPanel::open(Arc::clone(&client), discovery.bindings()).unwrap();
+    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "100".into() });
+    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "101".into() });
+    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "102".into() });
+    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "103".into() });
+    let execs = app_panel.run_queries().unwrap();
+    assert_eq!(execs.len(), 4);
+
+    // The manager interleaved the four instances across the two hosts.
+    let on_a = execs
+        .iter()
+        .filter(|g| g.as_str().starts_with(&host_a.base_url()))
+        .count();
+    assert_eq!(on_a, 2, "2 instances per host");
+
+    // Execution queries (Fig. 10), one thread per execution, 3 repeats.
+    let mut exec_panel = ExecutionQueryPanel::open(app_panel.client(), &execs);
+    exec_panel.add_query(ExecQuery {
+        query: PrQuery {
+            metric: "runtimesec".into(),
+            foci: vec!["/Execution".into()],
+            start: String::new(),
+            end: String::new(),
+            rtype: TYPE_UNDEFINED.into(),
+        },
+        repeats: 3,
+    });
+    let (results, timing) = exec_panel.run_queries().unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(timing.calls, 12);
+    for r in &results {
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.rows[0].parse::<f64>().unwrap() > 0.0);
+    }
+
+    // Lifetime management works across hosts: destroy one instance on host_b
+    // and confirm subsequent queries fault while the rest keep working.
+    let victim = execs
+        .iter()
+        .find(|g| g.as_str().starts_with(&host_b.base_url()))
+        .unwrap();
+    GridServiceStub::bind(Arc::clone(&client), victim).destroy().unwrap();
+    let exec_panel2 = ExecutionQueryPanel::open(Arc::clone(&client), &execs);
+    assert!(exec_panel2.discover(0).is_ok() || exec_panel2.discover(1).is_ok());
+    let dead_index = execs.iter().position(|g| g == victim).unwrap();
+    assert!(exec_panel2.discover(dead_index).is_err(), "destroyed instance faults");
+}

@@ -1,0 +1,164 @@
+//! Workspace integration test: the evaluation experiments reproduce the
+//! thesis's *shapes* — who wins, roughly by how much, and where the
+//! crossovers fall — at quick scale. (Absolute milliseconds necessarily
+//! differ from a 440 MHz UltraSPARC running Axis and PostgreSQL 7.4.)
+
+use pperf_bench::setup::{Scale, SourceKind};
+use pperf_bench::{ablation, figure12, table4, table5};
+use std::sync::{Mutex, MutexGuard};
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+/// Timing-sensitive experiments must not share the machine with each other:
+/// concurrent container fleets distort the per-layer timings these shapes
+/// depend on. Each test takes this lock for its full duration.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn table4_overhead_shape() {
+    let _guard = serial();
+    let rows = table4::run(&scale());
+    assert_eq!(rows.len(), 3);
+    let by = |k: SourceKind| rows.iter().find(|r| r.source == k).unwrap();
+    let hpl = by(SourceKind::HplRdbms);
+    let rma = by(SourceKind::RmaAscii);
+    let smg = by(SourceKind::SmgRdbms);
+
+    // Thesis Table 4 row ordering of "overhead as % of total":
+    // RMA (71%) > HPL (28%) > SMG98 (11%).
+    assert!(
+        rma.overhead_pct > hpl.overhead_pct && hpl.overhead_pct > smg.overhead_pct,
+        "overhead%: rma {:.1} > hpl {:.1} > smg {:.1} expected",
+        rma.overhead_pct,
+        hpl.overhead_pct,
+        smg.overhead_pct
+    );
+    // Payload ordering: HPL (~8 B) < RMA (~5.7 kB) < SMG98 (~hundreds of kB).
+    assert!(hpl.bytes_per_query < 100.0, "hpl payload tiny, got {}", hpl.bytes_per_query);
+    assert!(
+        rma.bytes_per_query > 1_000.0 && rma.bytes_per_query < 20_000.0,
+        "rma payload kB-class, got {}",
+        rma.bytes_per_query
+    );
+    assert!(
+        smg.bytes_per_query > rma.bytes_per_query,
+        "smg payload largest: {} vs {}",
+        smg.bytes_per_query,
+        rma.bytes_per_query
+    );
+    // Absolute overhead grows with payload: SMG > RMA > HPL.
+    assert!(smg.overhead_ms > rma.overhead_ms && rma.overhead_ms > hpl.overhead_ms);
+    // Total time: SMG is by far the slowest source.
+    assert!(smg.mean_total_ms > 5.0 * hpl.mean_total_ms);
+    // Sanity: overhead = total − mapping, all nonnegative.
+    for r in &rows {
+        assert!(r.mean_total_ms >= r.mapping_ms, "{:?}", r.source);
+        assert!(r.overhead_ms >= 0.0 && r.overhead_pct <= 100.0);
+    }
+}
+
+#[test]
+fn table5_caching_shape() {
+    let _guard = serial();
+    let rows = table5::run(&scale());
+    let by = |k: SourceKind| rows.iter().find(|r| r.source == k).unwrap();
+    let hpl = by(SourceKind::HplRdbms);
+    let rma = by(SourceKind::RmaAscii);
+    let smg = by(SourceKind::SmgRdbms);
+
+    // Thesis Table 5: "the caching of Performance Results enables a speedup
+    // for each data source", most for SMG98 (137.5), least for RMA (1.03).
+    // RMA's effect is noise-level by the thesis's own measurement (1.03), so
+    // it only has to be a non-loss within noise; the RDBMS-backed sources
+    // must show a real win.
+    assert!(hpl.speedup >= 1.2, "HPL slowed down: {:.2}", hpl.speedup);
+    assert!(smg.speedup >= 1.2, "SMG98 slowed down: {:.2}", smg.speedup);
+    assert!(rma.speedup >= 0.7, "RMA beyond noise: {:.2}", rma.speedup);
+    assert!(
+        smg.speedup > hpl.speedup && hpl.speedup > rma.speedup,
+        "speedup ordering smg {:.1} > hpl {:.1} > rma {:.1} expected",
+        smg.speedup,
+        hpl.speedup,
+        rma.speedup
+    );
+    // RMA's speedup is marginal ("probably due to the speed of parsing text
+    // files in relation to accessing an RDBMS").
+    assert!(rma.speedup < 3.0, "rma speedup should stay small, got {:.2}", rma.speedup);
+    // SMG's is dramatic.
+    assert!(smg.speedup > 4.0, "smg speedup should be large, got {:.2}", smg.speedup);
+}
+
+#[test]
+fn figure12_scalability_shape() {
+    let _guard = serial();
+    let mut s = scale();
+    s.exec_counts = vec![2, 4, 8];
+    s.sets = 4;
+    s.repeats = 5;
+    let result = figure12::run(&s);
+    assert_eq!(result.points.len(), 3);
+    // Distribution across two hosts wins once the single host is saturated
+    // (N > workers); at N=2 both configurations have spare capacity, so the
+    // thesis-style win only has to be a non-loss there.
+    for p in &result.points {
+        assert!(
+            p.optimized_ms <= p.non_optimized_ms * 1.15,
+            "N={}: optimized {:.1} should not lose to non-optimized {:.1}",
+            p.execs,
+            p.optimized_ms,
+            p.non_optimized_ms
+        );
+        if p.execs >= 4 {
+            // The thesis's own per-N speedups ranged 1.49-2.46; allow noise.
+            assert!(
+                p.speedup > 1.3,
+                "N={}: saturated speedup ~2 expected, got {:.2}",
+                p.execs,
+                p.speedup
+            );
+        }
+    }
+    assert!(
+        result.mean_speedup > 1.3 && result.mean_speedup < 3.0,
+        "mean speedup ~2 expected, got {:.2}",
+        result.mean_speedup
+    );
+    // Query time grows with the number of executions queried.
+    assert!(result.points[2].non_optimized_ms > result.points[0].non_optimized_ms);
+}
+
+#[test]
+fn ablation_a1_xml_vs_rdbms_shape() {
+    let _guard = serial();
+    let rows = ablation::hpl_xml_vs_rdbms(&scale());
+    let rdbms = &rows[0];
+    let xml = &rows[1];
+    // Same logical content ⇒ same payload.
+    assert!((rdbms.bytes_per_query - xml.bytes_per_query).abs() < 8.0);
+    // Both formats answer, with sane timing decomposition.
+    for r in &rows {
+        assert!(r.mean_total_ms > 0.0 && r.mean_total_ms >= r.mapping_ms);
+    }
+}
+
+#[test]
+fn ablation_a2_rma_rdbms_confirms_theory() {
+    let _guard = serial();
+    let rows = ablation::rma_ascii_vs_rdbms(&scale());
+    let ascii = &rows[0];
+    let rdbms = &rows[1];
+    // The thesis's theory: RMA's small caching speedup is explained by text
+    // parsing being cheap relative to RDBMS access. If so, the RDBMS
+    // variant's speedup must be clearly larger.
+    assert!(
+        rdbms.speedup > ascii.speedup,
+        "rdbms speedup {:.2} should exceed ascii {:.2}",
+        rdbms.speedup,
+        ascii.speedup
+    );
+}

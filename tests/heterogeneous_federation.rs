@@ -1,0 +1,155 @@
+//! Workspace integration test: all five Mapping Layer wrappers (HPL/RDBMS,
+//! HPL/XML, RMA/ASCII, RMA/RDBMS, SMG98/RDBMS) published side by side and
+//! driven through the identical PortType — the thesis's heterogeneity claim.
+
+use pperf_bench::setup::{build_wrapper, Scale, SourceKind};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, FactoryStub, RegistryService, RegistryStub};
+use pperfgrid::{ApplicationStub, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use std::sync::Arc;
+
+const ALL_SOURCES: [SourceKind; 5] = [
+    SourceKind::HplRdbms,
+    SourceKind::HplXml,
+    SourceKind::RmaAscii,
+    SourceKind::RmaRdbms,
+    SourceKind::SmgRdbms,
+];
+
+#[test]
+fn five_backends_one_porttype() {
+    let mut scale = Scale::quick();
+    // Keep the stores small; this test is about uniformity, not timing.
+    scale.smg_spec.events_per_proc = 100;
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client = Arc::new(HttpClient::new());
+    let registry_gsh = container
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    let registry = RegistryStub::bind(Arc::clone(&client), &registry_gsh);
+    registry.register_organization("FED", "everywhere").unwrap();
+
+    // Hold the wrapper guards so generated file stores survive the test.
+    let mut guards = Vec::new();
+    for (i, kind) in ALL_SOURCES.into_iter().enumerate() {
+        let (wrapper, guard) = build_wrapper(kind, &scale);
+        guards.push(guard);
+        let site = Site::deploy(
+            &container,
+            Arc::clone(&client),
+            wrapper,
+            &SiteConfig::new(format!("src{i}")),
+        )
+        .unwrap();
+        site.publish(&registry, "FED", kind.label()).unwrap();
+    }
+
+    let services = registry.list_services("FED").unwrap();
+    assert_eq!(services.len(), 5);
+
+    for service in &services {
+        let factory_gsh = pperf_ogsi::Gsh::parse(&service.factory_url).unwrap();
+        let factory = FactoryStub::bind(Arc::clone(&client), &factory_gsh);
+        let app =
+            ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+
+        // Identical Table 1 surface everywhere.
+        let info = app.get_app_info().unwrap();
+        assert!(info.iter().any(|(n, _)| n == "name"), "{}", service.description);
+        let n = app.get_num_execs().unwrap();
+        assert!(n > 0);
+        let params = app.get_exec_query_params().unwrap();
+        assert!(!params.is_empty());
+        let all = app.get_all_execs().unwrap();
+        assert_eq!(all.len() as i64, n);
+
+        // Identical Table 2 surface everywhere.
+        let exec = ExecutionStub::bind(Arc::clone(&client), &all[0]);
+        let metrics = exec.get_metrics().unwrap();
+        let foci = exec.get_foci().unwrap();
+        let types = exec.get_types().unwrap();
+        assert!(!metrics.is_empty() && !foci.is_empty() && !types.is_empty());
+        let (start, end) = exec.get_time_start_end().unwrap();
+        assert!(start.parse::<f64>().unwrap() <= end.parse::<f64>().unwrap());
+
+        // And a PR query through the first advertised metric/focus pair.
+        let rows = exec
+            .get_pr(&PrQuery {
+                metric: metrics[0].clone(),
+                foci: vec![foci[0].clone()],
+                start,
+                end,
+                rtype: types[0].clone(),
+            })
+            .unwrap();
+        // SMG's first focus is a process; func_time returns one row. Every
+        // source must produce at least one result for its own vocabulary.
+        assert!(!rows.is_empty(), "{} returned no rows", service.description);
+    }
+}
+
+#[test]
+fn equivalent_content_across_formats() {
+    // HPL in RDBMS vs XML and RMA in ASCII vs RDBMS must expose identical
+    // logical data through the uniform interface.
+    let scale = Scale::quick();
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client = Arc::new(HttpClient::new());
+
+    let mut apps = Vec::new();
+    let mut guards = Vec::new();
+    for (i, kind) in ALL_SOURCES.into_iter().enumerate() {
+        let (wrapper, guard) = build_wrapper(kind, &scale);
+        guards.push(guard);
+        let site = Site::deploy(
+            &container,
+            Arc::clone(&client),
+            wrapper,
+            &SiteConfig::new(format!("fmt{i}")),
+        )
+        .unwrap();
+        let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
+        let app =
+            ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+        apps.push((kind, app));
+    }
+    let by_kind = |k: SourceKind| &apps.iter().find(|(kind, _)| *kind == k).unwrap().1;
+
+    // HPL: both formats agree on counts and a sample metric value.
+    let sql = by_kind(SourceKind::HplRdbms);
+    let xml = by_kind(SourceKind::HplXml);
+    assert_eq!(sql.get_num_execs().unwrap(), xml.get_num_execs().unwrap());
+    let q = PrQuery {
+        metric: "gflops".into(),
+        foci: vec!["/Execution".into()],
+        start: String::new(),
+        end: String::new(),
+        rtype: TYPE_UNDEFINED.into(),
+    };
+    let sql_exec = ExecutionStub::bind(Arc::clone(&client), &sql.get_execs("runid", "100").unwrap()[0]);
+    let xml_exec = ExecutionStub::bind(Arc::clone(&client), &xml.get_execs("runid", "100").unwrap()[0]);
+    let a: f64 = sql_exec.get_pr(&q).unwrap()[0].parse().unwrap();
+    let b: f64 = xml_exec.get_pr(&q).unwrap()[0].parse().unwrap();
+    assert!((a - b).abs() < 1e-9, "rdbms {a} vs xml {b}");
+
+    // RMA: both formats agree on the unidir bandwidth series.
+    let ascii = by_kind(SourceKind::RmaAscii);
+    let rdbms = by_kind(SourceKind::RmaRdbms);
+    assert_eq!(ascii.get_num_execs().unwrap(), rdbms.get_num_execs().unwrap());
+    let q = PrQuery {
+        metric: "bandwidth_mbps".into(),
+        foci: vec!["/Op/unidir".into()],
+        start: String::new(),
+        end: String::new(),
+        rtype: TYPE_UNDEFINED.into(),
+    };
+    let ascii_exec =
+        ExecutionStub::bind(Arc::clone(&client), &ascii.get_execs("execid", "0").unwrap()[0]);
+    let rdbms_exec =
+        ExecutionStub::bind(Arc::clone(&client), &rdbms.get_execs("execid", "0").unwrap()[0]);
+    let mut rows_a = ascii_exec.get_pr(&q).unwrap();
+    let mut rows_b = rdbms_exec.get_pr(&q).unwrap();
+    rows_a.sort();
+    rows_b.sort();
+    assert_eq!(rows_a, rows_b);
+}

@@ -1,0 +1,147 @@
+//! Workspace integration test for the thesis §7 notification extension:
+//! "If the performance data in a particular data store is frequently
+//! updated, or perhaps even streamed from a running application, the
+//! Execution Grid service could notify PPerfGrid clients each time an
+//! update occurred."
+//!
+//! A publisher site backed by the scriptable in-memory wrapper streams new
+//! executions in; a client-side sink service subscribes to the site's
+//! `dataUpdated` topic and reacts to each push by re-querying.
+
+use parking_lot::Mutex;
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{
+    Container, ContainerConfig, Factory, FactoryStub, NotificationSourceStub, ServiceData,
+    ServicePort,
+};
+use pperf_soap::wsdl::ServiceDescription;
+use pperf_soap::{Call, Fault, Value};
+use pperfgrid::wrappers::{MemApplicationWrapper, MemExecution};
+use pperfgrid::{ApplicationStub, Site, SiteConfig};
+use std::sync::Arc;
+
+/// A client-side NotificationSink that records everything delivered to it.
+struct RecordingSink {
+    received: Arc<Mutex<Vec<(String, String)>>>,
+}
+
+impl ServicePort for RecordingSink {
+    fn description(&self) -> ServiceDescription {
+        ServiceDescription::new("RecordingSink", "urn:test:sink")
+    }
+
+    fn invoke(&self, operation: &str, _call: &Call) -> Result<Value, Fault> {
+        Err(Fault::client(format!("sink has no operation {operation:?}")))
+    }
+
+    fn on_notification(&self, topic: &str, message: &str) {
+        self.received.lock().push((topic.to_owned(), message.to_owned()));
+    }
+
+    fn service_data(&self) -> ServiceData {
+        ServiceData::new().with("received", Value::Int(self.received.lock().len() as i64))
+    }
+}
+
+struct SinkFactory {
+    received: Arc<Mutex<Vec<(String, String)>>>,
+}
+
+impl Factory for SinkFactory {
+    fn description(&self) -> ServiceDescription {
+        ServiceDescription::new("RecordingSink", "urn:test:sink")
+    }
+
+    fn create(&self, _call: &Call) -> Result<Arc<dyn ServicePort>, Fault> {
+        Ok(Arc::new(RecordingSink { received: Arc::clone(&self.received) }))
+    }
+}
+
+fn streaming_wrapper() -> Arc<MemApplicationWrapper> {
+    let app = Arc::new(MemApplicationWrapper::new(vec![
+        ("name", "LiveApp"),
+        ("description", "streaming performance data"),
+    ]));
+    app.add_execution("run-0", scripted_exec("run-0"));
+    app
+}
+
+fn scripted_exec(id: &str) -> MemExecution {
+    let mut exec = MemExecution {
+        info: vec![("runid".into(), id.to_owned())],
+        foci: vec!["/Execution".into()],
+        metrics: vec!["throughput".into()],
+        types: vec!["live".into()],
+        time: ("0".into(), "1".into()),
+        ..Default::default()
+    };
+    exec.results.insert(
+        ("throughput".into(), "/Execution".into()),
+        vec![format!("{id}|throughput|42.0")],
+    );
+    exec
+}
+
+#[test]
+fn data_updates_push_to_subscribed_clients() {
+    // Publisher host and client host are separate containers.
+    let publisher_host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client_host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let client = Arc::new(HttpClient::new());
+
+    let wrapper = streaming_wrapper();
+    let site = Site::deploy(
+        &publisher_host,
+        Arc::clone(&client),
+        Arc::clone(&wrapper) as Arc<dyn pperfgrid::ApplicationWrapper>,
+        &SiteConfig::new("live"),
+    )
+    .unwrap();
+
+    // Client side: deploy a sink instance to receive pushes.
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let sink_factory_gsh = client_host
+        .deploy_factory("sink", Arc::new(SinkFactory { received: Arc::clone(&received) }))
+        .unwrap();
+    let sink_gsh = FactoryStub::bind(Arc::clone(&client), &sink_factory_gsh)
+        .create_service(&[])
+        .unwrap();
+
+    // Subscribe the sink to the site's Application-factory dataUpdated topic.
+    let source = NotificationSourceStub::bind(Arc::clone(&client), &site.app_factory);
+    let sub_id = source.subscribe("dataUpdated", &sink_gsh).unwrap();
+    assert!(!sub_id.is_empty());
+
+    // The client sees one execution initially.
+    let app = ApplicationStub::bind(
+        Arc::clone(&client),
+        &FactoryStub::bind(Arc::clone(&client), &site.app_factory)
+            .create_service(&[])
+            .unwrap(),
+    );
+    assert_eq!(app.get_num_execs().unwrap(), 1);
+
+    // The running application streams two more executions in; the publisher
+    // notifies after each (the "push" model of §7).
+    for i in 1..=2 {
+        let id = format!("run-{i}");
+        wrapper.add_execution(&id, scripted_exec(&id));
+        publisher_host.notify(
+            &format!("/ogsa/services/{}", "live-app"),
+            "dataUpdated",
+            &format!("execution {id} available"),
+        );
+    }
+
+    // Both pushes arrived, in order, with payloads.
+    let got = received.lock().clone();
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].0, "dataUpdated");
+    assert!(got[0].1.contains("run-1"));
+    assert!(got[1].1.contains("run-2"));
+
+    // Reacting to the push, the client re-queries and sees the new data.
+    assert_eq!(app.get_num_execs().unwrap(), 3);
+    let execs = app.get_execs("runid", "run-2").unwrap();
+    assert_eq!(execs.len(), 1);
+}
