@@ -4,7 +4,9 @@
 //! against the direct (in-process) Mapping Layer call.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pperf_bench::setup::{build_wrapper, deploy_fixture, first_exec, representative_query, Scale, SourceKind};
+use pperf_bench::setup::{
+    build_wrapper, deploy_fixture, first_exec, representative_query, Scale, SourceKind,
+};
 use pperf_soap::{decode_call, decode_response, encode_call, encode_response, Value};
 
 fn soap_marshalling(c: &mut Criterion) {

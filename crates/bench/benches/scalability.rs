@@ -49,7 +49,12 @@ fn deploy(hosts: usize, scale: &Scale) -> Deployment {
     .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
-    Deployment { _containers: containers, app, client, site }
+    Deployment {
+        _containers: containers,
+        app,
+        client,
+        site,
+    }
 }
 
 fn parallel_query_set(c: &mut Criterion) {
@@ -89,14 +94,25 @@ fn manager_instance_cache(c: &mut Criterion) {
     // Warm path: the site's manager already holds the instances.
     deployment.site.manager.get_execs(&ids, None).unwrap();
     group.bench_function("resolve_cached", |b| {
-        b.iter(|| deployment.site.manager.get_execs(std::hint::black_box(&ids), None).unwrap());
+        b.iter(|| {
+            deployment
+                .site
+                .manager
+                .get_execs(std::hint::black_box(&ids), None)
+                .unwrap()
+        });
     });
 
     // Cold path: a fresh manager per batch creates instances anew — the
     // "relatively expensive operation... best avoided whenever possible".
     group.bench_function("resolve_uncached", |b| {
         b.iter_batched(
-            || Manager::new(Arc::clone(&deployment.client), deployment.site.exec_factories.clone()),
+            || {
+                Manager::new(
+                    Arc::clone(&deployment.client),
+                    deployment.site.exec_factories.clone(),
+                )
+            },
             |manager| manager.get_execs(std::hint::black_box(&ids), None).unwrap(),
             criterion::BatchSize::PerIteration,
         );

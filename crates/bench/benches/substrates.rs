@@ -16,7 +16,10 @@ fn xml_roundtrip(c: &mut Criterion) {
         let mut resp = Element::new("m:getPRResponse");
         let mut ret = Element::new("return");
         for i in 0..items {
-            ret.push_child(Element::with_text("item", format!("/Process/{i}|func_time|{i}.5")));
+            ret.push_child(Element::with_text(
+                "item",
+                format!("/Process/{i}|func_time|{i}.5"),
+            ));
         }
         resp.push_child(ret);
         body.push_child(resp);
@@ -44,7 +47,10 @@ fn sql_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("minidb");
     group.sample_size(20);
     group.bench_function("point_select", |b| {
-        b.iter(|| conn.query("SELECT COUNT(*) AS n FROM executions WHERE execid = 0").unwrap());
+        b.iter(|| {
+            conn.query("SELECT COUNT(*) AS n FROM executions WHERE execid = 0")
+                .unwrap()
+        });
     });
     group.bench_function("scan_filter_8k_events", |b| {
         b.iter(|| {

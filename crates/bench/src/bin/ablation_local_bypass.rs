@@ -57,7 +57,12 @@ fn main() {
     println!(
         "{}",
         chart::table(
-            &["Data Source", "Through Services Layer", "Local bypass", "Speedup"],
+            &[
+                "Data Source",
+                "Through Services Layer",
+                "Local bypass",
+                "Speedup"
+            ],
             &rows,
         )
     );

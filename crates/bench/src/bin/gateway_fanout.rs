@@ -1,0 +1,277 @@
+//! Federated gateway fan-out benchmark: repeated-query throughput with the
+//! gateway result cache on versus off, plus coalescing behaviour under a
+//! query storm.
+//!
+//! Usage: `cargo run -p pperf-bench --bin gateway_fanout --release`
+//! (set `PPG_QUICK=1` for a fast, smaller-sample run; `BENCH_OUT` overrides
+//! the output path).
+//!
+//! Emits `BENCH_gateway.json` — a flat array of `{name, value, unit}`
+//! entries — so the gateway's perf trajectory is tracked from PR to PR.
+
+use pperf_bench::banner;
+use pperf_datastore::{HplSpec, HplStore};
+use pperf_gateway::{FederatedGateway, FederatedQuery, GatewayConfig};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, Gsh, RegistryService, RegistryStub};
+use pperfgrid::wrappers::{HplSqlWrapper, MemApplicationWrapper, MemExecution};
+use pperfgrid::{ApplicationWrapper, Site, SiteConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One emitted measurement.
+struct Entry {
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn entry(name: &str, value: f64, unit: &'static str) -> Entry {
+    Entry {
+        name: name.to_owned(),
+        value,
+        unit,
+    }
+}
+
+/// A scripted in-memory site whose executions answer `gflops` over
+/// `/Execution` after `delay` — a stand-in for a remote mapping layer with
+/// real per-query cost.
+fn mem_wrapper(execs: usize, rows_per_exec: usize, delay: Duration) -> MemApplicationWrapper {
+    let app = MemApplicationWrapper::new(vec![("name", "FanoutMem")]);
+    for i in 0..execs {
+        let mut exec = MemExecution {
+            info: vec![("runid".into(), i.to_string())],
+            foci: vec!["/Execution".into()],
+            metrics: vec!["gflops".into()],
+            types: vec!["MEM".into()],
+            time: ("0".into(), "10".into()),
+            query_delay: Some(delay),
+            ..Default::default()
+        };
+        exec.results.insert(
+            ("gflops".into(), "/Execution".into()),
+            (0..rows_per_exec)
+                .map(|r| format!("gflops|{i}.{r}"))
+                .collect(),
+        );
+        app.add_execution(format!("mem-{i}"), exec);
+    }
+    app
+}
+
+struct Federation {
+    client: Arc<HttpClient>,
+    registry: Gsh,
+    // Containers are kept alive for the benchmark's duration.
+    _containers: Vec<Arc<Container>>,
+}
+
+/// Two heterogeneous sites — relational HPL plus a scripted in-memory store —
+/// behind one registry, mirroring the federation integration tests.
+fn deploy_federation(mem_execs: usize, mem_delay: Duration) -> Federation {
+    let client = Arc::new(HttpClient::new());
+    let c1 = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let c2 = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let registry = c1
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+
+    let hpl = HplStore::build(HplSpec::tiny());
+    let hpl_wrapper: Arc<dyn ApplicationWrapper> =
+        Arc::new(HplSqlWrapper::new(hpl.database().clone()));
+    let hpl_site = Site::deploy(
+        &c1,
+        Arc::clone(&client),
+        hpl_wrapper,
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(mem_execs, 4, mem_delay));
+    // The site-level PR cache stays off so the gateway cache is the only
+    // thing between a repeat query and the backend.
+    let mem_site = Site::deploy(
+        &c2,
+        Arc::clone(&client),
+        mem,
+        &SiteConfig::new("mem").with_cache(false),
+    )
+    .unwrap();
+
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    stub.register_organization("PSU", "bench").unwrap();
+    stub.register_organization("MEM", "bench").unwrap();
+    hpl_site.publish(&stub, "PSU", "Linpack (RDBMS)").unwrap();
+    mem_site.publish(&stub, "MEM", "scripted store").unwrap();
+
+    Federation {
+        client,
+        registry,
+        _containers: vec![c1, c2],
+    }
+}
+
+/// Repeats per timed pass (cached / uncached).
+fn repeats() -> usize {
+    if std::env::var_os("PPG_QUICK").is_some() {
+        8
+    } else {
+        25
+    }
+}
+
+/// Time `repeats` identical federated queries; the binding/priming query runs
+/// first, untimed, so both passes measure steady state.
+fn timed_pass(
+    gateway: &FederatedGateway,
+    query: &FederatedQuery,
+    repeats: usize,
+) -> (Duration, u64) {
+    let prime = gateway.query(query);
+    assert!(
+        prime.errors.is_empty(),
+        "priming query failed: {:?}",
+        prime.errors
+    );
+    let before = gateway.snapshot().upstream_calls;
+    let started = Instant::now();
+    for _ in 0..repeats {
+        let result = gateway.query(query);
+        assert!(result.errors.is_empty(), "{:?}", result.errors);
+    }
+    (
+        started.elapsed(),
+        gateway.snapshot().upstream_calls - before,
+    )
+}
+
+fn qps(repeats: usize, elapsed: Duration) -> f64 {
+    repeats as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn render_json(entries: &[Entry]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "  {{\"name\": \"{}\", \"value\": {:.4}, \"unit\": \"{}\"}}",
+                e.name, e.value, e.unit
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+fn main() {
+    println!(
+        "{}",
+        banner("Gateway fan-out: cached vs uncached federation")
+    );
+    let repeats = repeats();
+    let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+    let mem_delay = Duration::from_millis(2);
+    let mut entries = Vec::new();
+
+    // Pass 1: result cache off — every repeat re-scatters to both backends.
+    let fed = deploy_federation(8, mem_delay);
+    let uncached_gateway = FederatedGateway::new(
+        Arc::clone(&fed.client),
+        fed.registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None),
+    );
+    let (uncached_elapsed, uncached_upstream) = timed_pass(&uncached_gateway, &query, repeats);
+    let uncached_qps = qps(repeats, uncached_elapsed);
+    println!(
+        "uncached: {repeats} queries in {uncached_elapsed:?} ({uncached_qps:.1} q/s, {uncached_upstream} upstream getPRs)"
+    );
+
+    // Pass 2: result cache on — repeats are answered from the gateway cache.
+    let cached_gateway = FederatedGateway::new(
+        Arc::clone(&fed.client),
+        fed.registry.clone(),
+        GatewayConfig::default().with_hedging(None),
+    );
+    let (cached_elapsed, cached_upstream) = timed_pass(&cached_gateway, &query, repeats);
+    let cached_qps = qps(repeats, cached_elapsed);
+    let speedup = cached_qps / uncached_qps;
+    println!(
+        "cached:   {repeats} queries in {cached_elapsed:?} ({cached_qps:.1} q/s, {cached_upstream} upstream getPRs)"
+    );
+    println!("repeated-query speedup: {speedup:.1}x (acceptance floor: 2x)");
+
+    entries.push(entry(
+        "gateway_fanout/uncached_throughput",
+        uncached_qps,
+        "queries/s",
+    ));
+    entries.push(entry(
+        "gateway_fanout/cached_throughput",
+        cached_qps,
+        "queries/s",
+    ));
+    entries.push(entry("gateway_fanout/cached_speedup", speedup, "x"));
+    entries.push(entry(
+        "gateway_fanout/uncached_upstream_calls_per_query",
+        uncached_upstream as f64 / repeats as f64,
+        "calls",
+    ));
+    entries.push(entry(
+        "gateway_fanout/cached_upstream_calls_per_query",
+        cached_upstream as f64 / repeats as f64,
+        "calls",
+    ));
+
+    // Pass 3: a storm of identical concurrent queries against a cold, slow
+    // site — single-flight coalescing should collapse them to one fan-out.
+    let storm = deploy_federation(2, Duration::from_millis(40));
+    let storm_gateway = FederatedGateway::new(
+        Arc::clone(&storm.client),
+        storm.registry.clone(),
+        GatewayConfig::default().with_hedging(None),
+    );
+    // Bind applications (and evict what the priming query cached) so the
+    // storm measures coalescing, not createService or the result cache.
+    let prime = storm_gateway.query(&query);
+    assert!(prime.errors.is_empty(), "{:?}", prime.errors);
+    storm_gateway.clear_cache();
+    let concurrency = 8;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..concurrency)
+        .map(|_| {
+            let gw = Arc::clone(&storm_gateway);
+            let q = query.clone();
+            std::thread::spawn(move || gw.query(&q))
+        })
+        .collect();
+    for handle in handles {
+        let result = handle.join().unwrap();
+        assert!(result.errors.is_empty(), "{:?}", result.errors);
+    }
+    let storm_elapsed = started.elapsed();
+    let snapshot = storm_gateway.snapshot();
+    println!(
+        "storm:    {concurrency} concurrent identical queries in {storm_elapsed:?} \
+         ({} coalesced, {} cache hits)",
+        snapshot.coalesced, snapshot.cache_hits
+    );
+    entries.push(entry(
+        "gateway_fanout/storm_coalesced_or_cached_calls",
+        (snapshot.coalesced + snapshot.cache_hits) as f64,
+        "calls",
+    ));
+    entries.push(entry(
+        "gateway_fanout/storm_throughput",
+        qps(concurrency, storm_elapsed),
+        "queries/s",
+    ));
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());
+    std::fs::write(&out, render_json(&entries)).unwrap();
+    println!("\nwrote {out}");
+    if speedup < 2.0 {
+        eprintln!("WARNING: cached speedup {speedup:.2}x below the 2x acceptance floor");
+        std::process::exit(1);
+    }
+}

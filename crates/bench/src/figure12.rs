@@ -89,13 +89,21 @@ fn deploy(hosts: usize, scale: &Scale) -> Deployment {
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app_gsh = factory.create_service(&[]).expect("create application");
     let app = ApplicationStub::bind(Arc::clone(&client), &app_gsh);
-    Deployment { _containers: containers, app, client }
+    Deployment {
+        _containers: containers,
+        app,
+        client,
+    }
 }
 
 /// Measure the mean combined-set wall time for the first `n` executions.
 fn measure(deployment: &Deployment, n: usize, scale: &Scale) -> f64 {
     let all = deployment.app.get_all_execs().expect("getAllExecs");
-    assert!(all.len() >= n, "store has {} executions, need {n}", all.len());
+    assert!(
+        all.len() >= n,
+        "store has {} executions, need {n}",
+        all.len()
+    );
     let subset = &all[..n];
     let mut panel = ExecutionQueryPanel::open(Arc::clone(&deployment.client), subset);
     panel.add_query(ExecQuery {
@@ -137,7 +145,11 @@ pub fn run(scale: &Scale) -> Scalability {
     let mean_relative_change_pct =
         points.iter().map(|p| p.relative_change_pct).sum::<f64>() / points.len().max(1) as f64;
     let mean_speedup = points.iter().map(|p| p.speedup).sum::<f64>() / points.len().max(1) as f64;
-    Scalability { points, mean_relative_change_pct, mean_speedup }
+    Scalability {
+        points,
+        mean_relative_change_pct,
+        mean_speedup,
+    }
 }
 
 /// Render the figure (ASCII line chart) and its companion table.
@@ -186,7 +198,13 @@ pub fn render(result: &Scalability) -> String {
         })
         .collect();
     out.push_str(&chart::table(
-        &["Executions", "Non-Optimized (ms)", "Optimized (ms)", "Relative Change", "Speedup"],
+        &[
+            "Executions",
+            "Non-Optimized (ms)",
+            "Optimized (ms)",
+            "Relative Change",
+            "Speedup",
+        ],
         &rows,
     ));
     out.push_str(&format!(

@@ -5,7 +5,9 @@ use pperf_datastore::{
 };
 use pperf_httpd::HttpClient;
 use pperf_ogsi::{Container, ContainerConfig, FactoryStub, Gsh, OgsiError};
-use pperfgrid::wrappers::{HplSqlWrapper, HplXmlWrapper, RmaSqlWrapper, RmaTextWrapper, SmgSqlWrapper};
+use pperfgrid::wrappers::{
+    HplSqlWrapper, HplXmlWrapper, RmaSqlWrapper, RmaTextWrapper, SmgSqlWrapper,
+};
 use pperfgrid::{
     ApplicationStub, ApplicationWrapper, ExecutionStub, Site, SiteConfig, TimedApplicationWrapper,
     TimingLog,
@@ -86,8 +88,15 @@ impl Scale {
                 num_functions: 16,
                 seed: 0x534d47,
             },
-            hpl_spec: HplSpec { num_execs: 16, ..HplSpec::default() },
-            rma_spec: RmaSpec { num_execs: 4, trials: 2, ..RmaSpec::default() },
+            hpl_spec: HplSpec {
+                num_execs: 16,
+                ..HplSpec::default()
+            },
+            rma_spec: RmaSpec {
+                num_execs: 4,
+                trials: 2,
+                ..RmaSpec::default()
+            },
             host_workers: 2,
             host_latency: Duration::from_millis(2),
         }
@@ -236,8 +245,10 @@ pub fn deploy_fixture(kind: SourceKind, scale: &Scale, cache_enabled: bool) -> F
     let client = Arc::new(HttpClient::new());
     let (wrapper, dir) = build_wrapper(kind, scale);
     let mapping_log = TimingLog::new();
-    let timed: Arc<dyn ApplicationWrapper> =
-        Arc::new(TimedApplicationWrapper::new(wrapper, Arc::clone(&mapping_log)));
+    let timed: Arc<dyn ApplicationWrapper> = Arc::new(TimedApplicationWrapper::new(
+        wrapper,
+        Arc::clone(&mapping_log),
+    ));
     let site = Site::deploy(
         &container,
         Arc::clone(&client),
@@ -248,7 +259,14 @@ pub fn deploy_fixture(kind: SourceKind, scale: &Scale, cache_enabled: bool) -> F
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app_gsh = factory.create_service(&[]).expect("create application");
     let app = ApplicationStub::bind(Arc::clone(&client), &app_gsh);
-    Fixture { container, client, site, mapping_log, app, _dir: dir }
+    Fixture {
+        container,
+        client,
+        site,
+        mapping_log,
+        app,
+        _dir: dir,
+    }
 }
 
 /// The representative `getPR` query for each source — chosen to reproduce
@@ -286,5 +304,7 @@ pub fn first_exec(fixture: &Fixture, kind: SourceKind) -> ExecutionStub {
         SourceKind::HplRdbms | SourceKind::HplXml => ("runid", "100"),
         SourceKind::RmaAscii | SourceKind::RmaRdbms | SourceKind::SmgRdbms => ("execid", "0"),
     };
-    fixture.execution(attr.0, attr.1).expect("bind first execution")
+    fixture
+        .execution(attr.0, attr.1)
+        .expect("bind first execution")
 }

@@ -81,10 +81,14 @@ pub fn run_source(kind: SourceKind, scale: &Scale) -> OverheadRow {
 
 /// Run the full Table 4 (the thesis's three sources).
 pub fn run(scale: &Scale) -> Vec<OverheadRow> {
-    [SourceKind::HplRdbms, SourceKind::RmaAscii, SourceKind::SmgRdbms]
-        .into_iter()
-        .map(|kind| run_source(kind, scale))
-        .collect()
+    [
+        SourceKind::HplRdbms,
+        SourceKind::RmaAscii,
+        SourceKind::SmgRdbms,
+    ]
+    .into_iter()
+    .map(|kind| run_source(kind, scale))
+    .collect()
 }
 
 /// Render rows in the thesis's Table 4 format.

@@ -60,10 +60,14 @@ pub fn run_source(kind: SourceKind, scale: &Scale) -> CachingRow {
 
 /// Run the full Table 5 (the thesis's three sources).
 pub fn run(scale: &Scale) -> Vec<CachingRow> {
-    [SourceKind::HplRdbms, SourceKind::RmaAscii, SourceKind::SmgRdbms]
-        .into_iter()
-        .map(|kind| run_source(kind, scale))
-        .collect()
+    [
+        SourceKind::HplRdbms,
+        SourceKind::RmaAscii,
+        SourceKind::SmgRdbms,
+    ]
+    .into_iter()
+    .map(|kind| run_source(kind, scale))
+    .collect()
 }
 
 /// Render rows in the thesis's Table 5 format.

@@ -30,7 +30,8 @@ fn main() {
     let smg = SmgStore::build(SmgSpec::default());
 
     let psu = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
-    let llnl = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
+    let llnl =
+        Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
     let anl = Container::start("127.0.0.1:0", ContainerConfig::default()).expect("start container");
 
     let registry_gsh = psu
@@ -75,12 +76,18 @@ fn main() {
             &SiteConfig::new(name.to_lowercase()),
         )
         .expect("deploy site");
-        publisher.register_organization(org, contact).expect("register org");
+        publisher
+            .register_organization(org, contact)
+            .expect("register org");
         publisher
             .publish_service(org, name, desc, &site.app_factory)
             .expect("publish service");
         println!("  {org:>5} {name:<11} app factory: {}", site.app_factory);
-        println!("        {:<11} services:    {}/ogsa/services", "", container.base_url());
+        println!(
+            "        {:<11} services:    {}/ogsa/services",
+            "",
+            container.base_url()
+        );
     }
 
     println!("\nserving; press Enter (or close stdin) to stop.");

@@ -18,7 +18,10 @@ pub fn bar_chart(title: &str, metric: &str, rows: &[(String, f64)], width: usize
         out.push_str("  (no data)\n");
         return out;
     }
-    let max = rows.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let bar_w = width.saturating_sub(label_w + 16).max(8);
     for (label, value) in rows {
@@ -59,7 +62,10 @@ pub fn line_chart(
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         out.push_str("  (no data)\n");
         return out;
@@ -96,13 +102,12 @@ pub fn line_chart(
     out.push_str(&format!("  {y_label}\n"));
     for (i, row) in grid.iter().enumerate() {
         let y_val = y1 - (y1 - y0) * i as f64 / (plot_h - 1) as f64;
-        out.push_str(&format!("  {y_val:>10.1} |{}\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "  {y_val:>10.1} |{}\n",
+            row.iter().collect::<String>()
+        ));
     }
-    out.push_str(&format!(
-        "  {:>10} +{}\n",
-        "",
-        "-".repeat(plot_w)
-    ));
+    out.push_str(&format!("  {:>10} +{}\n", "", "-".repeat(plot_w)));
     out.push_str(&format!(
         "  {:>10}  {:<w$}{:>12}\n",
         "",
@@ -130,7 +135,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let render_row = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::from("  ");
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{cell:<w$}  ", w = widths.get(i).copied().unwrap_or(0)));
+            line.push_str(&format!(
+                "{cell:<w$}  ",
+                w = widths.get(i).copied().unwrap_or(0)
+            ));
         }
         line.trim_end().to_owned()
     };
@@ -141,7 +149,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     out.push_str(&format!(
         "  {}\n",
-        widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>()
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w + 2))
+            .collect::<String>()
     ));
     for row in rows {
         out.push_str(&render_row(row, &widths));
@@ -198,7 +209,11 @@ mod tests {
 
     #[test]
     fn line_chart_degenerate_ranges() {
-        let series = vec![Series { name: "flat".into(), points: vec![(1.0, 5.0)], glyph: '*' }];
+        let series = vec![Series {
+            name: "flat".into(),
+            points: vec![(1.0, 5.0)],
+            glyph: '*',
+        }];
         let chart = line_chart("t", "x", "y", &series, 30, 6);
         assert!(chart.contains('*'));
     }

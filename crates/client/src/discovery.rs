@@ -87,7 +87,9 @@ pub struct PublisherPanel {
 impl PublisherPanel {
     /// Connect to a registry.
     pub fn connect(client: Arc<HttpClient>, registry: &Gsh) -> PublisherPanel {
-        PublisherPanel { registry: RegistryStub::bind(client, registry) }
+        PublisherPanel {
+            registry: RegistryStub::bind(client, registry),
+        }
     }
 
     /// Create (or update) an Organization entry.

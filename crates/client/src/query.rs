@@ -45,7 +45,11 @@ impl ApplicationQueryPanel {
                 ApplicationStub::bind(Arc::clone(&client), &app_gsh),
             ));
         }
-        Ok(ApplicationQueryPanel { client, applications, queries: Vec::new() })
+        Ok(ApplicationQueryPanel {
+            client,
+            applications,
+            queries: Vec::new(),
+        })
     }
 
     /// The bound applications.
@@ -159,7 +163,11 @@ impl ExecutionQueryPanel {
             .iter()
             .map(|gsh| ExecutionStub::bind(Arc::clone(&client), gsh))
             .collect();
-        ExecutionQueryPanel { client, executions, queries: Vec::new() }
+        ExecutionQueryPanel {
+            client,
+            executions,
+            queries: Vec::new(),
+        }
     }
 
     /// The bound executions.
@@ -170,7 +178,12 @@ impl ExecutionQueryPanel {
     /// Discovery helpers for building the query dropdowns.
     pub fn discover(&self, index: usize) -> Result<ExecutionVocabulary, OgsiError> {
         let e = &self.executions[index];
-        Ok((e.get_metrics()?, e.get_foci()?, e.get_types()?, e.get_time_start_end()?))
+        Ok((
+            e.get_metrics()?,
+            e.get_foci()?,
+            e.get_types()?,
+            e.get_time_start_end()?,
+        ))
     }
 
     /// Add a query tuple.
@@ -208,7 +221,10 @@ impl ExecutionQueryPanel {
                             for _ in 0..repeats {
                                 rows = exec.get_pr(&query)?;
                             }
-                            Ok(PrResult { execution: exec.handle().clone(), rows })
+                            Ok(PrResult {
+                                execution: exec.handle().clone(),
+                                rows,
+                            })
                         }),
                     ));
                 }
@@ -221,8 +237,14 @@ impl ExecutionQueryPanel {
         })?;
 
         Ok((
-            results.into_iter().map(|r| r.expect("all slots filled")).collect(),
-            QueryTiming { total: start.elapsed(), calls },
+            results
+                .into_iter()
+                .map(|r| r.expect("all slots filled"))
+                .collect(),
+            QueryTiming {
+                total: start.elapsed(),
+                calls,
+            },
         ))
     }
 

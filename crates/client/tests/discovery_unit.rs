@@ -17,7 +17,11 @@ fn fx() -> Fx {
     let registry = container
         .deploy_service("registry", Arc::new(RegistryService::new()))
         .unwrap();
-    Fx { container, client: Arc::new(HttpClient::new()), registry }
+    Fx {
+        container,
+        client: Arc::new(HttpClient::new()),
+        registry,
+    }
 }
 
 fn dummy_factory(fx: &Fx, name: &str) -> Gsh {
@@ -32,7 +36,9 @@ fn publisher_and_discovery_round_trip() {
     let publisher = PublisherPanel::connect(Arc::clone(&fx.client), &fx.registry);
     publisher.register_organization("PSU", "Portland").unwrap();
     let factory = dummy_factory(&fx, "hpl-app");
-    publisher.publish_service("PSU", "HPL", "runs", &factory).unwrap();
+    publisher
+        .publish_service("PSU", "HPL", "runs", &factory)
+        .unwrap();
 
     let discovery = DiscoveryPanel::connect(Arc::clone(&fx.client), &fx.registry);
     let orgs = discovery.find_organizations("").unwrap();

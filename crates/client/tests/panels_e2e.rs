@@ -2,12 +2,12 @@
 //! publish → discover → bind → query applications → query executions →
 //! visualize.
 
-use pperf_datastore::{HplSpec, HplStore, RmaSpec, RmaTextStore};
-use pperf_httpd::HttpClient;
 use pperf_client::{
     chart, AppQuery, ApplicationQueryPanel, DiscoveryPanel, ExecQuery, ExecutionQueryPanel,
     PublisherPanel,
 };
+use pperf_datastore::{HplSpec, HplStore, RmaSpec, RmaTextStore};
+use pperf_httpd::HttpClient;
 use pperf_ogsi::{Container, ContainerConfig, RegistryService};
 use pperfgrid::wrappers::{HplSqlWrapper, RmaTextWrapper};
 use pperfgrid::{PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
@@ -40,24 +40,43 @@ fn grid() -> Grid {
     let hpl = Arc::new(HplSqlWrapper::new(
         HplStore::build(HplSpec::tiny()).database().clone(),
     ));
-    let hpl_site =
-        Site::deploy(&container, Arc::clone(&client), hpl, &SiteConfig::new("hpl")).unwrap();
+    let hpl_site = Site::deploy(
+        &container,
+        Arc::clone(&client),
+        hpl,
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
 
     let rma_dir = std::env::temp_dir().join(format!("client-e2e-rma-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&rma_dir);
     let rma_store = RmaTextStore::generate(&rma_dir, &RmaSpec::tiny()).unwrap();
     let rma = Arc::new(RmaTextWrapper::new(rma_store));
-    let rma_site =
-        Site::deploy(&container, Arc::clone(&client), rma, &SiteConfig::new("rma")).unwrap();
+    let rma_site = Site::deploy(
+        &container,
+        Arc::clone(&client),
+        rma,
+        &SiteConfig::new("rma"),
+    )
+    .unwrap();
 
     let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
-    publisher.register_organization("PSU", "Portland, OR").unwrap();
-    publisher.register_organization("LLNL", "Livermore, CA").unwrap();
+    publisher
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
+    publisher
+        .register_organization("LLNL", "Livermore, CA")
+        .unwrap();
     publisher
         .publish_service("PSU", "HPL", "Linpack runs", &hpl_site.app_factory)
         .unwrap();
     publisher
-        .publish_service("LLNL", "PRESTA-RMA", "MPI bandwidth/latency", &rma_site.app_factory)
+        .publish_service(
+            "LLNL",
+            "PRESTA-RMA",
+            "MPI bandwidth/latency",
+            &rma_site.app_factory,
+        )
         .unwrap();
 
     Grid {
@@ -174,7 +193,10 @@ fn cross_store_comparison_in_one_session() {
     }));
     let (results, _) = exec_panel.run_queries().unwrap();
     assert_eq!(results.len(), 3);
-    assert!(results.iter().all(|r| r.rows.len() == 3), "3 msg sizes per op");
+    assert!(
+        results.iter().all(|r| r.rows.len() == 3),
+        "3 msg sizes per op"
+    );
 }
 
 #[test]

@@ -12,7 +12,15 @@ use std::path::{Path, PathBuf};
 
 /// Column set of the `hpl_runs` table.
 pub const HPL_COLUMNS: &[&str] = &[
-    "runid", "rundate", "numprocs", "n", "nb", "gflops", "runtimesec", "starttime", "endtime",
+    "runid",
+    "rundate",
+    "numprocs",
+    "n",
+    "nb",
+    "gflops",
+    "runtimesec",
+    "starttime",
+    "endtime",
 ];
 
 /// The HPL store: one relational table of Linpack runs.
@@ -53,8 +61,8 @@ fn generate_rows(spec: &HplSpec) -> Vec<Vec<DbValue>> {
     for i in 0..spec.num_execs {
         let runid = spec.first_runid + i as i64;
         let numprocs = 1i64 << rng.random_range(0..6); // 1..32
-        let n = [5000i64, 10000, 20000, 40000][rng.random_range(0..4)];
-        let nb = [32i64, 64, 128, 256][rng.random_range(0..4)];
+        let n = [5000i64, 10000, 20000, 40000][rng.random_range(0..4usize)];
+        let nb = [32i64, 64, 128, 256][rng.random_range(0..4usize)];
         // Plausible scaling: more procs → more gflops, with noise.
         let gflops =
             0.9 * numprocs as f64 * (0.8 + 0.4 * rng.random::<f64>()) * (n as f64 / 20000.0);
@@ -160,8 +168,16 @@ mod tests {
     fn generation_is_deterministic() {
         let a = HplStore::build(HplSpec::tiny());
         let b = HplStore::build(HplSpec::tiny());
-        let qa = a.database().connect().query("SELECT gflops FROM hpl_runs ORDER BY runid").unwrap();
-        let qb = b.database().connect().query("SELECT gflops FROM hpl_runs ORDER BY runid").unwrap();
+        let qa = a
+            .database()
+            .connect()
+            .query("SELECT gflops FROM hpl_runs ORDER BY runid")
+            .unwrap();
+        let qb = b
+            .database()
+            .connect()
+            .query("SELECT gflops FROM hpl_runs ORDER BY runid")
+            .unwrap();
         assert_eq!(qa.rows(), qb.rows());
     }
 
@@ -199,7 +215,10 @@ mod tests {
         let rs = rel
             .database()
             .connect()
-            .query(&format!("SELECT gflops FROM hpl_runs WHERE runid = {}", ids[0]))
+            .query(&format!(
+                "SELECT gflops FROM hpl_runs WHERE runid = {}",
+                ids[0]
+            ))
             .unwrap();
         let gflops_rel = rs.get_f64(0, "gflops").unwrap();
         let gflops_xml: f64 = fields

@@ -49,7 +49,10 @@ pub struct RmaExecution {
 impl RmaExecution {
     /// Header lookup.
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.headers
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -127,8 +130,7 @@ impl RmaTextStore {
     pub fn read_execution(&self, execid: i64) -> io::Result<RmaExecution> {
         let path = self.dir.join(format!("rma-{execid}.txt"));
         let text = std::fs::read_to_string(path)?;
-        parse_rma(execid, &text)
-            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+        parse_rma(execid, &text).map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
     }
 }
 
@@ -152,7 +154,10 @@ pub fn parse_rma(execid: i64, text: &str) -> Result<RmaExecution, String> {
         if !saw_column_line {
             // The first non-comment line names the columns.
             if line != "op msgsize bandwidth_mbps latency_us" {
-                return Err(format!("line {}: unexpected column header {line:?}", lineno + 1));
+                return Err(format!(
+                    "line {}: unexpected column header {line:?}",
+                    lineno + 1
+                ));
             }
             saw_column_line = true;
             continue;
@@ -182,7 +187,11 @@ pub fn parse_rma(execid: i64, text: &str) -> Result<RmaExecution, String> {
     if !saw_column_line {
         return Err("missing column header line".into());
     }
-    Ok(RmaExecution { execid, headers, records })
+    Ok(RmaExecution {
+        execid,
+        headers,
+        records,
+    })
 }
 
 /// Import a text store into a relational database — the thesis's proposed
@@ -206,8 +215,16 @@ pub fn rma_to_database(store: &RmaTextStore) -> std::io::Result<pperf_minidb::Da
     .expect("create rma_records");
     for id in store.exec_ids()? {
         let exec = store.read_execution(id)?;
-        let header_f64 = |k: &str| exec.header(k).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
-        let header_i64 = |k: &str| exec.header(k).and_then(|v| v.parse::<i64>().ok()).unwrap_or(0);
+        let header_f64 = |k: &str| {
+            exec.header(k)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0)
+        };
+        let header_i64 = |k: &str| {
+            exec.header(k)
+                .and_then(|v| v.parse::<i64>().ok())
+                .unwrap_or(0)
+        };
         db.bulk_insert(
             "rma_execs",
             vec![vec![
@@ -232,7 +249,8 @@ pub fn rma_to_database(store: &RmaTextStore) -> std::io::Result<pperf_minidb::Da
                 ]
             })
             .collect();
-        db.bulk_insert("rma_records", rows).expect("load rma_records");
+        db.bulk_insert("rma_records", rows)
+            .expect("load rma_records");
     }
     Ok(db)
 }
@@ -263,7 +281,10 @@ mod tests {
             exec.records.len(),
             spec.ops.len() * spec.msg_sizes.len() * spec.trials.max(1)
         );
-        assert!(exec.records.iter().all(|r| r.bandwidth_mbps > 0.0 && r.latency_us > 0.0));
+        assert!(exec
+            .records
+            .iter()
+            .all(|r| r.bandwidth_mbps > 0.0 && r.latency_us > 0.0));
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -278,7 +299,13 @@ mod tests {
         let rendered: usize = exec
             .records
             .iter()
-            .map(|r| format!("{} {} {} {}", r.op, r.msgsize, r.bandwidth_mbps, r.latency_us).len())
+            .map(|r| {
+                format!(
+                    "{} {} {} {}",
+                    r.op, r.msgsize, r.bandwidth_mbps, r.latency_us
+                )
+                .len()
+            })
             .sum();
         assert!(
             (2_000..20_000).contains(&rendered),
@@ -293,13 +320,19 @@ mod tests {
         assert!(parse_rma(0, "# only comments\n").is_err());
         assert!(parse_rma(0, "bogus columns\n").is_err());
         let good_hdr = "op msgsize bandwidth_mbps latency_us\n";
-        assert!(parse_rma(0, &format!("{good_hdr}unidir 8 1.0")).is_err(), "short row");
+        assert!(
+            parse_rma(0, &format!("{good_hdr}unidir 8 1.0")).is_err(),
+            "short row"
+        );
         assert!(
             parse_rma(0, &format!("{good_hdr}unidir 8 1.0 2.0 junk")).is_err(),
             "long row"
         );
         assert!(parse_rma(0, &format!("{good_hdr}unidir eight 1.0 2.0")).is_err());
-        assert!(parse_rma(0, good_hdr).unwrap().records.is_empty(), "header only is valid");
+        assert!(
+            parse_rma(0, good_hdr).unwrap().records.is_empty(),
+            "header only is valid"
+        );
     }
 
     #[test]

@@ -90,7 +90,8 @@ impl SmgStore {
                 DbValue::Text(module.into()),
             ]);
         }
-        db.bulk_insert("functions", function_rows).expect("load functions");
+        db.bulk_insert("functions", function_rows)
+            .expect("load functions");
 
         for execid in 0..spec.num_execs as i64 {
             let runtime = 40.0 + 40.0 * rng.random::<f64>();
@@ -116,7 +117,8 @@ impl SmgStore {
                     DbValue::Text(format!("node{:02}", procid / 4)),
                 ]);
             }
-            db.bulk_insert("processes", proc_rows).expect("load processes");
+            db.bulk_insert("processes", proc_rows)
+                .expect("load processes");
 
             let mut event_rows = Vec::with_capacity(spec.procs * spec.events_per_proc);
             let mut msg_rows = Vec::new();
@@ -124,9 +126,7 @@ impl SmgStore {
                 let mut t = runtime * rng.random::<f64>() * 0.001;
                 for _ in 0..spec.events_per_proc {
                     let funcid = rng.random_range(0..spec.num_functions) as i64;
-                    let dur = (runtime / spec.events_per_proc as f64)
-                        * rng.random::<f64>()
-                        * 1.8;
+                    let dur = (runtime / spec.events_per_proc as f64) * rng.random::<f64>() * 1.8;
                     let bytes = if (funcid as usize) < MPI_FUNCTIONS.len() {
                         1i64 << rng.random_range(4..18)
                     } else {
@@ -227,8 +227,16 @@ mod tests {
     fn deterministic() {
         let a = SmgStore::build(SmgSpec::tiny());
         let b = SmgStore::build(SmgSpec::tiny());
-        let qa = a.database().connect().query("SELECT SUM(bytes) AS s FROM events").unwrap();
-        let qb = b.database().connect().query("SELECT SUM(bytes) AS s FROM events").unwrap();
+        let qa = a
+            .database()
+            .connect()
+            .query("SELECT SUM(bytes) AS s FROM events")
+            .unwrap();
+        let qb = b
+            .database()
+            .connect()
+            .query("SELECT SUM(bytes) AS s FROM events")
+            .unwrap();
         assert_eq!(qa.get_i64(0, "s").unwrap(), qb.get_i64(0, "s").unwrap());
     }
 }

@@ -17,7 +17,11 @@ pub struct HplSpec {
 
 impl Default for HplSpec {
     fn default() -> Self {
-        HplSpec { num_execs: 124, first_runid: 100, seed: 0x48504c }
+        HplSpec {
+            num_execs: 124,
+            first_runid: 100,
+            seed: 0x48504c,
+        }
     }
 }
 
@@ -94,7 +98,13 @@ impl Default for SmgSpec {
 impl SmgSpec {
     /// A tiny configuration for unit tests.
     pub fn tiny() -> SmgSpec {
-        SmgSpec { num_execs: 2, procs: 4, events_per_proc: 50, num_functions: 8, seed: 7 }
+        SmgSpec {
+            num_execs: 2,
+            procs: 4,
+            events_per_proc: 50,
+            num_functions: 8,
+            seed: 7,
+        }
     }
 
     /// Total event rows this spec will generate.
@@ -106,7 +116,11 @@ impl SmgSpec {
 impl HplSpec {
     /// A tiny configuration for unit tests.
     pub fn tiny() -> HplSpec {
-        HplSpec { num_execs: 8, first_runid: 100, seed: 7 }
+        HplSpec {
+            num_execs: 8,
+            first_runid: 100,
+            seed: 7,
+        }
     }
 }
 

@@ -1,0 +1,191 @@
+//! The gateway-level shared result cache: TTL + LRU.
+//!
+//! Sits *above* the per-Execution PR caches (thesis §5.3.2.3): one cache for
+//! the whole federation, keyed by `(execution handle, PrQuery key)`, so a
+//! repeated federated query is answered without touching any site. Entries
+//! expire after a TTL — federated answers are snapshots, and remote stores
+//! may gain data — and are evicted least-recently-used beyond capacity.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    rows: Arc<Vec<String>>,
+    inserted: Instant,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Recency order, least-recent at the front. May contain stale
+    /// duplicates for touched keys; eviction skips entries whose front
+    /// position is stale.
+    order: VecDeque<String>,
+}
+
+/// A bounded TTL + LRU cache of rendered Performance Result rows.
+pub struct TtlLru {
+    capacity: usize,
+    ttl: Duration,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TtlLru {
+    /// A cache holding up to `capacity` entries, each valid for `ttl`.
+    pub fn new(capacity: usize, ttl: Duration) -> TtlLru {
+        TtlLru {
+            capacity: capacity.max(1),
+            ttl,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency. Expired entries are removed
+    /// and count as misses.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<String>>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some(entry) if entry.inserted.elapsed() <= self.ttl => {
+                let rows = Arc::clone(&entry.rows);
+                inner.order.push_back(key.to_owned());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rows)
+            }
+            Some(_) => {
+                inner.map.remove(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting least-recently-used entries
+    /// beyond capacity.
+    pub fn insert(&self, key: impl Into<String>, rows: Arc<Vec<String>>) {
+        let key = key.into();
+        let mut inner = self.inner.lock();
+        inner.map.insert(
+            key.clone(),
+            Entry {
+                rows,
+                inserted: Instant::now(),
+            },
+        );
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            let Some(candidate) = inner.order.pop_front() else {
+                break;
+            };
+            // A key touched since this queue position is still recent: its
+            // later queue entry represents it. Only evict at the *last*
+            // occurrence.
+            if inner.order.iter().any(|k| *k == candidate) {
+                continue;
+            }
+            inner.map.remove(&candidate);
+        }
+    }
+
+    /// Number of live (possibly expired but not yet collected) entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Drop every entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(s: &str) -> Arc<Vec<String>> {
+        Arc::new(vec![s.to_owned()])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = TtlLru::new(8, Duration::from_secs(60));
+        assert!(cache.get("a").is_none());
+        cache.insert("a", rows("1"));
+        assert_eq!(cache.get("a").unwrap()[0], "1");
+        assert_eq!(cache.stats(), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cache = TtlLru::new(2, Duration::from_secs(60));
+        cache.insert("a", rows("1"));
+        cache.insert("b", rows("2"));
+        cache.get("a"); // refresh a; b is now least-recent
+        cache.insert("c", rows("3"));
+        assert!(cache.get("b").is_none(), "b evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let cache = TtlLru::new(8, Duration::from_millis(10));
+        cache.insert("a", rows("1"));
+        assert!(cache.get("a").is_some());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(cache.get("a").is_none(), "expired");
+        assert!(cache.get("a").is_none(), "stays gone");
+    }
+
+    #[test]
+    fn reinsert_refreshes_ttl_and_value() {
+        let cache = TtlLru::new(2, Duration::from_secs(60));
+        cache.insert("a", rows("old"));
+        cache.insert("a", rows("new"));
+        assert_eq!(cache.get("a").unwrap()[0], "new");
+        assert_eq!(cache.len(), 1);
+        // The stale queue entry for "a" must not evict it.
+        cache.insert("b", rows("2"));
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_some());
+    }
+}

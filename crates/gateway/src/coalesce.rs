@@ -1,0 +1,191 @@
+//! Single-flight coalescing of identical in-flight upstream calls.
+//!
+//! When N concurrent federated queries expand to the same `getPR` tuple
+//! (same Execution instance, metric, foci, window, type), only the first
+//! caller — the *leader* — performs the upstream call; the rest become
+//! *followers* that block until the leader publishes the shared outcome.
+//! This bounds upstream load under query storms independently of the result
+//! cache (which only helps *after* a call completes).
+
+use crate::query::SiteErrorKind;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The outcome a leader publishes: rows, or a classified error (kind +
+/// rendered detail) that followers report against their own site label.
+pub type FlightOutcome = Result<Arc<Vec<String>>, (SiteErrorKind, String)>;
+
+struct Slot {
+    done: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+/// A single-flight group keyed by upstream-call identity.
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+    coalesced: AtomicU64,
+}
+
+/// What [`SingleFlight::join`] decided for this caller.
+pub enum Flight {
+    /// This caller runs the upstream call and must call [`Token::publish`]
+    /// exactly once.
+    Leader(Token),
+    /// Another caller was already in flight; this is its shared outcome.
+    Follower(FlightOutcome),
+}
+
+/// The leader's obligation to publish.
+pub struct Token {
+    key: String,
+    slot: Arc<Slot>,
+}
+
+impl SingleFlight {
+    /// An empty group.
+    pub fn new() -> Arc<SingleFlight> {
+        Arc::new(SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+        })
+    }
+
+    /// Join the flight for `key`: the first caller becomes the leader, later
+    /// callers block until the leader publishes.
+    pub fn join(self: &Arc<Self>, key: &str) -> Flight {
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match inflight.get(key) {
+                Some(slot) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(slot)
+                }
+                None => {
+                    let slot = Arc::new(Slot {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inflight.insert(key.to_owned(), Arc::clone(&slot));
+                    return Flight::Leader(Token {
+                        key: key.to_owned(),
+                        slot,
+                    });
+                }
+            }
+        };
+        let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        while done.is_none() {
+            done = slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        Flight::Follower(done.clone().expect("outcome published"))
+    }
+
+    /// Publish the leader's outcome, waking all followers. Consumes the
+    /// token; the flight for its key ends here.
+    pub fn publish(self: &Arc<Self>, token: Token, outcome: FlightOutcome) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&token.key);
+        let mut done = token.slot.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = Some(outcome);
+        token.slot.cv.notify_all();
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// How many callers were coalesced onto another caller's flight.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn single_caller_is_leader() {
+        let sf = SingleFlight::new();
+        match sf.join("k") {
+            Flight::Leader(token) => sf.publish(token, Ok(Arc::new(vec!["r".into()]))),
+            Flight::Follower(_) => panic!("first caller must lead"),
+        }
+        assert_eq!(sf.in_flight(), 0);
+        assert_eq!(sf.coalesced(), 0);
+    }
+
+    #[test]
+    fn followers_share_the_leaders_outcome() {
+        let sf = SingleFlight::new();
+        let token = match sf.join("k") {
+            Flight::Leader(t) => t,
+            Flight::Follower(_) => unreachable!(),
+        };
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                thread::spawn(move || match sf.join("k") {
+                    Flight::Follower(outcome) => outcome,
+                    Flight::Leader(_) => panic!("flight already led"),
+                })
+            })
+            .collect();
+        // Give followers time to block, then publish.
+        thread::sleep(Duration::from_millis(30));
+        sf.publish(token, Ok(Arc::new(vec!["shared".into()])));
+        for f in followers {
+            let outcome = f.join().unwrap();
+            assert_eq!(outcome.unwrap()[0], "shared");
+        }
+        assert_eq!(sf.coalesced(), 4);
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let sf = SingleFlight::new();
+        let ta = match sf.join("a") {
+            Flight::Leader(t) => t,
+            _ => unreachable!(),
+        };
+        let tb = match sf.join("b") {
+            Flight::Leader(t) => t,
+            Flight::Follower(_) => panic!("different key must not coalesce"),
+        };
+        assert_eq!(sf.in_flight(), 2);
+        sf.publish(ta, Err((SiteErrorKind::Unreachable, "down".into())));
+        sf.publish(tb, Ok(Arc::new(vec![])));
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn errors_are_shared_too() {
+        let sf = SingleFlight::new();
+        let token = match sf.join("k") {
+            Flight::Leader(t) => t,
+            _ => unreachable!(),
+        };
+        let sf2 = Arc::clone(&sf);
+        let follower = thread::spawn(move || match sf2.join("k") {
+            Flight::Follower(outcome) => outcome,
+            Flight::Leader(_) => panic!(),
+        });
+        thread::sleep(Duration::from_millis(20));
+        sf.publish(token, Err((SiteErrorKind::Fault, "fault".into())));
+        let (kind, detail) = follower.join().unwrap().unwrap_err();
+        assert_eq!(kind, SiteErrorKind::Fault);
+        assert_eq!(detail, "fault");
+        // A new flight can start after publication.
+        assert!(matches!(sf.join("k"), Flight::Leader(_)));
+    }
+}

@@ -1,0 +1,565 @@
+//! The federated gateway orchestrator.
+//!
+//! One [`FederatedGateway::query`] call runs the full scatter-gather:
+//!
+//! 1. **Plan** — snapshot the Registry, bind Application instances, expand
+//!    to per-Execution `getPR` targets ([`crate::plan::Planner`]).
+//! 2. **Scatter** — submit one job per target to the bounded worker pool,
+//!    under per-site concurrency permits, with retry + exponential backoff.
+//! 3. **Coalesce** — identical in-flight `getPR` tuples share one upstream
+//!    call ([`crate::coalesce::SingleFlight`]); completed results populate a
+//!    shared TTL + LRU cache checked before any job is submitted.
+//! 4. **Hedge** — a target that hasn't answered by `hedge_after` (or whose
+//!    primary fails outright) is retried against a replica instance on a
+//!    different host; the first answer wins.
+//! 5. **Gather** — a per-call deadline turns a silent site into a structured
+//!    [`SiteError`] while every surviving site's rows are still returned.
+
+use crate::cache::TtlLru;
+use crate::coalesce::{Flight, SingleFlight};
+use crate::plan::{ExecTarget, Planner};
+use crate::pool::{SiteLimiter, WorkerPool};
+use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, SiteRows};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Gsh, OgsiError};
+use pperfgrid::{ExecutionStub, PrQuery};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker threads in the scatter pool.
+    pub workers: usize,
+    /// Max concurrent upstream calls per site.
+    pub per_site_concurrency: usize,
+    /// Deadline per target; exceeding it yields a `Timeout` site error.
+    pub call_timeout: Duration,
+    /// Fire a hedge request against a replica host after this long without
+    /// an answer; `None` disables hedging entirely.
+    pub hedge_after: Option<Duration>,
+    /// Retries per upstream call on transport errors.
+    pub retries: u32,
+    /// Base backoff between retries (doubles per attempt).
+    pub backoff: Duration,
+    /// Shared result cache on/off.
+    pub cache_enabled: bool,
+    /// Shared result cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Shared result cache entry lifetime.
+    pub cache_ttl: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            workers: 8,
+            per_site_concurrency: 4,
+            call_timeout: Duration::from_secs(10),
+            hedge_after: Some(Duration::from_millis(250)),
+            retries: 1,
+            backoff: Duration::from_millis(25),
+            cache_enabled: true,
+            cache_capacity: 1024,
+            cache_ttl: Duration::from_secs(30),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Set the scatter pool size.
+    pub fn with_workers(mut self, workers: usize) -> GatewayConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the per-site concurrency limit.
+    pub fn with_per_site_concurrency(mut self, limit: usize) -> GatewayConfig {
+        self.per_site_concurrency = limit;
+        self
+    }
+
+    /// Set the per-target deadline.
+    pub fn with_call_timeout(mut self, timeout: Duration) -> GatewayConfig {
+        self.call_timeout = timeout;
+        self
+    }
+
+    /// Set (or disable, with `None`) the hedge delay.
+    pub fn with_hedging(mut self, hedge_after: Option<Duration>) -> GatewayConfig {
+        self.hedge_after = hedge_after;
+        self
+    }
+
+    /// Set the retry count and base backoff.
+    pub fn with_retries(mut self, retries: u32, backoff: Duration) -> GatewayConfig {
+        self.retries = retries;
+        self.backoff = backoff;
+        self
+    }
+
+    /// Toggle the shared result cache.
+    pub fn with_cache(mut self, enabled: bool) -> GatewayConfig {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// Set the shared result cache geometry.
+    pub fn with_cache_geometry(mut self, capacity: usize, ttl: Duration) -> GatewayConfig {
+        self.cache_capacity = capacity;
+        self.cache_ttl = ttl;
+        self
+    }
+}
+
+/// Rolling latency/error accounting for one site.
+#[derive(Debug, Clone, Default)]
+pub struct SiteLatency {
+    /// Completed upstream-facing calls (including coalesced waits).
+    pub calls: u64,
+    /// How many of them failed.
+    pub errors: u64,
+    /// Sum of call latencies.
+    pub total: Duration,
+    /// Latency of the most recent call.
+    pub last: Duration,
+}
+
+impl SiteLatency {
+    /// Mean latency over all recorded calls.
+    pub fn avg(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.calls as u32
+        }
+    }
+}
+
+struct Stats {
+    queries: AtomicU64,
+    upstream: AtomicU64,
+    hedges_fired: AtomicU64,
+    hedge_wins: AtomicU64,
+    in_flight: AtomicI64,
+    sites: Mutex<HashMap<String, SiteLatency>>,
+}
+
+impl Stats {
+    fn record_site(&self, site: &str, latency: Duration, failed: bool) {
+        let mut sites = self.sites.lock();
+        let entry = sites.entry(site.to_owned()).or_default();
+        entry.calls += 1;
+        entry.errors += u64::from(failed);
+        entry.total += latency;
+        entry.last = latency;
+    }
+}
+
+/// A point-in-time view of the gateway's counters (also published as
+/// service data by [`crate::service::FederatedQueryService`]).
+#[derive(Debug, Clone)]
+pub struct GatewaySnapshot {
+    /// Federated queries served.
+    pub queries: u64,
+    /// Upstream `getPR` calls performed (lifetime).
+    pub upstream_calls: u64,
+    /// Shared-cache hits.
+    pub cache_hits: u64,
+    /// Shared-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 before any lookup.
+    pub cache_hit_rate: f64,
+    /// Callers coalesced onto another caller's in-flight call.
+    pub coalesced: u64,
+    /// Target calls currently in flight.
+    pub in_flight: i64,
+    /// Hedge requests fired.
+    pub hedges_fired: u64,
+    /// Hedge requests that answered before their primary.
+    pub hedge_wins: u64,
+    /// Per-site latency/error accounting, sorted by site label.
+    pub per_site: Vec<(String, SiteLatency)>,
+}
+
+struct Inner {
+    config: GatewayConfig,
+    client: Arc<HttpClient>,
+    planner: Planner,
+    limiter: Arc<SiteLimiter>,
+    cache: TtlLru,
+    flights: Arc<SingleFlight>,
+    stats: Stats,
+}
+
+/// The federation front door: one of these serves any number of concurrent
+/// [`FederatedQuery`]s over a shared pool, cache, and single-flight group.
+pub struct FederatedGateway {
+    inner: Arc<Inner>,
+    pool: WorkerPool,
+}
+
+/// One target's call state during a gather.
+struct PendingTarget {
+    site: String,
+    target: ExecTarget,
+    cache_key: String,
+    deadline: Instant,
+    hedge_at: Option<Instant>,
+    hedge_fired: bool,
+    primary_failed: bool,
+    hedge_failed: bool,
+    done: bool,
+}
+
+struct Outcome {
+    idx: usize,
+    hedged: bool,
+    result: Result<Arc<Vec<String>>, (SiteErrorKind, String)>,
+}
+
+fn classify(error: &OgsiError) -> (SiteErrorKind, bool) {
+    match error {
+        OgsiError::Transport(_) => (SiteErrorKind::Unreachable, true),
+        _ => (SiteErrorKind::Fault, false),
+    }
+}
+
+impl FederatedGateway {
+    /// A gateway federating the sites registered at `registry`.
+    pub fn new(
+        client: Arc<HttpClient>,
+        registry: Gsh,
+        config: GatewayConfig,
+    ) -> Arc<FederatedGateway> {
+        let planner = Planner::new(Arc::clone(&client), registry, config.hedge_after.is_some());
+        let pool = WorkerPool::new(config.workers);
+        let inner = Inner {
+            limiter: SiteLimiter::new(config.per_site_concurrency),
+            cache: TtlLru::new(config.cache_capacity, config.cache_ttl),
+            flights: SingleFlight::new(),
+            stats: Stats {
+                queries: AtomicU64::new(0),
+                upstream: AtomicU64::new(0),
+                hedges_fired: AtomicU64::new(0),
+                hedge_wins: AtomicU64::new(0),
+                in_flight: AtomicI64::new(0),
+                sites: Mutex::new(HashMap::new()),
+            },
+            planner,
+            client,
+            config,
+        };
+        Arc::new(FederatedGateway {
+            inner: Arc::new(inner),
+            pool,
+        })
+    }
+
+    /// The planner (exposed for diagnostics and tests).
+    pub fn planner(&self) -> &Planner {
+        &self.inner.planner
+    }
+
+    /// Drop all cached results (bindings are kept).
+    pub fn clear_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// Current counters.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        let inner = &self.inner;
+        let (cache_hits, cache_misses) = inner.cache.stats();
+        let mut per_site: Vec<(String, SiteLatency)> = inner
+            .stats
+            .sites
+            .lock()
+            .iter()
+            .map(|(site, lat)| (site.clone(), lat.clone()))
+            .collect();
+        per_site.sort_by(|a, b| a.0.cmp(&b.0));
+        GatewaySnapshot {
+            queries: inner.stats.queries.load(Ordering::Relaxed),
+            upstream_calls: inner.stats.upstream.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: inner.cache.hit_rate(),
+            coalesced: inner.flights.coalesced(),
+            in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
+            hedges_fired: inner.stats.hedges_fired.load(Ordering::Relaxed),
+            hedge_wins: inner.stats.hedge_wins.load(Ordering::Relaxed),
+            per_site,
+        }
+    }
+
+    /// Run one federated query end to end (blocking; safe to call from many
+    /// threads at once).
+    pub fn query(&self, query: &FederatedQuery) -> FederatedResult {
+        let started = Instant::now();
+        let inner = &self.inner;
+        inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let plan = inner.planner.plan(query);
+        let mut errors = plan.errors.clone();
+        let sites_total = plan.sites.len() + errors.len();
+        let pr = Arc::new(query.pr_query());
+        let pr_key = pr.cache_key();
+        let query_upstream = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = unbounded::<Outcome>();
+        let mut rows: Vec<SiteRows> = Vec::new();
+        let mut pending: Vec<PendingTarget> = Vec::new();
+        let scatter_start = Instant::now();
+        for site_plan in &plan.sites {
+            for target in &site_plan.targets {
+                let cache_key = format!("{}::{pr_key}", target.primary.as_str());
+                if inner.config.cache_enabled {
+                    if let Some(cached) = inner.cache.get(&cache_key) {
+                        rows.push(SiteRows {
+                            site: site_plan.site.clone(),
+                            execution: target.primary.clone(),
+                            rows: cached,
+                            from_cache: true,
+                            hedged: false,
+                        });
+                        continue;
+                    }
+                }
+                let idx = pending.len();
+                let hedge_at = target
+                    .hedge
+                    .as_ref()
+                    .and(inner.config.hedge_after)
+                    .map(|delay| scatter_start + delay);
+                pending.push(PendingTarget {
+                    site: site_plan.site.clone(),
+                    target: target.clone(),
+                    cache_key: cache_key.clone(),
+                    deadline: scatter_start + inner.config.call_timeout,
+                    hedge_at,
+                    hedge_fired: false,
+                    primary_failed: false,
+                    hedge_failed: false,
+                    done: false,
+                });
+                self.submit_call(
+                    tx.clone(),
+                    idx,
+                    site_plan.site.clone(),
+                    target.primary.clone(),
+                    Arc::clone(&pr),
+                    cache_key,
+                    false,
+                    Arc::clone(&query_upstream),
+                );
+            }
+        }
+        let mut remaining = pending.len();
+        while remaining > 0 {
+            let now = Instant::now();
+            // The gatherer wakes at the earliest pending deadline or unfired
+            // hedge time.
+            let mut wake: Option<Instant> = None;
+            for p in &pending {
+                if p.done {
+                    continue;
+                }
+                let mut candidate = p.deadline;
+                if let Some(hedge_at) = p.hedge_at {
+                    if !p.hedge_fired && hedge_at < candidate {
+                        candidate = hedge_at;
+                    }
+                }
+                wake = Some(match wake {
+                    Some(w) if w < candidate => w,
+                    _ => candidate,
+                });
+            }
+            let timeout = wake.unwrap_or(now).saturating_duration_since(now);
+            match rx.recv_timeout(timeout) {
+                Ok(outcome) => {
+                    let idx = outcome.idx;
+                    let p = &mut pending[idx];
+                    if p.done {
+                        continue; // late duplicate (hedge raced its primary)
+                    }
+                    match outcome.result {
+                        Ok(data) => {
+                            p.done = true;
+                            remaining -= 1;
+                            if outcome.hedged {
+                                inner.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                            }
+                            rows.push(SiteRows {
+                                site: p.site.clone(),
+                                execution: p.target.primary.clone(),
+                                rows: data,
+                                from_cache: false,
+                                hedged: outcome.hedged,
+                            });
+                        }
+                        Err((kind, detail)) => {
+                            if outcome.hedged {
+                                p.hedge_failed = true;
+                            } else {
+                                p.primary_failed = true;
+                            }
+                            if p.primary_failed && !p.hedge_fired && p.target.hedge.is_some() {
+                                // Fail fast: don't wait for the hedge delay
+                                // once the primary has definitively failed.
+                                let hedge = p.target.hedge.clone().expect("checked");
+                                p.hedge_fired = true;
+                                inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                                let (site, key) = (p.site.clone(), p.cache_key.clone());
+                                self.submit_call(
+                                    tx.clone(),
+                                    idx,
+                                    site,
+                                    hedge,
+                                    Arc::clone(&pr),
+                                    key,
+                                    true,
+                                    Arc::clone(&query_upstream),
+                                );
+                            } else {
+                                let hedge_pending = p.hedge_fired && !p.hedge_failed;
+                                let primary_pending = !p.primary_failed;
+                                if !hedge_pending && !primary_pending {
+                                    p.done = true;
+                                    remaining -= 1;
+                                    errors.push(SiteError {
+                                        site: p.site.clone(),
+                                        kind,
+                                        detail,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for (idx, p) in pending.iter_mut().enumerate() {
+                        if p.done {
+                            continue;
+                        }
+                        if let (Some(hedge_at), Some(hedge)) = (p.hedge_at, p.target.hedge.clone())
+                        {
+                            if !p.hedge_fired && hedge_at <= now {
+                                p.hedge_fired = true;
+                                inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                                let (site, key) = (p.site.clone(), p.cache_key.clone());
+                                self.submit_call(
+                                    tx.clone(),
+                                    idx,
+                                    site,
+                                    hedge,
+                                    Arc::clone(&pr),
+                                    key,
+                                    true,
+                                    Arc::clone(&query_upstream),
+                                );
+                            }
+                        }
+                        if p.deadline <= now {
+                            p.done = true;
+                            remaining -= 1;
+                            errors.push(SiteError {
+                                site: p.site.clone(),
+                                kind: SiteErrorKind::Timeout,
+                                detail: format!(
+                                    "getPR did not complete within {:?}",
+                                    inner.config.call_timeout
+                                ),
+                            });
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // One structured error per site; the first (earliest) failure wins.
+        let mut seen = HashSet::new();
+        errors.retain(|e| seen.insert(e.site.clone()));
+        rows.sort_by(|a, b| {
+            (a.site.as_str(), a.execution.as_str()).cmp(&(b.site.as_str(), b.execution.as_str()))
+        });
+        FederatedResult {
+            rows,
+            errors,
+            sites_total,
+            elapsed: started.elapsed(),
+            upstream_calls: query_upstream.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queue one target call: single-flight → site permit → retrying `getPR`
+    /// → cache fill → outcome on `tx`.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_call(
+        &self,
+        tx: Sender<Outcome>,
+        idx: usize,
+        site: String,
+        exec: Gsh,
+        pr: Arc<PrQuery>,
+        cache_key: String,
+        hedged: bool,
+        query_upstream: Arc<AtomicU64>,
+    ) {
+        let inner = Arc::clone(&self.inner);
+        self.pool.submit(move || {
+            let started = Instant::now();
+            inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+            // The flight key is the exact upstream tuple (instance handle +
+            // PrQuery key): concurrent identical tuples share one call.
+            let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
+            let result = match inner.flights.join(&flight_key) {
+                Flight::Follower(outcome) => outcome,
+                Flight::Leader(token) => {
+                    let outcome = {
+                        let _permit = inner.limiter.acquire(&site);
+                        let stub = ExecutionStub::bind(Arc::clone(&inner.client), &exec);
+                        let mut attempt = 0u32;
+                        loop {
+                            inner.stats.upstream.fetch_add(1, Ordering::Relaxed);
+                            query_upstream.fetch_add(1, Ordering::Relaxed);
+                            match stub.get_pr(&pr) {
+                                Ok(rows) => break Ok(Arc::new(rows)),
+                                Err(e) => {
+                                    let (kind, retryable) = classify(&e);
+                                    if retryable && attempt < inner.config.retries {
+                                        attempt += 1;
+                                        std::thread::sleep(
+                                            inner.config.backoff * (1 << attempt.min(6)),
+                                        );
+                                        continue;
+                                    }
+                                    break Err((kind, e.to_string()));
+                                }
+                            }
+                        }
+                    };
+                    if let Ok(rows) = &outcome {
+                        if inner.config.cache_enabled {
+                            inner.cache.insert(cache_key.clone(), Arc::clone(rows));
+                        }
+                    }
+                    inner.flights.publish(token, outcome.clone());
+                    outcome
+                }
+            };
+            inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            inner
+                .stats
+                .record_site(&site, started.elapsed(), result.is_err());
+            let _ = tx.send(Outcome {
+                idx,
+                hedged,
+                result,
+            });
+        });
+    }
+}

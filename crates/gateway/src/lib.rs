@@ -1,0 +1,53 @@
+//! `pperf-gateway`: the federated query gateway — PPerfGrid's federation
+//! front door.
+//!
+//! The thesis's client performs federation *manually*: discover sites, bind
+//! each Application, fan a `getPR` out per Execution, and merge by hand
+//! (`pperf-client`'s query panels). This crate promotes that pattern into a
+//! first-class Grid service: one [`FederatedQuery`] — a metric over a set of
+//! foci — is answered with Performance Results from *every* registered site,
+//! however heterogeneous their backing stores.
+//!
+//! The pipeline, in order:
+//!
+//! * **Planner** ([`plan`]) — snapshots the Registry, binds (and reuses)
+//!   one Application instance per site, and expands the query to concrete
+//!   per-Execution `getPR` targets.
+//! * **Scatter executor** ([`pool`]) — a bounded worker pool with per-site
+//!   concurrency permits, per-call timeouts, and retry with exponential
+//!   backoff.
+//! * **Coalescing** ([`coalesce`]) — identical in-flight `getPR` tuples
+//!   (same Execution instance, metric, foci, window, type) share a single
+//!   upstream call; the key reuses [`pperfgrid::PrQuery::cache_key`].
+//! * **Result cache** ([`cache`]) — a gateway-level TTL + LRU cache layered
+//!   above the per-Execution PR caches, so repeated federated queries skip
+//!   the network entirely.
+//! * **Hedging** — targets silent past a configurable delay (or whose
+//!   primary fails) are retried against a replica instance on a different
+//!   host, obtained from the site's Manager; first answer wins.
+//! * **Partial results** — a down or timed-out site becomes a structured
+//!   [`SiteError`] in the answer; every surviving site's rows are returned.
+//!
+//! Use it in-process via [`FederatedGateway::query`], or deploy it as an
+//! OGSI service ([`FederatedQueryService`]) exposing the `FederatedQuery`
+//! PortType and service data (per-site latency, cache hit rate, in-flight
+//! and coalesced counts).
+
+pub mod cache;
+pub mod coalesce;
+pub mod gateway;
+pub mod plan;
+pub mod pool;
+pub mod query;
+pub mod service;
+
+pub use cache::TtlLru;
+pub use coalesce::{Flight, SingleFlight};
+pub use gateway::{FederatedGateway, GatewayConfig, GatewaySnapshot, SiteLatency};
+pub use plan::{ExecTarget, Planner, QueryPlan, SitePlan};
+pub use pool::{SiteLimiter, WorkerPool};
+pub use query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, SiteRows};
+pub use service::{gateway_description, FederatedQueryService, FederatedQueryStub, WireResult};
+
+/// Namespace for FederatedQuery PortType calls.
+pub const GATEWAY_NS: &str = "urn:pperfgrid:FederatedQuery";

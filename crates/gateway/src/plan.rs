@@ -1,0 +1,269 @@
+//! The federation planner.
+//!
+//! Planning turns one [`FederatedQuery`](crate::FederatedQuery) into a
+//! concrete scatter plan: snapshot the Registry's service entries, bind (or
+//! reuse) an Application instance per site, expand the query's selector to
+//! per-Execution `getPR` targets, and — when the site advertises its Manager
+//! — pair each target with a hedge replica on a different host.
+//!
+//! A site that fails any planning step yields a structured
+//! [`SiteError`] instead of failing the whole federation.
+
+use crate::query::{FederatedQuery, SiteError, SiteErrorKind};
+use parking_lot::Mutex;
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{FactoryStub, GridServiceStub, Gsh, OgsiError, RegistryStub, ServiceEntry};
+use pperfgrid::{ApplicationStub, ManagerStub};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One `getPR` target: the primary Execution instance, and optionally a
+/// hedge instance of the same execution on a different replica host.
+#[derive(Debug, Clone)]
+pub struct ExecTarget {
+    /// The instance the Manager resolved for this execution.
+    pub primary: Gsh,
+    /// A distinct-host replica instance for hedged requests, if any.
+    pub hedge: Option<Gsh>,
+}
+
+/// The per-site slice of a scatter plan.
+#[derive(Debug, Clone)]
+pub struct SitePlan {
+    /// Site label (`organization/service`).
+    pub site: String,
+    /// The site's Application factory handle.
+    pub factory: Gsh,
+    /// Expanded `getPR` targets.
+    pub targets: Vec<ExecTarget>,
+}
+
+/// A complete scatter plan: per-site target lists plus the sites that failed
+/// to plan.
+#[derive(Debug, Clone, Default)]
+pub struct QueryPlan {
+    /// Successfully planned sites.
+    pub sites: Vec<SitePlan>,
+    /// Sites that failed planning (factory down, selector rejected, ...).
+    pub errors: Vec<SiteError>,
+}
+
+impl QueryPlan {
+    /// Total `getPR` targets across all planned sites.
+    pub fn target_count(&self) -> usize {
+        self.sites.iter().map(|s| s.targets.len()).sum()
+    }
+}
+
+/// A bound Application instance (and its site's Manager, once discovered),
+/// reused across queries so repeat federations skip `createService`.
+struct BoundSite {
+    app: ApplicationStub,
+    manager: Option<ManagerStub>,
+    /// Hedges already learned for primaries of this site (primary handle →
+    /// hedge, `None` recorded for un-hedgeable primaries).
+    hedges: HashMap<String, Option<Gsh>>,
+}
+
+/// The planner: registry snapshotting plus Application-binding state.
+pub struct Planner {
+    client: Arc<HttpClient>,
+    registry: Gsh,
+    hedging: bool,
+    bound: Mutex<HashMap<String, BoundSite>>,
+}
+
+impl Planner {
+    /// A planner reading site entries from the registry at `registry`.
+    pub fn new(client: Arc<HttpClient>, registry: Gsh, hedging: bool) -> Planner {
+        Planner {
+            client,
+            registry,
+            hedging,
+            bound: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Snapshot the registry and expand `query` into a scatter plan.
+    pub fn plan(&self, query: &FederatedQuery) -> QueryPlan {
+        let entries = match self.snapshot() {
+            Ok(entries) => entries,
+            Err(e) => {
+                return QueryPlan {
+                    sites: Vec::new(),
+                    errors: vec![SiteError {
+                        site: "<registry>".to_owned(),
+                        kind: SiteErrorKind::Planning,
+                        detail: format!("registry snapshot failed: {e}"),
+                    }],
+                }
+            }
+        };
+        let mut plan = QueryPlan::default();
+        for entry in entries {
+            let site = format!("{}/{}", entry.organization, entry.name);
+            if let Some(pattern) = &query.site_pattern {
+                if !site.contains(pattern.as_str()) {
+                    continue;
+                }
+            }
+            match self.plan_site(&site, &entry, query) {
+                Ok(site_plan) => plan.sites.push(site_plan),
+                Err(e) => plan.errors.push(SiteError {
+                    site,
+                    kind: SiteErrorKind::Planning,
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        plan
+    }
+
+    /// All registered service entries, every organization.
+    fn snapshot(&self) -> Result<Vec<ServiceEntry>, OgsiError> {
+        let registry = RegistryStub::bind(Arc::clone(&self.client), &self.registry);
+        let mut entries = Vec::new();
+        for org in registry.find_organizations("")? {
+            entries.extend(registry.list_services(&org.name)?);
+        }
+        Ok(entries)
+    }
+
+    /// Expand one site, retrying once with a fresh Application instance if a
+    /// cached binding has gone stale (site restarted since the last query).
+    fn plan_site(
+        &self,
+        site: &str,
+        entry: &ServiceEntry,
+        query: &FederatedQuery,
+    ) -> Result<SitePlan, OgsiError> {
+        match self.expand(site, entry, query, false) {
+            Ok(plan) => Ok(plan),
+            Err(_) if self.was_bound(site) => self.expand(site, entry, query, true),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn was_bound(&self, site: &str) -> bool {
+        self.bound.lock().contains_key(site)
+    }
+
+    fn expand(
+        &self,
+        site: &str,
+        entry: &ServiceEntry,
+        query: &FederatedQuery,
+        rebind: bool,
+    ) -> Result<SitePlan, OgsiError> {
+        if rebind {
+            self.bound.lock().remove(site);
+        }
+        // Look up (and drop the lock on) the cached binding before any wire
+        // work: createService and managerGsh discovery must not run under it.
+        let cached = self.bound.lock().get(site).map(|bound| bound.app.clone());
+        let app = match cached {
+            Some(app) => app,
+            None => {
+                let factory_gsh = Gsh::parse(entry.factory_url.as_str())?;
+                let factory = FactoryStub::bind(Arc::clone(&self.client), &factory_gsh);
+                let instance = factory.create_service(&[])?;
+                let app = ApplicationStub::bind(Arc::clone(&self.client), &instance);
+                let manager = self.hedging.then(|| self.discover_manager(&app)).flatten();
+                self.bound.lock().insert(
+                    site.to_owned(),
+                    BoundSite {
+                        app: app.clone(),
+                        manager,
+                        hedges: HashMap::new(),
+                    },
+                );
+                app
+            }
+        };
+        let primaries = match &query.selector {
+            Some((attribute, value)) => app.get_execs(attribute, value)?,
+            None => app.get_all_execs()?,
+        };
+        let hedges = self.hedges_for(site, &primaries);
+        let targets = primaries
+            .into_iter()
+            .zip(hedges)
+            .map(|(primary, hedge)| ExecTarget { primary, hedge })
+            .collect();
+        Ok(SitePlan {
+            site: site.to_owned(),
+            factory: Gsh::parse(entry.factory_url.as_str())?,
+            targets,
+        })
+    }
+
+    /// The site's Manager handle, advertised as `managerGsh` service data on
+    /// its Application instances. Best-effort: sites predating the element
+    /// simply don't hedge.
+    fn discover_manager(&self, app: &ApplicationStub) -> Option<ManagerStub> {
+        let gs = GridServiceStub::bind(Arc::clone(&self.client), app.handle());
+        let value = gs.find_service_data("managerGsh").ok()?;
+        let gsh = Gsh::parse(value.as_str()?).ok()?;
+        Some(ManagerStub::bind(Arc::clone(&self.client), &gsh))
+    }
+
+    /// Hedge handles aligned with `primaries`, consulting the site's Manager
+    /// only for primaries not already learned.
+    fn hedges_for(&self, site: &str, primaries: &[Gsh]) -> Vec<Option<Gsh>> {
+        if !self.hedging || primaries.is_empty() {
+            return vec![None; primaries.len()];
+        }
+        let (manager, mut known) = {
+            let bound = self.bound.lock();
+            let Some(bound_site) = bound.get(site) else {
+                return vec![None; primaries.len()];
+            };
+            let Some(manager) = bound_site.manager.clone() else {
+                return vec![None; primaries.len()];
+            };
+            let known: Vec<Option<Option<Gsh>>> = primaries
+                .iter()
+                .map(|p| bound_site.hedges.get(p.as_str()).cloned())
+                .collect();
+            (manager, known)
+        };
+        let unknown: Vec<Gsh> = primaries
+            .iter()
+            .zip(&known)
+            .filter(|(_, k)| k.is_none())
+            .map(|(p, _)| p.clone())
+            .collect();
+        if !unknown.is_empty() {
+            // One wire call learns every missing hedge; failure leaves them
+            // unhedged (best-effort).
+            let learned = manager
+                .get_hedges(&unknown)
+                .unwrap_or_else(|_| vec![None; unknown.len()]);
+            let mut bound = self.bound.lock();
+            if let Some(bound_site) = bound.get_mut(site) {
+                for (primary, hedge) in unknown.iter().zip(&learned) {
+                    bound_site
+                        .hedges
+                        .insert(primary.as_str().to_owned(), hedge.clone());
+                }
+            }
+            let mut learned_iter = learned.into_iter();
+            for slot in known.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(learned_iter.next().unwrap_or(None));
+                }
+            }
+        }
+        known.into_iter().map(|k| k.flatten()).collect()
+    }
+
+    /// Drop every cached Application binding (e.g. between test phases).
+    pub fn clear_bindings(&self) {
+        self.bound.lock().clear();
+    }
+
+    /// Number of sites with a live cached Application binding.
+    pub fn bound_sites(&self) -> usize {
+        self.bound.lock().len()
+    }
+}

@@ -1,0 +1,193 @@
+//! The scatter executor: a bounded worker pool plus per-site concurrency
+//! permits.
+//!
+//! The pool bounds the gateway's total parallelism (threads are the scarce
+//! resource in a blocking-I/O design); the [`SiteLimiter`] additionally
+//! bounds how many upstream calls may target one *site* at once, so a slow
+//! site cannot monopolize the pool and a burst cannot overwhelm a single
+//! container's accept queue.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining a shared job queue.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn gateway worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queue a job; it runs on the next free worker.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // Send fails only after shutdown, when the job is moot anyway.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets each worker drain remaining jobs and exit.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct Gate {
+    count: StdMutex<usize>,
+    cv: Condvar,
+}
+
+/// Per-site concurrency permits: at most `limit` in-flight upstream calls
+/// per site label.
+pub struct SiteLimiter {
+    limit: usize,
+    gates: Mutex<HashMap<String, Arc<Gate>>>,
+}
+
+impl SiteLimiter {
+    /// A limiter granting up to `limit` concurrent permits per site.
+    pub fn new(limit: usize) -> Arc<SiteLimiter> {
+        Arc::new(SiteLimiter {
+            limit: limit.max(1),
+            gates: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Block until a permit for `site` is free; the permit is released when
+    /// the returned guard drops.
+    pub fn acquire(&self, site: &str) -> Permit {
+        let gate = {
+            let mut gates = self.gates.lock();
+            Arc::clone(gates.entry(site.to_owned()).or_insert_with(|| {
+                Arc::new(Gate {
+                    count: StdMutex::new(0),
+                    cv: Condvar::new(),
+                })
+            }))
+        };
+        {
+            let mut count = gate.count.lock().unwrap_or_else(|e| e.into_inner());
+            while *count >= self.limit {
+                count = gate.cv.wait(count).unwrap_or_else(|e| e.into_inner());
+            }
+            *count += 1;
+        }
+        Permit { gate }
+    }
+
+    /// Permits currently held for `site`.
+    pub fn in_use(&self, site: &str) -> usize {
+        self.gates
+            .lock()
+            .get(site)
+            .map(|g| *g.count.lock().unwrap_or_else(|e| e.into_inner()))
+            .unwrap_or(0)
+    }
+}
+
+/// An RAII site permit.
+pub struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut count = self.gate.count.lock().unwrap_or_else(|e| e.into_inner());
+        *count = count.saturating_sub(1);
+        self.gate.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers after the queue drains
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn limiter_bounds_per_site_concurrency() {
+        let limiter = SiteLimiter::new(2);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(8);
+        for _ in 0..16 {
+            let limiter = Arc::clone(&limiter);
+            let peak = Arc::clone(&peak);
+            let current = Arc::clone(&current);
+            pool.submit(move || {
+                let _permit = limiter.acquire("siteA");
+                let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                current.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "peak {} > limit",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(limiter.in_use("siteA"), 0);
+    }
+
+    #[test]
+    fn limiter_is_per_site() {
+        let limiter = SiteLimiter::new(1);
+        let _a = limiter.acquire("a");
+        // A different site's permit must not block even while `a` is held.
+        let _b = limiter.acquire("b");
+        assert_eq!(limiter.in_use("a"), 1);
+        assert_eq!(limiter.in_use("b"), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Federated query and result types.
+//!
+//! One [`FederatedQuery`] asks for a metric over a set of foci across *all*
+//! registered sites; the answer is a [`FederatedResult`] that merges each
+//! site's Performance Results and carries structured per-site errors for the
+//! sites that could not answer (partial-result semantics).
+
+use pperf_ogsi::Gsh;
+use pperfgrid::{PrQuery, TYPE_UNDEFINED};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A federated Performance Result query: the [`PrQuery`] tuple, plus
+/// federation-level selectors for which executions and sites to fan out to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FederatedQuery {
+    /// Metric name (e.g. `gflops`, `bandwidth_mbps`).
+    pub metric: String,
+    /// Foci — resource-hierarchy nodes.
+    pub foci: Vec<String>,
+    /// Start of the time window (empty ⇒ unbounded).
+    pub start: String,
+    /// End of the time window (empty ⇒ unbounded).
+    pub end: String,
+    /// Tool type, [`TYPE_UNDEFINED`] for any.
+    pub rtype: String,
+    /// Restrict to executions whose `attribute` equals `value`
+    /// (`Application::getExecs`); `None` fans out to every execution
+    /// (`getAllExecs`).
+    pub selector: Option<(String, String)>,
+    /// Restrict to sites whose `organization/service` label contains this
+    /// substring; `None` fans out to every registered site.
+    pub site_pattern: Option<String>,
+}
+
+impl FederatedQuery {
+    /// A query for `metric` over `foci`, unbounded in time, any tool type,
+    /// all executions of all sites.
+    pub fn new(metric: impl Into<String>, foci: Vec<String>) -> FederatedQuery {
+        FederatedQuery {
+            metric: metric.into(),
+            foci,
+            start: String::new(),
+            end: String::new(),
+            rtype: TYPE_UNDEFINED.to_owned(),
+            selector: None,
+            site_pattern: None,
+        }
+    }
+
+    /// Bound the time window.
+    pub fn over(mut self, start: impl Into<String>, end: impl Into<String>) -> FederatedQuery {
+        self.start = start.into();
+        self.end = end.into();
+        self
+    }
+
+    /// Require a specific collection-tool type.
+    pub fn with_type(mut self, rtype: impl Into<String>) -> FederatedQuery {
+        self.rtype = rtype.into();
+        self
+    }
+
+    /// Only executions whose `attribute` equals `value`.
+    pub fn matching(mut self, attribute: impl Into<String>, value: impl Into<String>) -> Self {
+        self.selector = Some((attribute.into(), value.into()));
+        self
+    }
+
+    /// Only sites whose label contains `pattern`.
+    pub fn sites(mut self, pattern: impl Into<String>) -> FederatedQuery {
+        self.site_pattern = Some(pattern.into());
+        self
+    }
+
+    /// The per-execution `getPR` tuple this query expands to.
+    pub fn pr_query(&self) -> PrQuery {
+        PrQuery {
+            metric: self.metric.clone(),
+            foci: self.foci.clone(),
+            start: self.start.clone(),
+            end: self.end.clone(),
+            rtype: self.rtype.clone(),
+        }
+    }
+}
+
+/// Which stage of federation a site failed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteErrorKind {
+    /// Binding the site's Application factory or expanding its executions
+    /// failed.
+    Planning,
+    /// Transport-level failure reaching the site (connection refused/reset).
+    Unreachable,
+    /// The call did not complete within the per-call timeout.
+    Timeout,
+    /// The site answered with a SOAP fault or malformed response.
+    Fault,
+}
+
+impl fmt::Display for SiteErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SiteErrorKind::Planning => "planning",
+            SiteErrorKind::Unreachable => "unreachable",
+            SiteErrorKind::Timeout => "timeout",
+            SiteErrorKind::Fault => "fault",
+        })
+    }
+}
+
+/// A structured per-site failure. The federated result still returns rows
+/// from every surviving site.
+#[derive(Debug, Clone)]
+pub struct SiteError {
+    /// Site label (`organization/service`).
+    pub site: String,
+    /// Failure class.
+    pub kind: SiteErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for SiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.site, self.kind, self.detail)
+    }
+}
+
+/// One execution's Performance Results within a federated answer.
+#[derive(Debug, Clone)]
+pub struct SiteRows {
+    /// Site label (`organization/service`).
+    pub site: String,
+    /// The Execution instance that produced (or would have produced) the
+    /// rows — the *primary* target, even if a hedge replica answered.
+    pub execution: Gsh,
+    /// Rendered Performance Result rows.
+    pub rows: Arc<Vec<String>>,
+    /// Served from the gateway's shared result cache.
+    pub from_cache: bool,
+    /// Answered by a hedge replica rather than the primary instance.
+    pub hedged: bool,
+}
+
+/// The merged answer to a [`FederatedQuery`].
+#[derive(Debug, Clone)]
+pub struct FederatedResult {
+    /// Per-execution results from every site that answered.
+    pub rows: Vec<SiteRows>,
+    /// Per-site failures (at most one entry per site).
+    pub errors: Vec<SiteError>,
+    /// Number of sites the planner fanned out to (including failed ones).
+    pub sites_total: usize,
+    /// Wall-clock time of the whole scatter-gather.
+    pub elapsed: Duration,
+    /// Upstream `getPR` calls actually performed for this query (coalesced
+    /// and cache-served targets perform none).
+    pub upstream_calls: u64,
+}
+
+impl FederatedResult {
+    /// True when at least one site failed while others answered — the
+    /// partial-result case.
+    pub fn is_partial(&self) -> bool {
+        !self.errors.is_empty() && !self.rows.is_empty()
+    }
+
+    /// Number of sites that contributed at least one result set.
+    pub fn sites_answered(&self) -> usize {
+        let mut sites: Vec<&str> = self.rows.iter().map(|r| r.site.as_str()).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites.len()
+    }
+
+    /// Total rendered rows across all sites.
+    pub fn total_rows(&self) -> usize {
+        self.rows.iter().map(|r| r.rows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_expands_to_pr_query() {
+        let fq = FederatedQuery::new("gflops", vec!["/Execution".into()])
+            .over("0", "100")
+            .with_type("RDBMS")
+            .matching("numprocs", "8")
+            .sites("PSU");
+        let pr = fq.pr_query();
+        assert_eq!(pr.metric, "gflops");
+        assert_eq!(pr.foci, vec!["/Execution".to_owned()]);
+        assert_eq!((pr.start.as_str(), pr.end.as_str()), ("0", "100"));
+        assert_eq!(pr.rtype, "RDBMS");
+        assert_eq!(fq.selector.as_ref().unwrap().0, "numprocs");
+        assert_eq!(fq.site_pattern.as_deref(), Some("PSU"));
+    }
+
+    #[test]
+    fn partiality_requires_both_rows_and_errors() {
+        let err = SiteError {
+            site: "org/a".into(),
+            kind: SiteErrorKind::Unreachable,
+            detail: "refused".into(),
+        };
+        let ok = SiteRows {
+            site: "org/b".into(),
+            execution: Gsh::parse("http://localhost:1/x").unwrap(),
+            rows: Arc::new(vec!["r".into()]),
+            from_cache: false,
+            hedged: false,
+        };
+        let mk = |rows: Vec<SiteRows>, errors: Vec<SiteError>| FederatedResult {
+            rows,
+            errors,
+            sites_total: 2,
+            elapsed: Duration::ZERO,
+            upstream_calls: 0,
+        };
+        assert!(mk(vec![ok.clone()], vec![err.clone()]).is_partial());
+        assert!(!mk(vec![ok], vec![]).is_partial());
+        assert!(!mk(vec![], vec![err]).is_partial());
+    }
+}

@@ -67,7 +67,10 @@ impl HttpClient {
 
     /// Override the connect timeout.
     pub fn with_connect_timeout(timeout: Duration) -> HttpClient {
-        HttpClient { pool: Mutex::new(HashMap::new()), connect_timeout: timeout }
+        HttpClient {
+            pool: Mutex::new(HashMap::new()),
+            connect_timeout: timeout,
+        }
     }
 
     /// POST `body` to `url`.
@@ -135,13 +138,18 @@ mod tests {
                 Response::ok("text/plain", req.body.clone())
             }
         });
-        let server =
-            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
         let client = HttpClient::new();
-        let resp = client.get(&format!("{}/info?wsdl", server.base_url())).unwrap();
+        let resp = client
+            .get(&format!("{}/info?wsdl", server.base_url()))
+            .unwrap();
         assert_eq!(resp.body_str(), "got /info");
         let resp = client
-            .post(&format!("{}/svc", server.base_url()), "text/xml", b"<x/>".to_vec())
+            .post(
+                &format!("{}/svc", server.base_url()),
+                "text/xml",
+                b"<x/>".to_vec(),
+            )
             .unwrap();
         assert_eq!(resp.body, b"<x/>");
     }
@@ -154,8 +162,7 @@ mod tests {
         // easiest reliable check is to make two sequential servers and verify
         // the client works again after pool entries go stale.
         let handler = Arc::new(|_: &Request| Response::ok("text/plain", b"one".to_vec()));
-        let mut server =
-            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let mut server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
         let addr = server.addr();
         let client = HttpClient::new();
         let url = format!("http://{addr}/x");
@@ -175,12 +182,12 @@ mod tests {
 
     #[test]
     fn status_passthrough() {
-        let handler =
-            Arc::new(|_: &Request| Response::text(Status::NOT_FOUND, "nope"));
-        let server =
-            HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let handler = Arc::new(|_: &Request| Response::text(Status::NOT_FOUND, "nope"));
+        let server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
         let client = HttpClient::new();
-        let resp = client.get(&format!("{}/missing", server.base_url())).unwrap();
+        let resp = client
+            .get(&format!("{}/missing", server.base_url()))
+            .unwrap();
         assert_eq!(resp.status, Status::NOT_FOUND);
         assert_eq!(resp.body_str(), "nope");
     }

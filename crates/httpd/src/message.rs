@@ -143,10 +143,16 @@ impl Request {
         let mut parts = start_line.split_whitespace();
         let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
             (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v),
-            _ => return Err(HttpError::Malformed(format!("bad request line {start_line:?}"))),
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "bad request line {start_line:?}"
+                )))
+            }
         };
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("unsupported version {version:?}")));
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {version:?}"
+            )));
         }
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p.to_owned(), q.to_owned()),
@@ -154,7 +160,13 @@ impl Request {
         };
         let headers = read_headers(reader)?;
         let body = read_body(reader, &headers)?;
-        Ok(Some(Request { method, path, query, headers, body }))
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
     }
 
     /// Serialize to the wire, including framing headers.
@@ -203,21 +215,33 @@ impl Response {
     pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", content_type);
-        Response { status: Status::OK, headers, body }
+        Response {
+            status: Status::OK,
+            headers,
+            body,
+        }
     }
 
     /// A plain-text response with an arbitrary status.
     pub fn text(status: Status, msg: impl Into<String>) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", "text/plain; charset=utf-8");
-        Response { status, headers, body: msg.into().into_bytes() }
+        Response {
+            status,
+            headers,
+            body: msg.into().into_bytes(),
+        }
     }
 
     /// An XML response (used for SOAP payloads and WSDL documents).
     pub fn xml(status: Status, body: impl Into<String>) -> Response {
         let mut headers = Headers::new();
         headers.set("Content-Type", "text/xml; charset=utf-8");
-        Response { status, headers, body: body.into().into_bytes() }
+        Response {
+            status,
+            headers,
+            body: body.into().into_bytes(),
+        }
     }
 
     /// Body interpreted as UTF-8 (lossy).
@@ -227,12 +251,13 @@ impl Response {
 
     /// Read one response from a buffered stream.
     pub fn read_from(reader: &mut impl BufRead) -> Result<Response> {
-        let status_line =
-            read_line_opt(reader)?.ok_or(HttpError::ConnectionClosed)?;
+        let status_line = read_line_opt(reader)?.ok_or(HttpError::ConnectionClosed)?;
         let mut parts = status_line.splitn(3, ' ');
         let version = parts.next().unwrap_or("");
         if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("bad status line {status_line:?}")));
+            return Err(HttpError::Malformed(format!(
+                "bad status line {status_line:?}"
+            )));
         }
         let code: u16 = parts
             .next()
@@ -240,7 +265,11 @@ impl Response {
             .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
         let headers = read_headers(reader)?;
         let body = read_body(reader, &headers)?;
-        Ok(Response { status: Status(code), headers, body })
+        Ok(Response {
+            status: Status(code),
+            headers,
+            body,
+        })
     }
 
     /// Serialize to the wire, including framing headers.
@@ -300,7 +329,10 @@ fn read_body(reader: &mut impl BufRead, headers: &Headers) -> Result<Vec<u8>> {
         None => 0,
     };
     if len > MAX_BODY {
-        return Err(HttpError::BodyTooLarge { limit: MAX_BODY, got: len });
+        return Err(HttpError::BodyTooLarge {
+            limit: MAX_BODY,
+            got: len,
+        });
     }
     let mut body = vec![0u8; len];
     let mut read = 0;
@@ -371,7 +403,9 @@ mod tests {
     #[test]
     fn clean_eof_returns_none() {
         let empty: &[u8] = b"";
-        assert!(Request::read_from(&mut BufReader::new(empty)).unwrap().is_none());
+        assert!(Request::read_from(&mut BufReader::new(empty))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -391,7 +425,10 @@ mod tests {
 
     #[test]
     fn oversize_body_rejected() {
-        let wire = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(
             Request::read_from(&mut BufReader::new(wire.as_bytes())),
             Err(HttpError::BodyTooLarge { .. })
@@ -419,7 +456,9 @@ mod tests {
     #[test]
     fn lf_only_lines_tolerated() {
         let wire = b"GET /x HTTP/1.1\nHost: h\n\n";
-        let req = Request::read_from(&mut BufReader::new(&wire[..])).unwrap().unwrap();
+        let req = Request::read_from(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
         assert_eq!(req.path, "/x");
         assert_eq!(req.headers.get("host"), Some("h"));
     }

@@ -50,7 +50,11 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 8, injected_latency: None, backlog: 1024 }
+        ServerConfig {
+            workers: 8,
+            injected_latency: None,
+            backlog: 1024,
+        }
     }
 }
 
@@ -67,7 +71,10 @@ impl Permits {
         for _ in 0..count.max(1) {
             tx.send(()).expect("fill permit pool");
         }
-        Permits { tokens: rx, returns: tx }
+        Permits {
+            tokens: rx,
+            returns: tx,
+        }
     }
 
     fn acquire(&self) -> PermitGuard<'_> {
@@ -129,20 +136,27 @@ impl HttpServer {
                     let Ok(stream) = conn else { continue };
                     let conn_shared = Arc::clone(&accept_shared);
                     conn_shared.open_connections.fetch_add(1, Ordering::AcqRel);
-                    let spawned = std::thread::Builder::new()
-                        .name("httpd-conn".into())
-                        .spawn(move || {
-                            let _ = serve_connection(stream, &conn_shared);
-                            conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
-                        });
+                    let spawned =
+                        std::thread::Builder::new()
+                            .name("httpd-conn".into())
+                            .spawn(move || {
+                                let _ = serve_connection(stream, &conn_shared);
+                                conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                            });
                     if spawned.is_err() {
-                        accept_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                        accept_shared
+                            .open_connections
+                            .fetch_sub(1, Ordering::AcqRel);
                     }
                 }
             })
             .expect("spawn accept thread");
 
-        Ok(HttpServer { addr: local, shared, accept_thread: Some(accept_thread) })
+        Ok(HttpServer {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound socket address (useful with port 0).
@@ -246,7 +260,10 @@ mod tests {
         let handler = Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()));
         HttpServer::bind(
             "127.0.0.1:0",
-            ServerConfig { workers, ..Default::default() },
+            ServerConfig {
+                workers,
+                ..Default::default()
+            },
             handler,
         )
         .unwrap()
@@ -332,7 +349,10 @@ mod tests {
         });
         let server = HttpServer::bind(
             "127.0.0.1:0",
-            ServerConfig { workers: 2, ..Default::default() },
+            ServerConfig {
+                workers: 2,
+                ..Default::default()
+            },
             handler,
         )
         .unwrap();
@@ -397,7 +417,9 @@ mod tests {
         let client = HttpClient::new();
         let url = format!("{}/echo", server.base_url());
         let body = vec![b'x'; 1_000_000];
-        let resp = client.post(&url, "application/octet-stream", body.clone()).unwrap();
+        let resp = client
+            .post(&url, "application/octet-stream", body.clone())
+            .unwrap();
         assert_eq!(resp.body.len(), body.len());
     }
 }

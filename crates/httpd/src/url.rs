@@ -45,7 +45,12 @@ impl Url {
             Some((p, q)) => (p.to_owned(), q.to_owned()),
             None => (path_query.to_owned(), String::new()),
         };
-        Ok(Url { host, port, path, query })
+        Ok(Url {
+            host,
+            port,
+            path,
+            query,
+        })
     }
 
     /// `host:port` for connecting and the `Host` header.

@@ -138,14 +138,22 @@ impl Connection {
                         .map(|(name, ty)| Column { name, ty })
                         .collect(),
                 };
-                tables.insert(name, Table { schema, rows: Vec::new() });
+                tables.insert(
+                    name,
+                    Table {
+                        schema,
+                        rows: Vec::new(),
+                    },
+                );
                 Ok(0)
             }
-            Statement::Insert { name, columns, rows } => {
+            Statement::Insert {
+                name,
+                columns,
+                rows,
+            } => {
                 let mut tables = self.db.inner.tables.write();
-                let table = tables
-                    .get_mut(&name)
-                    .ok_or(DbError::UnknownTable(name))?;
+                let table = tables.get_mut(&name).ok_or(DbError::UnknownTable(name))?;
                 let arity = table.schema.arity();
                 // Map explicit column lists to schema positions.
                 let positions: Vec<usize> = match &columns {
@@ -202,9 +210,11 @@ impl Connection {
                 match predicate {
                     None => table.rows.clear(),
                     Some(pred) => {
-                        let tref = crate::sql::TableRef { table: name.clone(), alias: name };
-                        let layout =
-                            executor::Layout::build(&[(tref, &table.schema)]);
+                        let tref = crate::sql::TableRef {
+                            table: name.clone(),
+                            alias: name,
+                        };
+                        let layout = executor::Layout::build(&[(tref, &table.schema)]);
                         // Evaluate the predicate per row; errors abort without
                         // partial deletion.
                         let mut keep = Vec::with_capacity(table.rows.len());

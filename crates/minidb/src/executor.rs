@@ -189,16 +189,21 @@ fn eval_truth(expr: &Expr, layout: &Layout, row: &[&DbValue]) -> Result<Truth> {
             let t = Truth::from_bool(v.is_null());
             Ok(if *negated { t.not() } else { t })
         }
-        Expr::Binary { op: BinOp::And, left, right } => {
-            Ok(eval_truth(left, layout, row)?.and(eval_truth(right, layout, row)?))
-        }
-        Expr::Binary { op: BinOp::Or, left, right } => {
-            Ok(eval_truth(left, layout, row)?.or(eval_truth(right, layout, row)?))
-        }
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => Ok(eval_truth(left, layout, row)?.and(eval_truth(right, layout, row)?)),
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => Ok(eval_truth(left, layout, row)?.or(eval_truth(right, layout, row)?)),
         // Arithmetic in boolean position: evaluate, then apply truthiness.
-        Expr::Binary { op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div, .. } => {
-            value_truthiness(eval_value(expr, layout, row)?)
-        }
+        Expr::Binary {
+            op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div,
+            ..
+        } => value_truthiness(eval_value(expr, layout, row)?),
         Expr::Binary { op, left, right } => {
             let l = eval_value(left, layout, row)?;
             let r = eval_value(right, layout, row)?;
@@ -288,7 +293,11 @@ fn collect_aliases(expr: &Expr, layout: &Layout, out: &mut Vec<String>) {
 /// Split a predicate into AND-ed conjuncts.
 fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     match expr {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let mut v = conjuncts(left);
             v.extend(conjuncts(right));
             v
@@ -443,7 +452,10 @@ fn project_plain(
     if let Some(limit) = stmt.limit {
         out_rows.truncate(limit);
     }
-    Ok(QueryOutput { columns, rows: out_rows })
+    Ok(QueryOutput {
+        columns,
+        rows: out_rows,
+    })
 }
 
 /// Aggregate / GROUP BY projection.
@@ -529,7 +541,10 @@ fn project_grouped(
     if let Some(limit) = stmt.limit {
         out_rows.truncate(limit);
     }
-    Ok(QueryOutput { columns, rows: out_rows })
+    Ok(QueryOutput {
+        columns,
+        rows: out_rows,
+    })
 }
 
 fn eval_aggregate(
@@ -646,7 +661,11 @@ fn dedupe(rows: Vec<Vec<DbValue>>) -> Vec<Vec<DbValue>> {
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
-        let key = row.iter().map(DbValue::render).collect::<Vec<_>>().join("\u{1f}");
+        let key = row
+            .iter()
+            .map(DbValue::render)
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
         if seen.insert(key) {
             out.push(row);
         }

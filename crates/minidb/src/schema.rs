@@ -27,7 +27,10 @@ impl TableSchema {
             name: name.to_ascii_lowercase(),
             columns: columns
                 .into_iter()
-                .map(|(n, ty)| Column { name: n.to_ascii_lowercase(), ty })
+                .map(|(n, ty)| Column {
+                    name: n.to_ascii_lowercase(),
+                    ty,
+                })
                 .collect(),
         }
     }
@@ -51,7 +54,10 @@ mod tests {
 
     #[test]
     fn lookup_case_insensitive() {
-        let s = TableSchema::new("Runs", vec![("Id", DbType::Int), ("GFlops", DbType::Double)]);
+        let s = TableSchema::new(
+            "Runs",
+            vec![("Id", DbType::Int), ("GFlops", DbType::Double)],
+        );
         assert_eq!(s.name, "runs");
         assert_eq!(s.column_index("ID"), Some(0));
         assert_eq!(s.column_index("gflops"), Some(1));

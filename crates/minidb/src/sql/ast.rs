@@ -162,7 +162,10 @@ pub enum Expr {
 impl Expr {
     /// A column reference without qualifier.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_ascii_lowercase() }
+        Expr::Column {
+            table: None,
+            name: name.to_ascii_lowercase(),
+        }
     }
 
     /// A human-readable label for projection output.

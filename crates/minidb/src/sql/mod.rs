@@ -4,8 +4,6 @@ mod ast;
 mod lexer;
 mod parser;
 
-pub use ast::{
-    AggFunc, BinOp, Expr, OrderKey, SelectItem, SelectStmt, Statement, TableRef,
-};
+pub use ast::{AggFunc, BinOp, Expr, OrderKey, SelectItem, SelectStmt, Statement, TableRef};
 pub use lexer::{tokenize, Token};
 pub use parser::parse_statement;

@@ -41,7 +41,9 @@ impl Parser {
         match self.bump() {
             Some(t) if t == *expected => Ok(()),
             Some(t) => Err(DbError::Syntax(format!("expected {expected:?}, got {t:?}"))),
-            None => Err(DbError::Syntax(format!("expected {expected:?}, got end of input"))),
+            None => Err(DbError::Syntax(format!(
+                "expected {expected:?}, got end of input"
+            ))),
         }
     }
 
@@ -69,7 +71,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(DbError::Syntax(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::Syntax(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -82,11 +86,17 @@ impl Parser {
             Ok(Statement::Select(self.select()?))
         } else if self.eat_kw("drop") {
             self.expect_kw("table")?;
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else if self.eat_kw("delete") {
             self.expect_kw("from")?;
             let name = self.ident()?;
-            let predicate = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
             Ok(Statement::Delete { name, predicate })
         } else {
             Err(DbError::Syntax(format!(
@@ -172,7 +182,11 @@ impl Parser {
             }
             break;
         }
-        Ok(Statement::Insert { name, columns, rows })
+        Ok(Statement::Insert {
+            name,
+            columns,
+            rows,
+        })
     }
 
     fn literal(&mut self) -> Result<DbValue> {
@@ -181,7 +195,9 @@ impl Parser {
             return match self.bump() {
                 Some(Token::Int(i)) => Ok(DbValue::Int(-i)),
                 Some(Token::Double(d)) => Ok(DbValue::Double(-d)),
-                other => Err(DbError::Syntax(format!("expected number after '-', got {other:?}"))),
+                other => Err(DbError::Syntax(format!(
+                    "expected number after '-', got {other:?}"
+                ))),
             };
         }
         match self.bump() {
@@ -227,7 +243,11 @@ impl Parser {
             }
             break;
         }
-        let predicate = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -267,7 +287,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { distinct, items, from, predicate, group_by, order_by, limit })
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -313,7 +341,11 @@ impl Parser {
             }
         }
         let expr = self.sum_expr()?;
-        let label = if self.eat_kw("as") { self.ident()? } else { expr.default_label() };
+        let label = if self.eat_kw("as") {
+            self.ident()?
+        } else {
+            expr.default_label()
+        };
         Ok(SelectItem::Expr { expr, label })
     }
 
@@ -325,7 +357,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -334,7 +370,11 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -360,7 +400,10 @@ impl Parser {
                 self.bump();
                 let negated = self.eat_kw("not");
                 self.expect_kw("null")?;
-                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+                return Ok(Expr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                });
             }
             _ => None,
         };
@@ -368,7 +411,11 @@ impl Parser {
             Some(op) => {
                 self.bump();
                 let right = self.sum_expr()?;
-                Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+                Ok(Expr::Binary {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
             }
             None => Ok(left),
         }
@@ -385,7 +432,11 @@ impl Parser {
             };
             self.bump();
             let right = self.term_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -401,7 +452,11 @@ impl Parser {
             };
             self.bump();
             let right = self.unary_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -444,12 +499,17 @@ impl Parser {
                 if matches!(self.peek(), Some(Token::Dot)) {
                     self.bump();
                     let col = self.ident()?;
-                    Ok(Expr::Column { table: Some(name), name: col })
+                    Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    })
                 } else {
                     Ok(Expr::Column { table: None, name })
                 }
             }
-            other => Err(DbError::Syntax(format!("expected expression, got {other:?}"))),
+            other => Err(DbError::Syntax(format!(
+                "expected expression, got {other:?}"
+            ))),
         }
     }
 }
@@ -476,10 +536,13 @@ mod tests {
 
     #[test]
     fn insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (id, s) VALUES (1, 'a'), (2, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (id, s) VALUES (1, 'a'), (2, NULL)").unwrap();
         match stmt {
-            Statement::Insert { name, columns, rows } => {
+            Statement::Insert {
+                name,
+                columns,
+                rows,
+            } => {
                 assert_eq!(name, "t");
                 assert_eq!(columns, Some(vec!["id".into(), "s".into()]));
                 assert_eq!(rows.len(), 2);
@@ -497,7 +560,9 @@ mod tests {
              GROUP BY a.x ORDER BY foo DESC, x LIMIT 10",
         )
         .unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(sel.distinct);
         assert_eq!(sel.items.len(), 2);
         assert_eq!(sel.from.len(), 2);
@@ -513,15 +578,26 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let stmt = parse_statement("SELECT SUM(v) AS total, MIN(v), MAX(v), AVG(v) FROM t").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let stmt =
+            parse_statement("SELECT SUM(v) AS total, MIN(v), MAX(v), AVG(v) FROM t").unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert_eq!(sel.items.len(), 4);
         match &sel.items[0] {
-            SelectItem::Aggregate { func: AggFunc::Sum, label, .. } => assert_eq!(label, "total"),
+            SelectItem::Aggregate {
+                func: AggFunc::Sum,
+                label,
+                ..
+            } => assert_eq!(label, "total"),
             other => panic!("{other:?}"),
         }
         match &sel.items[1] {
-            SelectItem::Aggregate { func: AggFunc::Min, label, .. } => assert_eq!(label, "min(v)"),
+            SelectItem::Aggregate {
+                func: AggFunc::Min,
+                label,
+                ..
+            } => assert_eq!(label, "min(v)"),
             other => panic!("{other:?}"),
         }
     }
@@ -536,7 +612,9 @@ mod tests {
     fn is_null_and_not() {
         let stmt =
             parse_statement("SELECT * FROM t WHERE a IS NULL AND NOT b IS NOT NULL").unwrap();
-        let Statement::Select(sel) = stmt else { panic!() };
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
         assert!(sel.predicate.is_some());
     }
 

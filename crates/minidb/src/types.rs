@@ -196,21 +196,36 @@ mod tests {
 
     #[test]
     fn comparison_semantics() {
-        assert_eq!(DbValue::Int(1).compare(&DbValue::Double(1.5)), Ordering::Less);
-        assert_eq!(DbValue::Double(2.0).compare(&DbValue::Int(2)), Ordering::Equal);
-        assert_eq!(DbValue::Null.compare(&DbValue::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            DbValue::Int(1).compare(&DbValue::Double(1.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            DbValue::Double(2.0).compare(&DbValue::Int(2)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            DbValue::Null.compare(&DbValue::Int(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(
             DbValue::Text("a".into()).compare(&DbValue::Text("b".into())),
             Ordering::Less
         );
-        assert_eq!(DbValue::Int(9).compare(&DbValue::Text("1".into())), Ordering::Less);
+        assert_eq!(
+            DbValue::Int(9).compare(&DbValue::Text("1".into())),
+            Ordering::Less
+        );
     }
 
     #[test]
     fn sql_equality() {
         assert_eq!(DbValue::Int(1).sql_eq(&DbValue::Double(1.0)), Some(true));
         assert_eq!(DbValue::Null.sql_eq(&DbValue::Null), None);
-        assert_eq!(DbValue::Text("1".into()).sql_eq(&DbValue::Int(1)), Some(false));
+        assert_eq!(
+            DbValue::Text("1".into()).sql_eq(&DbValue::Int(1)),
+            Some(false)
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
     .prop_map(|rows| {
         rows.into_iter()
             .enumerate()
-            .map(|(i, (id, v, s))| Row { id: i64::from(id) + i as i64, v, s })
+            .map(|(i, (id, v, s))| Row {
+                id: i64::from(id) + i as i64,
+                v,
+                s,
+            })
             .collect()
     })
 }
@@ -28,10 +32,17 @@ fn rows_strategy() -> impl Strategy<Value = Vec<Row>> {
 fn load(rows: &[Row]) -> Database {
     let db = Database::new();
     let conn = db.connect();
-    conn.execute("CREATE TABLE t (id INT, v DOUBLE, s TEXT)").unwrap();
+    conn.execute("CREATE TABLE t (id INT, v DOUBLE, s TEXT)")
+        .unwrap();
     let data: Vec<Vec<DbValue>> = rows
         .iter()
-        .map(|r| vec![DbValue::Int(r.id), DbValue::Double(r.v), DbValue::Text(r.s.clone())])
+        .map(|r| {
+            vec![
+                DbValue::Int(r.id),
+                DbValue::Double(r.v),
+                DbValue::Text(r.s.clone()),
+            ]
+        })
         .collect();
     db.bulk_insert("t", data).unwrap();
     db

@@ -8,10 +8,14 @@ fn fixture() -> Database {
     let c = db.connect();
     c.execute("CREATE TABLE runs (id INT, numprocs INT, gflops DOUBLE, host TEXT)")
         .unwrap();
-    c.execute("INSERT INTO runs VALUES (100, 2, 1.5, 'alpha')").unwrap();
-    c.execute("INSERT INTO runs VALUES (101, 4, 2.75, 'alpha')").unwrap();
-    c.execute("INSERT INTO runs VALUES (102, 4, 3.5, 'beta')").unwrap();
-    c.execute("INSERT INTO runs VALUES (103, 8, NULL, 'beta')").unwrap();
+    c.execute("INSERT INTO runs VALUES (100, 2, 1.5, 'alpha')")
+        .unwrap();
+    c.execute("INSERT INTO runs VALUES (101, 4, 2.75, 'alpha')")
+        .unwrap();
+    c.execute("INSERT INTO runs VALUES (102, 4, 3.5, 'beta')")
+        .unwrap();
+    c.execute("INSERT INTO runs VALUES (103, 8, NULL, 'beta')")
+        .unwrap();
     db
 }
 
@@ -19,7 +23,9 @@ fn fixture() -> Database {
 fn basic_projection_and_filter() {
     let db = fixture();
     let c = db.connect();
-    let rs = c.query("SELECT id, host FROM runs WHERE numprocs = 4 ORDER BY id").unwrap();
+    let rs = c
+        .query("SELECT id, host FROM runs WHERE numprocs = 4 ORDER BY id")
+        .unwrap();
     assert_eq!(rs.columns(), ["id", "host"]);
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.get_i64(0, "id").unwrap(), 101);
@@ -29,7 +35,10 @@ fn basic_projection_and_filter() {
 #[test]
 fn wildcard_projection() {
     let db = fixture();
-    let rs = db.connect().query("SELECT * FROM runs WHERE id = 100").unwrap();
+    let rs = db
+        .connect()
+        .query("SELECT * FROM runs WHERE id = 100")
+        .unwrap();
     assert_eq!(rs.columns(), ["id", "numprocs", "gflops", "host"]);
     assert_eq!(rs.get_f64(0, "gflops").unwrap(), 1.5);
 }
@@ -41,7 +50,9 @@ fn distinct_values() {
         .connect()
         .query("SELECT DISTINCT numprocs FROM runs ORDER BY numprocs")
         .unwrap();
-    let vals: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "numprocs").unwrap()).collect();
+    let vals: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "numprocs").unwrap())
+        .collect();
     assert_eq!(vals, [2, 4, 8]);
 }
 
@@ -53,7 +64,9 @@ fn or_and_precedence() {
         .connect()
         .query("SELECT id FROM runs WHERE id = 100 OR numprocs = 4 AND host = 'beta' ORDER BY id")
         .unwrap();
-    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
     assert_eq!(ids, [100, 102]);
 }
 
@@ -62,23 +75,63 @@ fn null_semantics() {
     let db = fixture();
     let c = db.connect();
     // NULL never matches comparisons.
-    assert_eq!(c.query("SELECT id FROM runs WHERE gflops > 0").unwrap().len(), 3);
-    assert_eq!(c.query("SELECT id FROM runs WHERE gflops = NULL").unwrap().len(), 0);
-    assert_eq!(c.query("SELECT id FROM runs WHERE NOT gflops > 0").unwrap().len(), 0);
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE gflops > 0")
+            .unwrap()
+            .len(),
+        3
+    );
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE gflops = NULL")
+            .unwrap()
+            .len(),
+        0
+    );
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE NOT gflops > 0")
+            .unwrap()
+            .len(),
+        0
+    );
     // IS NULL does.
     let rs = c.query("SELECT id FROM runs WHERE gflops IS NULL").unwrap();
     assert_eq!(rs.get_i64(0, "id").unwrap(), 103);
-    assert_eq!(c.query("SELECT id FROM runs WHERE gflops IS NOT NULL").unwrap().len(), 3);
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE gflops IS NOT NULL")
+            .unwrap()
+            .len(),
+        3
+    );
 }
 
 #[test]
 fn like_patterns() {
     let db = fixture();
     let c = db.connect();
-    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE 'al%'").unwrap().len(), 2);
-    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE '%eta'").unwrap().len(), 2);
-    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE '_lpha'").unwrap().len(), 2);
-    assert_eq!(c.query("SELECT id FROM runs WHERE host LIKE 'gamma'").unwrap().len(), 0);
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE host LIKE 'al%'")
+            .unwrap()
+            .len(),
+        2
+    );
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE host LIKE '%eta'")
+            .unwrap()
+            .len(),
+        2
+    );
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE host LIKE '_lpha'")
+            .unwrap()
+            .len(),
+        2
+    );
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE host LIKE 'gamma'")
+            .unwrap()
+            .len(),
+        0
+    );
 }
 
 #[test]
@@ -112,7 +165,9 @@ fn group_by_with_ordering() {
     let db = fixture();
     let c = db.connect();
     let rs = c
-        .query("SELECT host, COUNT(*) AS n, MAX(gflops) AS best FROM runs GROUP BY host ORDER BY host")
+        .query(
+            "SELECT host, COUNT(*) AS n, MAX(gflops) AS best FROM runs GROUP BY host ORDER BY host",
+        )
         .unwrap();
     assert_eq!(rs.len(), 2);
     assert_eq!(rs.get_str(0, "host").unwrap(), "alpha");
@@ -129,7 +184,9 @@ fn order_by_desc_and_limit() {
         .connect()
         .query("SELECT id FROM runs ORDER BY id DESC LIMIT 2")
         .unwrap();
-    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
     assert_eq!(ids, [103, 102]);
 }
 
@@ -147,8 +204,10 @@ fn order_by_output_label() {
 fn implicit_join_two_tables() {
     let db = fixture();
     let c = db.connect();
-    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)").unwrap();
-    c.execute("INSERT INTO hosts VALUES ('alpha', 16), ('beta', 32)").unwrap();
+    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)")
+        .unwrap();
+    c.execute("INSERT INTO hosts VALUES ('alpha', 16), ('beta', 32)")
+        .unwrap();
     let rs = c
         .query(
             "SELECT runs.id, hosts.cpus FROM runs, hosts \
@@ -164,7 +223,8 @@ fn implicit_join_two_tables() {
 fn join_with_aliases() {
     let db = fixture();
     let c = db.connect();
-    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)").unwrap();
+    c.execute("CREATE TABLE hosts (name TEXT, cpus INT)")
+        .unwrap();
     c.execute("INSERT INTO hosts VALUES ('alpha', 16)").unwrap();
     let rs = c
         .query("SELECT r.id FROM runs r, hosts h WHERE r.host = h.name ORDER BY r.id")
@@ -196,8 +256,10 @@ fn three_table_join() {
     c.execute("CREATE TABLE b (x INT, y INT)").unwrap();
     c.execute("CREATE TABLE d (y INT, label TEXT)").unwrap();
     c.execute("INSERT INTO a VALUES (1), (2), (3)").unwrap();
-    c.execute("INSERT INTO b VALUES (1, 10), (2, 20), (9, 90)").unwrap();
-    c.execute("INSERT INTO d VALUES (10, 'ten'), (20, 'twenty')").unwrap();
+    c.execute("INSERT INTO b VALUES (1, 10), (2, 20), (9, 90)")
+        .unwrap();
+    c.execute("INSERT INTO d VALUES (10, 'ten'), (20, 'twenty')")
+        .unwrap();
     let rs = c
         .query(
             "SELECT a.x, d.label FROM a, b, d \
@@ -225,15 +287,22 @@ fn drop_table() {
     let c = db.connect();
     c.execute("DROP TABLE runs").unwrap();
     assert!(db.table_names().is_empty());
-    assert!(matches!(c.query("SELECT * FROM runs"), Err(DbError::UnknownTable(_))));
-    assert!(matches!(c.execute("DROP TABLE runs"), Err(DbError::UnknownTable(_))));
+    assert!(matches!(
+        c.query("SELECT * FROM runs"),
+        Err(DbError::UnknownTable(_))
+    ));
+    assert!(matches!(
+        c.execute("DROP TABLE runs"),
+        Err(DbError::UnknownTable(_))
+    ));
 }
 
 #[test]
 fn insert_with_column_list_fills_nulls() {
     let db = fixture();
     let c = db.connect();
-    c.execute("INSERT INTO runs (id, host) VALUES (999, 'gamma')").unwrap();
+    c.execute("INSERT INTO runs (id, host) VALUES (999, 'gamma')")
+        .unwrap();
     let rs = c.query("SELECT * FROM runs WHERE id = 999").unwrap();
     assert!(rs.get(0, "gflops").unwrap().is_null());
     assert!(rs.get(0, "numprocs").unwrap().is_null());
@@ -252,7 +321,8 @@ fn insert_type_checking() {
         Err(DbError::BadInsert(_))
     ));
     // Int widens into DOUBLE columns.
-    c.execute("INSERT INTO runs VALUES (200, 2, 7, 'h')").unwrap();
+    c.execute("INSERT INTO runs VALUES (200, 2, 7, 'h')")
+        .unwrap();
     let rs = c.query("SELECT gflops FROM runs WHERE id = 200").unwrap();
     assert_eq!(rs.get_f64(0, "gflops").unwrap(), 7.0);
 }
@@ -273,8 +343,18 @@ fn bulk_insert_validates() {
         db.bulk_insert(
             "runs",
             vec![
-                vec![DbValue::Int(300), DbValue::Int(2), DbValue::Int(5), DbValue::from("h")],
-                vec![DbValue::Int(301), DbValue::Int(2), DbValue::Null, DbValue::from("h")],
+                vec![
+                    DbValue::Int(300),
+                    DbValue::Int(2),
+                    DbValue::Int(5),
+                    DbValue::from("h")
+                ],
+                vec![
+                    DbValue::Int(301),
+                    DbValue::Int(2),
+                    DbValue::Null,
+                    DbValue::from("h")
+                ],
             ],
         )
         .unwrap(),
@@ -282,7 +362,10 @@ fn bulk_insert_validates() {
     );
     assert_eq!(db.row_count("runs"), Some(6));
     // Widened on the way in.
-    let rs = db.connect().query("SELECT gflops FROM runs WHERE id = 300").unwrap();
+    let rs = db
+        .connect()
+        .query("SELECT gflops FROM runs WHERE id = 300")
+        .unwrap();
     assert_eq!(rs.get_f64(0, "gflops").unwrap(), 5.0);
     assert!(db.bulk_insert("runs", vec![vec![DbValue::Int(1)]]).is_err());
     assert!(db.bulk_insert("nope", vec![]).is_err());
@@ -323,7 +406,11 @@ fn concurrent_writer_and_readers() {
                 let c = db.connect();
                 let mut last = 0;
                 for _ in 0..50 {
-                    let n = c.query("SELECT COUNT(*) AS n FROM t").unwrap().get_i64(0, "n").unwrap();
+                    let n = c
+                        .query("SELECT COUNT(*) AS n FROM t")
+                        .unwrap()
+                        .get_i64(0, "n")
+                        .unwrap();
                     assert!(n >= last, "row count must be monotonic");
                     last = n;
                 }
@@ -370,10 +457,14 @@ fn arithmetic_in_where_and_precedence() {
     let db = fixture();
     let c = db.connect();
     // 2 + 2 * 3 = 8, so id > 100 - 1 + 8 = id > 107 matches nothing...
-    let rs = c.query("SELECT id FROM runs WHERE id - 100 = 2 + 2 * 0").unwrap();
+    let rs = c
+        .query("SELECT id FROM runs WHERE id - 100 = 2 + 2 * 0")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "id").unwrap(), 102);
     // Parentheses override precedence.
-    let rs = c.query("SELECT (2 + 2) * 3 AS v FROM runs LIMIT 1").unwrap();
+    let rs = c
+        .query("SELECT (2 + 2) * 3 AS v FROM runs LIMIT 1")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "v").unwrap(), 12);
 }
 
@@ -382,7 +473,8 @@ fn aggregate_over_arithmetic_expression() {
     let db = Database::new();
     let c = db.connect();
     c.execute("CREATE TABLE ev (s DOUBLE, e DOUBLE)").unwrap();
-    c.execute("INSERT INTO ev VALUES (1.0, 3.0), (2.0, 2.5), (0.0, 10.0)").unwrap();
+    c.execute("INSERT INTO ev VALUES (1.0, 3.0), (2.0, 2.5), (0.0, 10.0)")
+        .unwrap();
     let rs = c
         .query("SELECT SUM(e - s) AS total, MAX(e - s) AS longest FROM ev")
         .unwrap();
@@ -394,13 +486,20 @@ fn aggregate_over_arithmetic_expression() {
 fn unary_minus_and_negative_literals() {
     let db = fixture();
     let c = db.connect();
-    c.execute("INSERT INTO runs VALUES (-5, 1, -2.5, 'x')").unwrap();
-    let rs = c.query("SELECT id, gflops FROM runs WHERE id = -5").unwrap();
+    c.execute("INSERT INTO runs VALUES (-5, 1, -2.5, 'x')")
+        .unwrap();
+    let rs = c
+        .query("SELECT id, gflops FROM runs WHERE id = -5")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "id").unwrap(), -5);
     assert_eq!(rs.get_f64(0, "gflops").unwrap(), -2.5);
-    let rs = c.query("SELECT -id AS pos FROM runs WHERE id = -5").unwrap();
+    let rs = c
+        .query("SELECT -id AS pos FROM runs WHERE id = -5")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "pos").unwrap(), 5);
-    let rs = c.query("SELECT - -id AS same FROM runs WHERE id = -5").unwrap();
+    let rs = c
+        .query("SELECT - -id AS same FROM runs WHERE id = -5")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "same").unwrap(), -5);
 }
 
@@ -409,14 +508,23 @@ fn arithmetic_null_propagation_and_errors() {
     let db = fixture();
     let c = db.connect();
     // gflops is NULL for id 103: arithmetic yields NULL, filters drop it.
-    let rs = c.query("SELECT gflops + 1 AS g1 FROM runs WHERE id = 103").unwrap();
+    let rs = c
+        .query("SELECT gflops + 1 AS g1 FROM runs WHERE id = 103")
+        .unwrap();
     assert!(rs.get(0, "g1").unwrap().is_null());
-    assert_eq!(c.query("SELECT id FROM runs WHERE gflops + 1 > 0").unwrap().len(), 3);
+    assert_eq!(
+        c.query("SELECT id FROM runs WHERE gflops + 1 > 0")
+            .unwrap()
+            .len(),
+        3
+    );
     // Division by integer zero is an error; text arithmetic is an error.
     assert!(c.query("SELECT id / 0 FROM runs").is_err());
     assert!(c.query("SELECT host + 1 FROM runs").is_err());
     // Int division truncates; mixed widens.
-    let rs = c.query("SELECT 7 / 2 AS i, 7 / 2.0 AS d FROM runs LIMIT 1").unwrap();
+    let rs = c
+        .query("SELECT 7 / 2 AS i, 7 / 2.0 AS d FROM runs LIMIT 1")
+        .unwrap();
     assert_eq!(rs.get_i64(0, "i").unwrap(), 3);
     assert_eq!(rs.get_f64(0, "d").unwrap(), 3.5);
 }
@@ -429,7 +537,9 @@ fn order_by_arithmetic_expression() {
         .query("SELECT id FROM runs WHERE gflops IS NOT NULL ORDER BY 0 - gflops")
         .unwrap();
     // Descending by gflops: 102 (3.5), 101 (2.75), 100 (1.5).
-    let ids: Vec<i64> = (0..rs.len()).map(|i| rs.get_i64(i, "id").unwrap()).collect();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
     assert_eq!(ids, [102, 101, 100]);
 }
 

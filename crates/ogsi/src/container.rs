@@ -118,9 +118,7 @@ impl Inner {
             services
                 .iter()
                 .filter(|(_, dep)| match &dep.kind {
-                    Kind::Instance { termination } => {
-                        termination.lock().is_some_and(|t| t <= now)
-                    }
+                    Kind::Instance { termination } => termination.lock().is_some_and(|t| t <= now),
                     _ => false,
                 })
                 .map(|(path, _)| path.clone())
@@ -167,7 +165,9 @@ impl Container {
             hub: NotificationHub::new(Arc::new(HttpClient::new())),
             stopping: AtomicBool::new(false),
         });
-        let handler = Arc::new(Dispatch { inner: Arc::downgrade(&inner) });
+        let handler = Arc::new(Dispatch {
+            inner: Arc::downgrade(&inner),
+        });
         let server = HttpServer::bind(
             addr,
             ServerConfig {
@@ -216,16 +216,29 @@ impl Container {
     /// `/ogsa/services/{name}`. Returns its handle.
     pub fn deploy_service(&self, name: &str, port: Arc<dyn ServicePort>) -> Result<Gsh> {
         let path = format!("/ogsa/services/{name}");
-        self.deploy_at(&path, Deployed { port, kind: Kind::Persistent, created: Instant::now() })
+        self.deploy_at(
+            &path,
+            Deployed {
+                port,
+                kind: Kind::Persistent,
+                created: Instant::now(),
+            },
+        )
     }
 
     /// Deploy a factory under `/ogsa/services/{name}`. Returns its handle.
     pub fn deploy_factory(&self, name: &str, factory: Arc<dyn Factory>) -> Result<Gsh> {
         let path = format!("/ogsa/services/{name}");
-        let port: Arc<dyn ServicePort> = Arc::new(FactoryPort { factory: Arc::clone(&factory) });
+        let port: Arc<dyn ServicePort> = Arc::new(FactoryPort {
+            factory: Arc::clone(&factory),
+        });
         self.deploy_at(
             &path,
-            Deployed { port, kind: Kind::Factory(factory), created: Instant::now() },
+            Deployed {
+                port,
+                kind: Kind::Factory(factory),
+                created: Instant::now(),
+            },
         )
     }
 
@@ -336,7 +349,11 @@ impl ServicePort for FactoryPort {
     }
 }
 
-fn register_instance_inner(inner: &Arc<Inner>, factory_path: &str, port: Arc<dyn ServicePort>) -> Gsh {
+fn register_instance_inner(
+    inner: &Arc<Inner>,
+    factory_path: &str,
+    port: Arc<dyn ServicePort>,
+) -> Gsh {
     let n = inner.instance_counter.fetch_add(1, Ordering::Relaxed);
     let path = format!("{factory_path}/instances/{n}");
     let termination = inner
@@ -347,7 +364,9 @@ fn register_instance_inner(inner: &Arc<Inner>, factory_path: &str, port: Arc<dyn
         path.clone(),
         Arc::new(Deployed {
             port,
-            kind: Kind::Instance { termination: Mutex::new(termination) },
+            kind: Kind::Instance {
+                termination: Mutex::new(termination),
+            },
             created: Instant::now(),
         }),
     );
@@ -437,7 +456,9 @@ fn invoke_operation(
                         Ok(Value::Int(seconds))
                     }
                 }
-                _ => Err(Fault::client("only transient instances have termination times")),
+                _ => Err(Fault::client(
+                    "only transient instances have termination times",
+                )),
             }
         }
         "destroy" => match &dep.kind {
@@ -445,7 +466,9 @@ fn invoke_operation(
                 inner.destroy_path(path);
                 Ok(Value::Nil)
             }
-            _ => Err(Fault::client("persistent services cannot be destroyed remotely")),
+            _ => Err(Fault::client(
+                "persistent services cannot be destroyed remotely",
+            )),
         },
         "createService" => match &dep.kind {
             Kind::Factory(factory) => {
@@ -510,7 +533,10 @@ fn introspection_data(inner: &Arc<Inner>, path: &str, dep: &Arc<Deployed>) -> Se
             Kind::Instance { .. } => "instance",
         }),
     );
-    data.set("ageMillis", Value::Int(dep.created.elapsed().as_millis() as i64));
+    data.set(
+        "ageMillis",
+        Value::Int(dep.created.elapsed().as_millis() as i64),
+    );
     if matches!(dep.kind, Kind::Factory(_)) {
         // Host-load signal for placement decisions: how many transient
         // instances this container currently hosts (thesis §6.5 closes by

@@ -31,7 +31,9 @@ pub struct FactoryStub {
 impl FactoryStub {
     /// Bind to a factory by handle.
     pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> FactoryStub {
-        FactoryStub { stub: ServiceStub::new(client, handle.clone()) }
+        FactoryStub {
+            stub: ServiceStub::new(client, handle.clone()),
+        }
     }
 
     /// Access the untyped stub.

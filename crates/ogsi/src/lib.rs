@@ -42,11 +42,13 @@ pub use error::{OgsiError, Result};
 pub use factory::{Factory, FactoryStub};
 pub use gsh::Gsh;
 pub use handlemap::{HandleMapStub, ServiceReference};
-pub use notification::{NotificationHub, NotificationSinkStub, NotificationSourceStub, Subscription};
+pub use notification::{
+    NotificationHub, NotificationSinkStub, NotificationSourceStub, Subscription,
+};
 pub use registry::{Organization, RegistryService, RegistryStub, ServiceEntry};
 pub use service::{GridServiceStub, ServicePort};
-pub use stub::ServiceStub;
 pub use service_data::ServiceData;
+pub use stub::ServiceStub;
 
 /// The namespace used by framework-level (OGSI) operations.
 pub const OGSI_NS: &str = "urn:ogsi:core";

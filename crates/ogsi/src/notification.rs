@@ -90,11 +90,16 @@ impl NotificationHub {
             .map(|s| s.sink.clone())
             .collect();
         for sink in targets {
-            let Ok(handle) = Gsh::parse(&sink) else { continue };
+            let Ok(handle) = Gsh::parse(&sink) else {
+                continue;
+            };
             let stub = ServiceStub::new(Arc::clone(&self.client), handle);
             let result = stub.call(
                 "deliverNotification",
-                &[("topic", Value::from(topic)), ("message", Value::from(message))],
+                &[
+                    ("topic", Value::from(topic)),
+                    ("message", Value::from(message)),
+                ],
             );
             if result.is_ok() {
                 self.delivered.fetch_add(1, Ordering::Relaxed);
@@ -111,14 +116,19 @@ pub struct NotificationSourceStub {
 impl NotificationSourceStub {
     /// Bind to a source by handle.
     pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> NotificationSourceStub {
-        NotificationSourceStub { stub: ServiceStub::new(client, handle.clone()) }
+        NotificationSourceStub {
+            stub: ServiceStub::new(client, handle.clone()),
+        }
     }
 
     /// Subscribe `sink` to `topic`; returns the subscription id.
     pub fn subscribe(&self, topic: &str, sink: &Gsh) -> crate::Result<String> {
         let v = self.stub.call(
             "subscribeToNotificationTopic",
-            &[("topic", Value::from(topic)), ("sink", Value::from(sink.as_str()))],
+            &[
+                ("topic", Value::from(topic)),
+                ("sink", Value::from(sink.as_str())),
+            ],
         )?;
         Ok(v.as_str().unwrap_or_default().to_owned())
     }
@@ -133,14 +143,19 @@ pub struct NotificationSinkStub {
 impl NotificationSinkStub {
     /// Bind to a sink by handle.
     pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> NotificationSinkStub {
-        NotificationSinkStub { stub: ServiceStub::new(client, handle.clone()) }
+        NotificationSinkStub {
+            stub: ServiceStub::new(client, handle.clone()),
+        }
     }
 
     /// Deliver one message.
     pub fn deliver(&self, topic: &str, message: &str) -> crate::Result<()> {
         self.stub.call(
             "deliverNotification",
-            &[("topic", Value::from(topic)), ("message", Value::from(message))],
+            &[
+                ("topic", Value::from(topic)),
+                ("message", Value::from(message)),
+            ],
         )?;
         Ok(())
     }
@@ -164,9 +179,9 @@ mod tests {
 
     #[test]
     fn publish_to_dead_sink_is_best_effort() {
-        let hub = NotificationHub::new(Arc::new(
-            HttpClient::with_connect_timeout(std::time::Duration::from_millis(100)),
-        ));
+        let hub = NotificationHub::new(Arc::new(HttpClient::with_connect_timeout(
+            std::time::Duration::from_millis(100),
+        )));
         hub.subscribe("/svc/a", "t", "http://127.0.0.1:1/sink");
         hub.publish("/svc/a", "t", "msg"); // must not panic or hang
         assert_eq!(hub.delivered(), 0);
@@ -174,9 +189,9 @@ mod tests {
 
     #[test]
     fn publish_filters_by_source_and_topic() {
-        let hub = NotificationHub::new(Arc::new(
-            HttpClient::with_connect_timeout(std::time::Duration::from_millis(50)),
-        ));
+        let hub = NotificationHub::new(Arc::new(HttpClient::with_connect_timeout(
+            std::time::Duration::from_millis(50),
+        )));
         hub.subscribe("/svc/a", "t1", "http://127.0.0.1:1/s");
         // Publishing a different source/topic should contact no sinks; with a
         // dead sink any attempted delivery would just be slow, so we assert

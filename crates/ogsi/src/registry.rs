@@ -74,7 +74,8 @@ impl State {
     /// out). Called lazily on every access.
     fn expire(&mut self) {
         let now = std::time::Instant::now();
-        self.services.retain(|(_, deadline)| deadline.is_none_or(|d| d > now));
+        self.services
+            .retain(|(_, deadline)| deadline.is_none_or(|d| d > now));
     }
 }
 
@@ -195,15 +196,19 @@ impl ServicePort for RegistryService {
                 }
                 // Soft-state lease: re-registering refreshes the deadline.
                 let deadline = match call.param("ttlSeconds").and_then(Value::as_int) {
-                    Some(ttl) if ttl > 0 => Some(
-                        std::time::Instant::now() + std::time::Duration::from_secs(ttl as u64),
-                    ),
+                    Some(ttl) if ttl > 0 => {
+                        Some(std::time::Instant::now() + std::time::Duration::from_secs(ttl as u64))
+                    }
                     Some(_) => return Err(Fault::client("ttlSeconds must be positive")),
                     None => None,
                 };
                 let mut state = self.state.write();
                 state.expire();
-                if !state.organizations.iter().any(|o| o.name == entry.organization) {
+                if !state
+                    .organizations
+                    .iter()
+                    .any(|o| o.name == entry.organization)
+                {
                     return Err(Fault::client(format!(
                         "unknown organization {:?}; register it first",
                         entry.organization
@@ -249,7 +254,9 @@ impl ServicePort for RegistryService {
                     .collect();
                 Ok(Value::StrArray(hits))
             }
-            other => Err(Fault::client(format!("unknown registry operation {other:?}"))),
+            other => Err(Fault::client(format!(
+                "unknown registry operation {other:?}"
+            ))),
         }
     }
 
@@ -257,7 +264,10 @@ impl ServicePort for RegistryService {
         let mut state = self.state.write();
         state.expire();
         ServiceData::new()
-            .with("organizationCount", Value::Int(state.organizations.len() as i64))
+            .with(
+                "organizationCount",
+                Value::Int(state.organizations.len() as i64),
+            )
             .with("serviceCount", Value::Int(state.services.len() as i64))
     }
 }
@@ -270,14 +280,19 @@ pub struct RegistryStub {
 impl RegistryStub {
     /// Bind to a registry by handle.
     pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> RegistryStub {
-        RegistryStub { stub: ServiceStub::new(client, handle.clone()) }
+        RegistryStub {
+            stub: ServiceStub::new(client, handle.clone()),
+        }
     }
 
     /// Create or update an organization.
     pub fn register_organization(&self, name: &str, contact: &str) -> Result<()> {
         self.stub.call(
             "registerOrganization",
-            &[("name", Value::from(name)), ("contact", Value::from(contact))],
+            &[
+                ("name", Value::from(name)),
+                ("contact", Value::from(contact)),
+            ],
         )?;
         Ok(())
     }
@@ -299,11 +314,7 @@ impl RegistryStub {
     /// Publish a service entry under a soft-state lease of `ttl_seconds`;
     /// the publisher must re-register before it lapses or the entry ages
     /// out of the registry.
-    pub fn register_service_with_ttl(
-        &self,
-        entry: &ServiceEntry,
-        ttl_seconds: i64,
-    ) -> Result<()> {
+    pub fn register_service_with_ttl(&self, entry: &ServiceEntry, ttl_seconds: i64) -> Result<()> {
         self.stub.call(
             "registerService",
             &[
@@ -321,7 +332,10 @@ impl RegistryStub {
     pub fn unregister_service(&self, organization: &str, name: &str) -> Result<bool> {
         let v = self.stub.call(
             "unregisterService",
-            &[("organization", Value::from(organization)), ("name", Value::from(name))],
+            &[
+                ("organization", Value::from(organization)),
+                ("name", Value::from(name)),
+            ],
         )?;
         Ok(v.as_bool().unwrap_or(false))
     }
@@ -335,16 +349,20 @@ impl RegistryStub {
             .iter()
             .filter_map(|r| {
                 let (name, contact) = r.split_once('|')?;
-                Some(Organization { name: name.to_owned(), contact: contact.to_owned() })
+                Some(Organization {
+                    name: name.to_owned(),
+                    contact: contact.to_owned(),
+                })
             })
             .collect())
     }
 
     /// Service entries for `organization` (empty = all).
     pub fn list_services(&self, organization: &str) -> Result<Vec<ServiceEntry>> {
-        let rows = self
-            .stub
-            .call_str_array("listServices", &[("organization", Value::from(organization))])?;
+        let rows = self.stub.call_str_array(
+            "listServices",
+            &[("organization", Value::from(organization))],
+        )?;
         rows.iter()
             .map(|r| {
                 ServiceEntry::decode(r).ok_or_else(|| {
@@ -366,21 +384,43 @@ mod tests {
         Call {
             method: method.to_owned(),
             namespace: None,
-            params: params.iter().map(|(n, v)| ((*n).to_owned(), v.clone())).collect(),
+            params: params
+                .iter()
+                .map(|(n, v)| ((*n).to_owned(), v.clone()))
+                .collect(),
         }
     }
 
-    fn invoke(reg: &RegistryService, method: &str, params: &[(&str, Value)]) -> std::result::Result<Value, Fault> {
+    fn invoke(
+        reg: &RegistryService,
+        method: &str,
+        params: &[(&str, Value)],
+    ) -> std::result::Result<Value, Fault> {
         reg.invoke(method, &call(method, params))
     }
 
     #[test]
     fn organization_lifecycle() {
         let reg = RegistryService::new();
-        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "pdx".into())]).unwrap();
-        invoke(&reg, "registerOrganization", &[("name", "LLNL".into()), ("contact", "ca".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "PSU".into()), ("contact", "pdx".into())],
+        )
+        .unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "LLNL".into()), ("contact", "ca".into())],
+        )
+        .unwrap();
         // Re-register updates contact, no duplicate.
-        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "new".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "PSU".into()), ("contact", "new".into())],
+        )
+        .unwrap();
         let orgs = reg.organizations();
         assert_eq!(orgs.len(), 2);
         assert_eq!(orgs[0].contact, "new");
@@ -389,7 +429,12 @@ mod tests {
     #[test]
     fn empty_org_name_rejected() {
         let reg = RegistryService::new();
-        assert!(invoke(&reg, "registerOrganization", &[("name", "".into()), ("contact", "c".into())]).is_err());
+        assert!(invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "".into()), ("contact", "c".into())]
+        )
+        .is_err());
     }
 
     #[test]
@@ -401,8 +446,16 @@ mod tests {
             ("description", Value::from("linpack")),
             ("factoryUrl", Value::from("http://h:1/ogsa/services/hpl")),
         ];
-        assert!(invoke(&reg, "registerService", &params).is_err(), "unknown org");
-        invoke(&reg, "registerOrganization", &[("name", "PSU".into()), ("contact", "c".into())]).unwrap();
+        assert!(
+            invoke(&reg, "registerService", &params).is_err(),
+            "unknown org"
+        );
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "PSU".into()), ("contact", "c".into())],
+        )
+        .unwrap();
         invoke(&reg, "registerService", &params).unwrap();
         let bad_url = [
             ("organization", Value::from("PSU")),
@@ -418,7 +471,12 @@ mod tests {
     fn find_and_list_filtering() {
         let reg = RegistryService::new();
         for (org, contact) in [("PSU", "pdx"), ("PSU-Lab2", "pdx2"), ("LLNL", "ca")] {
-            invoke(&reg, "registerOrganization", &[("name", org.into()), ("contact", contact.into())]).unwrap();
+            invoke(
+                &reg,
+                "registerOrganization",
+                &[("name", org.into()), ("contact", contact.into())],
+            )
+            .unwrap();
         }
         for (org, name) in [("PSU", "HPL"), ("PSU", "SMG98"), ("LLNL", "RMA")] {
             invoke(
@@ -428,7 +486,10 @@ mod tests {
                     ("organization", org.into()),
                     ("name", name.into()),
                     ("description", "d".into()),
-                    ("factoryUrl", format!("http://h:1/ogsa/services/{name}").into()),
+                    (
+                        "factoryUrl",
+                        format!("http://h:1/ogsa/services/{name}").into(),
+                    ),
                 ],
             )
             .unwrap();
@@ -446,7 +507,12 @@ mod tests {
     #[test]
     fn unregister() {
         let reg = RegistryService::new();
-        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "O".into()), ("contact", "c".into())],
+        )
+        .unwrap();
         invoke(
             &reg,
             "registerService",
@@ -459,11 +525,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            invoke(&reg, "unregisterService", &[("organization", "O".into()), ("name", "S".into())]).unwrap(),
+            invoke(
+                &reg,
+                "unregisterService",
+                &[("organization", "O".into()), ("name", "S".into())]
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            invoke(&reg, "unregisterService", &[("organization", "O".into()), ("name", "S".into())]).unwrap(),
+            invoke(
+                &reg,
+                "unregisterService",
+                &[("organization", "O".into()), ("name", "S".into())]
+            )
+            .unwrap(),
             Value::Bool(false)
         );
     }
@@ -486,7 +562,12 @@ mod tests {
     #[test]
     fn soft_state_lease_expires_and_refreshes() {
         let reg = RegistryService::new();
-        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "O".into()), ("contact", "c".into())],
+        )
+        .unwrap();
         let params = |ttl: i64| {
             vec![
                 ("organization", Value::from("O")),
@@ -520,7 +601,12 @@ mod tests {
     #[test]
     fn service_data_counts() {
         let reg = RegistryService::new();
-        invoke(&reg, "registerOrganization", &[("name", "O".into()), ("contact", "c".into())]).unwrap();
+        invoke(
+            &reg,
+            "registerOrganization",
+            &[("name", "O".into()), ("contact", "c".into())],
+        )
+        .unwrap();
         let sd = reg.service_data();
         assert_eq!(sd.get("organizationCount").unwrap().as_int(), Some(1));
         assert_eq!(sd.get("serviceCount").unwrap().as_int(), Some(0));

@@ -47,7 +47,9 @@ pub struct GridServiceStub {
 impl GridServiceStub {
     /// Bind to an instance by handle.
     pub fn bind(client: Arc<HttpClient>, handle: &Gsh) -> GridServiceStub {
-        GridServiceStub { stub: ServiceStub::new(client, handle.clone()) }
+        GridServiceStub {
+            stub: ServiceStub::new(client, handle.clone()),
+        }
     }
 
     /// Access the untyped stub (for application operations on the same
@@ -68,10 +70,11 @@ impl GridServiceStub {
         let v = self
             .stub
             .call("setTerminationTime", &[("seconds", Value::Int(seconds))])?;
-        v.as_int()
-            .ok_or_else(|| OgsiError::Soap(pperf_soap::SoapError::Envelope(
+        v.as_int().ok_or_else(|| {
+            OgsiError::Soap(pperf_soap::SoapError::Envelope(
                 "setTerminationTime returned a non-integer".into(),
-            )))
+            ))
+        })
     }
 
     /// `destroy`: terminate the instance.

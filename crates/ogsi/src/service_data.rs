@@ -116,8 +116,12 @@ mod tests {
 
     #[test]
     fn merge_overrides() {
-        let mut a = ServiceData::new().with("x", Value::Int(1)).with("y", Value::Int(2));
-        let b = ServiceData::new().with("y", Value::Int(3)).with("z", Value::Int(4));
+        let mut a = ServiceData::new()
+            .with("x", Value::Int(1))
+            .with("y", Value::Int(2));
+        let b = ServiceData::new()
+            .with("y", Value::Int(3))
+            .with("z", Value::Int(4));
         a.merge(b);
         assert_eq!(a.get("x").unwrap().as_int(), Some(1));
         assert_eq!(a.get("y").unwrap().as_int(), Some(3));

@@ -27,7 +27,12 @@ impl ServiceStub {
     /// Bind a stub to a handle, sharing an HTTP client (connection pool).
     pub fn new(client: Arc<HttpClient>, handle: Gsh) -> ServiceStub {
         let url = handle.url();
-        ServiceStub { client, handle, url, namespace: crate::OGSI_NS.to_owned() }
+        ServiceStub {
+            client,
+            handle,
+            url,
+            namespace: crate::OGSI_NS.to_owned(),
+        }
     }
 
     /// Use a specific call namespace instead of the OGSI default.
@@ -44,7 +49,11 @@ impl ServiceStub {
     /// Invoke `operation` with the given parameters.
     pub fn call(&self, operation: &str, params: &[(&str, Value)]) -> Result<Value> {
         let body = encode_call(operation, &self.namespace, params);
-        let request = Request::post(self.url.path.clone(), "text/xml; charset=utf-8", body.into_bytes());
+        let request = Request::post(
+            self.url.path.clone(),
+            "text/xml; charset=utf-8",
+            body.into_bytes(),
+        );
         let response = self.client.send(&self.url, &request)?;
         if !response.status.is_success() && response.status.0 != 500 {
             // 500 carries a SOAP fault body; anything else is transport-level.

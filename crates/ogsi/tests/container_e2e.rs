@@ -57,7 +57,12 @@ fn counter_description() -> ServiceDescription {
     ServiceDescription::new("Counter", "urn:test:counter").with_port_type(PortType::new(
         "Counter",
         vec![
-            Operation::new("increment", vec![("by", ValueType::Int)], ValueType::Int, "add"),
+            Operation::new(
+                "increment",
+                vec![("by", ValueType::Int)],
+                ValueType::Int,
+                "add",
+            ),
             Operation::new("get", vec![], ValueType::Int, "read"),
             Operation::new("label", vec![], ValueType::Str, "creation label"),
         ],
@@ -138,9 +143,21 @@ fn create_invoke_destroy_cycle() {
     assert_eq!(fx.container.live_instances(), 1);
 
     let stub = ServiceStub::new(Arc::clone(&fx.client), gsh.clone());
-    assert_eq!(stub.call_int("increment", &[("by", Value::Int(5))]).unwrap(), 5);
-    assert_eq!(stub.call_int("increment", &[("by", Value::Int(2))]).unwrap(), 7);
-    assert_eq!(stub.call_int("get", &[]).unwrap(), 7, "instances are stateful");
+    assert_eq!(
+        stub.call_int("increment", &[("by", Value::Int(5))])
+            .unwrap(),
+        5
+    );
+    assert_eq!(
+        stub.call_int("increment", &[("by", Value::Int(2))])
+            .unwrap(),
+        7
+    );
+    assert_eq!(
+        stub.call_int("get", &[]).unwrap(),
+        7,
+        "instances are stateful"
+    );
 
     let gs = GridServiceStub::bind(Arc::clone(&fx.client), &gsh);
     gs.destroy().unwrap();
@@ -248,7 +265,10 @@ fn lifetime_expiry_destroys_instances() {
     assert_eq!(fx.container.live_instances(), 1);
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while fx.container.live_instances() > 0 {
-        assert!(std::time::Instant::now() < deadline, "instance never expired");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "instance never expired"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     assert_eq!(fx.destroyed.load(Ordering::SeqCst), 1);
@@ -298,7 +318,9 @@ fn registry_over_the_wire() {
         .unwrap();
     let registry = RegistryStub::bind(Arc::clone(&fx.client), &registry_gsh);
 
-    registry.register_organization("PSU", "Portland, OR").unwrap();
+    registry
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
     registry
         .register_service(&ServiceEntry {
             organization: "PSU".into(),
@@ -398,7 +420,10 @@ fn local_instance_creation_bypasses_soap() {
         namespace: None,
         params: vec![("label".into(), Value::from("local"))],
     };
-    let gsh = fx.container.create_local_instance("counter", &call).unwrap();
+    let gsh = fx
+        .container
+        .create_local_instance("counter", &call)
+        .unwrap();
     // The locally created instance is reachable over the wire too.
     let stub = ServiceStub::new(Arc::clone(&fx.client), gsh);
     assert_eq!(stub.call("label", &[]).unwrap().as_str().unwrap(), "local");
@@ -436,22 +461,28 @@ fn xpath_service_data_queries() {
 
     // Custom service data element.
     assert_eq!(
-        gs.query_service_data_xpath("/serviceData/label/text()").unwrap(),
+        gs.query_service_data_xpath("/serviceData/label/text()")
+            .unwrap(),
         ["xpath-me"]
     );
     // Container-contributed introspection data.
     assert_eq!(
-        gs.query_service_data_xpath("/serviceData/serviceKind/text()").unwrap(),
+        gs.query_service_data_xpath("/serviceData/serviceKind/text()")
+            .unwrap(),
         ["instance"]
     );
     assert_eq!(
-        gs.query_service_data_xpath("/serviceData/handle/text()").unwrap(),
+        gs.query_service_data_xpath("/serviceData/handle/text()")
+            .unwrap(),
         [gsh.as_str()]
     );
     // Descendant axis and wildcards work over the document.
     assert!(!gs.query_service_data_xpath("//*").unwrap().is_empty());
     // No match is an empty result, not an error.
-    assert!(gs.query_service_data_xpath("/serviceData/nonexistent").unwrap().is_empty());
+    assert!(gs
+        .query_service_data_xpath("/serviceData/nonexistent")
+        .unwrap()
+        .is_empty());
     // A malformed expression faults.
     assert!(matches!(
         gs.query_service_data_xpath("relative/path"),

@@ -150,7 +150,10 @@ impl LocalSites {
                 .unwrap_or_default()
                 .to_owned();
             if let Ok(exec) = wrapper.execution(&exec_id) {
-                return Ok(ExecutionAccess::Local { exec_id, wrapper: exec_wrapper_arc(exec) });
+                return Ok(ExecutionAccess::Local {
+                    exec_id,
+                    wrapper: exec_wrapper_arc(exec),
+                });
             }
         }
         Ok(ExecutionAccess::Remote(ExecutionStub::bind(client, handle)))

@@ -14,47 +14,45 @@ use std::sync::Arc;
 /// The Application PortType description (thesis Table 1, verbatim
 /// semantics).
 pub fn application_description() -> ServiceDescription {
-    ServiceDescription::new("PPerfGridApplication", APPLICATION_NS).with_port_type(
-        PortType::new(
-            "Application",
-            vec![
-                Operation::new(
-                    "getAppInfo",
-                    vec![],
-                    ValueType::StrArray,
-                    "Returns general information about the application (name, version, \
+    ServiceDescription::new("PPerfGridApplication", APPLICATION_NS).with_port_type(PortType::new(
+        "Application",
+        vec![
+            Operation::new(
+                "getAppInfo",
+                vec![],
+                ValueType::StrArray,
+                "Returns general information about the application (name, version, \
                      ...); elements are name|value pairs",
-                ),
-                Operation::new(
-                    "getNumExecs",
-                    vec![],
-                    ValueType::Int,
-                    "Returns the number of unique executions available",
-                ),
-                Operation::new(
-                    "getExecQueryParams",
-                    vec![],
-                    ValueType::StrArray,
-                    "Returns attributes that describe executions; each element is a \
+            ),
+            Operation::new(
+                "getNumExecs",
+                vec![],
+                ValueType::Int,
+                "Returns the number of unique executions available",
+            ),
+            Operation::new(
+                "getExecQueryParams",
+                vec![],
+                ValueType::StrArray,
+                "Returns attributes that describe executions; each element is a \
                      name and its unique possible values, '|'-delimited",
-                ),
-                Operation::new(
-                    "getAllExecs",
-                    vec![],
-                    ValueType::StrArray,
-                    "Returns GSHs of an Execution service instance for every unique \
+            ),
+            Operation::new(
+                "getAllExecs",
+                vec![],
+                ValueType::StrArray,
+                "Returns GSHs of an Execution service instance for every unique \
                      execution record",
-                ),
-                Operation::new(
-                    "getExecs",
-                    vec![("attribute", ValueType::Str), ("value", ValueType::Str)],
-                    ValueType::StrArray,
-                    "Returns GSHs of Execution service instances for executions \
+            ),
+            Operation::new(
+                "getExecs",
+                vec![("attribute", ValueType::Str), ("value", ValueType::Str)],
+                ValueType::StrArray,
+                "Returns GSHs of Execution service instances for executions \
                      matching the attribute/value pair",
-                ),
-            ],
-        ),
-    )
+            ),
+        ],
+    ))
 }
 
 /// A transient Application Grid service instance.
@@ -78,7 +76,9 @@ impl ApplicationService {
             .manager
             .get_execs(&ids, None)
             .map_err(|e| Fault::server(format!("manager failed: {e}")))?;
-        Ok(Value::StrArray(gshs.into_iter().map(String::from).collect()))
+        Ok(Value::StrArray(
+            gshs.into_iter().map(String::from).collect(),
+        ))
     }
 }
 
@@ -123,12 +123,21 @@ impl ServicePort for ApplicationService {
                     .map_err(|e| Fault::client(e.to_string()))?;
                 self.execs_to_gshs(ids)
             }
-            other => Err(Fault::client(format!("unknown Application operation {other:?}"))),
+            other => Err(Fault::client(format!(
+                "unknown Application operation {other:?}"
+            ))),
         }
     }
 
     fn service_data(&self) -> ServiceData {
-        ServiceData::new().with("numExecs", Value::Int(self.wrapper.num_execs() as i64))
+        let mut data =
+            ServiceData::new().with("numExecs", Value::Int(self.wrapper.num_execs() as i64));
+        // Advertise the site's Manager handle so federation clients can
+        // request hedge replicas (`ManagerStub::get_hedges`).
+        if let Some(gsh) = self.manager.self_gsh() {
+            data = data.with("managerGsh", Value::from(gsh.as_str()));
+        }
+        data
     }
 }
 
@@ -223,7 +232,10 @@ impl ApplicationStub {
     pub fn get_execs(&self, attribute: &str, value: &str) -> pperf_ogsi::Result<Vec<Gsh>> {
         let rows = self.stub.call_str_array(
             "getExecs",
-            &[("attribute", Value::from(attribute)), ("value", Value::from(value))],
+            &[
+                ("attribute", Value::from(attribute)),
+                ("value", Value::from(value)),
+            ],
         )?;
         rows.iter().map(|s| Gsh::parse(s.as_str())).collect()
     }

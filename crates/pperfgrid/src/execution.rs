@@ -89,7 +89,12 @@ impl ExecutionService {
         cache_enabled: bool,
         cache: PrCache,
     ) -> Self {
-        ExecutionService { exec_id, wrapper, cache, cache_enabled }
+        ExecutionService {
+            exec_id,
+            wrapper,
+            cache,
+            cache_enabled,
+        }
     }
 
     /// The execution id this instance represents.
@@ -124,7 +129,13 @@ impl ExecutionService {
             .and_then(Value::as_str)
             .unwrap_or(TYPE_UNDEFINED)
             .to_owned();
-        let query = PrQuery { metric, foci, start, end, rtype };
+        let query = PrQuery {
+            metric,
+            foci,
+            start,
+            end,
+            rtype,
+        };
 
         if self.cache_enabled {
             let key = query.cache_key();
@@ -176,7 +187,9 @@ impl ServicePort for ExecutionService {
                 Ok(Value::StrArray(vec![s, e]))
             }
             "getPR" => self.get_pr(call),
-            other => Err(Fault::client(format!("unknown Execution operation {other:?}"))),
+            other => Err(Fault::client(format!(
+                "unknown Execution operation {other:?}"
+            ))),
         }
     }
 

@@ -43,7 +43,7 @@ pub mod wrappers;
 pub use access::{ExecutionAccess, LocalSites};
 pub use application::{ApplicationFactory, ApplicationService, ApplicationStub};
 pub use execution::{ExecutionFactory, ExecutionService, ExecutionStub};
-pub use manager::{Manager, ManagerService, Placement};
+pub use manager::{Manager, ManagerService, ManagerStub, Placement};
 pub use prcache::{CachePolicy, PrCache};
 pub use site::{Site, SiteConfig};
 pub use timing::{TimedApplicationWrapper, TimingLog};

@@ -50,7 +50,10 @@ impl PrCache {
     /// A cache bounded to `capacity` entries with the given policy.
     pub fn with_policy(capacity: usize, policy: CachePolicy) -> PrCache {
         PrCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity: capacity.max(1),
@@ -119,7 +122,10 @@ impl PrCache {
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drop all entries (counters retained).
@@ -222,7 +228,10 @@ mod tests {
         cache.insert("b".into(), vec![]);
         cache.get("a"); // does not refresh under FIFO
         cache.insert("c".into(), vec![]);
-        assert!(cache.get("a").is_none(), "oldest-inserted evicted regardless of use");
+        assert!(
+            cache.get("a").is_none(),
+            "oldest-inserted evicted regardless of use"
+        );
         assert!(cache.get("b").is_some());
     }
 

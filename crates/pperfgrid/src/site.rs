@@ -78,7 +78,12 @@ impl Site {
         wrapper: Arc<dyn ApplicationWrapper>,
         config: &SiteConfig,
     ) -> Result<Site, OgsiError> {
-        Site::deploy_replicated(container, &[(container, Arc::clone(&wrapper))], client, config)
+        Site::deploy_replicated(
+            container,
+            &[(container, Arc::clone(&wrapper))],
+            client,
+            config,
+        )
     }
 
     /// Deploy a site with replicated data: the Application factory and the
@@ -103,8 +108,13 @@ impl Site {
             exec_factories.push(gsh);
         }
         let manager = Manager::new(Arc::clone(&client), exec_factories.clone());
-        let manager_gsh = primary
-            .deploy_service(&format!("{name}-manager"), Arc::new(ManagerService::new(Arc::clone(&manager))))?;
+        let manager_gsh = primary.deploy_service(
+            &format!("{name}-manager"),
+            Arc::new(ManagerService::new(Arc::clone(&manager))),
+        )?;
+        // Let Application instances advertise the manager handle as service
+        // data, so federation clients can reach it for hedge replicas.
+        manager.set_self_gsh(manager_gsh.clone());
         let app_wrapper = Arc::clone(&replicas[0].1);
         let app_factory = primary.deploy_factory(
             &format!("{name}-app"),

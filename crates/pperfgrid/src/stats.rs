@@ -23,7 +23,14 @@ pub struct Summary {
 /// Summarize a sample. Empty input yields all zeros.
 pub fn summarize(samples: &[f64]) -> Summary {
     if samples.is_empty() {
-        return Summary { n: 0, mean: 0.0, stddev: 0.0, cov: 0.0, min: 0.0, max: 0.0 };
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            cov: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
     }
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
@@ -39,7 +46,14 @@ pub fn summarize(samples: &[f64]) -> Summary {
         min = min.min(x);
         max = max.max(x);
     }
-    Summary { n, mean, stddev, cov, min, max }
+    Summary {
+        n,
+        mean,
+        stddev,
+        cov,
+        min,
+        max,
+    }
 }
 
 /// Speedup of `after` relative to `before`: `before / after` (thesis §6.5,
@@ -93,9 +107,15 @@ mod tests {
         // Fig. 12: mean speedup 2.14 ⇔ mean relative change 113.78%.
         let s = speedup(2.14, 1.0);
         assert!((relative_change_pct(2.14, 1.0) - (s - 1.0) * 100.0).abs() < 1e-12);
-        assert!((speedup(107.39, 54.77) - 1.96).abs() < 0.01, "Table 5 HPL row");
+        assert!(
+            (speedup(107.39, 54.77) - 1.96).abs() < 0.01,
+            "Table 5 HPL row"
+        );
         assert!((relative_change_pct(107.39, 54.77) - 96.05).abs() < 0.1);
-        assert!((speedup(50_693.06, 368.58) - 137.54).abs() < 0.05, "Table 5 SMG98 row");
+        assert!(
+            (speedup(50_693.06, 368.58) - 137.54).abs() < 0.05,
+            "Table 5 SMG98 row"
+        );
     }
 
     #[test]

@@ -164,11 +164,7 @@ impl ApplicationWrapper for TimedApplicationWrapper {
         self.inner.all_exec_ids()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         self.inner.exec_ids_matching(attribute, value)
     }
 

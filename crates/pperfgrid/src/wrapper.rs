@@ -56,18 +56,51 @@ pub struct PrQuery {
     pub rtype: String,
 }
 
+/// Backslash-escape the characters that double as separators in
+/// [`PrQuery::cache_key`] (`|` between fields, `,` between foci, `-`
+/// between times, and `\` itself). Typical metric/focus names contain none
+/// of them, so common keys keep the exact thesis rendering.
+fn escape_key_component(out: &mut String, component: &str) {
+    for c in component.chars() {
+        if matches!(c, '\\' | '|' | ',' | '-') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+}
+
 impl PrQuery {
     /// The cache key format of thesis §5.3.2.3:
     /// `"func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"`.
+    ///
+    /// Components are escaped so adversarial names cannot alias: without
+    /// escaping, a metric containing `" | "`, a focus containing `","`, or a
+    /// time containing `"-"` could collide with a *different* query's key
+    /// and serve it the wrong cached rows.
     pub fn cache_key(&self) -> String {
-        format!(
-            "{} | {} | {} | {}-{}",
-            self.metric,
-            self.foci.join(","),
-            self.rtype,
-            self.start,
-            self.end
-        )
+        let mut key = String::with_capacity(
+            self.metric.len()
+                + self.foci.iter().map(|f| f.len() + 1).sum::<usize>()
+                + self.rtype.len()
+                + self.start.len()
+                + self.end.len()
+                + 10,
+        );
+        escape_key_component(&mut key, &self.metric);
+        key.push_str(" | ");
+        for (i, focus) in self.foci.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            escape_key_component(&mut key, focus);
+        }
+        key.push_str(" | ");
+        escape_key_component(&mut key, &self.rtype);
+        key.push_str(" | ");
+        escape_key_component(&mut key, &self.start);
+        key.push('-');
+        escape_key_component(&mut key, &self.end);
+        key
     }
 
     /// Parse the start/end as f64 seconds, tolerating empty strings (empty ⇒
@@ -110,8 +143,7 @@ pub trait ApplicationWrapper: Send + Sync {
     fn all_exec_ids(&self) -> Vec<String>;
 
     /// Execution ids whose `attribute` equals `value`.
-    fn exec_ids_matching(&self, attribute: &str, value: &str)
-        -> Result<Vec<String>, WrapperError>;
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError>;
 
     /// Open the Execution wrapper for one id.
     fn execution(&self, exec_id: &str) -> Result<Arc<dyn ExecutionWrapper>, WrapperError>;
@@ -155,6 +187,46 @@ mod tests {
             q.cache_key(),
             "func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"
         );
+    }
+
+    #[test]
+    fn adversarial_names_cannot_collide() {
+        let q = |metric: &str, foci: &[&str], start: &str, end: &str, rtype: &str| PrQuery {
+            metric: metric.into(),
+            foci: foci.iter().map(|&f| f.to_owned()).collect(),
+            start: start.into(),
+            end: end.into(),
+            rtype: rtype.into(),
+        };
+        // Un-escaped, every pair below rendered to the same key string.
+        let collisions = [
+            // A `,` inside one focus vs. two foci.
+            (
+                q("m", &["a,b"], "0", "1", "t"),
+                q("m", &["a", "b"], "0", "1", "t"),
+            ),
+            // A `-` inside a time vs. the start-end separator.
+            (
+                q("m", &["f"], "1-2", "3", "t"),
+                q("m", &["f"], "1", "2-3", "t"),
+            ),
+            // A ` | ` inside the metric vs. the field separator.
+            (
+                q("m | x", &["f"], "0", "1", "t"),
+                q("m", &["x | f"], "0", "1", "t"),
+            ),
+            // A `|` migrating between type and focus fields.
+            (
+                q("m", &["f | u"], "0", "1", "t"),
+                q("m", &["f"], "0", "1", "u | t"),
+            ),
+        ];
+        for (a, b) in collisions {
+            assert_ne!(a.cache_key(), b.cache_key(), "{a:?} vs {b:?}");
+        }
+        // Escaping is deterministic: equal queries still share a key.
+        let a = q("m|x", &["a,b", "c-d"], "0", "1", "t\\u");
+        assert_eq!(a.cache_key(), a.clone().cache_key());
     }
 
     #[test]

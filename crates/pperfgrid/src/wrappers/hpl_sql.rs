@@ -39,10 +39,9 @@ fn attribute_predicate(attribute: &str, value: &str) -> Result<String, WrapperEr
         .find(|(n, _)| n.eq_ignore_ascii_case(attribute))
         .ok_or_else(|| WrapperError(format!("unknown attribute {attribute:?}")))?;
     if *numeric {
-        let v: i64 = value
-            .trim()
-            .parse()
-            .map_err(|_| WrapperError(format!("attribute {name} needs an integer, got {value:?}")))?;
+        let v: i64 = value.trim().parse().map_err(|_| {
+            WrapperError(format!("attribute {name} needs an integer, got {value:?}"))
+        })?;
         Ok(format!("{name} = {v}"))
     } else {
         Ok(format!("{name} = {}", sql_quote(value)))
@@ -96,18 +95,11 @@ impl ApplicationWrapper for HplSqlWrapper {
             .unwrap_or_default()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         let predicate = attribute_predicate(attribute, value)?;
-        let rs = self
-            .db
-            .connect()
-            .query(&format!(
-                "SELECT runid FROM hpl_runs WHERE {predicate} ORDER BY runid"
-            ))?;
+        let rs = self.db.connect().query(&format!(
+            "SELECT runid FROM hpl_runs WHERE {predicate} ORDER BY runid"
+        ))?;
         Ok(rs.rows().iter().map(|r| r[0].render()).collect())
     }
 
@@ -116,16 +108,16 @@ impl ApplicationWrapper for HplSqlWrapper {
             .trim()
             .parse()
             .map_err(|_| WrapperError(format!("bad HPL execution id {exec_id:?}")))?;
-        let rs = self
-            .db
-            .connect()
-            .query(&format!(
-                "SELECT COUNT(*) AS n FROM hpl_runs WHERE runid = {runid}"
-            ))?;
+        let rs = self.db.connect().query(&format!(
+            "SELECT COUNT(*) AS n FROM hpl_runs WHERE runid = {runid}"
+        ))?;
         if rs.get_i64(0, "n").unwrap_or(0) == 0 {
             return Err(WrapperError(format!("no HPL execution with runid {runid}")));
         }
-        Ok(Arc::new(HplSqlExecution { db: self.db.clone(), runid }))
+        Ok(Arc::new(HplSqlExecution {
+            db: self.db.clone(),
+            runid,
+        }))
     }
 }
 
@@ -151,8 +143,10 @@ impl HplSqlExecution {
 impl ExecutionWrapper for HplSqlExecution {
     fn info(&self) -> Vec<(String, String)> {
         let conn = self.db.connect();
-        let Ok(rs) = conn.query(&format!("SELECT * FROM hpl_runs WHERE runid = {}", self.runid))
-        else {
+        let Ok(rs) = conn.query(&format!(
+            "SELECT * FROM hpl_runs WHERE runid = {}",
+            self.runid
+        )) else {
             return vec![];
         };
         if rs.is_empty() {
@@ -160,7 +154,12 @@ impl ExecutionWrapper for HplSqlExecution {
         }
         rs.columns()
             .iter()
-            .map(|c| (c.clone(), rs.get(0, c).map(|v| v.render()).unwrap_or_default()))
+            .map(|c| {
+                (
+                    c.clone(),
+                    rs.get(0, c).map(|v| v.render()).unwrap_or_default(),
+                )
+            })
             .collect()
     }
 
@@ -184,8 +183,14 @@ impl ExecutionWrapper for HplSqlExecution {
     }
 
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
-        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
-            return Err(WrapperError(format!("unknown HPL metric {:?}", query.metric)));
+        if !METRICS
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(&query.metric))
+        {
+            return Err(WrapperError(format!(
+                "unknown HPL metric {:?}",
+                query.metric
+            )));
         }
         if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("hpl") {
             return Ok(vec![]); // a different tool's data was requested
@@ -255,12 +260,20 @@ mod tests {
         let by_runid = w.exec_ids_matching("runid", "100").unwrap();
         assert_eq!(by_runid, ["100"]);
         let params = w.exec_query_params();
-        let (_, np_values) = params.iter().find(|(a, _)| a == "numprocs").unwrap().clone();
+        let (_, np_values) = params
+            .iter()
+            .find(|(a, _)| a == "numprocs")
+            .unwrap()
+            .clone();
         let mut total = 0;
         for v in &np_values {
             total += w.exec_ids_matching("numprocs", v).unwrap().len();
         }
-        assert_eq!(total, all.len(), "partitioning by attribute covers all execs");
+        assert_eq!(
+            total,
+            all.len(),
+            "partitioning by attribute covers all execs"
+        );
         assert!(w.exec_ids_matching("walltime", "1").is_err());
         assert!(w.exec_ids_matching("numprocs", "lots").is_err());
     }
@@ -284,20 +297,30 @@ mod tests {
     fn get_pr_returns_single_small_value() {
         let w = wrapper();
         let e = w.execution("100").unwrap();
-        let rows = e.get_pr(&pr("gflops", vec!["/Execution".into()], TYPE_UNDEFINED)).unwrap();
+        let rows = e
+            .get_pr(&pr("gflops", vec!["/Execution".into()], TYPE_UNDEFINED))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         let v: f64 = rows[0].parse().unwrap();
         assert!(v > 0.0);
         assert!(rows[0].len() <= 16, "payload stays ~8 bytes: {:?}", rows[0]);
         // Empty foci means "no restriction".
-        assert_eq!(e.get_pr(&pr("runtimesec", vec![], TYPE_UNDEFINED)).unwrap().len(), 1);
+        assert_eq!(
+            e.get_pr(&pr("runtimesec", vec![], TYPE_UNDEFINED))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn get_pr_type_and_focus_filtering() {
         let w = wrapper();
         let e = w.execution("100").unwrap();
-        assert!(e.get_pr(&pr("gflops", vec![], "vampir")).unwrap().is_empty());
+        assert!(e
+            .get_pr(&pr("gflops", vec![], "vampir"))
+            .unwrap()
+            .is_empty());
         assert_eq!(e.get_pr(&pr("gflops", vec![], "hpl")).unwrap().len(), 1);
         assert!(e
             .get_pr(&pr("gflops", vec!["/Process/3".into()], TYPE_UNDEFINED))

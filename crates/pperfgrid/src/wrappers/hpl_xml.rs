@@ -17,11 +17,15 @@ pub struct HplXmlWrapper {
 impl HplXmlWrapper {
     /// Wrap an XML store directory.
     pub fn new(store: HplXmlStore) -> HplXmlWrapper {
-        HplXmlWrapper { store: Arc::new(store) }
+        HplXmlWrapper {
+            store: Arc::new(store),
+        }
     }
 
     fn read_all(&self) -> Vec<Vec<(String, String)>> {
-        let Ok(ids) = self.store.run_ids() else { return vec![] };
+        let Ok(ids) = self.store.run_ids() else {
+            return vec![];
+        };
         ids.iter()
             .filter_map(|id| self.store.read_run(*id).ok())
             .collect()
@@ -33,7 +37,10 @@ impl ApplicationWrapper for HplXmlWrapper {
         vec![
             ("name".into(), "HPL".into()),
             ("version".into(), "1.0".into()),
-            ("description".into(), "HPL runs stored as XML documents".into()),
+            (
+                "description".into(),
+                "HPL runs stored as XML documents".into(),
+            ),
             ("storage".into(), "XML files".into()),
         ]
     }
@@ -52,7 +59,10 @@ impl ApplicationWrapper for HplXmlWrapper {
                 let mut values: Vec<String> = runs
                     .iter()
                     .filter_map(|fields| {
-                        fields.iter().find(|(n, _)| n == attr).map(|(_, v)| v.clone())
+                        fields
+                            .iter()
+                            .find(|(n, _)| n == attr)
+                            .map(|(_, v)| v.clone())
                     })
                     .collect();
                 values.sort();
@@ -69,11 +79,7 @@ impl ApplicationWrapper for HplXmlWrapper {
             .unwrap_or_default()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         if !["runid", "rundate", "numprocs", "n", "nb"]
             .iter()
             .any(|a| a.eq_ignore_ascii_case(attribute))
@@ -100,7 +106,10 @@ impl ApplicationWrapper for HplXmlWrapper {
             .map_err(|_| WrapperError(format!("bad HPL execution id {exec_id:?}")))?;
         // Fail fast if the file is missing.
         self.store.read_run(runid)?;
-        Ok(Arc::new(HplXmlExecution { store: Arc::clone(&self.store), runid }))
+        Ok(Arc::new(HplXmlExecution {
+            store: Arc::clone(&self.store),
+            runid,
+        }))
     }
 }
 
@@ -150,8 +159,14 @@ impl ExecutionWrapper for HplXmlExecution {
     }
 
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
-        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
-            return Err(WrapperError(format!("unknown HPL metric {:?}", query.metric)));
+        if !METRICS
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(&query.metric))
+        {
+            return Err(WrapperError(format!(
+                "unknown HPL metric {:?}",
+                query.metric
+            )));
         }
         if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("hpl") {
             return Ok(vec![]);
@@ -247,8 +262,12 @@ mod tests {
                 end: String::new(),
                 rtype: TYPE_UNDEFINED.into(),
             };
-            let a: f64 = sql.execution(&id).unwrap().get_pr(&q).unwrap()[0].parse().unwrap();
-            let b: f64 = xml.execution(&id).unwrap().get_pr(&q).unwrap()[0].parse().unwrap();
+            let a: f64 = sql.execution(&id).unwrap().get_pr(&q).unwrap()[0]
+                .parse()
+                .unwrap();
+            let b: f64 = xml.execution(&id).unwrap().get_pr(&q).unwrap()[0]
+                .parse()
+                .unwrap();
             assert!((a - b).abs() < 1e-9, "exec {id}: sql {a} vs xml {b}");
         }
     }

@@ -80,11 +80,7 @@ impl ApplicationWrapper for MemApplicationWrapper {
         self.executions.read().keys().cloned().collect()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         Ok(self
             .executions
             .read()
@@ -157,7 +153,10 @@ mod tests {
             let mut exec = MemExecution {
                 info: vec![
                     ("runid".into(), i.to_string()),
-                    ("numprocs".into(), if i < 2 { "4".into() } else { "8".into() }),
+                    (
+                        "numprocs".into(),
+                        if i < 2 { "4".into() } else { "8".into() },
+                    ),
                 ],
                 foci: vec!["/Execution".into()],
                 metrics: vec!["m".into()],

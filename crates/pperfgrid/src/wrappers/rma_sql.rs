@@ -29,7 +29,10 @@ impl ApplicationWrapper for RmaSqlWrapper {
         vec![
             ("name".into(), "PRESTA-RMA".into()),
             ("version".into(), "1.2".into()),
-            ("description".into(), "PRESTA benchmark data imported into an RDBMS".into()),
+            (
+                "description".into(),
+                "PRESTA benchmark data imported into an RDBMS".into(),
+            ),
             ("storage".into(), "RDBMS (2 tables)".into()),
         ]
     }
@@ -66,11 +69,7 @@ impl ApplicationWrapper for RmaSqlWrapper {
             .unwrap_or_default()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         let predicate = match attribute.to_ascii_lowercase().as_str() {
             a @ ("execid" | "numprocs") => {
                 let v: i64 = value.trim().parse().map_err(|_| {
@@ -98,7 +97,10 @@ impl ApplicationWrapper for RmaSqlWrapper {
         if rs.get_i64(0, "n").unwrap_or(0) == 0 {
             return Err(WrapperError(format!("no RMA execution {execid}")));
         }
-        Ok(Arc::new(RmaSqlExecution { db: self.db.clone(), execid }))
+        Ok(Arc::new(RmaSqlExecution {
+            db: self.db.clone(),
+            execid,
+        }))
     }
 }
 
@@ -121,7 +123,12 @@ impl ExecutionWrapper for RmaSqlExecution {
         }
         rs.columns()
             .iter()
-            .map(|c| (c.clone(), rs.get(0, c).map(|v| v.render()).unwrap_or_default()))
+            .map(|c| {
+                (
+                    c.clone(),
+                    rs.get(0, c).map(|v| v.render()).unwrap_or_default(),
+                )
+            })
             .collect()
     }
 
@@ -132,7 +139,12 @@ impl ExecutionWrapper for RmaSqlExecution {
                 "SELECT DISTINCT op FROM rma_records WHERE execid = {} ORDER BY op",
                 self.execid
             ))
-            .map(|rs| rs.rows().iter().map(|r| format!("/Op/{}", r[0].render())).collect())
+            .map(|rs| {
+                rs.rows()
+                    .iter()
+                    .map(|r| format!("/Op/{}", r[0].render()))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -156,14 +168,22 @@ impl ExecutionWrapper for RmaSqlExecution {
             return ("0.0".into(), "0.0".into());
         }
         (
-            rs.get(0, "starttime").map(|v| v.render()).unwrap_or_default(),
+            rs.get(0, "starttime")
+                .map(|v| v.render())
+                .unwrap_or_default(),
             rs.get(0, "endtime").map(|v| v.render()).unwrap_or_default(),
         )
     }
 
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
-        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
-            return Err(WrapperError(format!("unknown RMA metric {:?}", query.metric)));
+        if !METRICS
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(&query.metric))
+        {
+            return Err(WrapperError(format!(
+                "unknown RMA metric {:?}",
+                query.metric
+            )));
         }
         if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("presta") {
             return Ok(vec![]);
@@ -174,9 +194,7 @@ impl ExecutionWrapper for RmaSqlExecution {
             "SELECT starttime, endtime FROM rma_execs WHERE execid = {}",
             self.execid
         ))?;
-        if span.is_empty()
-            || span.get_f64(0, "endtime")? < t0
-            || span.get_f64(0, "starttime")? > t1
+        if span.is_empty() || span.get_f64(0, "endtime")? < t0 || span.get_f64(0, "starttime")? > t1
         {
             return Ok(vec![]);
         }
@@ -196,8 +214,10 @@ impl ExecutionWrapper for RmaSqlExecution {
         if let [single] = ops.as_slice() {
             sql.push_str(&format!(" AND op = {}", sql_quote(single)));
         } else if !ops.is_empty() {
-            let clauses: Vec<String> =
-                ops.iter().map(|op| format!("op = {}", sql_quote(op))).collect();
+            let clauses: Vec<String> = ops
+                .iter()
+                .map(|op| format!("op = {}", sql_quote(op)))
+                .collect();
             sql.push_str(&format!(" AND ({})", clauses.join(" OR ")));
         }
         sql.push_str(" ORDER BY op, msgsize");
@@ -239,7 +259,11 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = RmaTextStore::generate(&dir, &RmaSpec::tiny()).unwrap();
         let db = rma_to_database(&store).unwrap();
-        (Guard(dir.clone()), RmaTextWrapper::new(RmaTextStore::open(dir)), RmaSqlWrapper::new(db))
+        (
+            Guard(dir.clone()),
+            RmaTextWrapper::new(RmaTextStore::open(dir)),
+            RmaSqlWrapper::new(db),
+        )
     }
 
     #[test]

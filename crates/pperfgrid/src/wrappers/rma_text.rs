@@ -17,7 +17,9 @@ pub struct RmaTextWrapper {
 impl RmaTextWrapper {
     /// Wrap a text store directory.
     pub fn new(store: RmaTextStore) -> RmaTextWrapper {
-        RmaTextWrapper { store: Arc::new(store) }
+        RmaTextWrapper {
+            store: Arc::new(store),
+        }
     }
 }
 
@@ -28,8 +30,7 @@ impl ApplicationWrapper for RmaTextWrapper {
             ("version".into(), "1.2".into()),
             (
                 "description".into(),
-                "PRESTA MPI Bandwidth and Latency Benchmark (RMA/one-sided operations)"
-                    .into(),
+                "PRESTA MPI Bandwidth and Latency Benchmark (RMA/one-sided operations)".into(),
             ),
             ("storage".into(), "ASCII text files".into()),
         ]
@@ -40,7 +41,9 @@ impl ApplicationWrapper for RmaTextWrapper {
     }
 
     fn exec_query_params(&self) -> Vec<(String, Vec<String>)> {
-        let Ok(ids) = self.store.exec_ids() else { return vec![] };
+        let Ok(ids) = self.store.exec_ids() else {
+            return vec![];
+        };
         let executions: Vec<_> = ids
             .iter()
             .filter_map(|id| self.store.read_execution(*id).ok())
@@ -66,11 +69,7 @@ impl ApplicationWrapper for RmaTextWrapper {
             .unwrap_or_default()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         if !ATTRIBUTES.iter().any(|a| a.eq_ignore_ascii_case(attribute)) {
             return Err(WrapperError(format!("unknown attribute {attribute:?}")));
         }
@@ -90,7 +89,10 @@ impl ApplicationWrapper for RmaTextWrapper {
             .parse()
             .map_err(|_| WrapperError(format!("bad RMA execution id {exec_id:?}")))?;
         self.store.read_execution(execid)?; // fail fast
-        Ok(Arc::new(RmaTextExecution { store: Arc::clone(&self.store), execid }))
+        Ok(Arc::new(RmaTextExecution {
+            store: Arc::clone(&self.store),
+            execid,
+        }))
     }
 }
 
@@ -111,8 +113,14 @@ impl ExecutionWrapper for RmaTextExecution {
     }
 
     fn foci(&self) -> Vec<String> {
-        let Ok(exec) = self.parse() else { return vec![] };
-        let mut ops: Vec<String> = exec.records.iter().map(|r| format!("/Op/{}", r.op)).collect();
+        let Ok(exec) = self.parse() else {
+            return vec![];
+        };
+        let mut ops: Vec<String> = exec
+            .records
+            .iter()
+            .map(|r| format!("/Op/{}", r.op))
+            .collect();
         ops.sort();
         ops.dedup();
         ops
@@ -141,15 +149,25 @@ impl ExecutionWrapper for RmaTextExecution {
     /// cost the caching experiment (Table 5) found cheap relative to an
     /// RDBMS, giving RMA its near-1.0 caching speedup.
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
-        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
-            return Err(WrapperError(format!("unknown RMA metric {:?}", query.metric)));
+        if !METRICS
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(&query.metric))
+        {
+            return Err(WrapperError(format!(
+                "unknown RMA metric {:?}",
+                query.metric
+            )));
         }
         if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("presta") {
             return Ok(vec![]);
         }
         let (t0, t1) = query.time_window()?;
         let exec = self.parse()?;
-        let start: f64 = exec.header("starttime").unwrap_or("0").parse().unwrap_or(0.0);
+        let start: f64 = exec
+            .header("starttime")
+            .unwrap_or("0")
+            .parse()
+            .unwrap_or(0.0);
         let end: f64 = exec.header("endtime").unwrap_or("0").parse().unwrap_or(0.0);
         if end < t0 || start > t1 {
             return Ok(vec![]);
@@ -169,7 +187,11 @@ impl ExecutionWrapper for RmaTextExecution {
             .iter()
             .filter(|r| ops.is_empty() || ops.contains(&r.op.as_str()))
             .map(|r| {
-                let value = if latency { r.latency_us } else { r.bandwidth_mbps };
+                let value = if latency {
+                    r.latency_us
+                } else {
+                    r.bandwidth_mbps
+                };
                 format!(
                     "op={} msgsize={} {}={:.3}",
                     r.op, r.msgsize, query.metric, value
@@ -247,7 +269,9 @@ mod tests {
             .unwrap();
         assert_eq!(unidir.len(), 3);
         assert!(unidir.iter().all(|r| r.starts_with("op=unidir ")));
-        let foreign_focus = e.get_pr(&pr("latency_us", vec!["/Process/1".into()])).unwrap();
+        let foreign_focus = e
+            .get_pr(&pr("latency_us", vec!["/Process/1".into()]))
+            .unwrap();
         assert!(foreign_focus.is_empty());
         assert!(e.get_pr(&pr("mystery", vec![])).is_err());
     }

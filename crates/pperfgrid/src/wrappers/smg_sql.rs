@@ -102,11 +102,7 @@ impl ApplicationWrapper for SmgSqlWrapper {
             .unwrap_or_default()
     }
 
-    fn exec_ids_matching(
-        &self,
-        attribute: &str,
-        value: &str,
-    ) -> Result<Vec<String>, WrapperError> {
+    fn exec_ids_matching(&self, attribute: &str, value: &str) -> Result<Vec<String>, WrapperError> {
         let predicate = match attribute.to_ascii_lowercase().as_str() {
             a @ ("execid" | "numprocs") => {
                 let v: i64 = value.trim().parse().map_err(|_| {
@@ -132,9 +128,14 @@ impl ApplicationWrapper for SmgSqlWrapper {
             "SELECT COUNT(*) AS n FROM executions WHERE execid = {execid}"
         ))?;
         if rs.get_i64(0, "n").unwrap_or(0) == 0 {
-            return Err(WrapperError(format!("no SMG execution with execid {execid}")));
+            return Err(WrapperError(format!(
+                "no SMG execution with execid {execid}"
+            )));
         }
-        Ok(Arc::new(SmgSqlExecution { db: self.db.clone(), execid }))
+        Ok(Arc::new(SmgSqlExecution {
+            db: self.db.clone(),
+            execid,
+        }))
     }
 }
 
@@ -235,17 +236,16 @@ impl SmgSqlExecution {
         let rs = self.db.connect().query(&sql)?;
         let calls = rs.get_i64(0, "calls")?;
         // SUM over zero rows is NULL.
-        let total = if calls == 0 { 0.0 } else { rs.get_f64(0, "total")? };
+        let total = if calls == 0 {
+            0.0
+        } else {
+            rs.get_f64(0, "total")?
+        };
         Ok((calls, total))
     }
 
     /// Fetch `(bytes,)` message rows for a process focus.
-    fn messages_for_process(
-        &self,
-        pid: i64,
-        t0: f64,
-        t1: f64,
-    ) -> Result<Vec<i64>, WrapperError> {
+    fn messages_for_process(&self, pid: i64, t0: f64, t1: f64) -> Result<Vec<i64>, WrapperError> {
         let mut sql = format!(
             "SELECT m.bytes AS b FROM messages m WHERE m.execid = {} AND m.src = {pid}",
             self.execid
@@ -275,7 +275,12 @@ impl ExecutionWrapper for SmgSqlExecution {
         }
         rs.columns()
             .iter()
-            .map(|c| (c.clone(), rs.get(0, c).map(|v| v.render()).unwrap_or_default()))
+            .map(|c| {
+                (
+                    c.clone(),
+                    rs.get(0, c).map(|v| v.render()).unwrap_or_default(),
+                )
+            })
             .collect()
     }
 
@@ -286,9 +291,14 @@ impl ExecutionWrapper for SmgSqlExecution {
             "SELECT DISTINCT procid FROM processes WHERE execid = {} ORDER BY procid",
             self.execid
         )) {
-            foci.extend(rs.rows().iter().map(|r| format!("/Process/{}", r[0].render())));
+            foci.extend(
+                rs.rows()
+                    .iter()
+                    .map(|r| format!("/Process/{}", r[0].render())),
+            );
         }
-        if let Ok(rs) = conn.query("SELECT DISTINCT module, name FROM functions ORDER BY module, name")
+        if let Ok(rs) =
+            conn.query("SELECT DISTINCT module, name FROM functions ORDER BY module, name")
         {
             for i in 0..rs.len() {
                 let module = rs.get_str(i, "module").unwrap_or("?");
@@ -319,14 +329,22 @@ impl ExecutionWrapper for SmgSqlExecution {
             return ("0.0".into(), "0.0".into());
         }
         (
-            rs.get(0, "starttime").map(|v| v.render()).unwrap_or_default(),
+            rs.get(0, "starttime")
+                .map(|v| v.render())
+                .unwrap_or_default(),
             rs.get(0, "endtime").map(|v| v.render()).unwrap_or_default(),
         )
     }
 
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
-        if !METRICS.iter().any(|m| m.eq_ignore_ascii_case(&query.metric)) {
-            return Err(WrapperError(format!("unknown SMG metric {:?}", query.metric)));
+        if !METRICS
+            .iter()
+            .any(|m| m.eq_ignore_ascii_case(&query.metric))
+        {
+            return Err(WrapperError(format!(
+                "unknown SMG metric {:?}",
+                query.metric
+            )));
         }
         if query.rtype != TYPE_UNDEFINED && !query.rtype.eq_ignore_ascii_case("vampir") {
             return Ok(vec![]);
@@ -444,7 +462,9 @@ mod tests {
             let n: i64 = parts[2].parse().unwrap();
             assert!(n > 0, "{row}");
         }
-        let time_rows = e.get_pr(&pr("func_time", vec!["/Process/1".into()])).unwrap();
+        let time_rows = e
+            .get_pr(&pr("func_time", vec!["/Process/1".into()]))
+            .unwrap();
         let t: f64 = time_rows[0].split('|').nth(2).unwrap().parse().unwrap();
         assert!(t > 0.0);
     }
@@ -465,7 +485,9 @@ mod tests {
     fn time_window_narrows_results() {
         let w = wrapper();
         let e = w.execution("0").unwrap();
-        let all = e.get_pr(&pr("func_calls", vec!["/Process/0".into()])).unwrap();
+        let all = e
+            .get_pr(&pr("func_calls", vec!["/Process/0".into()]))
+            .unwrap();
         let all_n: i64 = all[0].split('|').nth(2).unwrap().parse().unwrap();
         let narrow = e
             .get_pr(&PrQuery {
@@ -477,14 +499,19 @@ mod tests {
             })
             .unwrap();
         let narrow_n: i64 = narrow[0].split('|').nth(2).unwrap().parse().unwrap();
-        assert!(narrow_n < all_n, "narrow window ({narrow_n}) < full ({all_n})");
+        assert!(
+            narrow_n < all_n,
+            "narrow window ({narrow_n}) < full ({all_n})"
+        );
     }
 
     #[test]
     fn message_metrics() {
         let w = wrapper();
         let e = w.execution("0").unwrap();
-        let rows = e.get_pr(&pr("msg_count", vec!["/Process/0".into()])).unwrap();
+        let rows = e
+            .get_pr(&pr("msg_count", vec!["/Process/0".into()]))
+            .unwrap();
         let n: i64 = rows[0].split('|').nth(2).unwrap().parse().unwrap();
         assert!(n >= 0);
         // msg metrics reject code foci.
@@ -497,11 +524,21 @@ mod tests {
     fn validation_errors() {
         let w = wrapper();
         let e = w.execution("0").unwrap();
-        assert!(e.get_pr(&pr("func_calls", vec![])).is_err(), "foci required");
-        assert!(e.get_pr(&pr("nonsense", vec!["/Process/0".into()])).is_err());
-        assert!(e.get_pr(&pr("func_calls", vec!["/Bogus/x".into()])).is_err());
+        assert!(
+            e.get_pr(&pr("func_calls", vec![])).is_err(),
+            "foci required"
+        );
+        assert!(e
+            .get_pr(&pr("nonsense", vec!["/Process/0".into()]))
+            .is_err());
+        assert!(e
+            .get_pr(&pr("func_calls", vec!["/Bogus/x".into()]))
+            .is_err());
         let mut q = pr("func_calls", vec!["/Process/0".into()]);
         q.rtype = "hpl".into();
-        assert!(e.get_pr(&q).unwrap().is_empty(), "foreign type yields empty");
+        assert!(
+            e.get_pr(&q).unwrap().is_empty(),
+            "foreign type yields empty"
+        );
     }
 }

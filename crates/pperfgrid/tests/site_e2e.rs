@@ -4,11 +4,11 @@
 
 use pperf_datastore::{HplSpec, HplStore, SmgSpec, SmgStore};
 use pperf_httpd::HttpClient;
-use pperf_ogsi::{Container, ContainerConfig, FactoryStub, GridServiceStub, RegistryService, RegistryStub};
-use pperfgrid::wrappers::{HplSqlWrapper, SmgSqlWrapper};
-use pperfgrid::{
-    ApplicationStub, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED,
+use pperf_ogsi::{
+    Container, ContainerConfig, FactoryStub, GridServiceStub, RegistryService, RegistryStub,
 };
+use pperfgrid::wrappers::{HplSqlWrapper, SmgSqlWrapper};
+use pperfgrid::{ApplicationStub, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
 use std::sync::Arc;
 
 fn container() -> Arc<Container> {
@@ -42,10 +42,17 @@ fn figure3_component_interaction() {
     let registry_gsh = node
         .deploy_service("registry", Arc::new(RegistryService::new()))
         .unwrap();
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let registry = RegistryStub::bind(Arc::clone(&client), &registry_gsh);
-    registry.register_organization("PSU", "Portland, OR").unwrap();
+    registry
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
     site.publish(&registry, "PSU", "Linpack runs").unwrap();
 
     // 1a/1b: client logs into the registry and finds Application factories.
@@ -65,7 +72,9 @@ fn figure3_component_interaction() {
     assert!(info.iter().any(|(n, v)| n == "name" && v == "HPL"));
     assert_eq!(app.get_num_execs().unwrap(), 8);
     let params = app.get_exec_query_params().unwrap();
-    assert!(params.iter().any(|(a, vs)| a == "numprocs" && !vs.is_empty()));
+    assert!(params
+        .iter()
+        .any(|(a, vs)| a == "numprocs" && !vs.is_empty()));
 
     // 3a-3i: query executions; Execution instances come back as GSHs.
     let (attr, values) = params
@@ -96,8 +105,13 @@ fn figure3_component_interaction() {
 fn manager_caches_execution_instances() {
     let node = container();
     let client = Arc::new(HttpClient::new());
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app1 = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
 
@@ -115,7 +129,11 @@ fn manager_caches_execution_instances() {
     let (hits1, created1) = site.manager.stats();
     assert_eq!(created1, 8, "no new instances created");
     assert_eq!(hits1, 8);
-    assert_eq!(node.live_instances(), 8 + 2, "8 executions + 2 applications");
+    assert_eq!(
+        node.live_instances(),
+        8 + 2,
+        "8 executions + 2 applications"
+    );
 }
 
 #[test]
@@ -144,8 +162,14 @@ fn manager_interleaves_across_replica_hosts() {
     // sequential request stream the split is exactly 4/4 and alternating.
     let port_a = host_a.base_url();
     let port_b = host_b.base_url();
-    let on_a = execs.iter().filter(|g| g.as_str().starts_with(&port_a)).count();
-    let on_b = execs.iter().filter(|g| g.as_str().starts_with(&port_b)).count();
+    let on_a = execs
+        .iter()
+        .filter(|g| g.as_str().starts_with(&port_a))
+        .count();
+    let on_b = execs
+        .iter()
+        .filter(|g| g.as_str().starts_with(&port_b))
+        .count();
     assert_eq!((on_a, on_b), (4, 4), "16-and-16 style even split");
     for pair in execs.chunks(2) {
         if let [x, y] = pair {
@@ -176,8 +200,7 @@ fn pr_cache_hits_skip_the_mapping_layer() {
     // effect through service data counters.
     let store = SmgStore::build(SmgSpec::tiny());
     let wrapper = Arc::new(SmgSqlWrapper::new(store.database().clone()));
-    let site =
-        Site::deploy(&node, Arc::clone(&client), wrapper, &SiteConfig::new("smg")).unwrap();
+    let site = Site::deploy(&node, Arc::clone(&client), wrapper, &SiteConfig::new("smg")).unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
     let execs = app.get_execs("execid", "0").unwrap();
@@ -197,14 +220,23 @@ fn pr_cache_hits_skip_the_mapping_layer() {
 
     let gs = GridServiceStub::bind(Arc::clone(&client), &execs[0]);
     assert_eq!(gs.find_service_data("cacheHits").unwrap().as_int(), Some(1));
-    assert_eq!(gs.find_service_data("cacheMisses").unwrap().as_int(), Some(1));
-    assert_eq!(gs.find_service_data("cacheEntries").unwrap().as_int(), Some(1));
+    assert_eq!(
+        gs.find_service_data("cacheMisses").unwrap().as_int(),
+        Some(1)
+    );
+    assert_eq!(
+        gs.find_service_data("cacheEntries").unwrap().as_int(),
+        Some(1)
+    );
 
     // A different query misses.
     let mut other = query.clone();
     other.foci = vec!["/Process/0".into()];
     exec.get_pr(&other).unwrap();
-    assert_eq!(gs.find_service_data("cacheMisses").unwrap().as_int(), Some(2));
+    assert_eq!(
+        gs.find_service_data("cacheMisses").unwrap().as_int(),
+        Some(2)
+    );
 }
 
 #[test]
@@ -225,7 +257,10 @@ fn caching_can_be_disabled_per_site() {
     exec.get_pr(&pr_query("gflops")).unwrap();
     exec.get_pr(&pr_query("gflops")).unwrap();
     let gs = GridServiceStub::bind(Arc::clone(&client), &execs[0]);
-    assert_eq!(gs.find_service_data("cacheEnabled").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        gs.find_service_data("cacheEnabled").unwrap().as_bool(),
+        Some(false)
+    );
     assert_eq!(
         gs.find_service_data("cacheEntries").unwrap().as_int(),
         Some(0),
@@ -239,13 +274,21 @@ fn manager_service_is_reachable_over_soap() {
     // service instances" — but it *is* a Grid service; verify the SOAP face.
     let node = container();
     let client = Arc::new(HttpClient::new());
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let stub = pperf_ogsi::ServiceStub::new(Arc::clone(&client), site.manager_gsh.clone());
     let v = stub
         .call(
             "getExecs",
-            &[("execIds", pperf_soap::Value::StrArray(vec!["100".into(), "101".into()]))],
+            &[(
+                "execIds",
+                pperf_soap::Value::StrArray(vec!["100".into(), "101".into()]),
+            )],
         )
         .unwrap();
     let gshs = v.as_str_array().unwrap();
@@ -253,16 +296,27 @@ fn manager_service_is_reachable_over_soap() {
     assert!(gshs[0].contains("/instances/"));
     // Service data reflects the two creations.
     let gs = GridServiceStub::bind(Arc::clone(&client), &site.manager_gsh);
-    assert_eq!(gs.find_service_data("instancesCreated").unwrap().as_int(), Some(2));
-    assert_eq!(gs.find_service_data("replicaCount").unwrap().as_int(), Some(1));
+    assert_eq!(
+        gs.find_service_data("instancesCreated").unwrap().as_int(),
+        Some(2)
+    );
+    assert_eq!(
+        gs.find_service_data("replicaCount").unwrap().as_int(),
+        Some(1)
+    );
 }
 
 #[test]
 fn invalid_queries_fault_cleanly() {
     let node = container();
     let client = Arc::new(HttpClient::new());
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
     // Unknown attribute → client fault.
@@ -280,8 +334,13 @@ fn invalid_queries_fault_cleanly() {
 fn concurrent_clients_share_instances() {
     let node = container();
     let client = Arc::new(HttpClient::new());
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app_gsh = factory.create_service(&[]).unwrap();
 
@@ -311,8 +370,13 @@ fn execution_vocabulary_queryable_via_xpath() {
     // enter an XPath query" — the implemented extension.
     let node = container();
     let client = Arc::new(HttpClient::new());
-    let site = Site::deploy(&node, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &node,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
     let execs = app.get_execs("runid", "100").unwrap();
@@ -322,11 +386,15 @@ fn execution_vocabulary_queryable_via_xpath() {
         .query_service_data_xpath("/serviceData/metrics/item/text()")
         .unwrap();
     assert_eq!(metrics, ["gflops", "runtimesec"]);
-    let foci = gs.query_service_data_xpath("/serviceData/foci/item/text()").unwrap();
+    let foci = gs
+        .query_service_data_xpath("/serviceData/foci/item/text()")
+        .unwrap();
     assert_eq!(foci, ["/Execution"]);
     let types = gs.query_service_data_xpath("//types/item/text()").unwrap();
     assert_eq!(types, ["hpl"]);
-    let start = gs.query_service_data_xpath("/serviceData/timeStart/text()").unwrap();
+    let start = gs
+        .query_service_data_xpath("/serviceData/timeStart/text()")
+        .unwrap();
     assert_eq!(start, ["0.0"]);
     // Positional predicate: the second metric.
     let second = gs
@@ -364,7 +432,10 @@ fn local_bypass_skips_services_layer() {
     local_sites.advertise(&site.exec_factories[0], wrapper);
 
     let access = local_sites.open(Arc::clone(&client), &execs[0]).unwrap();
-    assert!(access.is_local(), "co-located handle upgrades to local access");
+    assert!(
+        access.is_local(),
+        "co-located handle upgrades to local access"
+    );
     let local_rows = access.get_pr(&pr_query("gflops")).unwrap();
     assert_eq!(access.get_metrics().unwrap(), ["gflops", "runtimesec"]);
     assert_eq!(access.get_types().unwrap(), ["hpl"]);
@@ -384,10 +455,14 @@ fn local_bypass_skips_services_layer() {
     )
     .unwrap();
     let other_factory = FactoryStub::bind(Arc::clone(&client), &other_site.app_factory);
-    let other_app =
-        ApplicationStub::bind(Arc::clone(&client), &other_factory.create_service(&[]).unwrap());
+    let other_app = ApplicationStub::bind(
+        Arc::clone(&client),
+        &other_factory.create_service(&[]).unwrap(),
+    );
     let other_execs = other_app.get_all_execs().unwrap();
-    let access = local_sites.open(Arc::clone(&client), &other_execs[0]).unwrap();
+    let access = local_sites
+        .open(Arc::clone(&client), &other_execs[0])
+        .unwrap();
     assert!(!access.is_local(), "foreign handle stays remote");
     assert_eq!(access.get_pr(&pr_query("gflops")).unwrap().len(), 1);
 }
@@ -402,9 +477,12 @@ fn least_loaded_placement_balances_toward_idle_host() {
     // 16 executions so the balancing phases below never run out of ids.
     let wide = || -> Arc<HplSqlWrapper> {
         Arc::new(HplSqlWrapper::new(
-            HplStore::build(HplSpec { num_execs: 16, ..HplSpec::default() })
-                .database()
-                .clone(),
+            HplStore::build(HplSpec {
+                num_execs: 16,
+                ..HplSpec::default()
+            })
+            .database()
+            .clone(),
         ))
     };
     let site = Site::deploy_replicated(

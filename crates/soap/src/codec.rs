@@ -72,7 +72,11 @@ pub fn decode_call(text: &str) -> Result<Call> {
         let value = Value::from_element(child)?;
         params.push((child.local_name().to_owned(), value));
     }
-    Ok(Call { method, namespace, params })
+    Ok(Call {
+        method,
+        namespace,
+        params,
+    })
 }
 
 /// Encode a successful RPC response carrying one return value.
@@ -118,7 +122,10 @@ mod tests {
             "urn:pperfgrid:Execution",
             &[
                 ("metric", Value::from("gflops")),
-                ("foci", Value::StrArray(vec!["/Process/1".into(), "/Process/2".into()])),
+                (
+                    "foci",
+                    Value::StrArray(vec!["/Process/1".into(), "/Process/2".into()]),
+                ),
                 ("startTime", Value::from("0.0")),
                 ("endTime", Value::from("11.047856")),
                 ("type", Value::from("UNDEFINED")),
@@ -176,7 +183,10 @@ mod tests {
     #[test]
     fn non_response_rejected() {
         let wire = encode_call("getFoci", "urn:x", &[]);
-        assert!(matches!(decode_response(&wire), Err(SoapError::Envelope(_))));
+        assert!(matches!(
+            decode_response(&wire),
+            Err(SoapError::Envelope(_))
+        ));
     }
 
     #[test]

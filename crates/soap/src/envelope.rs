@@ -57,7 +57,10 @@ impl Envelope {
         if elems.next().is_some() {
             return Err(SoapError::Envelope("multiple elements in <Body>".into()));
         }
-        Ok(Envelope { header, body: payload })
+        Ok(Envelope {
+            header,
+            body: payload,
+        })
     }
 }
 
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn rejects_non_envelope() {
-        assert!(matches!(Envelope::parse("<html/>"), Err(SoapError::Envelope(_))));
+        assert!(matches!(
+            Envelope::parse("<html/>"),
+            Err(SoapError::Envelope(_))
+        ));
     }
 
     #[test]
@@ -107,6 +113,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(Envelope::parse("not xml at all"), Err(SoapError::Xml(_))));
+        assert!(matches!(
+            Envelope::parse("not xml at all"),
+            Err(SoapError::Xml(_))
+        ));
     }
 }

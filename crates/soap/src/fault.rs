@@ -50,12 +50,20 @@ pub struct Fault {
 impl Fault {
     /// A server-side fault with the given message.
     pub fn server(msg: impl Into<String>) -> Fault {
-        Fault { code: FaultCode::Server, string: msg.into(), detail: None }
+        Fault {
+            code: FaultCode::Server,
+            string: msg.into(),
+            detail: None,
+        }
     }
 
     /// A client-side (caller error) fault with the given message.
     pub fn client(msg: impl Into<String>) -> Fault {
-        Fault { code: FaultCode::Client, string: msg.into(), detail: None }
+        Fault {
+            code: FaultCode::Client,
+            string: msg.into(),
+            detail: None,
+        }
     }
 
     /// Attach application detail.
@@ -90,7 +98,11 @@ impl Fault {
             .map(|s| s.text().into_owned())
             .unwrap_or_default();
         let detail = el.child("detail").map(|d| d.text().into_owned());
-        Some(Fault { code, string, detail })
+        Some(Fault {
+            code,
+            string,
+            detail,
+        })
     }
 }
 
@@ -125,7 +137,11 @@ mod tests {
             FaultCode::Client,
             FaultCode::Server,
         ] {
-            let f = Fault { code, string: "x".into(), detail: None };
+            let f = Fault {
+                code,
+                string: "x".into(),
+                detail: None,
+            };
             assert_eq!(Fault::from_element(&f.to_element()).unwrap().code, code);
         }
     }

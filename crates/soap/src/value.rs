@@ -343,7 +343,10 @@ mod tests {
     #[test]
     fn untyped_defaults_to_string() {
         let el = Element::with_text("p", "free-form");
-        assert_eq!(Value::from_element(&el).unwrap(), Value::Str("free-form".into()));
+        assert_eq!(
+            Value::from_element(&el).unwrap(),
+            Value::Str("free-form".into())
+        );
     }
 
     #[test]

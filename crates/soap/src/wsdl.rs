@@ -54,7 +54,10 @@ pub struct PortType {
 impl PortType {
     /// Construct a PortType.
     pub fn new(name: impl Into<String>, operations: Vec<Operation>) -> PortType {
-        PortType { name: name.into(), operations }
+        PortType {
+            name: name.into(),
+            operations,
+        }
     }
 
     /// Find an operation by name.

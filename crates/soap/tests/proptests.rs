@@ -9,7 +9,9 @@ use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
-        proptest::string::string_regex("\\PC{0,60}").unwrap().prop_map(Value::Str),
+        proptest::string::string_regex("\\PC{0,60}")
+            .unwrap()
+            .prop_map(Value::Str),
         any::<i64>().prop_map(Value::Int),
         // Finite doubles only: NaN breaks equality, covered by a unit test.
         proptest::num::f64::NORMAL.prop_map(Value::Double),

@@ -45,7 +45,11 @@ pub struct Element {
 impl Element {
     /// Create an empty element with the given qualified name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Create an element whose only child is the given text.
@@ -77,7 +81,10 @@ impl Element {
 
     /// Look up an attribute value by exact (qualified) name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Append a child element. Returns `&mut self` for chaining.
@@ -116,7 +123,8 @@ impl Element {
 
     /// All child elements whose local name matches.
     pub fn children_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
-        self.child_elements().filter(move |e| e.local_name() == local)
+        self.child_elements()
+            .filter(move |e| e.local_name() == local)
     }
 
     /// Concatenation of all *direct* text children.
@@ -224,7 +232,10 @@ mod tests {
         e.push_child(Element::with_text("item", "1"));
         e.push_child(Element::with_text("other", "x"));
         e.push_child(Element::with_text("item", "2"));
-        let items: Vec<_> = e.children_named("item").map(|i| i.text().into_owned()).collect();
+        let items: Vec<_> = e
+            .children_named("item")
+            .map(|i| i.text().into_owned())
+            .collect();
         assert_eq!(items, ["1", "2"]);
     }
 }

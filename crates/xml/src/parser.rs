@@ -16,7 +16,8 @@ pub fn parse(input: &str) -> Result<Element> {
 
 /// Parse a complete document from bytes (must be UTF-8).
 pub fn parse_bytes(input: &[u8]) -> Result<Element> {
-    let s = std::str::from_utf8(input).map_err(|e| Error::new(e.valid_up_to(), ErrorKind::InvalidUtf8))?;
+    let s = std::str::from_utf8(input)
+        .map_err(|e| Error::new(e.valid_up_to(), ErrorKind::InvalidUtf8))?;
     parse(s)
 }
 
@@ -64,7 +65,10 @@ impl<'a> Parser<'a> {
     fn eat(&mut self, expected: char) -> Result<()> {
         match self.bump() {
             Some(c) if c == expected => Ok(()),
-            Some(c) => Err(Error::new(self.pos - c.len_utf8(), ErrorKind::UnexpectedChar(c))),
+            Some(c) => Err(Error::new(
+                self.pos - c.len_utf8(),
+                ErrorKind::UnexpectedChar(c),
+            )),
             None => Err(self.err(ErrorKind::UnexpectedEof)),
         }
     }
@@ -156,7 +160,10 @@ impl<'a> Parser<'a> {
                 if close != el.name {
                     return Err(Error::new(
                         close_pos.min(open_pos),
-                        ErrorKind::MismatchedTag { open: el.name.clone(), close },
+                        ErrorKind::MismatchedTag {
+                            open: el.name.clone(),
+                            close,
+                        },
                     ));
                 }
                 self.skip_ws();
@@ -180,7 +187,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err(ErrorKind::UnexpectedEof));
             } else {
                 let raw = self.char_data();
-                let text = unescape(raw).map_err(|e| Error::new(self.pos - raw.len() + e.offset, e.kind))?;
+                let text = unescape(raw)
+                    .map_err(|e| Error::new(self.pos - raw.len() + e.offset, e.kind))?;
                 // Whitespace-only runs between child elements are formatting,
                 // not data; keep them only if the element has no other content
                 // yet and they might be significant. SOAP treats pure
@@ -205,7 +213,12 @@ impl<'a> Parser<'a> {
     fn attr_value(&mut self) -> Result<String> {
         let quote = match self.bump() {
             Some(q @ ('"' | '\'')) => q,
-            Some(c) => return Err(Error::new(self.pos - c.len_utf8(), ErrorKind::UnexpectedChar(c))),
+            Some(c) => {
+                return Err(Error::new(
+                    self.pos - c.len_utf8(),
+                    ErrorKind::UnexpectedChar(c),
+                ))
+            }
             None => return Err(self.err(ErrorKind::UnexpectedEof)),
         };
         let start = self.pos;
@@ -306,21 +319,40 @@ mod tests {
 
     #[test]
     fn trailing_content_rejected() {
-        assert!(matches!(parse("<a/>junk").unwrap_err().kind, ErrorKind::TrailingContent));
-        assert!(matches!(parse("<a/><b/>").unwrap_err().kind, ErrorKind::TrailingContent));
+        assert!(matches!(
+            parse("<a/>junk").unwrap_err().kind,
+            ErrorKind::TrailingContent
+        ));
+        assert!(matches!(
+            parse("<a/><b/>").unwrap_err().kind,
+            ErrorKind::TrailingContent
+        ));
     }
 
     #[test]
     fn eof_mid_element_rejected() {
-        for bad in ["<a", "<a>", "<a><b></b>", "<a attr", "<a attr=", "<a attr=\"v"] {
+        for bad in [
+            "<a",
+            "<a>",
+            "<a><b></b>",
+            "<a attr",
+            "<a attr=",
+            "<a attr=\"v",
+        ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
     }
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(parse("").unwrap_err().kind, ErrorKind::NoRootElement));
-        assert!(matches!(parse("   ").unwrap_err().kind, ErrorKind::NoRootElement));
+        assert!(matches!(
+            parse("").unwrap_err().kind,
+            ErrorKind::NoRootElement
+        ));
+        assert!(matches!(
+            parse("   ").unwrap_err().kind,
+            ErrorKind::NoRootElement
+        ));
     }
 
     #[test]
@@ -332,7 +364,10 @@ mod tests {
 
     #[test]
     fn parse_bytes_rejects_invalid_utf8() {
-        assert!(matches!(parse_bytes(b"<a>\xff</a>").unwrap_err().kind, ErrorKind::InvalidUtf8));
+        assert!(matches!(
+            parse_bytes(b"<a>\xff</a>").unwrap_err().kind,
+            ErrorKind::InvalidUtf8
+        ));
     }
 
     #[test]

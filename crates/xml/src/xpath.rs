@@ -47,7 +47,11 @@ impl std::error::Error for XPathError {}
 enum Step {
     /// `name` or `*`, with optional predicates; `descendant` marks a `//`
     /// axis before this step.
-    Element { name: String, predicates: Vec<Predicate>, descendant: bool },
+    Element {
+        name: String,
+        predicates: Vec<Predicate>,
+        descendant: bool,
+    },
     /// Final `text()` step.
     Text,
     /// Final `@attr` step.
@@ -109,7 +113,11 @@ pub fn evaluate<'a>(root: &'a Element, path: &str) -> Result<Selection<'a>, XPat
     let mut current: Vec<&'a Element> = Vec::new();
     let mut steps_iter = steps.iter().peekable();
     match steps_iter.peek() {
-        Some(Step::Element { name, predicates, descendant }) => {
+        Some(Step::Element {
+            name,
+            predicates,
+            descendant,
+        }) => {
             if *descendant {
                 let mut pool = Vec::new();
                 collect_descendants_and_self(root, &mut pool);
@@ -125,7 +133,11 @@ pub fn evaluate<'a>(root: &'a Element, path: &str) -> Result<Selection<'a>, XPat
 
     for step in steps_iter {
         match step {
-            Step::Element { name, predicates, descendant } => {
+            Step::Element {
+                name,
+                predicates,
+                descendant,
+            } => {
                 let mut pool: Vec<&Element> = Vec::new();
                 for el in &current {
                     if *descendant {
@@ -188,9 +200,10 @@ fn apply_predicates<'a>(mut els: Vec<&'a Element>, predicates: &[Predicate]) -> 
                 }
             }
             Predicate::HasAttr(a) => els.into_iter().filter(|e| e.attr(a).is_some()).collect(),
-            Predicate::AttrEquals(a, v) => {
-                els.into_iter().filter(|e| e.attr(a) == Some(v.as_str())).collect()
-            }
+            Predicate::AttrEquals(a, v) => els
+                .into_iter()
+                .filter(|e| e.attr(a) == Some(v.as_str()))
+                .collect(),
             Predicate::ChildEquals(c, v) => els
                 .into_iter()
                 .filter(|e| e.children_named(c).any(|ch| ch.text() == v.as_str()))
@@ -206,7 +219,9 @@ fn apply_predicates<'a>(mut els: Vec<&'a Element>, predicates: &[Predicate]) -> 
 fn parse_path(path: &str) -> Result<Vec<Step>, XPathError> {
     let path = path.trim();
     if !path.starts_with('/') {
-        return Err(XPathError(format!("{path:?}: only absolute paths are supported")));
+        return Err(XPathError(format!(
+            "{path:?}: only absolute paths are supported"
+        )));
     }
     let mut steps = Vec::new();
     let mut rest = path;
@@ -270,7 +285,9 @@ fn parse_step(text: &str, descendant: bool) -> Result<Step, XPathError> {
     let mut predicates = Vec::new();
     while !preds_text.is_empty() {
         let Some(stripped) = preds_text.strip_prefix('[') else {
-            return Err(XPathError(format!("expected '[' in predicates {preds_text:?}")));
+            return Err(XPathError(format!(
+                "expected '[' in predicates {preds_text:?}"
+            )));
         };
         let Some(close) = stripped.find(']') else {
             return Err(XPathError(format!("unclosed predicate in {text:?}")));
@@ -279,7 +296,11 @@ fn parse_step(text: &str, descendant: bool) -> Result<Step, XPathError> {
         preds_text = &stripped[close + 1..];
         predicates.push(parse_predicate(body)?);
     }
-    Ok(Step::Element { name: name.to_owned(), predicates, descendant })
+    Ok(Step::Element {
+        name: name.to_owned(),
+        predicates,
+        descendant,
+    })
 }
 
 fn parse_predicate(body: &str) -> Result<Predicate, XPathError> {
@@ -344,7 +365,10 @@ mod tests {
     #[test]
     fn simple_paths() {
         let d = doc();
-        assert_eq!(select_strings(&d, "/serviceData/execId/text()").unwrap(), ["42"]);
+        assert_eq!(
+            select_strings(&d, "/serviceData/execId/text()").unwrap(),
+            ["42"]
+        );
         assert_eq!(
             select_strings(&d, "/serviceData/metrics/metric/text()").unwrap(),
             ["gflops", "runtimesec"]
@@ -389,7 +413,9 @@ mod tests {
             select_strings(&d, "/serviceData/metrics/metric[2]/text()").unwrap(),
             ["runtimesec"]
         );
-        assert!(select(&d, "/serviceData/metrics/metric[3]").unwrap().is_empty());
+        assert!(select(&d, "/serviceData/metrics/metric[3]")
+            .unwrap()
+            .is_empty());
         // Predicates compose left to right.
         assert_eq!(
             select_strings(&d, "/serviceData/foci/focus[@kind='proc'][2]/text()").unwrap(),
@@ -400,16 +426,26 @@ mod tests {
     #[test]
     fn attribute_value_step() {
         let d = doc();
-        assert_eq!(select_strings(&d, "/serviceData/time/@start").unwrap(), ["0.0"]);
-        assert_eq!(select_strings(&d, "/serviceData/time/@end").unwrap(), ["11.047856"]);
-        assert!(select_strings(&d, "/serviceData/time/@missing").unwrap().is_empty());
+        assert_eq!(
+            select_strings(&d, "/serviceData/time/@start").unwrap(),
+            ["0.0"]
+        );
+        assert_eq!(
+            select_strings(&d, "/serviceData/time/@end").unwrap(),
+            ["11.047856"]
+        );
+        assert!(select_strings(&d, "/serviceData/time/@missing")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn text_and_child_equality_predicates() {
         let d = doc();
         assert_eq!(
-            select(&d, "/serviceData/metrics/metric[text()='gflops']").unwrap().len(),
+            select(&d, "/serviceData/metrics/metric[text()='gflops']")
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(select(&d, "//metrics[metric='gflops']").unwrap().len(), 1);

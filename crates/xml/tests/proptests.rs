@@ -20,7 +20,10 @@ fn attr_value_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3))
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {

@@ -21,8 +21,13 @@ fn main() {
     // large events table.
     let store = SmgStore::build(SmgSpec::default());
     let wrapper = Arc::new(SmgSqlWrapper::new(store.database().clone()));
-    let site = Site::deploy(&container, Arc::clone(&client), wrapper, &SiteConfig::new("smg"))
-        .unwrap();
+    let site = Site::deploy(
+        &container,
+        Arc::clone(&client),
+        wrapper,
+        &SiteConfig::new("smg"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
     let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
     let exec_gsh = &app.get_execs("execid", "0").unwrap()[0];
@@ -57,8 +62,14 @@ fn main() {
     println!(
         "\ninstance service data: cacheHits={} cacheMisses={} cacheEntries={}",
         gs.find_service_data("cacheHits").unwrap().as_int().unwrap(),
-        gs.find_service_data("cacheMisses").unwrap().as_int().unwrap(),
-        gs.find_service_data("cacheEntries").unwrap().as_int().unwrap(),
+        gs.find_service_data("cacheMisses")
+            .unwrap()
+            .as_int()
+            .unwrap(),
+        gs.find_service_data("cacheEntries")
+            .unwrap()
+            .as_int()
+            .unwrap(),
     );
     println!("(query 1 misses and pays the Mapping Layer; queries 2-4 hit the PR cache)");
 }

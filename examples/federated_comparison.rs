@@ -14,7 +14,9 @@ use pperf_datastore::{HplSpec, HplStore, RmaSpec, RmaTextStore, SmgSpec, SmgStor
 use pperf_httpd::HttpClient;
 use pperf_ogsi::{Container, ContainerConfig, FactoryStub, RegistryService};
 use pperfgrid::wrappers::{HplSqlWrapper, RmaTextWrapper, SmgSqlWrapper};
-use pperfgrid::{ApplicationStub, ApplicationWrapper, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED};
+use pperfgrid::{
+    ApplicationStub, ApplicationWrapper, ExecutionStub, PrQuery, Site, SiteConfig, TYPE_UNDEFINED,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -32,30 +34,65 @@ fn main() {
     let hpl = HplStore::build(HplSpec::default());
     let hpl_wrapper: Arc<dyn ApplicationWrapper> =
         Arc::new(HplSqlWrapper::new(hpl.database().clone()));
-    let hpl_site =
-        Site::deploy(&psu, Arc::clone(&client), hpl_wrapper, &SiteConfig::new("hpl")).unwrap();
+    let hpl_site = Site::deploy(
+        &psu,
+        Arc::clone(&client),
+        hpl_wrapper,
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
 
     let rma_dir = std::env::temp_dir().join(format!("ppg-federated-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&rma_dir);
     let rma_store = RmaTextStore::generate(&rma_dir, &RmaSpec::default()).unwrap();
     let rma_wrapper: Arc<dyn ApplicationWrapper> = Arc::new(RmaTextWrapper::new(rma_store));
-    let rma_site =
-        Site::deploy(&llnl, Arc::clone(&client), rma_wrapper, &SiteConfig::new("rma")).unwrap();
+    let rma_site = Site::deploy(
+        &llnl,
+        Arc::clone(&client),
+        rma_wrapper,
+        &SiteConfig::new("rma"),
+    )
+    .unwrap();
 
     let smg = SmgStore::build(SmgSpec::default());
     let smg_wrapper: Arc<dyn ApplicationWrapper> =
         Arc::new(SmgSqlWrapper::new(smg.database().clone()));
-    let smg_site =
-        Site::deploy(&anl, Arc::clone(&client), smg_wrapper, &SiteConfig::new("smg")).unwrap();
+    let smg_site = Site::deploy(
+        &anl,
+        Arc::clone(&client),
+        smg_wrapper,
+        &SiteConfig::new("smg"),
+    )
+    .unwrap();
 
     let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
     for (org, contact, name, desc, site) in [
-        ("PSU", "Portland, OR", "HPL", "Linpack runs (RDBMS)", &hpl_site),
-        ("LLNL", "Livermore, CA", "PRESTA-RMA", "MPI benchmark (ASCII files)", &rma_site),
-        ("ANL", "Argonne, IL", "SMG98", "Vampir trace (5-table RDBMS)", &smg_site),
+        (
+            "PSU",
+            "Portland, OR",
+            "HPL",
+            "Linpack runs (RDBMS)",
+            &hpl_site,
+        ),
+        (
+            "LLNL",
+            "Livermore, CA",
+            "PRESTA-RMA",
+            "MPI benchmark (ASCII files)",
+            &rma_site,
+        ),
+        (
+            "ANL",
+            "Argonne, IL",
+            "SMG98",
+            "Vampir trace (5-table RDBMS)",
+            &smg_site,
+        ),
     ] {
         publisher.register_organization(org, contact).unwrap();
-        publisher.publish_service(org, name, desc, &site.app_factory).unwrap();
+        publisher
+            .publish_service(org, name, desc, &site.app_factory)
+            .unwrap();
         println!("{org:>5} published {name:<11} at {}", site.app_factory);
     }
     println!();
@@ -91,7 +128,11 @@ fn main() {
         println!("=== {} / {} ===", binding.organization, binding.service);
         println!("  storage: {storage}   executions: {n}");
         println!("  metrics: {}", metrics.join(", "));
-        println!("  foci ({}): {} ...", foci.len(), foci.iter().take(3).cloned().collect::<Vec<_>>().join(", "));
+        println!(
+            "  foci ({}): {} ...",
+            foci.len(),
+            foci.iter().take(3).cloned().collect::<Vec<_>>().join(", ")
+        );
         println!("  time range: {start} .. {end}");
 
         // One representative result per store.
@@ -109,7 +150,11 @@ fn main() {
                 rtype: TYPE_UNDEFINED.into(),
             })
             .unwrap();
-        println!("  getPR({metric}, {focus}) -> {} row(s), e.g. {:?}\n", rows.len(), rows[0]);
+        println!(
+            "  getPR({metric}, {focus}) -> {} row(s), e.g. {:?}\n",
+            rows.len(),
+            rows[0]
+        );
         summary_rows.push(vec![
             binding.organization.clone(),
             binding.service.clone(),
@@ -122,7 +167,13 @@ fn main() {
     println!(
         "{}",
         chart::table(
-            &["Organization", "Application", "Storage", "Executions", "PR rows"],
+            &[
+                "Organization",
+                "Application",
+                "Storage",
+                "Executions",
+                "PR rows"
+            ],
             &summary_rows,
         )
     );

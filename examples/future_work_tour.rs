@@ -8,7 +8,9 @@
 use pperf_client::PublisherPanel;
 use pperf_datastore::{HplSpec, HplStore};
 use pperf_httpd::HttpClient;
-use pperf_ogsi::{Container, ContainerConfig, FactoryStub, GridServiceStub, RegistryService, RegistryStub};
+use pperf_ogsi::{
+    Container, ContainerConfig, FactoryStub, GridServiceStub, RegistryService, RegistryStub,
+};
 use pperfgrid::wrappers::HplSqlWrapper;
 use pperfgrid::{
     ApplicationStub, ApplicationWrapper, LocalSites, PrQuery, Site, SiteConfig, TYPE_UNDEFINED,
@@ -36,7 +38,9 @@ fn main() {
 
     // --- Soft-state registration (Table 3 / §7) --------------------------
     let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
-    publisher.register_organization("PSU", "Portland, OR").unwrap();
+    publisher
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
     let registry = RegistryStub::bind(Arc::clone(&client), &registry_gsh);
     registry
         .register_service_with_ttl(

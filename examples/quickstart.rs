@@ -27,13 +27,25 @@ fn main() {
     // Grid service factories.
     let store = HplStore::build(HplSpec::default());
     let wrapper = Arc::new(HplSqlWrapper::new(store.database().clone()));
-    let site = Site::deploy(&container, Arc::clone(&client), wrapper, &SiteConfig::new("hpl"))
-        .unwrap();
+    let site = Site::deploy(
+        &container,
+        Arc::clone(&client),
+        wrapper,
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
 
     let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
-    publisher.register_organization("PSU", "Portland, OR").unwrap();
     publisher
-        .publish_service("PSU", "HPL", "High-Performance Linpack runs", &site.app_factory)
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
+    publisher
+        .publish_service(
+            "PSU",
+            "HPL",
+            "High-Performance Linpack runs",
+            &site.app_factory,
+        )
         .unwrap();
     println!("published HPL at {}\n", site.app_factory);
 
@@ -77,5 +89,8 @@ fn main() {
         let pr = exec.get_pr(&query).unwrap();
         rows.push((format!("runid {runid}"), pr[0].parse::<f64>().unwrap()));
     }
-    println!("\n{}", chart::bar_chart("HPL gflops per execution", "gflops", &rows, 72));
+    println!(
+        "\n{}",
+        chart::bar_chart("HPL gflops per execution", "gflops", &rows, 72)
+    );
 }

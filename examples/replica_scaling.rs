@@ -29,7 +29,9 @@ fn host() -> Arc<Container> {
 }
 
 fn hpl_wrapper() -> Arc<dyn ApplicationWrapper> {
-    Arc::new(HplSqlWrapper::new(HplStore::build(HplSpec::default()).database().clone()))
+    Arc::new(HplSqlWrapper::new(
+        HplStore::build(HplSpec::default()).database().clone(),
+    ))
 }
 
 fn run_query_set(client: &Arc<HttpClient>, app: &ApplicationStub, n: usize) -> Duration {
@@ -56,8 +58,13 @@ fn main() {
 
     // Non-optimized: everything on one host.
     let single = host();
-    let site1 = Site::deploy(&single, Arc::clone(&client), hpl_wrapper(), &SiteConfig::new("hpl"))
-        .unwrap();
+    let site1 = Site::deploy(
+        &single,
+        Arc::clone(&client),
+        hpl_wrapper(),
+        &SiteConfig::new("hpl"),
+    )
+    .unwrap();
     let factory = FactoryStub::bind(Arc::clone(&client), &site1.app_factory);
     let app1 = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
     let one_host = run_query_set(&client, &app1, n);
@@ -82,7 +89,11 @@ fn main() {
         .iter()
         .filter(|g| g.as_str().starts_with(&host_a.base_url()))
         .count();
-    println!("placement: {} instances on host A, {} on host B", on_a, execs.len() - on_a);
+    println!(
+        "placement: {} instances on host A, {} on host B",
+        on_a,
+        execs.len() - on_a
+    );
     for (i, gsh) in execs.iter().take(4).enumerate() {
         println!("  exec[{i}] -> {gsh}");
     }

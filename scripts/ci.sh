@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 verify (see ROADMAP.md).
+#
+#   scripts/ci.sh            # fmt --check, clippy -D warnings, build, tests
+#   PPG_BENCH=1 scripts/ci.sh  # additionally run the gateway fan-out bench
+#                              # (quick scale) and emit BENCH_gateway.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+if [[ "${PPG_BENCH:-0}" == "1" ]]; then
+    echo "==> gateway fan-out bench (quick scale)"
+    PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
+fi
+
+echo "==> CI OK"

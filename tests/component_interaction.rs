@@ -4,8 +4,7 @@
 //! flow.
 
 use pperf_client::{
-    AppQuery, ApplicationQueryPanel, DiscoveryPanel, ExecQuery, ExecutionQueryPanel,
-    PublisherPanel,
+    AppQuery, ApplicationQueryPanel, DiscoveryPanel, ExecQuery, ExecutionQueryPanel, PublisherPanel,
 };
 use pperf_datastore::{HplSpec, HplStore};
 use pperf_httpd::HttpClient;
@@ -43,7 +42,9 @@ fn three_host_federation_end_to_end() {
 
     // Publish (Fig. 8, publisher side).
     let publisher = PublisherPanel::connect(Arc::clone(&client), &registry_gsh);
-    publisher.register_organization("PSU", "Portland, OR").unwrap();
+    publisher
+        .register_organization("PSU", "Portland, OR")
+        .unwrap();
     publisher
         .publish_service("PSU", "HPL", "Linpack runs", &site.app_factory)
         .unwrap();
@@ -56,10 +57,26 @@ fn three_host_federation_end_to_end() {
     // Application queries (Fig. 9): two attribute/value tuples OR-ed.
     let mut app_panel =
         ApplicationQueryPanel::open(Arc::clone(&client), discovery.bindings()).unwrap();
-    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "100".into() });
-    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "101".into() });
-    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "102".into() });
-    app_panel.add_query(AppQuery { binding: 0, attribute: "runid".into(), value: "103".into() });
+    app_panel.add_query(AppQuery {
+        binding: 0,
+        attribute: "runid".into(),
+        value: "100".into(),
+    });
+    app_panel.add_query(AppQuery {
+        binding: 0,
+        attribute: "runid".into(),
+        value: "101".into(),
+    });
+    app_panel.add_query(AppQuery {
+        binding: 0,
+        attribute: "runid".into(),
+        value: "102".into(),
+    });
+    app_panel.add_query(AppQuery {
+        binding: 0,
+        attribute: "runid".into(),
+        value: "103".into(),
+    });
     let execs = app_panel.run_queries().unwrap();
     assert_eq!(execs.len(), 4);
 
@@ -96,9 +113,14 @@ fn three_host_federation_end_to_end() {
         .iter()
         .find(|g| g.as_str().starts_with(&host_b.base_url()))
         .unwrap();
-    GridServiceStub::bind(Arc::clone(&client), victim).destroy().unwrap();
+    GridServiceStub::bind(Arc::clone(&client), victim)
+        .destroy()
+        .unwrap();
     let exec_panel2 = ExecutionQueryPanel::open(Arc::clone(&client), &execs);
     assert!(exec_panel2.discover(0).is_ok() || exec_panel2.discover(1).is_ok());
     let dead_index = execs.iter().position(|g| g == victim).unwrap();
-    assert!(exec_panel2.discover(dead_index).is_err(), "destroyed instance faults");
+    assert!(
+        exec_panel2.discover(dead_index).is_err(),
+        "destroyed instance faults"
+    );
 }

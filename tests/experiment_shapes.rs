@@ -39,7 +39,11 @@ fn table4_overhead_shape() {
         smg.overhead_pct
     );
     // Payload ordering: HPL (~8 B) < RMA (~5.7 kB) < SMG98 (~hundreds of kB).
-    assert!(hpl.bytes_per_query < 100.0, "hpl payload tiny, got {}", hpl.bytes_per_query);
+    assert!(
+        hpl.bytes_per_query < 100.0,
+        "hpl payload tiny, got {}",
+        hpl.bytes_per_query
+    );
     assert!(
         rma.bytes_per_query > 1_000.0 && rma.bytes_per_query < 20_000.0,
         "rma payload kB-class, got {}",
@@ -88,9 +92,17 @@ fn table5_caching_shape() {
     );
     // RMA's speedup is marginal ("probably due to the speed of parsing text
     // files in relation to accessing an RDBMS").
-    assert!(rma.speedup < 3.0, "rma speedup should stay small, got {:.2}", rma.speedup);
+    assert!(
+        rma.speedup < 3.0,
+        "rma speedup should stay small, got {:.2}",
+        rma.speedup
+    );
     // SMG's is dramatic.
-    assert!(smg.speedup > 4.0, "smg speedup should be large, got {:.2}", smg.speedup);
+    assert!(
+        smg.speedup > 4.0,
+        "smg speedup should be large, got {:.2}",
+        smg.speedup
+    );
 }
 
 #[test]

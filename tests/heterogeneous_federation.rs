@@ -50,12 +50,15 @@ fn five_backends_one_porttype() {
     for service in &services {
         let factory_gsh = pperf_ogsi::Gsh::parse(&service.factory_url).unwrap();
         let factory = FactoryStub::bind(Arc::clone(&client), &factory_gsh);
-        let app =
-            ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+        let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
 
         // Identical Table 1 surface everywhere.
         let info = app.get_app_info().unwrap();
-        assert!(info.iter().any(|(n, _)| n == "name"), "{}", service.description);
+        assert!(
+            info.iter().any(|(n, _)| n == "name"),
+            "{}",
+            service.description
+        );
         let n = app.get_num_execs().unwrap();
         assert!(n > 0);
         let params = app.get_exec_query_params().unwrap();
@@ -109,8 +112,7 @@ fn equivalent_content_across_formats() {
         )
         .unwrap();
         let factory = FactoryStub::bind(Arc::clone(&client), &site.app_factory);
-        let app =
-            ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
+        let app = ApplicationStub::bind(Arc::clone(&client), &factory.create_service(&[]).unwrap());
         apps.push((kind, app));
     }
     let by_kind = |k: SourceKind| &apps.iter().find(|(kind, _)| *kind == k).unwrap().1;
@@ -126,8 +128,14 @@ fn equivalent_content_across_formats() {
         end: String::new(),
         rtype: TYPE_UNDEFINED.into(),
     };
-    let sql_exec = ExecutionStub::bind(Arc::clone(&client), &sql.get_execs("runid", "100").unwrap()[0]);
-    let xml_exec = ExecutionStub::bind(Arc::clone(&client), &xml.get_execs("runid", "100").unwrap()[0]);
+    let sql_exec = ExecutionStub::bind(
+        Arc::clone(&client),
+        &sql.get_execs("runid", "100").unwrap()[0],
+    );
+    let xml_exec = ExecutionStub::bind(
+        Arc::clone(&client),
+        &xml.get_execs("runid", "100").unwrap()[0],
+    );
     let a: f64 = sql_exec.get_pr(&q).unwrap()[0].parse().unwrap();
     let b: f64 = xml_exec.get_pr(&q).unwrap()[0].parse().unwrap();
     assert!((a - b).abs() < 1e-9, "rdbms {a} vs xml {b}");
@@ -135,7 +143,10 @@ fn equivalent_content_across_formats() {
     // RMA: both formats agree on the unidir bandwidth series.
     let ascii = by_kind(SourceKind::RmaAscii);
     let rdbms = by_kind(SourceKind::RmaRdbms);
-    assert_eq!(ascii.get_num_execs().unwrap(), rdbms.get_num_execs().unwrap());
+    assert_eq!(
+        ascii.get_num_execs().unwrap(),
+        rdbms.get_num_execs().unwrap()
+    );
     let q = PrQuery {
         metric: "bandwidth_mbps".into(),
         foci: vec!["/Op/unidir".into()],
@@ -143,10 +154,14 @@ fn equivalent_content_across_formats() {
         end: String::new(),
         rtype: TYPE_UNDEFINED.into(),
     };
-    let ascii_exec =
-        ExecutionStub::bind(Arc::clone(&client), &ascii.get_execs("execid", "0").unwrap()[0]);
-    let rdbms_exec =
-        ExecutionStub::bind(Arc::clone(&client), &rdbms.get_execs("execid", "0").unwrap()[0]);
+    let ascii_exec = ExecutionStub::bind(
+        Arc::clone(&client),
+        &ascii.get_execs("execid", "0").unwrap()[0],
+    );
+    let rdbms_exec = ExecutionStub::bind(
+        Arc::clone(&client),
+        &rdbms.get_execs("execid", "0").unwrap()[0],
+    );
     let mut rows_a = ascii_exec.get_pr(&q).unwrap();
     let mut rows_b = rdbms_exec.get_pr(&q).unwrap();
     rows_a.sort();

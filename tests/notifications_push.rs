@@ -31,11 +31,15 @@ impl ServicePort for RecordingSink {
     }
 
     fn invoke(&self, operation: &str, _call: &Call) -> Result<Value, Fault> {
-        Err(Fault::client(format!("sink has no operation {operation:?}")))
+        Err(Fault::client(format!(
+            "sink has no operation {operation:?}"
+        )))
     }
 
     fn on_notification(&self, topic: &str, message: &str) {
-        self.received.lock().push((topic.to_owned(), message.to_owned()));
+        self.received
+            .lock()
+            .push((topic.to_owned(), message.to_owned()));
     }
 
     fn service_data(&self) -> ServiceData {
@@ -53,7 +57,9 @@ impl Factory for SinkFactory {
     }
 
     fn create(&self, _call: &Call) -> Result<Arc<dyn ServicePort>, Fault> {
-        Ok(Arc::new(RecordingSink { received: Arc::clone(&self.received) }))
+        Ok(Arc::new(RecordingSink {
+            received: Arc::clone(&self.received),
+        }))
     }
 }
 
@@ -101,7 +107,12 @@ fn data_updates_push_to_subscribed_clients() {
     // Client side: deploy a sink instance to receive pushes.
     let received = Arc::new(Mutex::new(Vec::new()));
     let sink_factory_gsh = client_host
-        .deploy_factory("sink", Arc::new(SinkFactory { received: Arc::clone(&received) }))
+        .deploy_factory(
+            "sink",
+            Arc::new(SinkFactory {
+                received: Arc::clone(&received),
+            }),
+        )
         .unwrap();
     let sink_gsh = FactoryStub::bind(Arc::clone(&client), &sink_factory_gsh)
         .create_service(&[])

@@ -1,0 +1,228 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal `harness = false` bench runner with criterion's API shape:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of criterion's
+//! statistical analysis it takes a fixed number of timed samples and prints
+//! median/mean per iteration — enough to read relative performance offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] amortizes setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine outputs; large batches.
+    SmallInput,
+    /// Large routine outputs; smaller batches.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Prevent the optimizer from discarding `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_benchmark(&id.to_string(), 20, f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's meaning; clamped
+    /// to ≥ 5 here).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(5);
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// End the group (printing is incremental; nothing extra to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut all: Vec<Duration> = Vec::new();
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        all.extend(bencher.per_iter);
+    }
+    if all.is_empty() {
+        eprintln!("{label:<48} (no samples)");
+        return;
+    }
+    all.sort();
+    let median = all[all.len() / 2];
+    let mean = all.iter().sum::<Duration>() / all.len() as u32;
+    eprintln!(
+        "{label:<48} median {:>12?}  mean {:>12?}  ({} iters)",
+        median,
+        mean,
+        all.len()
+    );
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over an auto-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for ~10ms of work per sample, 1..=1000 iterations.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter.push(start.elapsed() / iters);
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded from
+    /// timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..5 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("counter", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0, "routine executed");
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut criterion = Criterion::default();
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |input| seen.push(input),
+                BatchSize::PerIteration,
+            );
+        });
+        assert!(!seen.is_empty());
+        assert_eq!(
+            seen.len(),
+            seen.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    #[test]
+    fn benchmark_id_renders_as_path() {
+        assert_eq!(
+            BenchmarkId::new("serialize", 64).to_string(),
+            "serialize/64"
+        );
+    }
+}

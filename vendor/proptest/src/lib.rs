@@ -1,0 +1,862 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Random-generation property testing with the API subset this workspace's
+//! test suites use: the [`Strategy`] trait with `prop_map`/`prop_recursive`/
+//! `boxed`, tuple and range strategies, `any::<T>()`, [`collection::vec`],
+//! [`option::of`], [`string::string_regex`] (a small regex subset:
+//! literals, `\PC`, `[...]` classes with ranges, and `{m,n}`/`?`/`*`/`+`
+//! quantifiers), `num::f64::NORMAL`, and the [`proptest!`], [`prop_oneof!`],
+//! `prop_assert*!` and [`prop_assume!`] macros.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (test-name hash), there is **no shrinking** — a failing
+//! case prints its full input and panics — and `.proptest-regressions`
+//! seed files are ignored.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom};
+use std::sync::Arc;
+
+pub use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// A source of generated values.
+///
+/// Generation-only (no value trees / shrinking): `generate` draws one value
+/// from `rng`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case; `recurse`
+    /// receives a strategy for the type and returns a strategy that embeds
+    /// it. `depth` bounds nesting; `_desired_size` and `_expected_branch`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Arc::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    leaf: BoxedStrategy<T>,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: Debug + 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        // Compose the recursion a random number of levels (0..=depth), then
+        // draw once from the composed strategy.
+        let levels = rng.random_range(0..(self.depth + 1) as usize);
+        let mut strategy = self.leaf.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives — backs [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (the `Arbitrary` stand-in).
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite doubles across many magnitudes (no NaN/inf — matching the
+    /// default proptest behaviour the suites rely on for roundtrips).
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        let mantissa = rng.random::<f64>() * 2.0 - 1.0;
+        let exponent = rng.random_range(-300i64..300) as i32;
+        let value = mantissa * 2f64.powi(exponent);
+        if value.is_finite() {
+            value
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        char::from_u32(rng.random_range(0u32..0xD800)).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- Ranges are strategies -------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty range strategy");
+                let offset = (rng.random::<u64>() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                let offset = (rng.random::<u64>() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- String literals are regex strategies ----------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e:?}"))
+            .generate(rng)
+    }
+}
+
+// --- Tuples of strategies are strategies -----------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Debug, Range, StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec`s of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0..4usize) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    pub mod f64 {
+        //! `f64` class strategies.
+
+        use crate::{StdRng, Strategy};
+        use rand::RngExt;
+
+        /// Normal (non-zero, non-subnormal, finite) doubles of either sign.
+        pub const NORMAL: Normal = Normal;
+
+        /// Strategy behind [`NORMAL`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut StdRng) -> f64 {
+                let sign = rng.random::<u64>() & (1 << 63);
+                // Biased exponent 1..=2046 excludes zero/subnormal (0) and
+                // inf/NaN (2047).
+                let exponent = rng.random_range(1u64..2047) << 52;
+                let mantissa = rng.random::<u64>() >> 12;
+                f64::from_bits(sign | exponent | mantissa)
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Regex parse failure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    /// Strings matching `pattern` (see [`Pattern`] for the supported
+    /// subset).
+    pub fn string_regex(pattern: &str) -> Result<Pattern, Error> {
+        Pattern::parse(pattern)
+    }
+
+    /// One regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        /// A single literal character.
+        Literal(char),
+        /// Union of inclusive ranges (a `[...]` class or `\PC`).
+        Ranges(Vec<(char, char)>),
+    }
+
+    impl CharSet {
+        fn draw(&self, rng: &mut StdRng) -> char {
+            match self {
+                CharSet::Literal(c) => *c,
+                CharSet::Ranges(ranges) => {
+                    let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                    let mut pick = rng.random_range(0..total as usize) as u32;
+                    for (a, b) in ranges {
+                        let span = *b as u32 - *a as u32 + 1;
+                        if pick < span {
+                            return char::from_u32(*a as u32 + pick).unwrap_or('?');
+                        }
+                        pick -= span;
+                    }
+                    unreachable!("pick < total")
+                }
+            }
+        }
+    }
+
+    /// A parsed generator for the regex subset used in this workspace's
+    /// strategies: literal characters, `\PC` (any printable, non-control
+    /// character — approximated by printable ASCII plus Latin-1 letters),
+    /// `\\`/`\.`-style escaped literals, `[...]` classes with `a-z` ranges
+    /// and literal members, and the quantifiers `{n}`, `{m,n}`, `?`, `*`,
+    /// `+` (unbounded forms capped at 8 repetitions).
+    #[derive(Debug, Clone)]
+    pub struct Pattern {
+        pieces: Vec<Piece>,
+    }
+
+    impl Pattern {
+        /// Parse `pattern`, rejecting constructs outside the subset.
+        pub fn parse(pattern: &str) -> Result<Pattern, Error> {
+            let mut chars = pattern.chars().peekable();
+            let mut pieces = Vec::new();
+            while let Some(c) = chars.next() {
+                let set = match c {
+                    '[' => parse_class(&mut chars)?,
+                    '\\' => parse_escape(&mut chars)?,
+                    '(' | ')' | '|' => {
+                        return Err(Error(format!("unsupported regex construct {c:?}")))
+                    }
+                    '.' => CharSet::Ranges(vec![(' ', '~')]),
+                    other => CharSet::Literal(other),
+                };
+                let (min, max) = parse_quantifier(&mut chars)?;
+                pieces.push(Piece {
+                    chars: set,
+                    min,
+                    max,
+                });
+            }
+            Ok(Pattern { pieces })
+        }
+    }
+
+    fn parse_escape(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<CharSet, Error> {
+        match chars.next() {
+            // \PC — "not in Unicode category Other": approximate with
+            // printable ASCII plus Latin-1 letters, enough to exercise both
+            // ASCII fast paths and multi-byte UTF-8 handling.
+            Some('P') => match chars.next() {
+                Some('C') => Ok(CharSet::Ranges(vec![(' ', '~'), ('\u{A1}', '\u{FF}')])),
+                other => Err(Error(format!("unsupported \\P category {other:?}"))),
+            },
+            Some('n') => Ok(CharSet::Literal('\n')),
+            Some('t') => Ok(CharSet::Literal('\t')),
+            Some('r') => Ok(CharSet::Literal('\r')),
+            Some(c) => Ok(CharSet::Literal(c)),
+            None => Err(Error("dangling escape".into())),
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<CharSet, Error> {
+        let mut members: Vec<char> = Vec::new();
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match parse_escape(chars)? {
+                    CharSet::Literal(l) => members.push(l),
+                    CharSet::Ranges(mut r) => ranges.append(&mut r),
+                },
+                '-' if !members.is_empty() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let start = members.pop().expect("checked non-empty");
+                    let end = chars.next().expect("peeked");
+                    if end < start {
+                        return Err(Error(format!("inverted class range {start}-{end}")));
+                    }
+                    ranges.push((start, end));
+                }
+                other => members.push(other),
+            }
+        }
+        if !closed {
+            return Err(Error("unterminated character class".into()));
+        }
+        ranges.extend(members.into_iter().map(|c| (c, c)));
+        if ranges.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(CharSet::Ranges(ranges))
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<(usize, usize), Error> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match spec.split_once(',') {
+                            Some((m, n)) => (
+                                m.parse().map_err(|_| Error(format!("bad bound {m:?}")))?,
+                                n.parse().map_err(|_| Error(format!("bad bound {n:?}")))?,
+                            ),
+                            None => {
+                                let n = spec
+                                    .parse()
+                                    .map_err(|_| Error(format!("bad bound {spec:?}")))?;
+                                (n, n)
+                            }
+                        };
+                        if min > max {
+                            return Err(Error(format!("inverted quantifier {{{spec}}}")));
+                        }
+                        return Ok((min, max));
+                    }
+                    spec.push(c);
+                }
+                Err(Error("unterminated quantifier".into()))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    impl Strategy for Pattern {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = if piece.min == piece.max {
+                    piece.min
+                } else {
+                    rng.random_range(piece.min..piece.max + 1)
+                };
+                for _ in 0..count {
+                    out.push(piece.chars.draw(rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind [`crate::proptest!`].
+
+    use super::{Debug, SeedableRng, StdRng, Strategy};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Panic payload marking a `prop_assume!` rejection (not a failure).
+    pub struct Reject;
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test name: distinct tests explore distinct streams,
+        // deterministically across runs.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Run `test` against `config.cases` generated values, skipping
+    /// `prop_assume!` rejections (bounded) and reporting the failing input
+    /// on panic.
+    pub fn run<S: Strategy>(
+        config: ProptestConfig,
+        name: &str,
+        strategy: &S,
+        mut test: impl FnMut(S::Value),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        let mut passed = 0u32;
+        let max_attempts = config.cases.saturating_mul(16).max(64);
+        for _attempt in 0..max_attempts {
+            if passed >= config.cases {
+                return;
+            }
+            let value = strategy.generate(&mut rng);
+            let printable = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(()) => passed += 1,
+                Err(payload) if payload.is::<Reject>() => { /* assume failed: retry */ }
+                Err(payload) => {
+                    eprintln!("proptest {name}: case failed for input: {printable}");
+                    resume_unwind(payload);
+                }
+            }
+        }
+        assert!(
+            passed >= config.cases,
+            "proptest {name}: too many prop_assume! rejections ({passed}/{} cases ran)",
+            config.cases
+        );
+    }
+}
+
+/// Define property tests: an optional `#![proptest_config(...)]` followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(#[test] fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strategy,)*);
+                $crate::test_runner::run(
+                    config,
+                    stringify!($name),
+                    &strategy,
+                    |($($pat,)*)| { $body },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a property body (reports the generated input on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Discard the current case (regenerated, not counted) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            std::panic::panic_any($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}".generate(&mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            for c in chars {
+                assert!(c.is_ascii_alphanumeric() || "_.-".contains(c), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pc_class_is_printable() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "\\PC{0,60}".generate(&mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_anchor_free_pattern() {
+        let mut rng = rng();
+        let s = "/[a-zA-Z0-9/_.-]{0,40}".generate(&mut rng);
+        assert!(s.starts_with('/'));
+    }
+
+    #[test]
+    fn vec_and_tuple_and_option() {
+        let mut rng = rng();
+        let strategy = collection::vec((any::<u8>(), option::of("[a-z]{1,3}")), 2..5);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn normal_f64_class() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let x = num::f64::NORMAL.generate(&mut rng);
+            assert!(x.is_normal(), "{x}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_rangefrom() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let a = (-1000i64..1000).generate(&mut rng);
+            assert!((-1000..1000).contains(&a));
+            let b = (1u16..).generate(&mut rng);
+            assert!(b >= 1);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = any::<u8>().prop_map(Tree::Leaf);
+        let strategy = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop_oneof![
+                collection::vec(inner, 0..4).prop_map(Tree::Node),
+                any::<u8>().prop_map(Tree::Leaf),
+            ]
+        });
+        let mut rng = rng();
+        for _ in 0..100 {
+            let _ = strategy.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0..100i64, s in "[a-z]{0,4}") {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 0 && x < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(x, 13);
+        }
+    }
+}

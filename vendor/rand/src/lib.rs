@@ -1,0 +1,197 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The data-store generators only need a deterministic, seedable RNG with
+//! `random::<f64>()` and `random_range(a..b)` — this shim provides exactly
+//! that: [`rngs::StdRng`] is xoshiro256\*\* seeded via splitmix64, with the
+//! rand 0.10 trait names ([`SeedableRng`], [`RngExt`]). Streams are stable
+//! across runs and platforms, which the synthetic datasets rely on
+//! (`spec.seed` reproducibility).
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Derive a full RNG state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an RNG's native stream.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`: the top 53 bits scaled by 2^-53.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+///
+/// Generic over the output type `T` (not an associated type) so that usage
+/// context — e.g. indexing a slice — can drive integer-literal inference,
+/// exactly as in upstream rand.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is negligible for the small spans used here
+                // (and irrelevant for power-of-two spans).
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u32, u64, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty random_range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform value of `T` (for `f64`: uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range` (half-open).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256\*\* — small, fast, and plenty for synthetic data.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f = rng.random_range(1.5..2.5f64);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values hit in 200 draws");
+    }
+}
