@@ -1,6 +1,8 @@
 //! Federated gateway fan-out benchmark: repeated-query throughput with the
-//! gateway result cache on versus off, plus coalescing behaviour under a
-//! query storm.
+//! gateway result cache on versus off, coalescing behaviour under a query
+//! storm, and throughput retention on a 4-worker host carrying 1000+ parked
+//! keep-alive connections (the readiness-driven event loop's capacity
+//! model).
 //!
 //! Usage: `cargo run -p pperf-bench --bin gateway_fanout --release`
 //! (set `PPG_QUICK=1` for a fast, smaller-sample run; `BENCH_OUT` overrides
@@ -265,6 +267,90 @@ fn main() {
         "gateway_fanout/storm_throughput",
         qps(concurrency, storm_elapsed),
         "queries/s",
+    ));
+
+    // Pass 4: the capacity model — one host with only 4 handler threads
+    // carrying 1000+ parked keep-alive connections. The readiness-driven
+    // event loop parks each one for the cost of a registered fd, so gateway
+    // throughput through the same host should hold up.
+    let parked_target: usize = if std::env::var_os("PPG_QUICK").is_some() {
+        200
+    } else {
+        1000
+    };
+    let client = Arc::new(HttpClient::new());
+    let host = Container::start(
+        "127.0.0.1:0",
+        ContainerConfig {
+            workers: 4,
+            max_connections: parked_target + 256,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let registry = host
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(4, 4, Duration::from_millis(1)));
+    let site = Site::deploy(
+        &host,
+        Arc::clone(&client),
+        mem,
+        &SiteConfig::new("mem").with_cache(false),
+    )
+    .unwrap();
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    stub.register_organization("MEM", "bench").unwrap();
+    site.publish(&stub, "MEM", "scripted store").unwrap();
+    let parked_gateway = FederatedGateway::new(
+        Arc::clone(&client),
+        registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None),
+    );
+    let (base_elapsed, _) = timed_pass(&parked_gateway, &query, repeats);
+    let base_qps = qps(repeats, base_elapsed);
+    let authority = host
+        .base_url()
+        .strip_prefix("http://")
+        .expect("base_url scheme")
+        .to_owned();
+    let parked: Vec<std::net::TcpStream> = (0..parked_target)
+        .map(|_| std::net::TcpStream::connect(&authority).expect("park connection"))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while host.open_connections() < parked_target && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        host.open_connections() >= parked_target,
+        "only {} of {parked_target} parked connections registered",
+        host.open_connections()
+    );
+    let (parked_elapsed, _) = timed_pass(&parked_gateway, &query, repeats);
+    let parked_qps = qps(repeats, parked_elapsed);
+    let retention = parked_qps / base_qps;
+    println!(
+        "parked:   {repeats} queries at {parked_qps:.1} q/s with {parked_target} idle \
+         keep-alive connections on a 4-worker host ({base_qps:.1} q/s unloaded, \
+         {retention:.2}x retained)"
+    );
+    drop(parked);
+    entries.push(entry(
+        "gateway_fanout/parked_connections",
+        parked_target as f64,
+        "connections",
+    ));
+    entries.push(entry(
+        "gateway_fanout/parked_host_throughput",
+        parked_qps,
+        "queries/s",
+    ));
+    entries.push(entry(
+        "gateway_fanout/parked_throughput_retention",
+        retention,
+        "x",
     ));
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());

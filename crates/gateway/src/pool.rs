@@ -1,11 +1,17 @@
 //! The scatter executor: a bounded worker pool plus per-site concurrency
 //! permits.
 //!
-//! The pool bounds the gateway's total parallelism (threads are the scarce
-//! resource in a blocking-I/O design); the [`SiteLimiter`] additionally
-//! bounds how many upstream calls may target one *site* at once, so a slow
-//! site cannot monopolize the pool and a burst cannot overwhelm a single
-//! container's accept queue.
+//! The pool bounds the gateway's total parallelism (each in-flight upstream
+//! call still occupies a gateway thread for its blocking exchange). The
+//! [`SiteLimiter`] additionally bounds how many upstream calls may target
+//! one *site* at once. Since the containers moved to a readiness-driven
+//! event loop, a burst no longer threatens a container's accept queue —
+//! extra connections just park cheaply on its poller — but the per-site cap
+//! still matters for a different resource: a site's `workers` handler
+//! threads. Fanning more concurrent calls at a site than it has handler
+//! threads only deepens its dispatch queue and inflates tail latency, so
+//! the limiter keeps the gateway's fan-in near each site's service rate and
+//! a slow site from monopolizing the pool.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;

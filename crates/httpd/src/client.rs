@@ -5,36 +5,107 @@ use crate::message::{Request, Response};
 use crate::url::Url;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// An exchange failure, tagged with whether any request byte may already
+/// have reached the wire — the fact that decides retry safety.
+struct ExchangeError {
+    /// At least one request byte was (or may have been) flushed; the server
+    /// may have executed the request even though no response arrived.
+    wrote: bool,
+    error: HttpError,
+}
+
 /// One pooled connection.
 struct PooledConn {
+    stream: TcpStream,
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
 }
 
 impl PooledConn {
+    /// Connect to `authority`, trying every resolved address before giving
+    /// up (a host with a dead A record and a live one must still connect).
     fn connect(authority: &str, timeout: Duration) -> Result<PooledConn> {
         let addrs: Vec<_> = std::net::ToSocketAddrs::to_socket_addrs(authority)
             .map_err(HttpError::Io)?
             .collect();
-        let addr = addrs
-            .first()
-            .ok_or_else(|| HttpError::BadUrl(format!("{authority:?} did not resolve")))?;
-        let stream = TcpStream::connect_timeout(addr, timeout)?;
-        stream.set_nodelay(true)?;
-        Ok(PooledConn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+        if addrs.is_empty() {
+            return Err(HttpError::BadUrl(format!("{authority:?} did not resolve")));
+        }
+        let mut last_err: Option<std::io::Error> = None;
+        for addr in &addrs {
+            match TcpStream::connect_timeout(addr, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(PooledConn {
+                        reader: BufReader::new(stream.try_clone()?),
+                        stream,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(HttpError::Io(last_err.expect("at least one address tried")))
     }
 
-    fn exchange(&mut self, request: &Request, host: &str) -> Result<Response> {
-        request.write_to(&mut self.writer, host)?;
-        self.writer.flush()?;
-        Response::read_from(&mut self.reader)
+    /// Cheap liveness probe for a pooled connection: a non-blocking peek.
+    /// `WouldBlock` means the peer is quiet but connected; EOF means it
+    /// closed (server restart); stray bytes mean the stream is desynced.
+    /// Crucially, the probe itself sends nothing.
+    fn is_stale(&mut self) -> bool {
+        if !self.reader.buffer().is_empty() {
+            return true; // leftover unread bytes: desynced
+        }
+        if self.stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut byte = [0u8; 1];
+        let stale = match self.stream.peek(&mut byte) {
+            Ok(0) => true, // EOF
+            Ok(_) => true, // unsolicited bytes: desynced
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+            Err(_) => true,
+        };
+        if self.stream.set_nonblocking(false).is_err() {
+            return true;
+        }
+        stale
+    }
+
+    /// One request/response exchange. The request is serialized up front and
+    /// written with an explicit count, so a failure can be classified as
+    /// before-any-byte (retry-safe) or after (ambiguous).
+    fn exchange(
+        &mut self,
+        request: &Request,
+        host: &str,
+    ) -> std::result::Result<Response, ExchangeError> {
+        let mut wire = Vec::new();
+        request
+            .write_to(&mut wire, host)
+            .expect("serializing to a Vec cannot fail");
+        let mut written = 0usize;
+        while written < wire.len() {
+            match self.stream.write(&wire[written..]) {
+                Ok(0) => {
+                    return Err(ExchangeError {
+                        wrote: written > 0,
+                        error: HttpError::ConnectionClosed,
+                    })
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(ExchangeError {
+                        wrote: written > 0,
+                        error: HttpError::Io(e),
+                    })
+                }
+            }
+        }
+        Response::read_from(&mut self.reader).map_err(|error| ExchangeError { wrote: true, error })
     }
 }
 
@@ -42,9 +113,19 @@ impl PooledConn {
 ///
 /// Connections are pooled per `host:port` and reused across requests (HTTP
 /// keep-alive), which matters for the overhead experiment: without reuse,
-/// TCP connection setup would dominate the measured SOAP overhead and distort
-/// the Table 4 shape. A request that fails on a pooled (possibly stale)
-/// connection is retried once on a fresh connection.
+/// TCP connection setup would dominate the measured SOAP overhead and
+/// distort the Table 4 shape.
+///
+/// Retry discipline (the at-most-once guarantee): a pooled connection is
+/// probed before use, and a request is re-sent on a fresh connection only
+/// when the failure *provably* happened before any request byte was
+/// flushed. Once a byte may have reached the server, a failed exchange
+/// surfaces as [`HttpError::ResponseLost`] instead of being retried —
+/// silently re-sending could re-execute a non-idempotent SOAP call such as
+/// `createService`. One stale pooled connection condemns every pooled
+/// connection for that authority (a server restart kills them all at once),
+/// so later requests skip straight to a fresh connect instead of each
+/// paying a failed exchange.
 pub struct HttpClient {
     pool: Mutex<HashMap<String, Vec<PooledConn>>>,
     connect_timeout: Duration,
@@ -92,20 +173,36 @@ impl HttpClient {
     /// Send a prebuilt request to a parsed URL.
     pub fn send(&self, url: &Url, request: &Request) -> Result<Response> {
         let authority = url.authority();
-        // Try a pooled connection first; it may have been closed by the peer.
         if let Some(mut conn) = self.checkout(&authority) {
-            match conn.exchange(request, &authority) {
-                Ok(resp) => {
-                    self.checkin(&authority, conn);
-                    return Ok(resp);
+            if conn.is_stale() {
+                // A server restart kills every pooled connection to this
+                // authority at once; drain them so subsequent requests go
+                // straight to a fresh connect.
+                self.drain(&authority);
+            } else {
+                match conn.exchange(request, &authority) {
+                    Ok(resp) => {
+                        self.checkin(&authority, conn);
+                        return Ok(resp);
+                    }
+                    Err(failure) if !failure.wrote => {
+                        // Nothing reached the wire: retrying on a fresh
+                        // connection cannot double-execute anything.
+                        self.drain(&authority);
+                    }
+                    Err(failure) => return Err(HttpError::ResponseLost(Box::new(failure.error))),
                 }
-                Err(_) => { /* stale — fall through to a fresh connection */ }
             }
         }
         let mut conn = PooledConn::connect(&authority, self.connect_timeout)?;
-        let resp = conn.exchange(request, &authority)?;
-        self.checkin(&authority, conn);
-        Ok(resp)
+        match conn.exchange(request, &authority) {
+            Ok(resp) => {
+                self.checkin(&authority, conn);
+                Ok(resp)
+            }
+            Err(failure) if !failure.wrote => Err(failure.error),
+            Err(failure) => Err(HttpError::ResponseLost(Box::new(failure.error))),
+        }
     }
 
     fn checkout(&self, authority: &str) -> Option<PooledConn> {
@@ -119,6 +216,17 @@ impl HttpClient {
         if slot.len() < 16 {
             slot.push(conn);
         }
+    }
+
+    /// Drop every pooled connection for `authority`.
+    fn drain(&self, authority: &str) {
+        self.pool.lock().remove(authority);
+    }
+
+    /// Pooled connections currently idle for `authority` (test hook).
+    #[cfg(test)]
+    fn pooled(&self, authority: &str) -> usize {
+        self.pool.lock().get(authority).map_or(0, Vec::len)
     }
 }
 
@@ -171,6 +279,39 @@ mod tests {
         // Pooled connection is now dead; a fresh connect will fail (nobody
         // listening) — expect an error, not a hang or panic.
         assert!(client.get(&url).is_err());
+    }
+
+    #[test]
+    fn stale_pool_is_drained_wholesale() {
+        // Park several pooled connections, kill the server, and verify ONE
+        // stale hit empties the whole per-authority pool (no per-request
+        // failed-exchange tax on the rest).
+        let handler = Arc::new(|req: &Request| Response::ok("text/plain", req.body.clone()));
+        let mut server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let addr = server.addr();
+        let authority = format!("{addr}");
+        let client = HttpClient::new();
+        let url = format!("http://{addr}/x");
+        // Three interleaved in-flight requests leave three pooled conns.
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let client = &client;
+                let url = url.clone();
+                scope.spawn(move || {
+                    client.post(&url, "text/plain", b"warm".to_vec()).unwrap();
+                });
+            }
+        });
+        assert_eq!(client.pooled(&authority), 3);
+        server.shutdown();
+        // Give the peer's FINs time to land so the probe sees EOF.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(client.get(&url).is_err());
+        assert_eq!(
+            client.pooled(&authority),
+            0,
+            "one stale hit must drain the whole authority pool"
+        );
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum HttpError {
     BadUrl(String),
     /// The connection closed before a complete message arrived.
     ConnectionClosed,
+    /// The request may have been flushed to (and executed by) the server,
+    /// but the exchange failed before a response arrived. Retrying blindly
+    /// could execute a non-idempotent operation twice, so the ambiguity is
+    /// surfaced to the caller instead; the underlying failure is boxed.
+    ResponseLost(Box<HttpError>),
 }
 
 impl fmt::Display for HttpError {
@@ -31,6 +36,10 @@ impl fmt::Display for HttpError {
             }
             HttpError::BadUrl(u) => write!(f, "bad url: {u}"),
             HttpError::ConnectionClosed => write!(f, "connection closed mid-message"),
+            HttpError::ResponseLost(source) => write!(
+                f,
+                "request may have been executed but the response was lost: {source}"
+            ),
         }
     }
 }
@@ -39,6 +48,7 @@ impl std::error::Error for HttpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HttpError::Io(e) => Some(e),
+            HttpError::ResponseLost(source) => Some(source.as_ref()),
             _ => None,
         }
     }

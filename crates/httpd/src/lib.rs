@@ -1,33 +1,39 @@
-//! Minimal blocking HTTP/1.1 transport for SOAP messaging.
+//! Minimal HTTP/1.1 transport for SOAP messaging.
 //!
 //! The thesis hosted its services in Apache Tomcat ("which provides web
 //! server functionality", §5.4) and moved SOAP documents over HTTP. This
-//! crate is that substrate: a thread-pooled blocking server, a keep-alive
+//! crate is that substrate: a readiness-driven server, a keep-alive
 //! client, and just enough HTTP/1.1 (request line, headers, Content-Length
 //! framing, persistent connections) to carry RPC traffic between PPerfGrid
 //! containers.
 //!
 //! Design notes:
 //!
-//! * Blocking I/O with a worker pool, not async — Grid service calls are
-//!   long-lived (seconds for the SMG98 store), so a thread per in-flight
-//!   request mirrors both the 2004 servlet model and the measured behaviour
-//!   (the scalability experiment saturates hosts with concurrent calls).
-//! * The server owns an accept thread plus N workers fed over a crossbeam
-//!   channel; [`HttpServer::shutdown`] is graceful and idempotent.
-//! * The client pools persistent connections per `host:port` and
-//!   transparently reconnects when a pooled connection has gone stale.
+//! * The server is a single poll thread (epoll on Linux, `poll(2)`
+//!   elsewhere — see [`poller`]) owning non-blocking sockets and
+//!   per-connection resumable parsers, feeding complete requests to a
+//!   bounded pool of `workers` handler threads. Idle keep-alive
+//!   connections cost only a parked fd, so one host can hold thousands of
+//!   them; `workers` still bounds *handler* concurrency — the Figure 12
+//!   unit of host capacity. [`HttpServer::shutdown`] is graceful and
+//!   idempotent.
+//! * The client pools persistent connections per `host:port`, probes them
+//!   before reuse, and retries on a fresh connection only when a failure
+//!   provably preceded the first flushed request byte; an ambiguous
+//!   failure surfaces as [`HttpError::ResponseLost`] so non-idempotent
+//!   SOAP calls are never silently re-executed.
 
 mod client;
 mod error;
 mod message;
+pub mod poller;
 mod router;
 mod server;
 mod url;
 
 pub use client::HttpClient;
 pub use error::{HttpError, Result};
-pub use message::{Headers, Request, Response, Status};
+pub use message::{Headers, Request, RequestParser, Response, Status};
 pub use router::Router;
 pub use server::{Handler, HttpServer, ServerConfig};
 pub use url::Url;

@@ -140,33 +140,10 @@ impl Request {
         let Some(start_line) = read_line_opt(reader)? else {
             return Ok(None);
         };
-        let mut parts = start_line.split_whitespace();
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v),
-            _ => {
-                return Err(HttpError::Malformed(format!(
-                    "bad request line {start_line:?}"
-                )))
-            }
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!(
-                "unsupported version {version:?}"
-            )));
-        }
-        let (path, query) = match target.split_once('?') {
-            Some((p, q)) => (p.to_owned(), q.to_owned()),
-            None => (target, String::new()),
-        };
-        let headers = read_headers(reader)?;
-        let body = read_body(reader, &headers)?;
-        Ok(Some(Request {
-            method,
-            path,
-            query,
-            headers,
-            body,
-        }))
+        let mut request = parse_request_line(&start_line)?;
+        request.headers = read_headers(reader)?;
+        request.body = read_body(reader, &request.headers)?;
+        Ok(Some(request))
     }
 
     /// Serialize to the wire, including framing headers.
@@ -289,6 +266,153 @@ impl Response {
     }
 }
 
+/// Parse a request line into a [`Request`] skeleton (empty headers/body).
+fn parse_request_line(start_line: &str) -> Result<Request> {
+    let mut parts = start_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {start_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers: Headers::new(),
+        body: Vec::new(),
+    })
+}
+
+/// Declared body length, validated against [`MAX_BODY`].
+fn body_length(headers: &Headers) -> Result<usize> {
+    let len: usize = match headers.get("Content-Length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY {
+        return Err(HttpError::BodyTooLarge {
+            limit: MAX_BODY,
+            got: len,
+        });
+    }
+    Ok(len)
+}
+
+/// An incremental, resumable HTTP request parser.
+///
+/// The readiness-driven server cannot block on a partial message: a slow
+/// client may deliver a request one byte at a time across many readiness
+/// events. This parser accumulates fed bytes and yields a [`Request`] only
+/// once the full message (head *and* declared body) has arrived; until then
+/// every byte is retained, so a pause of any length between chunks loses
+/// nothing. (The old blocking server restarted `Request::read_from` after a
+/// read timeout, discarding whatever the `BufReader` had already consumed
+/// and desyncing the connection — the regression tests cover that shape.)
+///
+/// Bytes beyond the first complete request stay buffered, which gives
+/// pipelining for free: call [`RequestParser::try_next`] again to drain
+/// them.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Resume offset for the head-terminator scan (no byte is scanned twice).
+    scan: usize,
+    /// Parsed head awaiting its body: the request skeleton plus body length.
+    pending: Option<(Request, usize)>,
+}
+
+impl RequestParser {
+    /// An empty parser at a message boundary.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Append bytes received from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether EOF here is a clean keep-alive close (no partial message).
+    pub fn is_clean_boundary(&self) -> bool {
+        self.pending.is_none() && self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (partial message plus any pipelined data).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to complete one request from the buffered bytes. `Ok(None)` means
+    /// more bytes are needed; errors are fatal to the connection.
+    pub fn try_next(&mut self) -> Result<Option<Request>> {
+        if self.pending.is_none() {
+            let Some(head_end) = self.find_head_end()? else {
+                return Ok(None);
+            };
+            let mut head = &self.buf[..head_end];
+            let start_line = read_line_opt(&mut head)?
+                .ok_or_else(|| HttpError::Malformed("empty request head".into()))?;
+            let mut request = parse_request_line(&start_line)?;
+            request.headers = read_headers(&mut head)?;
+            let body_len = body_length(&request.headers)?;
+            self.buf.drain(..head_end);
+            self.scan = 0;
+            self.pending = Some((request, body_len));
+        }
+        let (_, body_len) = self.pending.as_ref().expect("pending head");
+        if self.buf.len() < *body_len {
+            return Ok(None);
+        }
+        let (mut request, body_len) = self.pending.take().expect("pending head");
+        request.body = self.buf.drain(..body_len).collect();
+        Ok(Some(request))
+    }
+
+    /// Scan for the blank line ending the head; returns the offset just past
+    /// it. Tolerates LF-only line endings, like the blocking reader.
+    fn find_head_end(&mut self) -> Result<Option<usize>> {
+        while self.scan < self.buf.len() {
+            let i = self.scan;
+            if self.buf[i] != b'\n' {
+                self.scan += 1;
+                continue;
+            }
+            match self.buf.get(i + 1) {
+                Some(b'\n') => return Ok(Some(i + 2)),
+                Some(b'\r') => match self.buf.get(i + 2) {
+                    Some(b'\n') => return Ok(Some(i + 3)),
+                    Some(_) => self.scan += 1,
+                    // "\n\r" at the buffer edge: wait for the next byte.
+                    None => return Ok(None),
+                },
+                Some(_) => self.scan += 1,
+                // Trailing "\n" at the buffer edge: wait for the next byte.
+                None => return Ok(None),
+            }
+        }
+        // `read_headers` enforces the precise per-header limit once the head
+        // completes; this bounds memory while it is still arriving.
+        if self.buf.len() > MAX_HEADER_BYTES * 2 {
+            return Err(HttpError::Malformed("header section too large".into()));
+        }
+        Ok(None)
+    }
+}
+
 /// Read a CRLF- (or LF-) terminated line; `None` on clean EOF at a boundary.
 fn read_line_opt(reader: &mut impl BufRead) -> Result<Option<String>> {
     let mut line = String::new();
@@ -322,18 +446,7 @@ fn read_headers(reader: &mut impl BufRead) -> Result<Headers> {
 }
 
 fn read_body(reader: &mut impl BufRead, headers: &Headers) -> Result<Vec<u8>> {
-    let len: usize = match headers.get("Content-Length") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
-        None => 0,
-    };
-    if len > MAX_BODY {
-        return Err(HttpError::BodyTooLarge {
-            limit: MAX_BODY,
-            got: len,
-        });
-    }
+    let len = body_length(headers)?;
     let mut body = vec![0u8; len];
     let mut read = 0;
     while read < len {
@@ -459,6 +572,100 @@ mod tests {
         let req = Request::read_from(&mut BufReader::new(&wire[..]))
             .unwrap()
             .unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.headers.get("host"), Some("h"));
+    }
+
+    #[test]
+    fn incremental_parser_single_bytes() {
+        // The resumable-parser property: feeding one byte at a time yields
+        // exactly the same request as a single read, no matter where the
+        // chunk boundaries fall.
+        let mut req = Request::post("/svc/app?q=1", "text/xml", b"<body/>".to_vec());
+        req.headers.set("SOAPAction", "\"op\"");
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "h:1").unwrap();
+        let mut parser = RequestParser::new();
+        for (i, byte) in wire.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            let parsed = parser.try_next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "complete at byte {i} of {}", wire.len());
+            } else {
+                let back = parsed.expect("request complete at final byte");
+                assert_eq!(back.method, "POST");
+                assert_eq!(back.path, "/svc/app");
+                assert_eq!(back.body, b"<body/>");
+                assert!(parser.is_clean_boundary());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_pipelined_requests() {
+        let mut wire = Vec::new();
+        Request::post("/a", "text/plain", b"one".to_vec())
+            .write_to(&mut wire, "h:1")
+            .unwrap();
+        Request::post("/b", "text/plain", b"two".to_vec())
+            .write_to(&mut wire, "h:1")
+            .unwrap();
+        let mut parser = RequestParser::new();
+        parser.feed(&wire);
+        let first = parser.try_next().unwrap().expect("first request");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"one");
+        assert!(!parser.is_clean_boundary(), "second request still buffered");
+        let second = parser.try_next().unwrap().expect("second request");
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"two");
+        assert!(parser.is_clean_boundary());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversize_body() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY + 1
+            )
+            .as_bytes(),
+        );
+        assert!(matches!(
+            parser.try_next(),
+            Err(HttpError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_unbounded_head() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST / HTTP/1.1\r\n");
+        let filler = vec![b'a'; 8 * 1024];
+        loop {
+            parser.feed(&filler); // header line that never terminates
+            match parser.try_next() {
+                Ok(None) => continue,
+                Err(HttpError::Malformed(m)) => {
+                    assert!(m.contains("header"), "{m}");
+                    break;
+                }
+                other => panic!("expected header-size error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_lf_only_and_split_terminator() {
+        // LF-only framing, with the "\n\r" of a CRLF terminator split across
+        // feeds — the edge the scanner must not mis-consume.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /x HTTP/1.1\nHost: h\n\r");
+        assert!(parser.try_next().unwrap().is_none());
+        parser.feed(b"\n");
+        let req = parser.try_next().unwrap().expect("complete");
         assert_eq!(req.path, "/x");
         assert_eq!(req.headers.get("host"), Some("h"));
     }

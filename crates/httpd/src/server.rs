@@ -1,26 +1,38 @@
-//! The HTTP server: one lightweight thread per connection, with a
-//! fixed-size *worker permit* pool bounding concurrent request handling.
+//! The HTTP server: a readiness-driven event loop feeding a bounded worker
+//! pool.
 //!
-//! The permit pool is the unit of host capacity: a host with `workers = 2`
-//! processes at most two requests at any instant, no matter how many
-//! keep-alive connections are parked on it. (A worker-per-connection design
-//! would let idle persistent connections exhaust the pool and deadlock
-//! nested service-to-service calls — the Grid container routinely calls
-//! itself when an Application instance asks its co-located Execution
-//! factory to create instances.)
+//! One poll thread owns every socket. Non-blocking connections are parked in
+//! the poller ([`crate::poller`]: epoll on Linux, `poll(2)` elsewhere) and
+//! cost only a registered fd while idle, so a host can carry thousands of
+//! keep-alive connections — far past its thread count, which is what the
+//! Figure 12 capacity model needs once gateways fan many clients into one
+//! container. Bytes are fed to a per-connection resumable
+//! [`RequestParser`], so a slow client trickling its request across many
+//! readiness events loses nothing (the old blocking server's read timeout
+//! discarded partially-read requests and desynced the connection).
+//!
+//! The `workers` knob keeps its meaning as the unit of host capacity: a
+//! complete request is handed over a dispatch queue to one of `workers`
+//! handler threads, so a host with `workers = 2` processes at most two
+//! requests at any instant no matter how many connections are parked.
+//! (Queueing is unbounded, exactly like the old permit-waiter queue; it is
+//! *handler concurrency* that the knob bounds.)
 
 use crate::error::Result;
-use crate::message::{Request, Response, Status};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use std::io::{BufReader, BufWriter};
+use crate::message::{Request, RequestParser, Response, Status};
+use crate::poller::{Event, Interest, Poller, Token};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// A request handler. Handlers run concurrently on connection threads while
-/// holding a worker permit.
+/// A request handler. Handlers run concurrently on worker threads.
 pub trait Handler: Send + Sync + 'static {
     /// Produce the response for one request.
     fn handle(&self, request: &Request) -> Response;
@@ -38,14 +50,19 @@ where
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum concurrently-processed requests (the host's capacity).
+    /// Maximum concurrently-processed requests (the host's capacity); the
+    /// size of the handler worker pool.
     pub workers: usize,
-    /// Artificial service time added to every request while its permit is
-    /// held, to emulate slower hardware / a LAN hop. `None` disables it.
+    /// Artificial service time added to every request on its worker thread,
+    /// to emulate slower hardware / a LAN hop. `None` disables it.
     pub injected_latency: Option<Duration>,
-    /// Retained for configuration compatibility; connection handling is
-    /// thread-per-connection, so no accept queue applies.
+    /// Retained for configuration compatibility (the listener uses the
+    /// platform's default accept backlog).
     pub backlog: usize,
+    /// Maximum simultaneously-open connections; beyond this, new
+    /// connections get an immediate `503` and are closed. Each open
+    /// connection costs one fd and a parked poller registration.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,60 +71,427 @@ impl Default for ServerConfig {
             workers: 8,
             injected_latency: None,
             backlog: 1024,
+            max_connections: 4096,
         }
     }
 }
 
-/// A counting semaphore built on a token channel: `acquire` = receive a
-/// token, release = the token dropping back into the channel.
-struct Permits {
-    tokens: Receiver<()>,
-    returns: Sender<()>,
+const LISTENER_TOKEN: Token = 0;
+const WAKER_TOKEN: Token = 1;
+const FIRST_CONN_TOKEN: Token = 2;
+/// How long shutdown waits for in-flight responses to flush.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+struct Job {
+    token: Token,
+    request: Request,
 }
 
-impl Permits {
-    fn new(count: usize) -> Permits {
-        let (tx, rx) = bounded(count.max(1));
-        for _ in 0..count.max(1) {
-            tx.send(()).expect("fill permit pool");
-        }
-        Permits {
-            tokens: rx,
-            returns: tx,
-        }
-    }
-
-    fn acquire(&self) -> PermitGuard<'_> {
-        self.tokens.recv().expect("permit channel closed");
-        PermitGuard { permits: self }
-    }
-}
-
-struct PermitGuard<'a> {
-    permits: &'a Permits,
-}
-
-impl Drop for PermitGuard<'_> {
-    fn drop(&mut self) {
-        let _ = self.permits.returns.send(());
-    }
+struct Completion {
+    token: Token,
+    response: Response,
 }
 
 struct Shared {
     handler: Arc<dyn Handler>,
-    permits: Permits,
     stop: AtomicBool,
     requests_served: AtomicU64,
     open_connections: AtomicUsize,
     latency: Option<Duration>,
+    /// Write end of the event loop's waker; any thread can nudge the poll
+    /// thread by writing a byte.
+    waker: UnixStream,
+}
+
+impl Shared {
+    fn wake(&self) {
+        // WouldBlock means a wake-up is already pending — that's enough.
+        let _ = (&self.waker).write(&[1]);
+    }
+}
+
+/// Per-connection state machine owned by the poll thread.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Serialized response bytes not yet written, starting at `out_pos`.
+    out: Vec<u8>,
+    out_pos: usize,
+    interest: Interest,
+    /// A request from this connection is on a worker; reads are parked.
+    handling: bool,
+    /// Close once `out` drains (explicit `Connection: close`, protocol
+    /// error, or peer EOF after a complete pipelined request).
+    close_after_flush: bool,
+    /// The peer closed its write side; no further bytes will arrive.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            interest: Interest::READABLE,
+            handling: false,
+            close_after_flush: false,
+            eof: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+}
+
+enum IoOutcome {
+    Progress,
+    Blocked,
+    Dead,
+}
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    waker_rx: UnixStream,
+    conns: HashMap<Token, Conn>,
+    next_token: Token,
+    jobs_tx: Sender<Job>,
+    done_rx: Receiver<Completion>,
+    shared: Arc<Shared>,
+    max_connections: usize,
+    accepting: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut stop_deadline: Option<Instant> = None;
+        loop {
+            let stopping = self.shared.stop.load(Ordering::Acquire);
+            if stopping {
+                if stop_deadline.is_none() {
+                    stop_deadline = Some(Instant::now() + SHUTDOWN_GRACE);
+                    self.begin_shutdown();
+                }
+                self.reap_idle();
+                if self.conns.is_empty() || Instant::now() >= stop_deadline.expect("set above") {
+                    break;
+                }
+            }
+            let timeout = if stopping {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(500)
+            };
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // Transient poll failure; retry (the timeout bounds spinning).
+                continue;
+            }
+            for &ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.drain_waker(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.drain_completions();
+        }
+    }
+
+    /// Stop accepting and drop connections with nothing left to say.
+    fn begin_shutdown(&mut self) {
+        self.accepting = false;
+        self.poller.deregister(self.listener.as_raw_fd());
+        self.reap_idle();
+    }
+
+    fn reap_idle(&mut self) {
+        let idle: Vec<Token> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.handling && c.flushed())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.waker_rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if !self.accepting {
+                        continue; // drop: shutting down
+                    }
+                    if self.conns.len() >= self.max_connections {
+                        // Best-effort 503 on the doomed socket; a fresh
+                        // connection's send buffer is empty, so one write
+                        // almost always takes the whole response.
+                        let _ = stream.set_nonblocking(true);
+                        let mut wire = Vec::new();
+                        let _ =
+                            Response::text(Status::SERVICE_UNAVAILABLE, "connection limit reached")
+                                .write_to(&mut wire);
+                        let _ = (&stream).write(&wire);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    self.publish_gauge();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: Token, ev: Event) {
+        if ev.writable {
+            self.flush(token);
+        }
+        if ev.readable {
+            self.read_ready(token);
+        } else if ev.hangup {
+            // Hangup with no pending bytes: the connection is gone. (With
+            // pending bytes the read path sees the EOF itself.)
+            self.close_conn(token);
+        }
+    }
+
+    fn read_ready(&mut self, token: Token) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.handling || !conn.flushed() {
+                return; // parked: level-triggered readiness will re-fire
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let mut outcome = IoOutcome::Blocked;
+            // Bound per-event work so one firehose connection cannot starve
+            // the rest of the loop; level-triggering re-delivers the rest.
+            for _ in 0..64 {
+                match (&conn.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        outcome = IoOutcome::Progress;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.parser.feed(&chunk[..n]);
+                        outcome = IoOutcome::Progress;
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        outcome = IoOutcome::Dead;
+                        break;
+                    }
+                }
+            }
+            outcome
+        };
+        match outcome {
+            IoOutcome::Dead => self.close_conn(token),
+            IoOutcome::Progress | IoOutcome::Blocked => self.advance(token),
+        }
+    }
+
+    /// Drive the connection's state machine: dispatch a complete request,
+    /// wait for more bytes, or surface a protocol error.
+    fn advance(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.handling || !conn.flushed() {
+            return;
+        }
+        match conn.parser.try_next() {
+            Ok(Some(request)) => {
+                conn.handling = true;
+                if request.wants_close() || conn.eof {
+                    conn.close_after_flush = true;
+                }
+                self.set_interest(token, Interest::NONE);
+                let _ = self.jobs_tx.send(Job { token, request });
+            }
+            Ok(None) => {
+                if conn.eof {
+                    // Clean close between requests, or truncated mid-message;
+                    // either way there is nothing left to serve.
+                    self.close_conn(token);
+                } else {
+                    self.set_interest(token, Interest::READABLE);
+                }
+            }
+            Err(crate::HttpError::BodyTooLarge { .. }) => {
+                self.queue_response(
+                    token,
+                    Response::text(Status::PAYLOAD_TOO_LARGE, "body too large"),
+                    true,
+                );
+            }
+            Err(_) => {
+                self.queue_response(
+                    token,
+                    Response::text(Status::BAD_REQUEST, "malformed request"),
+                    true,
+                );
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            // The connection may have died while its request was handled;
+            // the response is then undeliverable and simply dropped.
+            if self.conns.contains_key(&done.token) {
+                self.queue_response(done.token, done.response, false);
+            }
+        }
+    }
+
+    fn queue_response(&mut self, token: Token, response: Response, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.handling = false;
+        if close {
+            conn.close_after_flush = true;
+        }
+        response
+            .write_to(&mut conn.out)
+            .expect("serializing to a Vec cannot fail");
+        self.flush(token);
+    }
+
+    fn flush(&mut self, token: Token) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut outcome = IoOutcome::Progress;
+            while !conn.flushed() {
+                match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        outcome = IoOutcome::Dead;
+                        break;
+                    }
+                    Ok(n) => conn.out_pos += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        outcome = IoOutcome::Blocked;
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        outcome = IoOutcome::Dead;
+                        break;
+                    }
+                }
+            }
+            if matches!(outcome, IoOutcome::Progress) {
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+            outcome
+        };
+        match outcome {
+            IoOutcome::Dead => self.close_conn(token),
+            IoOutcome::Blocked => self.set_interest(token, Interest::WRITABLE),
+            IoOutcome::Progress => {
+                let close = self.conns.get(&token).is_some_and(|c| c.close_after_flush);
+                if close {
+                    self.close_conn(token);
+                } else {
+                    self.set_interest(token, Interest::READABLE);
+                    // A pipelined request may already be fully buffered.
+                    self.advance(token);
+                }
+            }
+        }
+    }
+
+    fn set_interest(&mut self, token: Token, interest: Interest) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest == interest {
+            return;
+        }
+        conn.interest = interest;
+        if self
+            .poller
+            .reregister(conn.stream.as_raw_fd(), token, interest)
+            .is_err()
+        {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: Token) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(conn.stream.as_raw_fd());
+            self.publish_gauge();
+        }
+    }
+
+    fn publish_gauge(&self) {
+        self.shared
+            .open_connections
+            .store(self.conns.len(), Ordering::Release);
+    }
+}
+
+fn worker_loop(jobs: Receiver<Job>, done: Sender<Completion>, shared: Arc<Shared>) {
+    while let Ok(job) = jobs.recv() {
+        if let Some(d) = shared.latency {
+            std::thread::sleep(d);
+        }
+        let response = shared.handler.handle(&job.request);
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+        if done
+            .send(Completion {
+                token: job.token,
+                response,
+            })
+            .is_err()
+        {
+            break;
+        }
+        shared.wake();
+    }
 }
 
 /// A running HTTP server. Dropping the value shuts it down and joins the
-/// accept thread; connection threads drain within their poll interval.
+/// poll and worker threads.
 pub struct HttpServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    poll_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
@@ -115,47 +499,61 @@ impl HttpServer {
     /// serving with `handler`.
     pub fn bind(addr: &str, config: ServerConfig, handler: Arc<dyn Handler>) -> Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+
         let shared = Arc::new(Shared {
             handler,
-            permits: Permits::new(config.workers),
             stop: AtomicBool::new(false),
             requests_served: AtomicU64::new(0),
             open_connections: AtomicUsize::new(0),
             latency: config.injected_latency,
+            waker: waker_tx,
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("httpd-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shared.stop.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let Ok(stream) = conn else { continue };
-                    let conn_shared = Arc::clone(&accept_shared);
-                    conn_shared.open_connections.fetch_add(1, Ordering::AcqRel);
-                    let spawned =
-                        std::thread::Builder::new()
-                            .name("httpd-conn".into())
-                            .spawn(move || {
-                                let _ = serve_connection(stream, &conn_shared);
-                                conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
-                            });
-                    if spawned.is_err() {
-                        accept_shared
-                            .open_connections
-                            .fetch_sub(1, Ordering::AcqRel);
-                    }
-                }
+        let (jobs_tx, jobs_rx) = unbounded::<Job>();
+        let (done_tx, done_rx) = unbounded::<Completion>();
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let jobs_rx = jobs_rx.clone();
+                let done_tx = done_tx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("httpd-worker-{i}"))
+                    .spawn(move || worker_loop(jobs_rx, done_tx, shared))
+                    .expect("spawn worker thread")
             })
-            .expect("spawn accept thread");
+            .collect();
+
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
+        poller.register(waker_rx.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)?;
+        let event_loop = EventLoop {
+            poller,
+            listener,
+            waker_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            jobs_tx,
+            done_rx,
+            shared: Arc::clone(&shared),
+            max_connections: config.max_connections.max(1),
+            accepting: true,
+        };
+        let poll_thread = std::thread::Builder::new()
+            .name("httpd-poll".into())
+            .spawn(move || event_loop.run())
+            .expect("spawn poll thread");
 
         Ok(HttpServer {
             addr: local,
             shared,
-            accept_thread: Some(accept_thread),
+            poll_thread: Some(poll_thread),
+            workers,
         })
     }
 
@@ -174,24 +572,25 @@ impl HttpServer {
         self.shared.requests_served.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, wake the accept loop, and wait for connection threads
-    /// to drain. Idempotent.
+    /// Connections currently parked on the event loop.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting, let in-flight responses flush (bounded grace), and
+    /// join the poll and worker threads. Idempotent.
     pub fn shutdown(&mut self) {
         if self.shared.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept loop with a wake-up connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.shared.wake();
+        if let Some(t) = self.poll_thread.take() {
             let _ = t.join();
         }
-        // Connection threads notice the stop flag within their read-timeout
-        // poll interval; give them a bounded grace period.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while self.shared.open_connections.load(Ordering::Acquire) > 0
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(10));
+        // The event loop's drop released the job sender; workers drain the
+        // queue (responses now undeliverable) and exit.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -199,55 +598,6 @@ impl HttpServer {
 impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-/// Serve a keep-alive connection until close, error, or shutdown. The worker
-/// permit is held only while a request is actually being processed.
-fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<()> {
-    stream.set_nodelay(true)?;
-    // A read timeout lets the thread notice shutdown instead of parking
-    // forever on an idle keep-alive connection.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return Ok(());
-        }
-        let request = match Request::read_from(&mut reader) {
-            Ok(Some(r)) => r,
-            Ok(None) => return Ok(()), // clean close between requests
-            Err(crate::HttpError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // idle keep-alive; poll the stop flag again
-            }
-            Err(crate::HttpError::BodyTooLarge { .. }) => {
-                let resp = Response::text(Status::PAYLOAD_TOO_LARGE, "body too large");
-                let _ = resp.write_to(&mut writer);
-                return Ok(());
-            }
-            Err(_) => {
-                let resp = Response::text(Status::BAD_REQUEST, "malformed request");
-                let _ = resp.write_to(&mut writer);
-                return Ok(());
-            }
-        };
-        let close = request.wants_close();
-        let response = {
-            let _permit = shared.permits.acquire();
-            if let Some(d) = shared.latency {
-                std::thread::sleep(d);
-            }
-            shared.handler.handle(&request)
-        };
-        shared.requests_served.fetch_add(1, Ordering::Relaxed);
-        response.write_to(&mut writer)?;
-        if close {
-            return Ok(());
-        }
     }
 }
 
@@ -421,5 +771,58 @@ mod tests {
             .post(&url, "application/octet-stream", body.clone())
             .unwrap();
         assert_eq!(resp.body.len(), body.len());
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        use std::io::Write;
+        let server = echo_server(2);
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        let mut wire = Vec::new();
+        for i in 0..3 {
+            Request::post("/p", "text/plain", format!("req-{i}").into_bytes())
+                .write_to(&mut wire, "h:1")
+                .unwrap();
+        }
+        sock.write_all(&wire).unwrap();
+        let mut reader = std::io::BufReader::new(sock);
+        for i in 0..3 {
+            let resp = Response::read_from(&mut reader).unwrap();
+            assert_eq!(resp.body, format!("req-{i}").into_bytes(), "response {i}");
+        }
+    }
+
+    #[test]
+    fn connection_limit_gets_503() {
+        let handler = Arc::new(|_: &Request| Response::ok("text/plain", vec![]));
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                max_connections: 3,
+                ..Default::default()
+            },
+            handler,
+        )
+        .unwrap();
+        // Park three connections (the limit) by making a request on each and
+        // keeping them open.
+        let clients: Vec<HttpClient> = (0..3).map(|_| HttpClient::new()).collect();
+        let url = format!("{}/x", server.base_url());
+        for client in &clients {
+            client.get(&url).unwrap();
+        }
+        // Wait for all three parked registrations to be visible.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.open_connections() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.open_connections(), 3);
+        // The fourth connection is turned away at the door.
+        use std::io::Read;
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        let mut buf = String::new();
+        sock.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 503"), "{buf:?}");
     }
 }

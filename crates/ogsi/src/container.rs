@@ -35,7 +35,10 @@ use std::time::{Duration, Instant};
 /// Container tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ContainerConfig {
-    /// HTTP worker threads (one per in-flight request).
+    /// HTTP handler threads. With the readiness-driven server this bounds
+    /// *in-flight handler* concurrency only — idle keep-alive connections
+    /// park on the event loop without holding a thread, so `workers` is the
+    /// Figure 12 unit of host capacity rather than a connection cap.
     pub workers: usize,
     /// Artificial per-request latency, to emulate a LAN (see
     /// [`ServerConfig::injected_latency`]).
@@ -45,6 +48,10 @@ pub struct ContainerConfig {
     pub default_lifetime: Option<Duration>,
     /// How often the lifetime sweeper runs.
     pub sweep_interval: Duration,
+    /// Cap on simultaneously open HTTP connections (parked keep-alive ones
+    /// included); beyond it, new connections are refused with 503 (see
+    /// [`ServerConfig::max_connections`]).
+    pub max_connections: usize,
 }
 
 impl Default for ContainerConfig {
@@ -54,6 +61,7 @@ impl Default for ContainerConfig {
             injected_latency: None,
             default_lifetime: None,
             sweep_interval: Duration::from_millis(250),
+            max_connections: ServerConfig::default().max_connections,
         }
     }
 }
@@ -173,6 +181,7 @@ impl Container {
             ServerConfig {
                 workers: config.workers,
                 injected_latency: config.injected_latency,
+                max_connections: config.max_connections,
                 ..Default::default()
             },
             handler,
@@ -310,6 +319,14 @@ impl Container {
     /// delivered to every subscribed sink.
     pub fn notify(&self, source_path: &str, topic: &str, message: &str) {
         self.inner.hub.publish(source_path, topic, message);
+    }
+
+    /// Currently open HTTP connections, parked keep-alive ones included.
+    pub fn open_connections(&self) -> usize {
+        self.server
+            .lock()
+            .as_ref()
+            .map_or(0, HttpServer::open_connections)
     }
 
     /// Stop the container: shut the HTTP server down and join the sweeper.

@@ -17,6 +17,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> httpd event-loop soak (1000+ parked keep-alive connections)"
+cargo test -q -p pperf-httpd --features soak --test event_loop
+
+echo "==> httpd suite on the portable poll(2) backend"
+PPG_FORCE_POLL=1 cargo test -q -p pperf-httpd
+
 if [[ "${PPG_BENCH:-0}" == "1" ]]; then
     echo "==> gateway fan-out bench (quick scale)"
     PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
