@@ -65,8 +65,9 @@ fn mem_wrapper(execs: usize, rows_per_exec: usize, delay: Duration) -> MemApplic
 struct Federation {
     client: Arc<HttpClient>,
     registry: Gsh,
-    // Containers are kept alive for the benchmark's duration.
-    _containers: Vec<Arc<Container>>,
+    // Containers are kept alive for the benchmark's duration; the deadline
+    // pass also reads the mem-site container's context counters.
+    containers: Vec<Arc<Container>>,
 }
 
 /// Two heterogeneous sites — relational HPL plus a scripted in-memory store —
@@ -109,7 +110,7 @@ fn deploy_federation(mem_execs: usize, mem_delay: Duration) -> Federation {
     Federation {
         client,
         registry,
-        _containers: vec![c1, c2],
+        containers: vec![c1, c2],
     }
 }
 
@@ -351,6 +352,86 @@ fn main() {
         "gateway_fanout/parked_throughput_retention",
         retention,
         "x",
+    ));
+
+    // Pass 5: deadline enforcement — a healthy HPL site federated with a
+    // stalled one (10 s scans) under a 200 ms query budget. Every query must
+    // come back partial near the budget; the stalled site's container should
+    // observe the deadline/cancellation so no abandoned scan runs on.
+    let deadline_repeats: usize = if std::env::var_os("PPG_QUICK").is_some() {
+        4
+    } else {
+        10
+    };
+    let stalled = deploy_federation(1, Duration::from_secs(10));
+    let deadline_gateway = FederatedGateway::new(
+        Arc::clone(&stalled.client),
+        stalled.registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None)
+            .with_retries(0, Duration::from_millis(5))
+            .with_call_timeout(Duration::from_millis(200)),
+    );
+    let mut deadline_elapsed = Duration::ZERO;
+    for _ in 0..deadline_repeats {
+        let started = Instant::now();
+        let result = deadline_gateway.query(&query);
+        deadline_elapsed += started.elapsed();
+        assert!(
+            result.is_partial(),
+            "expected partial results under a 200ms budget: {} rows, {:?}",
+            result.rows.len(),
+            result.errors
+        );
+        // Let the cancelled leg drain (the cancel aborts it within a few
+        // ms) so the next repeat measures a fresh doomed flight instead of
+        // coalescing onto this one's tail.
+        let drained = Instant::now() + Duration::from_secs(2);
+        while deadline_gateway.snapshot().in_flight > 0 && Instant::now() < drained {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    let per_query_ms = deadline_elapsed.as_secs_f64() * 1000.0 / deadline_repeats as f64;
+    let gateway_deadline_exceeded = deadline_gateway.snapshot().deadline_exceeded;
+    // Cancels propagate on detached threads and handlers abort in 5 ms
+    // slices; give the stalled container a moment to settle before reading.
+    let stalled_host = &stalled.containers[1];
+    let settle = Instant::now() + Duration::from_secs(3);
+    while Instant::now() < settle {
+        let (_, deadline_exceeded, _, cancelled_calls) = stalled_host.context_counters();
+        if deadline_exceeded + cancelled_calls >= gateway_deadline_exceeded {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (_, site_deadline_exceeded, cancels_received, cancelled_calls) =
+        stalled_host.context_counters();
+    println!(
+        "deadline: {deadline_repeats} partial answers at {per_query_ms:.0} ms/query under a \
+         200ms budget ({gateway_deadline_exceeded} gateway deadline trips; stalled site: \
+         {site_deadline_exceeded} deadline-exceeded, {cancels_received} cancels received, \
+         {cancelled_calls} calls cancelled)"
+    );
+    entries.push(entry(
+        "gateway_fanout/deadline_partial_latency",
+        per_query_ms,
+        "ms",
+    ));
+    entries.push(entry(
+        "gateway_fanout/deadline_exceeded_per_query",
+        gateway_deadline_exceeded as f64 / deadline_repeats as f64,
+        "trips",
+    ));
+    entries.push(entry(
+        "gateway_fanout/stalled_site_deadline_or_cancelled_calls",
+        (site_deadline_exceeded + cancelled_calls) as f64,
+        "calls",
+    ));
+    entries.push(entry(
+        "gateway_fanout/stalled_site_cancels_received",
+        cancels_received as f64,
+        "cancels",
     ));
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());

@@ -127,6 +127,14 @@ impl TtlLru {
         }
     }
 
+    /// Drop one entry (counters are kept). Used for site-scoped
+    /// invalidation when a registry lease expires or a site republishes;
+    /// a no-op when the key is absent. Stale recency-queue entries for the
+    /// key are left behind — eviction already skips dangling entries.
+    pub fn remove(&self, key: &str) {
+        self.inner.lock().map.remove(key);
+    }
+
     /// Drop every entry (counters are kept).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
@@ -174,6 +182,22 @@ mod tests {
         std::thread::sleep(Duration::from_millis(25));
         assert!(cache.get("a").is_none(), "expired");
         assert!(cache.get("a").is_none(), "stays gone");
+    }
+
+    #[test]
+    fn remove_drops_one_key_without_disturbing_others() {
+        let cache = TtlLru::new(8, Duration::from_secs(60));
+        cache.insert("a", rows("1"));
+        cache.insert("b", rows("2"));
+        cache.remove("a");
+        cache.remove("nonexistent");
+        assert!(cache.get("a").is_none(), "removed");
+        assert_eq!(cache.get("b").unwrap()[0], "2");
+        assert_eq!(cache.len(), 1);
+        // The dangling recency entry for "a" must not evict live keys.
+        cache.insert("c", rows("3"));
+        cache.insert("d", rows("4"));
+        assert!(cache.get("b").is_some());
     }
 
     #[test]

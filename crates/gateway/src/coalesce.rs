@@ -12,9 +12,38 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// The outcome a leader publishes: rows, or a classified error (kind +
+/// The call result a flight shares: rows, or a classified error (kind +
 /// rendered detail) that followers report against their own site label.
-pub type FlightOutcome = Result<Arc<Vec<String>>, (SiteErrorKind, String)>;
+pub type FlightResult = Result<Arc<Vec<String>>, (SiteErrorKind, String)>;
+
+/// What a leader publishes to its followers. Besides the call result it
+/// carries the leader's request id and the spans its flight recorded, so a
+/// coalesced caller can adopt the leader's trace — under its *own* request
+/// id — and record which request actually did the work.
+#[derive(Clone)]
+pub struct FlightOutcome {
+    /// The shared call result.
+    pub result: FlightResult,
+    /// Request id of the caller that performed the upstream call.
+    pub leader_request_id: String,
+    /// Spans the leader's flight recorded (remote + stub hops).
+    pub spans: Vec<ppg_context::Span>,
+}
+
+impl FlightOutcome {
+    /// Package a leader's result for publication.
+    pub fn new(
+        result: FlightResult,
+        leader_request_id: impl Into<String>,
+        spans: Vec<ppg_context::Span>,
+    ) -> FlightOutcome {
+        FlightOutcome {
+            result,
+            leader_request_id: leader_request_id.into(),
+            spans,
+        }
+    }
+}
 
 struct Slot {
     done: Mutex<Option<FlightOutcome>>,
@@ -113,11 +142,15 @@ mod tests {
     use std::thread;
     use std::time::Duration;
 
+    fn outcome_of(result: FlightResult) -> FlightOutcome {
+        FlightOutcome::new(result, "leader-id", Vec::new())
+    }
+
     #[test]
     fn single_caller_is_leader() {
         let sf = SingleFlight::new();
         match sf.join("k") {
-            Flight::Leader(token) => sf.publish(token, Ok(Arc::new(vec!["r".into()]))),
+            Flight::Leader(token) => sf.publish(token, outcome_of(Ok(Arc::new(vec!["r".into()])))),
             Flight::Follower(_) => panic!("first caller must lead"),
         }
         assert_eq!(sf.in_flight(), 0);
@@ -142,10 +175,19 @@ mod tests {
             .collect();
         // Give followers time to block, then publish.
         thread::sleep(Duration::from_millis(30));
-        sf.publish(token, Ok(Arc::new(vec!["shared".into()])));
+        sf.publish(
+            token,
+            FlightOutcome::new(
+                Ok(Arc::new(vec!["shared".into()])),
+                "the-leader",
+                vec![ppg_context::Span::new("gateway", "getPR", "s", 7, "ok")],
+            ),
+        );
         for f in followers {
             let outcome = f.join().unwrap();
-            assert_eq!(outcome.unwrap()[0], "shared");
+            assert_eq!(outcome.result.unwrap()[0], "shared");
+            assert_eq!(outcome.leader_request_id, "the-leader");
+            assert_eq!(outcome.spans.len(), 1);
         }
         assert_eq!(sf.coalesced(), 4);
         assert_eq!(sf.in_flight(), 0);
@@ -163,8 +205,11 @@ mod tests {
             Flight::Follower(_) => panic!("different key must not coalesce"),
         };
         assert_eq!(sf.in_flight(), 2);
-        sf.publish(ta, Err((SiteErrorKind::Unreachable, "down".into())));
-        sf.publish(tb, Ok(Arc::new(vec![])));
+        sf.publish(
+            ta,
+            outcome_of(Err((SiteErrorKind::Unreachable, "down".into()))),
+        );
+        sf.publish(tb, outcome_of(Ok(Arc::new(vec![]))));
         assert_eq!(sf.in_flight(), 0);
     }
 
@@ -181,8 +226,11 @@ mod tests {
             Flight::Leader(_) => panic!(),
         });
         thread::sleep(Duration::from_millis(20));
-        sf.publish(token, Err((SiteErrorKind::Fault, "fault".into())));
-        let (kind, detail) = follower.join().unwrap().unwrap_err();
+        sf.publish(
+            token,
+            outcome_of(Err((SiteErrorKind::Fault, "fault".into()))),
+        );
+        let (kind, detail) = follower.join().unwrap().result.unwrap_err();
         assert_eq!(kind, SiteErrorKind::Fault);
         assert_eq!(detail, "fault");
         // A new flight can start after publication.

@@ -16,15 +16,16 @@
 //!    [`SiteError`] while every surviving site's rows are still returned.
 
 use crate::cache::TtlLru;
-use crate::coalesce::{Flight, SingleFlight};
+use crate::coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight};
 use crate::plan::{ExecTarget, Planner};
 use crate::pool::{SiteLimiter, WorkerPool};
 use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, SiteRows};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use pperf_httpd::HttpClient;
+use pperf_httpd::{HttpClient, Request};
 use pperf_ogsi::{Gsh, OgsiError};
 use pperfgrid::{ExecutionStub, PrQuery};
+use ppg_context::CallContext;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,7 +38,9 @@ pub struct GatewayConfig {
     pub workers: usize,
     /// Max concurrent upstream calls per site.
     pub per_site_concurrency: usize,
-    /// Deadline per target; exceeding it yields a `Timeout` site error.
+    /// Default whole-query deadline budget, applied when the caller's
+    /// [`CallContext`] carries none. Targets still pending at the deadline
+    /// yield `Timeout` site errors and their legs are cancelled.
     pub call_timeout: Duration,
     /// Fire a hedge request against a replica host after this long without
     /// an answer; `None` disables hedging entirely.
@@ -52,6 +55,10 @@ pub struct GatewayConfig {
     pub cache_capacity: usize,
     /// Shared result cache entry lifetime.
     pub cache_ttl: Duration,
+    /// How long a registry snapshot may be reused by the planner before the
+    /// two snapshot wire calls are repeated. `Duration::ZERO` disables the
+    /// snapshot cache.
+    pub plan_cache_ttl: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -66,6 +73,7 @@ impl Default for GatewayConfig {
             cache_enabled: true,
             cache_capacity: 1024,
             cache_ttl: Duration::from_secs(30),
+            plan_cache_ttl: Duration::from_millis(500),
         }
     }
 }
@@ -114,6 +122,13 @@ impl GatewayConfig {
         self.cache_ttl = ttl;
         self
     }
+
+    /// Set (or disable, with `Duration::ZERO`) the planner's registry
+    /// snapshot cache TTL.
+    pub fn with_plan_cache(mut self, ttl: Duration) -> GatewayConfig {
+        self.plan_cache_ttl = ttl;
+        self
+    }
 }
 
 /// Rolling latency/error accounting for one site.
@@ -145,6 +160,14 @@ struct Stats {
     upstream: AtomicU64,
     hedges_fired: AtomicU64,
     hedge_wins: AtomicU64,
+    /// Legs cancelled because their sibling won the hedge race.
+    hedges_cancelled: AtomicU64,
+    /// Targets abandoned (and site errors reported) because the query
+    /// deadline budget ran out.
+    deadline_exceeded: AtomicU64,
+    /// Sites whose cached results were dropped after their registry lease
+    /// expired or they republished.
+    lease_invalidations: AtomicU64,
     in_flight: AtomicI64,
     sites: Mutex<HashMap<String, SiteLatency>>,
 }
@@ -182,6 +205,16 @@ pub struct GatewaySnapshot {
     pub hedges_fired: u64,
     /// Hedge requests that answered before their primary.
     pub hedge_wins: u64,
+    /// Legs cancelled because their sibling won the hedge race.
+    pub hedges_cancelled: u64,
+    /// Targets abandoned because the query deadline budget ran out.
+    pub deadline_exceeded: u64,
+    /// Sites invalidated after a registry lease expiry or republish.
+    pub lease_invalidations: u64,
+    /// Registry-snapshot cache hits in the planner.
+    pub plan_snapshot_hits: u64,
+    /// Registry-snapshot refreshes (actual wire snapshots) in the planner.
+    pub plan_snapshot_refreshes: u64,
     /// Per-site latency/error accounting, sorted by site label.
     pub per_site: Vec<(String, SiteLatency)>,
 }
@@ -192,6 +225,9 @@ struct Inner {
     planner: Planner,
     limiter: Arc<SiteLimiter>,
     cache: TtlLru,
+    /// Which cache keys belong to which site, so a lease invalidation can
+    /// drop exactly that site's entries.
+    site_keys: Mutex<HashMap<String, HashSet<String>>>,
     flights: Arc<SingleFlight>,
     stats: Stats,
 }
@@ -214,17 +250,29 @@ struct PendingTarget {
     primary_failed: bool,
     hedge_failed: bool,
     done: bool,
+    /// The primary leg's context (cancelled if the hedge wins or the
+    /// deadline expires while it is still out).
+    primary_ctx: CallContext,
+    /// The hedge leg's context, once fired.
+    hedge_ctx: Option<CallContext>,
 }
 
 struct Outcome {
     idx: usize,
     hedged: bool,
-    result: Result<Arc<Vec<String>>, (SiteErrorKind, String)>,
+    result: FlightResult,
 }
 
 fn classify(error: &OgsiError) -> (SiteErrorKind, bool) {
     match error {
         OgsiError::Transport(_) => (SiteErrorKind::Unreachable, true),
+        // A budget that ran out locally, a server that rejected the call as
+        // past-deadline, and a cancelled leg are all deadline conditions —
+        // and never retryable (the budget only shrinks).
+        OgsiError::DeadlineExceeded(_) => (SiteErrorKind::Timeout, false),
+        OgsiError::Fault(f) if f.is_deadline_exceeded() || f.is_cancelled() => {
+            (SiteErrorKind::Timeout, false)
+        }
         _ => (SiteErrorKind::Fault, false),
     }
 }
@@ -236,17 +284,26 @@ impl FederatedGateway {
         registry: Gsh,
         config: GatewayConfig,
     ) -> Arc<FederatedGateway> {
-        let planner = Planner::new(Arc::clone(&client), registry, config.hedge_after.is_some());
+        let planner = Planner::new(
+            Arc::clone(&client),
+            registry,
+            config.hedge_after.is_some(),
+            config.plan_cache_ttl,
+        );
         let pool = WorkerPool::new(config.workers);
         let inner = Inner {
             limiter: SiteLimiter::new(config.per_site_concurrency),
             cache: TtlLru::new(config.cache_capacity, config.cache_ttl),
+            site_keys: Mutex::new(HashMap::new()),
             flights: SingleFlight::new(),
             stats: Stats {
                 queries: AtomicU64::new(0),
                 upstream: AtomicU64::new(0),
                 hedges_fired: AtomicU64::new(0),
                 hedge_wins: AtomicU64::new(0),
+                hedges_cancelled: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                lease_invalidations: AtomicU64::new(0),
                 in_flight: AtomicI64::new(0),
                 sites: Mutex::new(HashMap::new()),
             },
@@ -268,6 +325,21 @@ impl FederatedGateway {
     /// Drop all cached results (bindings are kept).
     pub fn clear_cache(&self) {
         self.inner.cache.clear();
+        self.inner.site_keys.lock().clear();
+    }
+
+    /// Drop one site's cached results: its registry lease expired or it
+    /// republished, so its instance handles (the cache keys) are stale.
+    pub fn invalidate_site(&self, site: &str) {
+        if let Some(keys) = self.inner.site_keys.lock().remove(site) {
+            for key in keys {
+                self.inner.cache.remove(&key);
+            }
+        }
+        self.inner
+            .stats
+            .lease_invalidations
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Current counters.
@@ -282,6 +354,7 @@ impl FederatedGateway {
             .map(|(site, lat)| (site.clone(), lat.clone()))
             .collect();
         per_site.sort_by(|a, b| a.0.cmp(&b.0));
+        let (plan_snapshot_hits, plan_snapshot_refreshes) = inner.planner.snapshot_stats();
         GatewaySnapshot {
             queries: inner.stats.queries.load(Ordering::Relaxed),
             upstream_calls: inner.stats.upstream.load(Ordering::Relaxed),
@@ -292,17 +365,43 @@ impl FederatedGateway {
             in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
             hedges_fired: inner.stats.hedges_fired.load(Ordering::Relaxed),
             hedge_wins: inner.stats.hedge_wins.load(Ordering::Relaxed),
+            hedges_cancelled: inner.stats.hedges_cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: inner.stats.deadline_exceeded.load(Ordering::Relaxed),
+            lease_invalidations: inner.stats.lease_invalidations.load(Ordering::Relaxed),
+            plan_snapshot_hits,
+            plan_snapshot_refreshes,
             per_site,
         }
     }
 
     /// Run one federated query end to end (blocking; safe to call from many
-    /// threads at once).
+    /// threads at once) under a fresh default-budget context.
     pub fn query(&self, query: &FederatedQuery) -> FederatedResult {
+        let ctx = CallContext::with_budget(self.inner.config.call_timeout);
+        self.query_with_context(query, &ctx)
+    }
+
+    /// Run one federated query under the caller's [`CallContext`]: its
+    /// deadline bounds the whole scatter-gather (falling back to
+    /// `call_timeout` when it carries none), every upstream hop inherits its
+    /// request id, and the assembled cross-site trace comes back on the
+    /// result.
+    pub fn query_with_context(&self, query: &FederatedQuery, ctx: &CallContext) -> FederatedResult {
         let started = Instant::now();
         let inner = &self.inner;
         inner.stats.queries.fetch_add(1, Ordering::Relaxed);
+        // Normalize: every query runs under *some* deadline so a silent site
+        // cannot hold the gather forever.
+        let qctx = if ctx.deadline().is_some() {
+            ctx.clone()
+        } else {
+            ctx.with_remaining(inner.config.call_timeout)
+        };
+        let query_deadline = qctx.deadline().expect("normalized context has a deadline");
         let plan = inner.planner.plan(query);
+        for site in &plan.invalidated {
+            self.invalidate_site(site);
+        }
         let mut errors = plan.errors.clone();
         let sites_total = plan.sites.len() + errors.len();
         let pr = Arc::new(query.pr_query());
@@ -317,6 +416,7 @@ impl FederatedGateway {
                 let cache_key = format!("{}::{pr_key}", target.primary.as_str());
                 if inner.config.cache_enabled {
                     if let Some(cached) = inner.cache.get(&cache_key) {
+                        qctx.record_span("gateway.cache", "getPR", &site_plan.site, started, "hit");
                         rows.push(SiteRows {
                             site: site_plan.site.clone(),
                             execution: target.primary.clone(),
@@ -333,16 +433,19 @@ impl FederatedGateway {
                     .as_ref()
                     .and(inner.config.hedge_after)
                     .map(|delay| scatter_start + delay);
+                let primary_ctx = qctx.leg(ppg_context::leg_tag(idx, 0), 0);
                 pending.push(PendingTarget {
                     site: site_plan.site.clone(),
                     target: target.clone(),
                     cache_key: cache_key.clone(),
-                    deadline: scatter_start + inner.config.call_timeout,
+                    deadline: query_deadline,
                     hedge_at,
                     hedge_fired: false,
                     primary_failed: false,
                     hedge_failed: false,
                     done: false,
+                    primary_ctx: primary_ctx.clone(),
+                    hedge_ctx: None,
                 });
                 self.submit_call(
                     tx.clone(),
@@ -352,6 +455,7 @@ impl FederatedGateway {
                     Arc::clone(&pr),
                     cache_key,
                     false,
+                    primary_ctx,
                     Arc::clone(&query_upstream),
                 );
             }
@@ -391,6 +495,22 @@ impl FederatedGateway {
                             remaining -= 1;
                             if outcome.hedged {
                                 inner.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                // The primary lost the race: cancel its leg so
+                                // its site stops burning handler time on an
+                                // answer nobody will read.
+                                if !p.primary_failed {
+                                    self.cancel_leg(&p.primary_ctx, &p.target.primary);
+                                    inner.stats.hedges_cancelled.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else if p.hedge_fired && !p.hedge_failed {
+                                // The hedge lost: cancel its leg on the
+                                // replica host.
+                                if let (Some(hctx), Some(hedge)) =
+                                    (p.hedge_ctx.as_ref(), p.target.hedge.as_ref())
+                                {
+                                    self.cancel_leg(hctx, hedge);
+                                    inner.stats.hedges_cancelled.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                             rows.push(SiteRows {
                                 site: p.site.clone(),
@@ -412,6 +532,8 @@ impl FederatedGateway {
                                 let hedge = p.target.hedge.clone().expect("checked");
                                 p.hedge_fired = true;
                                 inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                                let hedge_ctx = qctx.leg(ppg_context::leg_tag(idx, 1), 1);
+                                p.hedge_ctx = Some(hedge_ctx.clone());
                                 let (site, key) = (p.site.clone(), p.cache_key.clone());
                                 self.submit_call(
                                     tx.clone(),
@@ -421,6 +543,7 @@ impl FederatedGateway {
                                     Arc::clone(&pr),
                                     key,
                                     true,
+                                    hedge_ctx,
                                     Arc::clone(&query_upstream),
                                 );
                             } else {
@@ -450,6 +573,8 @@ impl FederatedGateway {
                             if !p.hedge_fired && hedge_at <= now {
                                 p.hedge_fired = true;
                                 inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
+                                let hedge_ctx = qctx.leg(ppg_context::leg_tag(idx, 1), 1);
+                                p.hedge_ctx = Some(hedge_ctx.clone());
                                 let (site, key) = (p.site.clone(), p.cache_key.clone());
                                 self.submit_call(
                                     tx.clone(),
@@ -459,6 +584,7 @@ impl FederatedGateway {
                                     Arc::clone(&pr),
                                     key,
                                     true,
+                                    hedge_ctx,
                                     Arc::clone(&query_upstream),
                                 );
                             }
@@ -466,12 +592,29 @@ impl FederatedGateway {
                         if p.deadline <= now {
                             p.done = true;
                             remaining -= 1;
+                            // Cancel whatever is still out there: the budget
+                            // is gone, so any answer would be discarded.
+                            if !p.primary_failed {
+                                self.cancel_leg(&p.primary_ctx, &p.target.primary);
+                            }
+                            if p.hedge_fired && !p.hedge_failed {
+                                if let (Some(hctx), Some(hedge)) =
+                                    (p.hedge_ctx.as_ref(), p.target.hedge.as_ref())
+                                {
+                                    self.cancel_leg(hctx, hedge);
+                                }
+                            }
+                            inner
+                                .stats
+                                .deadline_exceeded
+                                .fetch_add(1, Ordering::Relaxed);
                             errors.push(SiteError {
                                 site: p.site.clone(),
                                 kind: SiteErrorKind::Timeout,
                                 detail: format!(
-                                    "getPR did not complete within {:?}",
-                                    inner.config.call_timeout
+                                    "getPR did not complete within the query budget \
+                                     (request {})",
+                                    qctx.request_id()
                                 ),
                             });
                         }
@@ -486,17 +629,44 @@ impl FederatedGateway {
         rows.sort_by(|a, b| {
             (a.site.as_str(), a.execution.as_str()).cmp(&(b.site.as_str(), b.execution.as_str()))
         });
+        qctx.record_span(
+            "gateway",
+            "federatedQuery",
+            "",
+            started,
+            if errors.is_empty() { "ok" } else { "partial" },
+        );
         FederatedResult {
             rows,
             errors,
             sites_total,
             elapsed: started.elapsed(),
             upstream_calls: query_upstream.load(Ordering::Relaxed),
+            request_id: qctx.request_id().to_owned(),
+            trace: qctx.spans(),
         }
     }
 
+    /// Cancel a leg: flip its local flag (stops retry loops and pre-send
+    /// checks here) and tell the target's container to interrupt any handler
+    /// still working under this leg's cancel key. The POST is fire-and-forget
+    /// on a fresh thread — the worker pool may be saturated by the very calls
+    /// being cancelled.
+    fn cancel_leg(&self, ctx: &CallContext, target: &Gsh) {
+        ctx.cancel();
+        let key = ctx.cancel_key();
+        let mut url = target.url();
+        url.path = "/ogsa/cancel".into();
+        url.query = String::new();
+        let client = Arc::clone(&self.inner.client);
+        std::thread::spawn(move || {
+            let request = Request::post("/ogsa/cancel", "text/plain", key.into_bytes());
+            let _ = client.send(&url, &request);
+        });
+    }
+
     /// Queue one target call: single-flight → site permit → retrying `getPR`
-    /// → cache fill → outcome on `tx`.
+    /// under the leg's context → cache fill → outcome on `tx`.
     #[allow(clippy::too_many_arguments)]
     fn submit_call(
         &self,
@@ -507,50 +677,22 @@ impl FederatedGateway {
         pr: Arc<PrQuery>,
         cache_key: String,
         hedged: bool,
+        leg_ctx: CallContext,
         query_upstream: Arc<AtomicU64>,
     ) {
         let inner = Arc::clone(&self.inner);
         self.pool.submit(move || {
             let started = Instant::now();
             inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-            // The flight key is the exact upstream tuple (instance handle +
-            // PrQuery key): concurrent identical tuples share one call.
-            let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
-            let result = match inner.flights.join(&flight_key) {
-                Flight::Follower(outcome) => outcome,
-                Flight::Leader(token) => {
-                    let outcome = {
-                        let _permit = inner.limiter.acquire(&site);
-                        let stub = ExecutionStub::bind(Arc::clone(&inner.client), &exec);
-                        let mut attempt = 0u32;
-                        loop {
-                            inner.stats.upstream.fetch_add(1, Ordering::Relaxed);
-                            query_upstream.fetch_add(1, Ordering::Relaxed);
-                            match stub.get_pr(&pr) {
-                                Ok(rows) => break Ok(Arc::new(rows)),
-                                Err(e) => {
-                                    let (kind, retryable) = classify(&e);
-                                    if retryable && attempt < inner.config.retries {
-                                        attempt += 1;
-                                        std::thread::sleep(
-                                            inner.config.backoff * (1 << attempt.min(6)),
-                                        );
-                                        continue;
-                                    }
-                                    break Err((kind, e.to_string()));
-                                }
-                            }
-                        }
-                    };
-                    if let Ok(rows) = &outcome {
-                        if inner.config.cache_enabled {
-                            inner.cache.insert(cache_key.clone(), Arc::clone(rows));
-                        }
-                    }
-                    inner.flights.publish(token, outcome.clone());
-                    outcome
-                }
-            };
+            let result = run_flight(
+                &inner,
+                &site,
+                &exec,
+                &pr,
+                &cache_key,
+                &leg_ctx,
+                &query_upstream,
+            );
             inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             inner
                 .stats
@@ -561,5 +703,128 @@ impl FederatedGateway {
                 result,
             });
         });
+    }
+}
+
+/// One leg's upstream flight: coalesce with identical in-flight tuples,
+/// acquire the site permit within the leg's budget, then call `getPR` with
+/// retries whose backoff is charged against the remaining budget.
+fn run_flight(
+    inner: &Arc<Inner>,
+    site: &str,
+    exec: &Gsh,
+    pr: &Arc<PrQuery>,
+    cache_key: &str,
+    leg_ctx: &CallContext,
+    query_upstream: &Arc<AtomicU64>,
+) -> FlightResult {
+    let started = Instant::now();
+    if leg_ctx.expired() {
+        let outcome = if leg_ctx.cancelled() {
+            "cancelled-before-send"
+        } else {
+            "deadline-exceeded-before-send"
+        };
+        leg_ctx.record_span("gateway.call", "getPR", site, started, outcome);
+        return Err((
+            SiteErrorKind::Timeout,
+            format!("leg {} abandoned before send: {outcome}", leg_ctx.leg_tag()),
+        ));
+    }
+    // The flight key is the exact upstream tuple (instance handle + PrQuery
+    // key): concurrent identical tuples share one call.
+    let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
+    match inner.flights.join(&flight_key) {
+        Flight::Follower(outcome) => {
+            if outcome.leader_request_id != leg_ctx.request_id() {
+                // A different request did the work: adopt its spans into this
+                // trace, then record the coalescing itself so the trace shows
+                // which request actually hit the wire.
+                leg_ctx.extend_spans(outcome.spans.clone());
+                leg_ctx.record_span(
+                    "gateway.coalesce",
+                    "getPR",
+                    site,
+                    started,
+                    &format!("leader:{}", outcome.leader_request_id),
+                );
+            }
+            outcome.result
+        }
+        Flight::Leader(token) => {
+            // Spans this flight records start here; the slice past this index
+            // is what followers adopt. Sibling legs of the same request share
+            // the trace, so a rare interleaved sibling span may ride along —
+            // acceptable for diagnostic data.
+            let span_base = leg_ctx.span_count();
+            let outcome = match inner.limiter.acquire_until(site, leg_ctx.deadline()) {
+                None => {
+                    leg_ctx.record_span(
+                        "gateway.call",
+                        "getPR",
+                        site,
+                        started,
+                        "deadline-exceeded",
+                    );
+                    Err((
+                        SiteErrorKind::Timeout,
+                        format!("no {site} permit became free before the deadline"),
+                    ))
+                }
+                Some(_permit) => {
+                    let stub = ExecutionStub::bind(Arc::clone(&inner.client), exec);
+                    let mut attempt = 0u32;
+                    loop {
+                        if leg_ctx.expired() {
+                            break Err((
+                                SiteErrorKind::Timeout,
+                                format!("leg {} expired before attempt", leg_ctx.leg_tag()),
+                            ));
+                        }
+                        inner.stats.upstream.fetch_add(1, Ordering::Relaxed);
+                        query_upstream.fetch_add(1, Ordering::Relaxed);
+                        match stub.get_pr_with_context(pr, leg_ctx) {
+                            Ok(rows) => break Ok(Arc::new(rows)),
+                            Err(e) => {
+                                let (kind, retryable) = classify(&e);
+                                if retryable && attempt < inner.config.retries {
+                                    attempt += 1;
+                                    let backoff = inner.config.backoff * (1 << attempt.min(6));
+                                    // The budget only shrinks: a retry whose
+                                    // backoff would outlive it is pointless.
+                                    if leg_ctx.remaining().is_some_and(|r| backoff >= r) {
+                                        break Err((
+                                            SiteErrorKind::Timeout,
+                                            format!("{e} (budget exhausted during retry backoff)"),
+                                        ));
+                                    }
+                                    std::thread::sleep(backoff);
+                                    continue;
+                                }
+                                break Err((kind, e.to_string()));
+                            }
+                        }
+                    }
+                }
+            };
+            if let Ok(rows) = &outcome {
+                if inner.config.cache_enabled {
+                    inner.cache.insert(cache_key.to_owned(), Arc::clone(rows));
+                    inner
+                        .site_keys
+                        .lock()
+                        .entry(site.to_owned())
+                        .or_default()
+                        .insert(cache_key.to_owned());
+                }
+            }
+            let mut spans = leg_ctx.spans();
+            let flight_spans = spans.split_off(span_base.min(spans.len()));
+            inner.flights.publish(
+                token,
+                FlightOutcome::new(outcome.clone(), leg_ctx.request_id(), flight_spans),
+            );
+            outcome
+        }
     }
 }

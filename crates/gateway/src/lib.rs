@@ -27,6 +27,12 @@
 //!   host, obtained from the site's Manager; first answer wins.
 //! * **Partial results** — a down or timed-out site becomes a structured
 //!   [`SiteError`] in the answer; every surviving site's rows are returned.
+//! * **Call context** — every query runs under a `ppg_context::CallContext`:
+//!   one request id and a deadline budget propagated to every site, losing
+//!   hedge legs and deadline-orphaned calls cancelled cooperatively at
+//!   their site, and a cross-site trace (one span per hop) assembled into
+//!   the [`FederatedResult`]. Callers pass their own context via
+//!   [`FederatedGateway::query_with_context`].
 //!
 //! Use it in-process via [`FederatedGateway::query`], or deploy it as an
 //! OGSI service ([`FederatedQueryService`]) exposing the `FederatedQuery`
@@ -42,7 +48,7 @@ pub mod query;
 pub mod service;
 
 pub use cache::TtlLru;
-pub use coalesce::{Flight, SingleFlight};
+pub use coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight};
 pub use gateway::{FederatedGateway, GatewayConfig, GatewaySnapshot, SiteLatency};
 pub use plan::{ExecTarget, Planner, QueryPlan, SitePlan};
 pub use pool::{SiteLimiter, WorkerPool};

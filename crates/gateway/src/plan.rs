@@ -15,7 +15,9 @@ use pperf_httpd::HttpClient;
 use pperf_ogsi::{FactoryStub, GridServiceStub, Gsh, OgsiError, RegistryStub, ServiceEntry};
 use pperfgrid::{ApplicationStub, ManagerStub};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One `getPR` target: the primary Execution instance, and optionally a
 /// hedge instance of the same execution on a different replica host.
@@ -46,6 +48,10 @@ pub struct QueryPlan {
     pub sites: Vec<SitePlan>,
     /// Sites that failed planning (factory down, selector rejected, ...).
     pub errors: Vec<SiteError>,
+    /// Sites whose registry entry vanished (soft-state lease expired) or
+    /// changed factory URL (site republished) since the previous snapshot.
+    /// The gateway drops their cached results and bindings.
+    pub invalidated: Vec<String>,
 }
 
 impl QueryPlan {
@@ -65,29 +71,57 @@ struct BoundSite {
     hedges: HashMap<String, Option<Gsh>>,
 }
 
+/// A cached registry snapshot with its capture time.
+struct Snapshot {
+    entries: Vec<ServiceEntry>,
+    at: Instant,
+}
+
 /// The planner: registry snapshotting plus Application-binding state.
 pub struct Planner {
     client: Arc<HttpClient>,
     registry: Gsh,
     hedging: bool,
     bound: Mutex<HashMap<String, BoundSite>>,
+    /// Short-TTL cache of the registry snapshot: planning a federated query
+    /// costs two wire calls (`findOrganizations` + `listServices`) before
+    /// any site is touched; back-to-back queries reuse one snapshot.
+    /// `Duration::ZERO` disables the cache.
+    snapshot_ttl: Duration,
+    snapshot: Mutex<Option<Snapshot>>,
+    snapshot_hits: AtomicU64,
+    snapshot_refreshes: AtomicU64,
+    /// `site label → factory URL` as of the previous fresh snapshot, diffed
+    /// against each new one to detect expired leases and republished sites.
+    last_seen: Mutex<HashMap<String, String>>,
 }
 
 impl Planner {
-    /// A planner reading site entries from the registry at `registry`.
-    pub fn new(client: Arc<HttpClient>, registry: Gsh, hedging: bool) -> Planner {
+    /// A planner reading site entries from the registry at `registry`,
+    /// reusing each snapshot for `snapshot_ttl` (zero disables caching).
+    pub fn new(
+        client: Arc<HttpClient>,
+        registry: Gsh,
+        hedging: bool,
+        snapshot_ttl: Duration,
+    ) -> Planner {
         Planner {
             client,
             registry,
             hedging,
             bound: Mutex::new(HashMap::new()),
+            snapshot_ttl,
+            snapshot: Mutex::new(None),
+            snapshot_hits: AtomicU64::new(0),
+            snapshot_refreshes: AtomicU64::new(0),
+            last_seen: Mutex::new(HashMap::new()),
         }
     }
 
     /// Snapshot the registry and expand `query` into a scatter plan.
     pub fn plan(&self, query: &FederatedQuery) -> QueryPlan {
-        let entries = match self.snapshot() {
-            Ok(entries) => entries,
+        let (entries, invalidated) = match self.snapshot() {
+            Ok(snapshot) => snapshot,
             Err(e) => {
                 return QueryPlan {
                     sites: Vec::new(),
@@ -96,10 +130,14 @@ impl Planner {
                         kind: SiteErrorKind::Planning,
                         detail: format!("registry snapshot failed: {e}"),
                     }],
+                    invalidated: Vec::new(),
                 }
             }
         };
-        let mut plan = QueryPlan::default();
+        let mut plan = QueryPlan {
+            invalidated,
+            ..QueryPlan::default()
+        };
         for entry in entries {
             let site = format!("{}/{}", entry.organization, entry.name);
             if let Some(pattern) = &query.site_pattern {
@@ -119,14 +157,77 @@ impl Planner {
         plan
     }
 
-    /// All registered service entries, every organization.
-    fn snapshot(&self) -> Result<Vec<ServiceEntry>, OgsiError> {
+    /// All registered service entries, every organization, plus the sites
+    /// invalidated since the previous fresh snapshot. Served from the TTL
+    /// cache when fresh enough (the invalidated list is only ever non-empty
+    /// on a refresh — a cached snapshot cannot observe lease changes).
+    fn snapshot(&self) -> Result<(Vec<ServiceEntry>, Vec<String>), OgsiError> {
+        if self.snapshot_ttl > Duration::ZERO {
+            if let Some(cached) = self.snapshot.lock().as_ref() {
+                if cached.at.elapsed() <= self.snapshot_ttl {
+                    self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((cached.entries.clone(), Vec::new()));
+                }
+            }
+        }
         let registry = RegistryStub::bind(Arc::clone(&self.client), &self.registry);
         let mut entries = Vec::new();
         for org in registry.find_organizations("")? {
             entries.extend(registry.list_services(&org.name)?);
         }
-        Ok(entries)
+        self.snapshot_refreshes.fetch_add(1, Ordering::Relaxed);
+        let invalidated = self.diff_leases(&entries);
+        if !invalidated.is_empty() {
+            // A vanished or republished site's Application binding points at
+            // a dead (or wrong) instance; retire it with the lease.
+            let mut bound = self.bound.lock();
+            for site in &invalidated {
+                bound.remove(site);
+            }
+        }
+        *self.snapshot.lock() = Some(Snapshot {
+            entries: entries.clone(),
+            at: Instant::now(),
+        });
+        Ok((entries, invalidated))
+    }
+
+    /// Sites present in the previous snapshot whose entry is now gone
+    /// (lease expired without renewal) or carries a different factory URL
+    /// (site republished after a restart). Updates the `last_seen` map.
+    fn diff_leases(&self, entries: &[ServiceEntry]) -> Vec<String> {
+        let fresh: HashMap<String, String> = entries
+            .iter()
+            .map(|e| {
+                (
+                    format!("{}/{}", e.organization, e.name),
+                    e.factory_url.clone(),
+                )
+            })
+            .collect();
+        let mut last_seen = self.last_seen.lock();
+        let mut invalidated: Vec<String> = last_seen
+            .iter()
+            .filter(|(site, url)| fresh.get(*site) != Some(url))
+            .map(|(site, _)| site.clone())
+            .collect();
+        invalidated.sort();
+        *last_seen = fresh;
+        invalidated
+    }
+
+    /// `(hits, refreshes)` counters for the registry-snapshot cache.
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        (
+            self.snapshot_hits.load(Ordering::Relaxed),
+            self.snapshot_refreshes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop the cached registry snapshot so the next plan refreshes (tests,
+    /// or callers that just changed the registry and can't wait out the TTL).
+    pub fn invalidate_snapshot(&self) {
+        *self.snapshot.lock() = None;
     }
 
     /// Expand one site, retrying once with a fresh Application instance if a

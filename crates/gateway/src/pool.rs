@@ -18,6 +18,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -98,6 +99,15 @@ impl SiteLimiter {
     /// Block until a permit for `site` is free; the permit is released when
     /// the returned guard drops.
     pub fn acquire(&self, site: &str) -> Permit {
+        self.acquire_until(site, None)
+            .expect("acquire without a deadline cannot time out")
+    }
+
+    /// Like [`SiteLimiter::acquire`], but give up once `deadline` passes:
+    /// a call whose budget is already gone must not queue behind a slow
+    /// site's permits only to fail after acquiring one. `None` waits
+    /// indefinitely.
+    pub fn acquire_until(&self, site: &str, deadline: Option<Instant>) -> Option<Permit> {
         let gate = {
             let mut gates = self.gates.lock();
             Arc::clone(gates.entry(site.to_owned()).or_insert_with(|| {
@@ -110,11 +120,24 @@ impl SiteLimiter {
         {
             let mut count = gate.count.lock().unwrap_or_else(|e| e.into_inner());
             while *count >= self.limit {
-                count = gate.cv.wait(count).unwrap_or_else(|e| e.into_inner());
+                match deadline {
+                    None => count = gate.cv.wait(count).unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return None;
+                        }
+                        count = gate
+                            .cv
+                            .wait_timeout(count, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
             }
             *count += 1;
         }
-        Permit { gate }
+        Some(Permit { gate })
     }
 
     /// Permits currently held for `site`.
@@ -185,6 +208,20 @@ mod tests {
             peak.load(Ordering::SeqCst)
         );
         assert_eq!(limiter.in_use("siteA"), 0);
+    }
+
+    #[test]
+    fn acquire_until_gives_up_at_the_deadline() {
+        let limiter = SiteLimiter::new(1);
+        let held = limiter.acquire("s");
+        let started = std::time::Instant::now();
+        let late = limiter.acquire_until("s", Some(started + Duration::from_millis(30)));
+        assert!(late.is_none(), "saturated site must time out");
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        drop(held);
+        // With the permit free again, even an already-expired deadline
+        // acquires immediately (no wait needed, so no timeout fires).
+        assert!(limiter.acquire_until("s", Some(started)).is_some());
     }
 
     #[test]

@@ -159,6 +159,13 @@ pub struct FederatedResult {
     /// Upstream `getPR` calls actually performed for this query (coalesced
     /// and cache-served targets perform none).
     pub upstream_calls: u64,
+    /// The request id every hop of this query carried (hedge legs included);
+    /// the same id appears in each site's access log and in every span.
+    pub request_id: String,
+    /// The assembled cross-site trace: one span per hop, in completion
+    /// order — remote (container, service) spans precede the stub span that
+    /// awaited them, and the closing `gateway/federatedQuery` span is last.
+    pub trace: Vec<ppg_context::Span>,
 }
 
 impl FederatedResult {
@@ -222,6 +229,8 @@ mod tests {
             sites_total: 2,
             elapsed: Duration::ZERO,
             upstream_calls: 0,
+            request_id: "test".into(),
+            trace: Vec::new(),
         };
         assert!(mk(vec![ok.clone()], vec![err.clone()]).is_partial());
         assert!(!mk(vec![ok], vec![]).is_partial());

@@ -5,7 +5,10 @@
 //! `h|sitesTotal|elapsedMs|upstreamCalls`, then `r|site|execGsh|row` per
 //! result row and `e|site|kind|detail` per site error. Rows are split with
 //! `splitn(4, '|')` so Performance Result rows may themselves contain `|`
-//! (they do — `name|value` pairs).
+//! (they do — `name|value` pairs). Context-era additions ride along as
+//! `id|requestId` and one `t|<encoded span>` element per trace span (the
+//! span encoding percent-escapes `|`, so the prefix split stays safe);
+//! old clients ignore the unknown tags.
 
 use crate::gateway::FederatedGateway;
 use crate::query::FederatedQuery;
@@ -68,6 +71,74 @@ impl ServicePort for FederatedQueryService {
     }
 
     fn invoke(&self, operation: &str, call: &Call) -> Result<Value, Fault> {
+        self.run(operation, call, ppg_context::current().as_ref())
+    }
+
+    fn invoke_ctx(
+        &self,
+        operation: &str,
+        call: &Call,
+        ctx: &ppg_context::CallContext,
+    ) -> Result<Value, Fault> {
+        self.run(operation, call, Some(ctx))
+    }
+
+    fn service_data(&self) -> ServiceData {
+        let snapshot = self.gateway.snapshot();
+        let per_site: Vec<String> = snapshot
+            .per_site
+            .iter()
+            .map(|(site, lat)| {
+                format!(
+                    "{site}|{}|{}|{}|{}",
+                    lat.calls,
+                    lat.errors,
+                    lat.avg().as_millis(),
+                    lat.last.as_millis()
+                )
+            })
+            .collect();
+        ServiceData::new()
+            .with("queries", Value::Int(snapshot.queries as i64))
+            .with("upstreamCalls", Value::Int(snapshot.upstream_calls as i64))
+            .with("cacheHits", Value::Int(snapshot.cache_hits as i64))
+            .with("cacheMisses", Value::Int(snapshot.cache_misses as i64))
+            .with("cacheHitRate", Value::Double(snapshot.cache_hit_rate))
+            .with("coalescedCalls", Value::Int(snapshot.coalesced as i64))
+            .with("inFlightCalls", Value::Int(snapshot.in_flight))
+            .with("hedgesFired", Value::Int(snapshot.hedges_fired as i64))
+            .with("hedgeWins", Value::Int(snapshot.hedge_wins as i64))
+            .with(
+                "hedgesCancelled",
+                Value::Int(snapshot.hedges_cancelled as i64),
+            )
+            .with(
+                "deadlineExceeded",
+                Value::Int(snapshot.deadline_exceeded as i64),
+            )
+            .with(
+                "leaseInvalidations",
+                Value::Int(snapshot.lease_invalidations as i64),
+            )
+            .with(
+                "planSnapshotHits",
+                Value::Int(snapshot.plan_snapshot_hits as i64),
+            )
+            .with(
+                "planSnapshotRefreshes",
+                Value::Int(snapshot.plan_snapshot_refreshes as i64),
+            )
+            .with("perSiteLatency", Value::StrArray(per_site))
+    }
+}
+
+impl FederatedQueryService {
+    fn run(
+        &self,
+        operation: &str,
+        call: &Call,
+        ctx: Option<&ppg_context::CallContext>,
+    ) -> Result<Value, Fault> {
         match operation {
             "federatedQuery" => {
                 let metric = call
@@ -100,8 +171,13 @@ impl ServicePort for FederatedQueryService {
                         query = query.sites(pattern);
                     }
                 }
-                let result = self.gateway.query(&query);
-                let mut out = Vec::with_capacity(1 + result.total_rows() + result.errors.len());
+                let result = match ctx {
+                    Some(ctx) => self.gateway.query_with_context(&query, ctx),
+                    None => self.gateway.query(&query),
+                };
+                let mut out = Vec::with_capacity(
+                    2 + result.total_rows() + result.errors.len() + result.trace.len(),
+                );
                 out.push(format!(
                     "h|{}|{}|{}",
                     result.sites_total,
@@ -120,40 +196,19 @@ impl ServicePort for FederatedQueryService {
                 for error in &result.errors {
                     out.push(format!("e|{}|{}|{}", error.site, error.kind, error.detail));
                 }
+                out.push(format!("id|{}", result.request_id));
+                for span in &result.trace {
+                    out.push(format!(
+                        "t|{}",
+                        ppg_context::encode_trace(std::slice::from_ref(span))
+                    ));
+                }
                 Ok(Value::StrArray(out))
             }
             other => Err(Fault::client(format!(
                 "unknown FederatedQuery operation {other:?}"
             ))),
         }
-    }
-
-    fn service_data(&self) -> ServiceData {
-        let snapshot = self.gateway.snapshot();
-        let per_site: Vec<String> = snapshot
-            .per_site
-            .iter()
-            .map(|(site, lat)| {
-                format!(
-                    "{site}|{}|{}|{}|{}",
-                    lat.calls,
-                    lat.errors,
-                    lat.avg().as_millis(),
-                    lat.last.as_millis()
-                )
-            })
-            .collect();
-        ServiceData::new()
-            .with("queries", Value::Int(snapshot.queries as i64))
-            .with("upstreamCalls", Value::Int(snapshot.upstream_calls as i64))
-            .with("cacheHits", Value::Int(snapshot.cache_hits as i64))
-            .with("cacheMisses", Value::Int(snapshot.cache_misses as i64))
-            .with("cacheHitRate", Value::Double(snapshot.cache_hit_rate))
-            .with("coalescedCalls", Value::Int(snapshot.coalesced as i64))
-            .with("inFlightCalls", Value::Int(snapshot.in_flight))
-            .with("hedgesFired", Value::Int(snapshot.hedges_fired as i64))
-            .with("hedgeWins", Value::Int(snapshot.hedge_wins as i64))
-            .with("perSiteLatency", Value::StrArray(per_site))
     }
 }
 
@@ -170,6 +225,11 @@ pub struct WireResult {
     pub elapsed_ms: u64,
     /// Upstream `getPR` calls the gateway performed for this query.
     pub upstream_calls: u64,
+    /// Request id the gateway ran the query under (empty from pre-context
+    /// gateways).
+    pub request_id: String,
+    /// The gateway's assembled cross-site trace.
+    pub trace: Vec<ppg_context::Span>,
 }
 
 /// Typed client stub for the FederatedQuery PortType.
@@ -210,6 +270,17 @@ impl FederatedQueryStub {
         let elements = self.stub.call_str_array("federatedQuery", &params)?;
         let mut result = WireResult::default();
         for element in elements {
+            // Context-era tags first: their payloads are opaque (the span
+            // encoding has its own escaping), so they must not go through
+            // the positional splitn below.
+            if let Some(id) = element.strip_prefix("id|") {
+                result.request_id = id.to_owned();
+                continue;
+            }
+            if let Some(span) = element.strip_prefix("t|") {
+                result.trace.extend(ppg_context::decode_trace(span));
+                continue;
+            }
             let mut parts = element.splitn(4, '|');
             match parts.next() {
                 Some("h") => {
@@ -242,5 +313,17 @@ impl FederatedQueryStub {
             }
         }
         Ok(result)
+    }
+
+    /// Run a federated query over the wire under `ctx`: the stub layer puts
+    /// the context on the request (headers + SOAP header block) and merges
+    /// the response trace back into `ctx`.
+    pub fn query_with_context(
+        &self,
+        query: &FederatedQuery,
+        ctx: &ppg_context::CallContext,
+    ) -> Result<WireResult, OgsiError> {
+        let _scope = ppg_context::scope(ctx);
+        self.query(query)
     }
 }

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// An exchange failure, tagged with whether any request byte may already
 /// have reached the wire — the fact that decides retry safety.
@@ -107,6 +107,51 @@ impl PooledConn {
         }
         Response::read_from(&mut self.reader).map_err(|error| ExchangeError { wrote: true, error })
     }
+
+    /// Like [`PooledConn::exchange`], but gives up once `deadline` passes:
+    /// the socket read timeout is set to the remaining budget for the
+    /// duration of the exchange and cleared again on success (the timeout is
+    /// a socket option, so it would otherwise leak into later requests on
+    /// this pooled connection).
+    fn exchange_with_deadline(
+        &mut self,
+        request: &Request,
+        host: &str,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Response, ExchangeError> {
+        let Some(deadline) = deadline else {
+            return self.exchange(request, host);
+        };
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ExchangeError {
+                wrote: false,
+                error: HttpError::TimedOut,
+            });
+        }
+        if let Err(e) = self.stream.set_read_timeout(Some(remaining)) {
+            return Err(ExchangeError {
+                wrote: false,
+                error: HttpError::Io(e),
+            });
+        }
+        let result = self.exchange(request, host);
+        if result.is_ok() {
+            let _ = self.stream.set_read_timeout(None);
+        }
+        result
+    }
+}
+
+/// Does this exchange failure look like the socket read timeout firing?
+fn read_timed_out(error: &HttpError) -> bool {
+    matches!(
+        error,
+        HttpError::Io(e) if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    )
 }
 
 /// A blocking HTTP client.
@@ -172,7 +217,22 @@ impl HttpClient {
 
     /// Send a prebuilt request to a parsed URL.
     pub fn send(&self, url: &Url, request: &Request) -> Result<Response> {
+        self.send_with_deadline(url, request, None)
+    }
+
+    /// Send a prebuilt request, giving up with [`HttpError::TimedOut`] once
+    /// `deadline` passes. A timed-out connection is dropped rather than
+    /// pooled: its late response would desync the keep-alive stream.
+    pub fn send_with_deadline(
+        &self,
+        url: &Url,
+        request: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Response> {
         let authority = url.authority();
+        if matches!(deadline, Some(d) if Instant::now() >= d) {
+            return Err(HttpError::TimedOut);
+        }
         if let Some(mut conn) = self.checkout(&authority) {
             if conn.is_stale() {
                 // A server restart kills every pooled connection to this
@@ -180,10 +240,19 @@ impl HttpClient {
                 // straight to a fresh connect.
                 self.drain(&authority);
             } else {
-                match conn.exchange(request, &authority) {
+                match conn.exchange_with_deadline(request, &authority, deadline) {
                     Ok(resp) => {
                         self.checkin(&authority, conn);
                         return Ok(resp);
+                    }
+                    Err(ExchangeError {
+                        error: HttpError::TimedOut,
+                        ..
+                    }) => {
+                        return Err(HttpError::TimedOut);
+                    }
+                    Err(failure) if deadline.is_some() && read_timed_out(&failure.error) => {
+                        return Err(HttpError::TimedOut);
                     }
                     Err(failure) if !failure.wrote => {
                         // Nothing reached the wire: retrying on a fresh
@@ -194,11 +263,24 @@ impl HttpClient {
                 }
             }
         }
-        let mut conn = PooledConn::connect(&authority, self.connect_timeout)?;
-        match conn.exchange(request, &authority) {
+        let connect_timeout = match deadline {
+            Some(d) => self
+                .connect_timeout
+                .min(d.saturating_duration_since(Instant::now())),
+            None => self.connect_timeout,
+        };
+        let mut conn = PooledConn::connect(&authority, connect_timeout)?;
+        match conn.exchange_with_deadline(request, &authority, deadline) {
             Ok(resp) => {
                 self.checkin(&authority, conn);
                 Ok(resp)
+            }
+            Err(ExchangeError {
+                error: HttpError::TimedOut,
+                ..
+            }) => Err(HttpError::TimedOut),
+            Err(failure) if deadline.is_some() && read_timed_out(&failure.error) => {
+                Err(HttpError::TimedOut)
             }
             Err(failure) if !failure.wrote => Err(failure.error),
             Err(failure) => Err(HttpError::ResponseLost(Box::new(failure.error))),

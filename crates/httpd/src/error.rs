@@ -24,6 +24,11 @@ pub enum HttpError {
     /// could execute a non-idempotent operation twice, so the ambiguity is
     /// surfaced to the caller instead; the underlying failure is boxed.
     ResponseLost(Box<HttpError>),
+    /// The caller's deadline expired before a response arrived. Distinct
+    /// from [`HttpError::ResponseLost`]: the caller *chose* to stop waiting,
+    /// so the budget (not the transport) is at fault. The connection is
+    /// dropped — a late response would desync the keep-alive stream.
+    TimedOut,
 }
 
 impl fmt::Display for HttpError {
@@ -40,6 +45,7 @@ impl fmt::Display for HttpError {
                 f,
                 "request may have been executed but the response was lost: {source}"
             ),
+            HttpError::TimedOut => write!(f, "deadline expired before a response arrived"),
         }
     }
 }

@@ -55,14 +55,29 @@ impl Database {
             .store(us, std::sync::atomic::Ordering::Relaxed);
     }
 
-    fn apply_query_latency(&self) {
+    fn apply_query_latency(&self) -> Result<()> {
         let us = self
             .inner
             .query_latency_us
             .load(std::sync::atomic::Ordering::Relaxed);
         if us > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(us));
+            // The simulated round-trip sleeps in slices so a statement whose
+            // caller already gave up (scoped call context expired or
+            // cancelled) stops here instead of holding the worker thread.
+            let wake = std::time::Instant::now() + std::time::Duration::from_micros(us);
+            let slice = std::time::Duration::from_millis(5);
+            loop {
+                if ppg_context::current_expired() {
+                    return Err(DbError::Interrupted);
+                }
+                let now = std::time::Instant::now();
+                if now >= wake {
+                    break;
+                }
+                std::thread::sleep(slice.min(wake - now));
+            }
         }
+        Ok(())
     }
 
     /// Names of all tables.
@@ -124,7 +139,7 @@ impl Connection {
     /// Execute a statement that returns no rows (CREATE/INSERT/DROP/DELETE).
     /// Returns the number of affected rows (0 for DDL).
     pub fn execute(&self, sql: &str) -> Result<usize> {
-        self.db.apply_query_latency();
+        self.db.apply_query_latency()?;
         match parse_statement(sql)? {
             Statement::CreateTable { name, columns } => {
                 let mut tables = self.db.inner.tables.write();
@@ -237,7 +252,7 @@ impl Connection {
 
     /// Execute a SELECT and return its result set.
     pub fn query(&self, sql: &str) -> Result<ResultSet> {
-        self.db.apply_query_latency();
+        self.db.apply_query_latency()?;
         let Statement::Select(stmt) = parse_statement(sql)? else {
             return Err(DbError::Execution("query() requires a SELECT".into()));
         };

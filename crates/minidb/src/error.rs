@@ -22,6 +22,10 @@ pub enum DbError {
     TypeError(String),
     /// Anything else (used sparingly).
     Execution(String),
+    /// The statement was stopped at an iteration boundary because the
+    /// caller's deadline passed or its call was cancelled (see
+    /// `ppg_context`). The partial work is discarded.
+    Interrupted,
 }
 
 impl fmt::Display for DbError {
@@ -34,6 +38,9 @@ impl fmt::Display for DbError {
             DbError::BadInsert(m) => write!(f, "bad insert: {m}"),
             DbError::TypeError(m) => write!(f, "type error: {m}"),
             DbError::Execution(m) => write!(f, "execution error: {m}"),
+            DbError::Interrupted => {
+                write!(f, "statement interrupted: deadline exceeded or cancelled")
+            }
         }
     }
 }

@@ -359,7 +359,16 @@ pub fn execute_select(
     // Nested-loop join with per-depth filtering.
     let mut matched: Vec<Vec<&DbValue>> = Vec::new();
     let mut current: Vec<&DbValue> = Vec::with_capacity(total_cols);
-    join_rec(tables, &layout, &per_depth, 0, &mut current, &mut matched)?;
+    let mut ticks = 0u32;
+    join_rec(
+        tables,
+        &layout,
+        &per_depth,
+        0,
+        &mut current,
+        &mut matched,
+        &mut ticks,
+    )?;
 
     if stmt.group_by.is_empty()
         && !stmt
@@ -373,6 +382,12 @@ pub fn execute_select(
     }
 }
 
+/// How many scanned rows pass between expiry checks of the scoped call
+/// context. Cheap enough to keep scans responsive (sub-millisecond at any
+/// realistic row cost), rare enough that the thread-local probe stays off
+/// the per-row fast path.
+const INTERRUPT_CHECK_EVERY: u32 = 256;
+
 fn join_rec<'a>(
     tables: &[(&TableSchema, &'a [Vec<DbValue>])],
     layout: &Layout,
@@ -380,6 +395,7 @@ fn join_rec<'a>(
     depth: usize,
     current: &mut Vec<&'a DbValue>,
     matched: &mut Vec<Vec<&'a DbValue>>,
+    ticks: &mut u32,
 ) -> Result<()> {
     if depth == tables.len() {
         matched.push(current.clone());
@@ -388,6 +404,10 @@ fn join_rec<'a>(
     let (_, rows) = tables[depth];
     let prefix_len = current.len();
     'rows: for row in rows {
+        *ticks += 1;
+        if ticks.is_multiple_of(INTERRUPT_CHECK_EVERY) && ppg_context::current_expired() {
+            return Err(DbError::Interrupted);
+        }
         current.truncate(prefix_len);
         current.extend(row.iter());
         // Pad with NULL placeholders for unbound deeper tables so that
@@ -404,7 +424,15 @@ fn join_rec<'a>(
             }
         }
         current.truncate(prefix_len + row.len());
-        join_rec(tables, layout, per_depth, depth + 1, current, matched)?;
+        join_rec(
+            tables,
+            layout,
+            per_depth,
+            depth + 1,
+            current,
+            matched,
+            ticks,
+        )?;
         current.truncate(prefix_len);
     }
     Ok(())

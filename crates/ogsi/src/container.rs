@@ -26,7 +26,8 @@ use crate::service::ServicePort;
 use crate::service_data::ServiceData;
 use parking_lot::{Mutex, RwLock};
 use pperf_httpd::{Handler, HttpClient, HttpServer, Request, Response, ServerConfig, Status};
-use pperf_soap::{decode_call, encode_fault, encode_response, Call, Fault, Value};
+use pperf_soap::{decode_call_with_context, encode_fault, encode_response, Call, Fault, Value};
+use ppg_context::CallContext;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -52,6 +53,9 @@ pub struct ContainerConfig {
     /// included); beyond it, new connections are refused with 503 (see
     /// [`ServerConfig::max_connections`]).
     pub max_connections: usize,
+    /// Emit one structured log line per SOAP request (request id, operation,
+    /// outcome, elapsed time). Defaults to the `PPG_ACCESS_LOG=1` env var.
+    pub access_log: bool,
 }
 
 impl Default for ContainerConfig {
@@ -62,6 +66,7 @@ impl Default for ContainerConfig {
             default_lifetime: None,
             sweep_interval: Duration::from_millis(250),
             max_connections: ServerConfig::default().max_connections,
+            access_log: std::env::var("PPG_ACCESS_LOG").is_ok_and(|v| v == "1"),
         }
     }
 }
@@ -91,6 +96,17 @@ struct Inner {
     config: ContainerConfig,
     hub: NotificationHub,
     stopping: AtomicBool,
+    /// SOAP requests dispatched (POSTs that decoded to a call).
+    requests: AtomicU64,
+    /// Calls refused at entry or completed with a deadline-exceeded fault.
+    deadline_exceeded: AtomicU64,
+    /// `POST /ogsa/cancel` messages received (matched or not).
+    cancels_received: AtomicU64,
+    /// Calls that completed with a cancellation fault.
+    cancelled_calls: AtomicU64,
+    /// In-flight calls by cancel key, so `POST /ogsa/cancel` can flip the
+    /// right leg's flag while its handler is still running.
+    active: Mutex<HashMap<String, CallContext>>,
 }
 
 impl Inner {
@@ -172,6 +188,11 @@ impl Container {
             config: config.clone(),
             hub: NotificationHub::new(Arc::new(HttpClient::new())),
             stopping: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancels_received: AtomicU64::new(0),
+            cancelled_calls: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
         });
         let handler = Arc::new(Dispatch {
             inner: Arc::downgrade(&inner),
@@ -321,6 +342,17 @@ impl Container {
         self.inner.hub.publish(source_path, topic, message);
     }
 
+    /// Deadline/cancellation counters:
+    /// `(requests, deadline_exceeded, cancels_received, cancelled_calls)`.
+    pub fn context_counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.inner.requests.load(Ordering::Relaxed),
+            self.inner.deadline_exceeded.load(Ordering::Relaxed),
+            self.inner.cancels_received.load(Ordering::Relaxed),
+            self.inner.cancelled_calls.load(Ordering::Relaxed),
+        )
+    }
+
     /// Currently open HTTP connections, parked keep-alive ones included.
     pub fn open_connections(&self) -> usize {
         self.server
@@ -402,6 +434,9 @@ fn dispatch(inner: &Arc<Inner>, request: &Request) -> Response {
 }
 
 fn dispatch_get(inner: &Arc<Inner>, request: &Request) -> Response {
+    if request.path == "/metrics" {
+        return metrics_response(inner);
+    }
     if request.path == "/ogsa/services" {
         // Diagnostic index of deployed paths.
         let mut paths: Vec<String> = inner.services.read().keys().cloned().collect();
@@ -418,22 +453,194 @@ fn dispatch_get(inner: &Arc<Inner>, request: &Request) -> Response {
 }
 
 fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
-    let call = match decode_call(&request.body_str()) {
-        Ok(c) => c,
+    if request.path == "/ogsa/cancel" {
+        return handle_cancel(inner, request);
+    }
+    let started = Instant::now();
+    let (call, soap_ctx) = match decode_call_with_context(&request.body_str()) {
+        Ok(parts) => parts,
         Err(e) => {
             let fault = Fault::client(format!("malformed SOAP request: {e}"));
             return Response::xml(Status::BAD_REQUEST, encode_fault(&fault));
         }
     };
-    let Some(dep) = inner.lookup(&request.path) else {
-        let fault = Fault::client(format!("no service at {}", request.path));
-        return Response::xml(Status::NOT_FOUND, encode_fault(&fault));
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    // HTTP headers are authoritative (they carry the freshest remaining
+    // budget); the SOAP header block is the fallback for transports that
+    // only forwarded the envelope. With neither, a fresh root context is
+    // minted so the access log and trace still carry an id.
+    let ctx = if request
+        .headers
+        .get(ppg_context::REQUEST_ID_HEADER)
+        .is_some()
+    {
+        CallContext::from_wire(
+            request.headers.get(ppg_context::REQUEST_ID_HEADER),
+            request.headers.get(ppg_context::DEADLINE_MS_HEADER),
+            request.headers.get(ppg_context::LEG_HEADER),
+        )
+    } else {
+        soap_ctx.unwrap_or_default()
     };
-    let outcome = invoke_operation(inner, &request.path, &dep, &call);
-    match outcome {
-        Ok(value) => Response::xml(Status::OK, encode_response(&call.method, &value)),
-        Err(fault) => Response::xml(Status::INTERNAL_SERVER_ERROR, encode_fault(&fault)),
+    let site = format!("{}:{}", inner.host, inner.port_u16());
+
+    let (outcome_tag, mut response) = if let Some(dep) = inner.lookup(&request.path) {
+        if ctx.expired() {
+            // The budget ran out in transit (or the leg was cancelled before
+            // arrival): refuse to start doomed work.
+            inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            let fault = Fault::deadline_exceeded(format!(
+                "request {} arrived after its deadline",
+                ctx.request_id()
+            ));
+            ctx.record_span(
+                "ogsi.container",
+                &call.method,
+                &site,
+                started,
+                "deadline-exceeded",
+            );
+            (
+                "deadline-exceeded",
+                Response::xml(Status::INTERNAL_SERVER_ERROR, encode_fault(&fault)),
+            )
+        } else {
+            let cancel_key = ctx.cancel_key();
+            inner.active.lock().insert(cancel_key.clone(), ctx.clone());
+            let _scope = ppg_context::scope(&ctx);
+            let outcome = invoke_operation(inner, &request.path, &dep, &call, &ctx);
+            inner.active.lock().remove(&cancel_key);
+            let tag = match &outcome {
+                Ok(_) => "ok",
+                Err(f) if f.is_deadline_exceeded() => {
+                    inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    "deadline-exceeded"
+                }
+                Err(f) if f.is_cancelled() => {
+                    inner.cancelled_calls.fetch_add(1, Ordering::Relaxed);
+                    "cancelled"
+                }
+                Err(_) => "fault",
+            };
+            ctx.record_span("ogsi.container", &call.method, &site, started, tag);
+            let response = match outcome {
+                Ok(value) => Response::xml(Status::OK, encode_response(&call.method, &value)),
+                Err(fault) => Response::xml(Status::INTERNAL_SERVER_ERROR, encode_fault(&fault)),
+            };
+            (tag, response)
+        }
+    } else {
+        let fault = Fault::client(format!("no service at {}", request.path));
+        ctx.record_span("ogsi.container", &call.method, &site, started, "not-found");
+        (
+            "not-found",
+            Response::xml(Status::NOT_FOUND, encode_fault(&fault)),
+        )
+    };
+
+    // Hand the trace back so the stub can stitch cross-site spans together.
+    response
+        .headers
+        .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+    let spans = ctx.spans();
+    if !spans.is_empty() {
+        response
+            .headers
+            .set(ppg_context::TRACE_HEADER, ppg_context::encode_trace(&spans));
     }
+    if inner.config.access_log {
+        eprintln!(
+            "ppg-access request_id={} leg={} op={} path={} status={} outcome={} elapsed_us={} remaining_ms={}",
+            ctx.request_id(),
+            if ctx.leg_tag().is_empty() { "-" } else { ctx.leg_tag() },
+            call.method,
+            request.path,
+            response.status.0,
+            outcome_tag,
+            started.elapsed().as_micros(),
+            ctx.deadline_ms().map_or_else(|| "-".into(), |ms| ms.to_string()),
+        );
+    }
+    response
+}
+
+/// `POST /ogsa/cancel` with a cancel key (`request_id` or
+/// `request_id#leg`) as the plain-text body: flips the matching in-flight
+/// call's cancellation flag so its handler stops at the next check.
+fn handle_cancel(inner: &Arc<Inner>, request: &Request) -> Response {
+    inner.cancels_received.fetch_add(1, Ordering::Relaxed);
+    let key = request.body_str().trim().to_owned();
+    let matched = match inner.active.lock().get(&key) {
+        Some(ctx) => {
+            ctx.cancel();
+            true
+        }
+        None => false,
+    };
+    if matched {
+        Response::ok("text/plain; charset=utf-8", b"cancelled".to_vec())
+    } else {
+        Response::text(Status::NOT_FOUND, "no active call with that key")
+    }
+}
+
+/// `GET /metrics`: a scrapeable plain-text exposition of the container's
+/// counters plus every deployed service's numeric service data.
+fn metrics_response(inner: &Arc<Inner>) -> Response {
+    let mut out = String::new();
+    let counters = [
+        ("ppg_requests_total", inner.requests.load(Ordering::Relaxed)),
+        (
+            "ppg_deadline_exceeded_total",
+            inner.deadline_exceeded.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_cancels_received_total",
+            inner.cancels_received.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_cancelled_calls_total",
+            inner.cancelled_calls.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_instances_created_total",
+            inner.instances_created.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_instances_destroyed_total",
+            inner.instances_destroyed.load(Ordering::Relaxed),
+        ),
+        ("ppg_active_calls", inner.active.lock().len() as u64),
+    ];
+    for (name, value) in counters {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    let services: Vec<(String, Arc<Deployed>)> = {
+        let map = inner.services.read();
+        let mut entries: Vec<_> = map
+            .iter()
+            .map(|(p, d)| (p.clone(), Arc::clone(d)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    };
+    for (path, dep) in services {
+        // Service data is collected outside the services lock: a port's
+        // service_data() may itself take locks.
+        let data = dep.port.service_data();
+        for name in data.names() {
+            let value = match data.get(&name) {
+                Some(Value::Int(i)) => i.to_string(),
+                Some(Value::Double(d)) => d.to_string(),
+                Some(Value::Bool(b)) => (*b as i64).to_string(),
+                _ => continue, // strings/arrays are not scrapeable gauges
+            };
+            out.push_str(&format!(
+                "ppg_service_data{{path=\"{path}\",name=\"{name}\"}} {value}\n"
+            ));
+        }
+    }
+    Response::ok("text/plain; version=0.0.4; charset=utf-8", out.into_bytes())
 }
 
 fn invoke_operation(
@@ -441,6 +648,7 @@ fn invoke_operation(
     path: &str,
     dep: &Arc<Deployed>,
     call: &Call,
+    ctx: &CallContext,
 ) -> std::result::Result<Value, Fault> {
     match call.method.as_str() {
         "findServiceData" => {
@@ -535,7 +743,7 @@ fn invoke_operation(
             dep.port.on_notification(&topic, &message);
             Ok(Value::Nil)
         }
-        _ => dep.port.invoke(&call.method, call),
+        _ => dep.port.invoke_ctx(&call.method, call, ctx),
     }
 }
 

@@ -23,6 +23,9 @@ pub enum OgsiError {
     HttpStatus(u16, String),
     /// A deployment-time misuse (duplicate name, container stopped, ...).
     Deployment(String),
+    /// The call's deadline budget ran out (locally, before or during the
+    /// exchange) or the leg was cancelled before completing.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for OgsiError {
@@ -35,6 +38,7 @@ impl fmt::Display for OgsiError {
             OgsiError::NotFound(s) => write!(f, "not found: {s}"),
             OgsiError::HttpStatus(code, body) => write!(f, "http status {code}: {body}"),
             OgsiError::Deployment(m) => write!(f, "deployment error: {m}"),
+            OgsiError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

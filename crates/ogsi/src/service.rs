@@ -23,6 +23,22 @@ pub trait ServicePort: Send + Sync {
     /// Execute one application-level operation.
     fn invoke(&self, operation: &str, call: &Call) -> std::result::Result<Value, Fault>;
 
+    /// Execute one application-level operation with the request's
+    /// [`CallContext`](ppg_context::CallContext). The default forwards to
+    /// [`ServicePort::invoke`] (the context is also scoped on the handler
+    /// thread, so implementations that only need expiry checks can keep the
+    /// plain signature); services that record spans or type their
+    /// deadline faults override this.
+    fn invoke_ctx(
+        &self,
+        operation: &str,
+        call: &Call,
+        ctx: &ppg_context::CallContext,
+    ) -> std::result::Result<Value, Fault> {
+        let _ = ctx;
+        self.invoke(operation, call)
+    }
+
     /// Service Data Elements exposed through `findServiceData`, beyond the
     /// introspection data the container contributes automatically.
     fn service_data(&self) -> ServiceData {

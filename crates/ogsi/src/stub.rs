@@ -5,10 +5,12 @@
 
 use crate::error::{OgsiError, Result};
 use crate::gsh::Gsh;
-use pperf_httpd::{HttpClient, Request, Url};
+use pperf_httpd::{HttpClient, HttpError, Request, Url};
 use pperf_soap::wsdl::ServiceDescription;
-use pperf_soap::{decode_response, encode_call, SoapError, Value};
+use pperf_soap::{decode_response, encode_call, encode_call_with_context, SoapError, Value};
+use ppg_context::CallContext;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An untyped stub bound to one Grid service (or service instance).
 ///
@@ -47,7 +49,113 @@ impl ServiceStub {
     }
 
     /// Invoke `operation` with the given parameters.
+    ///
+    /// When a [`CallContext`] is scoped on this thread (see
+    /// [`ppg_context::scope`]) it is forwarded automatically, so a service
+    /// handler's outbound calls inherit the inbound request's deadline and
+    /// id without every call site changing.
     pub fn call(&self, operation: &str, params: &[(&str, Value)]) -> Result<Value> {
+        match ppg_context::current() {
+            Some(ctx) => self.call_with_context(operation, params, &ctx),
+            None => self.call_plain(operation, params),
+        }
+    }
+
+    /// Invoke `operation`, carrying `ctx` on the wire: the context rides as
+    /// `X-PPG-*` HTTP headers plus a SOAP header block, the exchange is
+    /// bounded by the context's deadline, and the hop is recorded as a span
+    /// (with the server's own spans, returned via `X-PPG-Trace`, merged in
+    /// ahead of it).
+    pub fn call_with_context(
+        &self,
+        operation: &str,
+        params: &[(&str, Value)],
+        ctx: &CallContext,
+    ) -> Result<Value> {
+        let started = Instant::now();
+        let site = self.url.authority();
+        if ctx.expired() {
+            let outcome = if ctx.cancelled() {
+                "cancelled-before-send"
+            } else {
+                "deadline-exceeded-before-send"
+            };
+            ctx.record_span("ogsi.stub", operation, &site, started, outcome);
+            return Err(OgsiError::DeadlineExceeded(format!(
+                "{operation} on {site}: budget exhausted before send"
+            )));
+        }
+        let body = encode_call_with_context(operation, &self.namespace, params, ctx);
+        let mut request = Request::post(
+            self.url.path.clone(),
+            "text/xml; charset=utf-8",
+            body.into_bytes(),
+        );
+        request
+            .headers
+            .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+        if let Some(ms) = ctx.deadline_ms() {
+            request
+                .headers
+                .set(ppg_context::DEADLINE_MS_HEADER, ms.to_string());
+        }
+        if !ctx.leg_tag().is_empty() {
+            request.headers.set(ppg_context::LEG_HEADER, ctx.leg_tag());
+        }
+        let response = match self
+            .client
+            .send_with_deadline(&self.url, &request, ctx.deadline())
+        {
+            Ok(response) => response,
+            Err(HttpError::TimedOut) => {
+                ctx.record_span("ogsi.stub", operation, &site, started, "deadline-exceeded");
+                return Err(OgsiError::DeadlineExceeded(format!(
+                    "{operation} on {site}: no response within budget"
+                )));
+            }
+            Err(e) => {
+                ctx.record_span("ogsi.stub", operation, &site, started, "transport-error");
+                return Err(OgsiError::Transport(e));
+            }
+        };
+        // Merge the server's spans before recording this hop's, so remote
+        // spans precede the stub span that awaited them.
+        if let Some(trace) = response.headers.get(ppg_context::TRACE_HEADER) {
+            ctx.extend_spans(ppg_context::decode_trace(trace));
+        }
+        if !response.status.is_success() && response.status.0 != 500 {
+            // 500 carries a SOAP fault body; anything else is transport-level.
+            ctx.record_span("ogsi.stub", operation, &site, started, "http-error");
+            return Err(OgsiError::HttpStatus(
+                response.status.0,
+                response.body_str().into_owned(),
+            ));
+        }
+        match decode_response(&response.body_str()) {
+            Ok(v) => {
+                ctx.record_span("ogsi.stub", operation, &site, started, "ok");
+                Ok(v)
+            }
+            Err(SoapError::Fault(f)) => {
+                let outcome = if f.is_deadline_exceeded() {
+                    "deadline-exceeded"
+                } else if f.is_cancelled() {
+                    "cancelled"
+                } else {
+                    "fault"
+                };
+                ctx.record_span("ogsi.stub", operation, &site, started, outcome);
+                Err(OgsiError::Fault(f))
+            }
+            Err(e) => {
+                ctx.record_span("ogsi.stub", operation, &site, started, "soap-error");
+                Err(OgsiError::Soap(e))
+            }
+        }
+    }
+
+    /// The context-free invoke path: no headers, no deadline, no spans.
+    fn call_plain(&self, operation: &str, params: &[(&str, Value)]) -> Result<Value> {
         let body = encode_call(operation, &self.namespace, params);
         let request = Request::post(
             self.url.path.clone(),
@@ -73,6 +181,22 @@ impl ServiceStub {
     /// dominant return type in the PPerfGrid PortTypes).
     pub fn call_str_array(&self, operation: &str, params: &[(&str, Value)]) -> Result<Vec<String>> {
         let v = self.call(operation, params)?;
+        v.into_str_array().ok_or_else(|| {
+            OgsiError::Soap(SoapError::Envelope(format!(
+                "{operation} returned a non-array"
+            )))
+        })
+    }
+
+    /// Convenience: [`ServiceStub::call_with_context`] coerced to a string
+    /// array.
+    pub fn call_str_array_with_context(
+        &self,
+        operation: &str,
+        params: &[(&str, Value)],
+        ctx: &CallContext,
+    ) -> Result<Vec<String>> {
+        let v = self.call_with_context(operation, params, ctx)?;
         v.into_str_array().ok_or_else(|| {
             OgsiError::Soap(SoapError::Envelope(format!(
                 "{operation} returned a non-array"

@@ -8,7 +8,9 @@ use pperf_httpd::HttpClient;
 use pperf_ogsi::{Factory, Gsh, ServiceData, ServicePort, ServiceStub};
 use pperf_soap::wsdl::{Operation, PortType, ServiceDescription};
 use pperf_soap::{Call, Fault, Value, ValueType};
+use ppg_context::CallContext;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The Execution PortType description (thesis Table 2, verbatim semantics).
 pub fn execution_description() -> ServiceDescription {
@@ -107,7 +109,7 @@ impl ExecutionService {
         self.cache.stats()
     }
 
-    fn get_pr(&self, call: &Call) -> Result<Value, Fault> {
+    fn get_pr(&self, call: &Call, ctx: Option<&CallContext>) -> Result<Value, Fault> {
         let metric = req_str(call, "metric")?;
         let foci = call
             .param("foci")
@@ -137,24 +139,70 @@ impl ExecutionService {
             rtype,
         };
 
-        if self.cache_enabled {
+        let started = Instant::now();
+        if let Some(ctx) = ctx {
+            if ctx.expired() {
+                ctx.record_span(
+                    "pperfgrid.execution",
+                    "getPR",
+                    &self.exec_id,
+                    started,
+                    "deadline-exceeded",
+                );
+                return Err(self.doomed_fault(ctx));
+            }
+        }
+        let result = if self.cache_enabled {
             let key = query.cache_key();
             if let Some(rows) = self.cache.get(&key) {
+                if let Some(ctx) = ctx {
+                    ctx.record_span(
+                        "pperfgrid.execution",
+                        "getPR",
+                        &self.exec_id,
+                        started,
+                        "ok-cached",
+                    );
+                }
                 return Ok(Value::StrArray((*rows).clone()));
             }
-            let rows = self
-                .wrapper
-                .get_pr(&query)
-                .map_err(|e| Fault::server(e.to_string()))?;
-            let shared = self.cache.insert(key, rows);
-            Ok(Value::StrArray((*shared).clone()))
+            match self.wrapper.get_pr(&query) {
+                // A caller that stopped waiting gets a typed fault, and the
+                // rows (if the wrapper raced past the last check) do NOT
+                // enter the cache: a doomed call must not evict live data.
+                Ok(_) | Err(_) if ctx.is_some_and(|c| c.expired()) => {
+                    Err(self.doomed_fault(ctx.expect("checked is_some")))
+                }
+                Ok(rows) => {
+                    let shared = self.cache.insert(key, rows);
+                    Ok(Value::StrArray((*shared).clone()))
+                }
+                Err(e) => Err(Fault::server(e.to_string())),
+            }
         } else {
-            let rows = self
-                .wrapper
-                .get_pr(&query)
-                .map_err(|e| Fault::server(e.to_string()))?;
-            Ok(Value::StrArray(rows))
+            match self.wrapper.get_pr(&query) {
+                Ok(_) | Err(_) if ctx.is_some_and(|c| c.expired()) => {
+                    Err(self.doomed_fault(ctx.expect("checked is_some")))
+                }
+                Ok(rows) => Ok(Value::StrArray(rows)),
+                Err(e) => Err(Fault::server(e.to_string())),
+            }
+        };
+        if let Some(ctx) = ctx {
+            let tag = match &result {
+                Ok(_) => "ok",
+                Err(f) if f.is_deadline_exceeded() => "deadline-exceeded",
+                Err(f) if f.is_cancelled() => "cancelled",
+                Err(_) => "fault",
+            };
+            ctx.record_span("pperfgrid.execution", "getPR", &self.exec_id, started, tag);
         }
+        result
+    }
+
+    /// The typed fault for a call whose context expired mid-flight.
+    fn doomed_fault(&self, ctx: &CallContext) -> Fault {
+        crate::context_fault(ctx, &format!("getPR on {}", self.exec_id))
     }
 }
 
@@ -186,11 +234,23 @@ impl ServicePort for ExecutionService {
                 let (s, e) = self.wrapper.time_start_end();
                 Ok(Value::StrArray(vec![s, e]))
             }
-            "getPR" => self.get_pr(call),
+            "getPR" => self.get_pr(call, ppg_context::current().as_ref()),
             other => Err(Fault::client(format!(
                 "unknown Execution operation {other:?}"
             ))),
         }
+    }
+
+    fn invoke_ctx(&self, operation: &str, call: &Call, ctx: &CallContext) -> Result<Value, Fault> {
+        if operation == "getPR" {
+            return self.get_pr(call, Some(ctx));
+        }
+        // The discovery operations are cheap, but refusing doomed work at
+        // the boundary keeps the contract uniform across operations.
+        if ctx.expired() {
+            return Err(self.doomed_fault(ctx));
+        }
+        self.invoke(operation, call)
     }
 
     fn service_data(&self) -> ServiceData {
@@ -326,16 +386,27 @@ impl ExecutionStub {
 
     /// `getPR`.
     pub fn get_pr(&self, query: &PrQuery) -> pperf_ogsi::Result<Vec<String>> {
-        self.stub.call_str_array(
-            "getPR",
-            &[
-                ("metric", Value::from(query.metric.as_str())),
-                ("foci", Value::StrArray(query.foci.clone())),
-                ("startTime", Value::from(query.start.as_str())),
-                ("endTime", Value::from(query.end.as_str())),
-                ("type", Value::from(query.rtype.as_str())),
-            ],
-        )
+        self.stub.call_str_array("getPR", &Self::pr_params(query))
+    }
+
+    /// `getPR` carrying an explicit call context (deadline, id, trace).
+    pub fn get_pr_with_context(
+        &self,
+        query: &PrQuery,
+        ctx: &CallContext,
+    ) -> pperf_ogsi::Result<Vec<String>> {
+        self.stub
+            .call_str_array_with_context("getPR", &Self::pr_params(query), ctx)
+    }
+
+    fn pr_params(query: &PrQuery) -> [(&'static str, Value); 5] {
+        [
+            ("metric", Value::from(query.metric.as_str())),
+            ("foci", Value::StrArray(query.foci.clone())),
+            ("startTime", Value::from(query.start.as_str())),
+            ("endTime", Value::from(query.end.as_str())),
+            ("type", Value::from(query.rtype.as_str())),
+        ]
     }
 }
 

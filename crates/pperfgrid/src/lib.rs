@@ -29,6 +29,16 @@
 //! See `examples/quickstart.rs` in the repository root for the full
 //! registry → factory → Application → Execution → PerformanceResult walk.
 
+/// The typed fault for an operation whose [`ppg_context::CallContext`]
+/// expired or was cancelled before (or while) the work ran.
+pub(crate) fn context_fault(ctx: &ppg_context::CallContext, what: &str) -> pperf_soap::Fault {
+    if ctx.cancelled() {
+        pperf_soap::Fault::cancelled(format!("{what}: leg cancelled by caller"))
+    } else {
+        pperf_soap::Fault::deadline_exceeded(format!("{what}: deadline exceeded"))
+    }
+}
+
 pub mod access;
 pub mod application;
 pub mod execution;

@@ -123,7 +123,24 @@ impl ExecutionWrapper for MemExecution {
 
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
         if let Some(delay) = self.query_delay {
-            std::thread::sleep(delay);
+            // Sleep in slices, checking the scoped call context between
+            // them: a simulated slow scan must stop when the caller's
+            // deadline passes or its leg is cancelled, just as the real
+            // minidb executor does at row boundaries.
+            let slice = Duration::from_millis(5);
+            let wake = std::time::Instant::now() + delay;
+            loop {
+                if ppg_context::current_expired() {
+                    return Err(WrapperError(
+                        "query interrupted: deadline exceeded or cancelled".into(),
+                    ));
+                }
+                let now = std::time::Instant::now();
+                if now >= wake {
+                    break;
+                }
+                std::thread::sleep(slice.min(wake - now));
+            }
         }
         if !self.metrics.iter().any(|m| m == &query.metric) {
             return Err(WrapperError(format!("unknown metric {:?}", query.metric)));

@@ -25,11 +25,22 @@ pub struct Envelope {
 impl Envelope {
     /// Wrap a payload element in a full envelope document.
     pub fn wrap(payload: Element) -> Element {
+        Self::wrap_with_header(payload, None)
+    }
+
+    /// Wrap a payload element, optionally preceding the `<Body>` with a
+    /// `<Header>` holding `header_entry` (e.g. the call-context block).
+    pub fn wrap_with_header(payload: Element, header_entry: Option<Element>) -> Element {
         let mut env = Element::new("soap:Envelope");
         env.set_attr("xmlns:soap", SOAP_ENV_NS);
         env.set_attr("xmlns:xsd", XSD_NS);
         env.set_attr("xmlns:xsi", XSI_NS);
         env.set_attr("xmlns:soapenc", SOAP_ENC_NS);
+        if let Some(entry) = header_entry {
+            let mut header = Element::new("soap:Header");
+            header.push_child(entry);
+            env.push_child(header);
+        }
         let mut body = Element::new("soap:Body");
         body.push_child(payload);
         env.push_child(body);

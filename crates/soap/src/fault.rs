@@ -36,6 +36,13 @@ impl FaultCode {
     }
 }
 
+/// Detail marker identifying a deadline-exceeded fault on the wire. The
+/// `FaultCode` enum is closed (SOAP 1.1 defines exactly four classes), so
+/// typed stack conditions ride in `<detail>` instead.
+pub const DEADLINE_EXCEEDED_DETAIL: &str = "ppg:DeadlineExceeded";
+/// Detail marker identifying a cancelled-call fault on the wire.
+pub const CANCELLED_DETAIL: &str = "ppg:Cancelled";
+
 /// A SOAP fault: code, human-readable string, and optional detail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fault {
@@ -70,6 +77,29 @@ impl Fault {
     pub fn with_detail(mut self, detail: impl Into<String>) -> Fault {
         self.detail = Some(detail.into());
         self
+    }
+
+    /// A typed deadline-exceeded fault: the request's budget ran out before
+    /// the work completed, and the server refused to finish doomed work.
+    pub fn deadline_exceeded(msg: impl Into<String>) -> Fault {
+        Fault::server(msg).with_detail(DEADLINE_EXCEEDED_DETAIL)
+    }
+
+    /// A typed cancellation fault: the caller (e.g. a hedged gateway that
+    /// already has a winner) asked this leg to stop.
+    pub fn cancelled(msg: impl Into<String>) -> Fault {
+        Fault::server(msg).with_detail(CANCELLED_DETAIL)
+    }
+
+    /// True for faults produced by [`Fault::deadline_exceeded`], surviving
+    /// a wire roundtrip.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(&self.detail, Some(d) if d.starts_with(DEADLINE_EXCEEDED_DETAIL))
+    }
+
+    /// True for faults produced by [`Fault::cancelled`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(&self.detail, Some(d) if d.starts_with(CANCELLED_DETAIL))
     }
 
     /// Encode as the `<soap:Fault>` body payload.

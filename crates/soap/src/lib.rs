@@ -28,14 +28,19 @@
 //! ```
 
 mod codec;
+pub mod context;
 mod envelope;
 mod fault;
 mod value;
 pub mod wsdl;
 
 pub use codec::{decode_call, decode_response, encode_call, encode_fault, encode_response, Call};
+pub use context::{
+    context_from_header, context_header, decode_call_with_context, encode_call_with_context,
+    CONTEXT_NS,
+};
 pub use envelope::{Envelope, SOAP_ENV_NS, XSD_NS, XSI_NS};
-pub use fault::{Fault, FaultCode};
+pub use fault::{Fault, FaultCode, CANCELLED_DETAIL, DEADLINE_EXCEEDED_DETAIL};
 pub use value::{Value, ValueError, ValueType};
 
 /// Errors raised while encoding or decoding SOAP messages.

@@ -17,6 +17,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> call-context suite (deadlines, cancellation, tracing)"
+cargo test -q -p ppg-context
+cargo test -q -p pperf-gateway --test deadline
+
 echo "==> httpd event-loop soak (1000+ parked keep-alive connections)"
 cargo test -q -p pperf-httpd --features soak --test event_loop
 
