@@ -172,22 +172,48 @@ fn main() {
     );
     let repeats = repeats();
     let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
-    let mem_delay = Duration::from_millis(2);
+    let mem_delay = Duration::from_millis(4);
     let mut entries = Vec::new();
 
-    // Pass 1: result cache off — every repeat re-scatters to both backends.
+    // Pass 1: result cache off, per-call wire protocol — every repeat
+    // re-scatters to both backends, one getPR exchange per Execution.
     let fed = deploy_federation(8, mem_delay);
     let uncached_gateway = FederatedGateway::new(
         Arc::clone(&fed.client),
         fed.registry.clone(),
         GatewayConfig::default()
             .with_cache(false)
-            .with_hedging(None),
+            .with_hedging(None)
+            .with_batching(false),
     );
     let (uncached_elapsed, uncached_upstream) = timed_pass(&uncached_gateway, &query, repeats);
     let uncached_qps = qps(repeats, uncached_elapsed);
     println!(
         "uncached: {repeats} queries in {uncached_elapsed:?} ({uncached_qps:.1} q/s, {uncached_upstream} upstream getPRs)"
+    );
+
+    // Pass 1b: same cold federation, batched wire protocol — each site's 8
+    // targets fold into one multi-call exchange per query.
+    let batched_gateway = FederatedGateway::new(
+        Arc::clone(&fed.client),
+        fed.registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None),
+    );
+    let (batched_elapsed, batched_upstream) = timed_pass(&batched_gateway, &query, repeats);
+    let batched_qps = qps(repeats, batched_elapsed);
+    let batched_calls_per_query = batched_upstream as f64 / repeats as f64;
+    let batch_speedup = batched_qps / uncached_qps;
+    let batch_fallback_calls = batched_gateway.snapshot().batch_fallback_calls;
+    println!(
+        "batched:  {repeats} queries in {batched_elapsed:?} ({batched_qps:.1} q/s, \
+         {batched_upstream} upstream wire calls, {batch_fallback_calls} per-call fallbacks)"
+    );
+    println!(
+        "batched vs per-call: {batch_speedup:.1}x throughput, \
+         {:.1} -> {batched_calls_per_query:.1} wire calls/query",
+        uncached_upstream as f64 / repeats as f64
     );
 
     // Pass 2: result cache on — repeats are answered from the gateway cache.
@@ -223,6 +249,22 @@ fn main() {
     entries.push(entry(
         "gateway_fanout/cached_upstream_calls_per_query",
         cached_upstream as f64 / repeats as f64,
+        "calls",
+    ));
+    entries.push(entry(
+        "gateway_fanout/batched_throughput",
+        batched_qps,
+        "queries/s",
+    ));
+    entries.push(entry(
+        "gateway_fanout/batched_upstream_calls_per_query",
+        batched_calls_per_query,
+        "calls",
+    ));
+    entries.push(entry("gateway_fanout/batched_speedup", batch_speedup, "x"));
+    entries.push(entry(
+        "gateway_fanout/batch_fallback_calls",
+        batch_fallback_calls as f64,
         "calls",
     ));
 
@@ -437,8 +479,26 @@ fn main() {
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());
     std::fs::write(&out, render_json(&entries)).unwrap();
     println!("\nwrote {out}");
+    let mut failed = false;
     if speedup < 2.0 {
         eprintln!("WARNING: cached speedup {speedup:.2}x below the 2x acceptance floor");
+        failed = true;
+    }
+    if batched_calls_per_query > 4.0 {
+        eprintln!(
+            "WARNING: batched pass made {batched_calls_per_query:.1} wire calls/query \
+             (acceptance ceiling: 4)"
+        );
+        failed = true;
+    }
+    if batch_speedup < 1.5 {
+        eprintln!(
+            "WARNING: batched throughput {batch_speedup:.2}x over per-call, below the \
+             1.5x acceptance floor"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -23,8 +23,9 @@ use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, Si
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pperf_httpd::{HttpClient, Request};
-use pperf_ogsi::{Gsh, OgsiError};
-use pperfgrid::{ExecutionStub, PrQuery};
+use pperf_ogsi::{Gsh, OgsiError, ServiceStub};
+use pperf_soap::{BatchEntry, BatchOutcome};
+use pperfgrid::{ExecutionStub, PrQuery, EXECUTION_NS};
 use ppg_context::CallContext;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -59,6 +60,11 @@ pub struct GatewayConfig {
     /// two snapshot wire calls are repeated. `Duration::ZERO` disables the
     /// snapshot cache.
     pub plan_cache_ttl: Duration,
+    /// Fold each site's uncached targets into one multi-call wire request
+    /// per host, when the site advertises `supportsBatch`. Sites that don't
+    /// (and singleton target groups) transparently fall back to per-call
+    /// getPR.
+    pub batch_enabled: bool,
 }
 
 impl Default for GatewayConfig {
@@ -74,6 +80,7 @@ impl Default for GatewayConfig {
             cache_capacity: 1024,
             cache_ttl: Duration::from_secs(30),
             plan_cache_ttl: Duration::from_millis(500),
+            batch_enabled: true,
         }
     }
 }
@@ -129,6 +136,12 @@ impl GatewayConfig {
         self.plan_cache_ttl = ttl;
         self
     }
+
+    /// Toggle the batched wire protocol (per-site multi-call fan-in).
+    pub fn with_batching(mut self, enabled: bool) -> GatewayConfig {
+        self.batch_enabled = enabled;
+        self
+    }
 }
 
 /// Rolling latency/error accounting for one site.
@@ -168,6 +181,13 @@ struct Stats {
     /// Sites whose cached results were dropped after their registry lease
     /// expired or they republished.
     lease_invalidations: AtomicU64,
+    /// Batched multi-call wire requests issued.
+    batched_calls: AtomicU64,
+    /// getPR entries that rode those batched requests.
+    batch_entries: AtomicU64,
+    /// Per-call getPR calls issued while batching was enabled (site without
+    /// `supportsBatch`, singleton target group, or hedge leg).
+    batch_fallback: AtomicU64,
     in_flight: AtomicI64,
     sites: Mutex<HashMap<String, SiteLatency>>,
 }
@@ -211,6 +231,13 @@ pub struct GatewaySnapshot {
     pub deadline_exceeded: u64,
     /// Sites invalidated after a registry lease expiry or republish.
     pub lease_invalidations: u64,
+    /// Batched multi-call wire requests issued.
+    pub batched_calls: u64,
+    /// getPR entries that rode those batched requests.
+    pub batch_entries: u64,
+    /// Per-call getPR calls issued while batching was enabled (no site
+    /// capability, singleton group, or hedge leg).
+    pub batch_fallback_calls: u64,
     /// Registry-snapshot cache hits in the planner.
     pub plan_snapshot_hits: u64,
     /// Registry-snapshot refreshes (actual wire snapshots) in the planner.
@@ -250,6 +277,9 @@ struct PendingTarget {
     primary_failed: bool,
     hedge_failed: bool,
     done: bool,
+    /// The primary leg rode a shared multi-call batch: `primary_ctx` is the
+    /// batch's shared context, so cancelling it would kill sibling entries.
+    batched: bool,
     /// The primary leg's context (cancelled if the hedge wins or the
     /// deadline expires while it is still out).
     primary_ctx: CallContext,
@@ -304,6 +334,9 @@ impl FederatedGateway {
                 hedges_cancelled: AtomicU64::new(0),
                 deadline_exceeded: AtomicU64::new(0),
                 lease_invalidations: AtomicU64::new(0),
+                batched_calls: AtomicU64::new(0),
+                batch_entries: AtomicU64::new(0),
+                batch_fallback: AtomicU64::new(0),
                 in_flight: AtomicI64::new(0),
                 sites: Mutex::new(HashMap::new()),
             },
@@ -368,6 +401,9 @@ impl FederatedGateway {
             hedges_cancelled: inner.stats.hedges_cancelled.load(Ordering::Relaxed),
             deadline_exceeded: inner.stats.deadline_exceeded.load(Ordering::Relaxed),
             lease_invalidations: inner.stats.lease_invalidations.load(Ordering::Relaxed),
+            batched_calls: inner.stats.batched_calls.load(Ordering::Relaxed),
+            batch_entries: inner.stats.batch_entries.load(Ordering::Relaxed),
+            batch_fallback_calls: inner.stats.batch_fallback.load(Ordering::Relaxed),
             plan_snapshot_hits,
             plan_snapshot_refreshes,
             per_site,
@@ -412,6 +448,8 @@ impl FederatedGateway {
         let mut pending: Vec<PendingTarget> = Vec::new();
         let scatter_start = Instant::now();
         for site_plan in &plan.sites {
+            // Probe the shared cache first; only misses go upstream.
+            let mut uncached: Vec<(&ExecTarget, String)> = Vec::new();
             for target in &site_plan.targets {
                 let cache_key = format!("{}::{pr_key}", target.primary.as_str());
                 if inner.config.cache_enabled {
@@ -426,6 +464,37 @@ impl FederatedGateway {
                         });
                         continue;
                     }
+                }
+                uncached.push((target, cache_key));
+            }
+            // Batch-capable sites fold their misses into one multi-call wire
+            // request per host (a site's instances may be spread across
+            // replica containers); everything else goes per-call.
+            let mut batch_groups: Vec<Vec<(&ExecTarget, String)>> = Vec::new();
+            let mut per_call: Vec<(&ExecTarget, String)> = Vec::new();
+            if inner.config.batch_enabled && site_plan.supports_batch {
+                let mut by_host: HashMap<String, Vec<(&ExecTarget, String)>> = HashMap::new();
+                for (target, key) in uncached {
+                    by_host
+                        .entry(target.primary.url().authority())
+                        .or_default()
+                        .push((target, key));
+                }
+                for (_, group) in by_host {
+                    if group.len() > 1 {
+                        batch_groups.push(group);
+                    } else {
+                        // A one-entry batch pays the envelope overhead for
+                        // nothing — send it as a plain call.
+                        per_call.extend(group);
+                    }
+                }
+            } else {
+                per_call = uncached;
+            }
+            for (target, cache_key) in per_call {
+                if inner.config.batch_enabled {
+                    inner.stats.batch_fallback.fetch_add(1, Ordering::Relaxed);
                 }
                 let idx = pending.len();
                 let hedge_at = target
@@ -444,6 +513,7 @@ impl FederatedGateway {
                     primary_failed: false,
                     hedge_failed: false,
                     done: false,
+                    batched: false,
                     primary_ctx: primary_ctx.clone(),
                     hedge_ctx: None,
                 });
@@ -456,6 +526,51 @@ impl FederatedGateway {
                     cache_key,
                     false,
                     primary_ctx,
+                    Arc::clone(&query_upstream),
+                );
+            }
+            for group in batch_groups {
+                // One shared leg context for the whole wire call; entries
+                // keep their own pending slot (and hedge schedule).
+                let mut shared_ctx = qctx.leg(ppg_context::leg_tag(pending.len(), 0), 0);
+                // A batch is one HTTP exchange: a server-side entry running
+                // right up to the shared deadline would hold every sibling's
+                // finished answer past the gather deadline. Reserve headroom
+                // so the mixed response still travels back in time.
+                if let Some(rem) = shared_ctx.remaining() {
+                    let margin = (rem / 8).min(Duration::from_millis(250));
+                    shared_ctx = shared_ctx.with_remaining(rem.saturating_sub(margin));
+                }
+                let mut members: Vec<(usize, Gsh, String)> = Vec::with_capacity(group.len());
+                for (target, cache_key) in group {
+                    let idx = pending.len();
+                    let hedge_at = target
+                        .hedge
+                        .as_ref()
+                        .and(inner.config.hedge_after)
+                        .map(|delay| scatter_start + delay);
+                    pending.push(PendingTarget {
+                        site: site_plan.site.clone(),
+                        target: target.clone(),
+                        cache_key: cache_key.clone(),
+                        deadline: query_deadline,
+                        hedge_at,
+                        hedge_fired: false,
+                        primary_failed: false,
+                        hedge_failed: false,
+                        done: false,
+                        batched: true,
+                        primary_ctx: shared_ctx.clone(),
+                        hedge_ctx: None,
+                    });
+                    members.push((idx, target.primary.clone(), cache_key));
+                }
+                self.submit_batch(
+                    tx.clone(),
+                    site_plan.site.clone(),
+                    members,
+                    Arc::clone(&pr),
+                    shared_ctx,
                     Arc::clone(&query_upstream),
                 );
             }
@@ -497,8 +612,10 @@ impl FederatedGateway {
                                 inner.stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
                                 // The primary lost the race: cancel its leg so
                                 // its site stops burning handler time on an
-                                // answer nobody will read.
-                                if !p.primary_failed {
+                                // answer nobody will read. A batched primary
+                                // shares its context with sibling entries, so
+                                // it must be left to finish.
+                                if !p.primary_failed && !p.batched {
                                     self.cancel_leg(&p.primary_ctx, &p.target.primary);
                                     inner.stats.hedges_cancelled.fetch_add(1, Ordering::Relaxed);
                                 }
@@ -593,8 +710,11 @@ impl FederatedGateway {
                             p.done = true;
                             remaining -= 1;
                             // Cancel whatever is still out there: the budget
-                            // is gone, so any answer would be discarded.
-                            if !p.primary_failed {
+                            // is gone, so any answer would be discarded. At
+                            // the deadline every sibling of a shared batch
+                            // context is equally doomed, so cancelling it is
+                            // safe — but only once per batch.
+                            if !(p.primary_failed || (p.batched && p.primary_ctx.cancelled())) {
                                 self.cancel_leg(&p.primary_ctx, &p.target.primary);
                             }
                             if p.hedge_fired && !p.hedge_failed {
@@ -704,6 +824,231 @@ impl FederatedGateway {
             });
         });
     }
+
+    /// Queue one batched wire call covering several targets on one host:
+    /// per-entry single-flight coalescing → one site permit → one multi-call
+    /// POST → per-entry cache fill and outcomes on `tx`.
+    fn submit_batch(
+        &self,
+        tx: Sender<Outcome>,
+        site: String,
+        members: Vec<(usize, Gsh, String)>,
+        pr: Arc<PrQuery>,
+        leg_ctx: CallContext,
+        query_upstream: Arc<AtomicU64>,
+    ) {
+        let inner = Arc::clone(&self.inner);
+        self.pool.submit(move || {
+            let started = Instant::now();
+            inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+            let results = run_batch_flight(&inner, &site, &members, &pr, &leg_ctx, &query_upstream);
+            inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let failed = results.iter().any(|(_, r)| r.is_err());
+            inner.stats.record_site(&site, started.elapsed(), failed);
+            for (idx, result) in results {
+                let _ = tx.send(Outcome {
+                    idx,
+                    hedged: false,
+                    result,
+                });
+            }
+        });
+    }
+}
+
+/// One batched flight: each entry still joins the per-tuple single-flight
+/// group (followers adopt the leader's published outcome and stay off the
+/// wire), then every remaining leader rides one multi-call exchange under a
+/// single site permit. Per-entry faults map back to per-entry errors; a
+/// whole-batch failure fails every leader the same way.
+fn run_batch_flight(
+    inner: &Arc<Inner>,
+    site: &str,
+    members: &[(usize, Gsh, String)],
+    pr: &Arc<PrQuery>,
+    leg_ctx: &CallContext,
+    query_upstream: &Arc<AtomicU64>,
+) -> Vec<(usize, FlightResult)> {
+    let started = Instant::now();
+    let mut results: Vec<(usize, FlightResult)> = Vec::with_capacity(members.len());
+    if leg_ctx.expired() {
+        let outcome = if leg_ctx.cancelled() {
+            "cancelled-before-send"
+        } else {
+            "deadline-exceeded-before-send"
+        };
+        leg_ctx.record_span("gateway.batch", "multiCall", site, started, outcome);
+        for (idx, _, _) in members {
+            results.push((
+                *idx,
+                Err((
+                    SiteErrorKind::Timeout,
+                    format!("leg {} abandoned before send: {outcome}", leg_ctx.leg_tag()),
+                )),
+            ));
+        }
+        return results;
+    }
+    // Per-entry coalescing: an identical tuple already in flight (from this
+    // query or another) answers its entry without a wire slot.
+    let mut leaders: Vec<(usize, Gsh, String, crate::coalesce::Token)> = Vec::new();
+    for (idx, exec, cache_key) in members {
+        let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
+        match inner.flights.join(&flight_key) {
+            Flight::Follower(outcome) => {
+                if outcome.leader_request_id != leg_ctx.request_id() {
+                    leg_ctx.extend_spans(outcome.spans.clone());
+                    leg_ctx.record_span(
+                        "gateway.coalesce",
+                        "getPR",
+                        site,
+                        started,
+                        &format!("leader:{}", outcome.leader_request_id),
+                    );
+                }
+                results.push((*idx, outcome.result));
+            }
+            Flight::Leader(token) => {
+                leaders.push((*idx, exec.clone(), cache_key.clone(), token));
+            }
+        }
+    }
+    if leaders.is_empty() {
+        return results;
+    }
+    let span_base = leg_ctx.span_count();
+    // One permit covers the whole wire call: a batch is one upstream request
+    // from the site's point of view, whatever its entry count.
+    let wire_outcomes: std::result::Result<Vec<BatchOutcome>, (SiteErrorKind, String)> =
+        match inner.limiter.acquire_until(site, leg_ctx.deadline()) {
+            None => {
+                leg_ctx.record_span(
+                    "gateway.batch",
+                    "multiCall",
+                    site,
+                    started,
+                    "deadline-exceeded",
+                );
+                Err((
+                    SiteErrorKind::Timeout,
+                    format!("no {site} permit became free before the deadline"),
+                ))
+            }
+            Some(_permit) => {
+                let stub = ServiceStub::new(Arc::clone(&inner.client), leaders[0].1.clone());
+                let entries: Vec<BatchEntry> = leaders
+                    .iter()
+                    .map(|(_, exec, _, _)| {
+                        BatchEntry::new(
+                            exec.url().path,
+                            "getPR",
+                            EXECUTION_NS,
+                            &ExecutionStub::pr_params(pr),
+                        )
+                    })
+                    .collect();
+                let mut attempt = 0u32;
+                loop {
+                    if leg_ctx.expired() {
+                        break Err((
+                            SiteErrorKind::Timeout,
+                            format!("leg {} expired before attempt", leg_ctx.leg_tag()),
+                        ));
+                    }
+                    inner.stats.upstream.fetch_add(1, Ordering::Relaxed);
+                    query_upstream.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.batched_calls.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .stats
+                        .batch_entries
+                        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                    match stub.call_batch(&entries, leg_ctx) {
+                        Ok(outcomes) if outcomes.len() == entries.len() => break Ok(outcomes),
+                        Ok(outcomes) => {
+                            break Err((
+                                SiteErrorKind::Fault,
+                                format!(
+                                    "multiCall answered {} entries for {} sub-calls",
+                                    outcomes.len(),
+                                    entries.len()
+                                ),
+                            ))
+                        }
+                        Err(e) => {
+                            let (kind, retryable) = classify(&e);
+                            if retryable && attempt < inner.config.retries {
+                                attempt += 1;
+                                let backoff = inner.config.backoff * (1 << attempt.min(6));
+                                if leg_ctx.remaining().is_some_and(|r| backoff >= r) {
+                                    break Err((
+                                        SiteErrorKind::Timeout,
+                                        format!("{e} (budget exhausted during retry backoff)"),
+                                    ));
+                                }
+                                std::thread::sleep(backoff);
+                                continue;
+                            }
+                            break Err((kind, e.to_string()));
+                        }
+                    }
+                }
+            }
+        };
+    let mut spans = leg_ctx.spans();
+    let flight_spans = spans.split_off(span_base.min(spans.len()));
+    match wire_outcomes {
+        Ok(outcomes) => {
+            for ((idx, _, cache_key, token), entry_outcome) in leaders.into_iter().zip(outcomes) {
+                let result: FlightResult = match entry_outcome {
+                    Ok(value) => match value.into_str_array() {
+                        Some(entry_rows) => {
+                            let entry_rows = Arc::new(entry_rows);
+                            if inner.config.cache_enabled {
+                                inner
+                                    .cache
+                                    .insert(cache_key.clone(), Arc::clone(&entry_rows));
+                                inner
+                                    .site_keys
+                                    .lock()
+                                    .entry(site.to_owned())
+                                    .or_default()
+                                    .insert(cache_key);
+                            }
+                            Ok(entry_rows)
+                        }
+                        None => Err((
+                            SiteErrorKind::Fault,
+                            "batched getPR returned a non-array".to_owned(),
+                        )),
+                    },
+                    Err(fault) => {
+                        let kind = if fault.is_deadline_exceeded() || fault.is_cancelled() {
+                            SiteErrorKind::Timeout
+                        } else {
+                            SiteErrorKind::Fault
+                        };
+                        Err((kind, fault.to_string()))
+                    }
+                };
+                inner.flights.publish(
+                    token,
+                    FlightOutcome::new(result.clone(), leg_ctx.request_id(), flight_spans.clone()),
+                );
+                results.push((idx, result));
+            }
+        }
+        Err((kind, detail)) => {
+            for (idx, _, _, token) in leaders {
+                let result: FlightResult = Err((kind, detail.clone()));
+                inner.flights.publish(
+                    token,
+                    FlightOutcome::new(result.clone(), leg_ctx.request_id(), flight_spans.clone()),
+                );
+                results.push((idx, result));
+            }
+        }
+    }
+    results
 }
 
 /// One leg's upstream flight: coalesce with identical in-flight tuples,

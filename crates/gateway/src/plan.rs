@@ -38,6 +38,9 @@ pub struct SitePlan {
     pub factory: Gsh,
     /// Expanded `getPR` targets.
     pub targets: Vec<ExecTarget>,
+    /// The site advertises `supportsBatch` service data, so its targets may
+    /// ride one multi-call wire request per host instead of one call each.
+    pub supports_batch: bool,
 }
 
 /// A complete scatter plan: per-site target lists plus the sites that failed
@@ -66,6 +69,8 @@ impl QueryPlan {
 struct BoundSite {
     app: ApplicationStub,
     manager: Option<ManagerStub>,
+    /// Learned once at bind time from `supportsBatch` service data.
+    supports_batch: bool,
     /// Hedges already learned for primaries of this site (primary handle →
     /// hedge, `None` recorded for un-hedgeable primaries).
     hedges: HashMap<String, Option<Gsh>>,
@@ -260,25 +265,31 @@ impl Planner {
             self.bound.lock().remove(site);
         }
         // Look up (and drop the lock on) the cached binding before any wire
-        // work: createService and managerGsh discovery must not run under it.
-        let cached = self.bound.lock().get(site).map(|bound| bound.app.clone());
-        let app = match cached {
-            Some(app) => app,
+        // work: createService and capability discovery must not run under it.
+        let cached = self
+            .bound
+            .lock()
+            .get(site)
+            .map(|bound| (bound.app.clone(), bound.supports_batch));
+        let (app, supports_batch) = match cached {
+            Some(cached) => cached,
             None => {
                 let factory_gsh = Gsh::parse(entry.factory_url.as_str())?;
                 let factory = FactoryStub::bind(Arc::clone(&self.client), &factory_gsh);
                 let instance = factory.create_service(&[])?;
                 let app = ApplicationStub::bind(Arc::clone(&self.client), &instance);
                 let manager = self.hedging.then(|| self.discover_manager(&app)).flatten();
+                let supports_batch = self.discover_batch_support(&app);
                 self.bound.lock().insert(
                     site.to_owned(),
                     BoundSite {
                         app: app.clone(),
                         manager,
+                        supports_batch,
                         hedges: HashMap::new(),
                     },
                 );
-                app
+                (app, supports_batch)
             }
         };
         let primaries = match &query.selector {
@@ -295,6 +306,7 @@ impl Planner {
             site: site.to_owned(),
             factory: Gsh::parse(entry.factory_url.as_str())?,
             targets,
+            supports_batch,
         })
     }
 
@@ -306,6 +318,17 @@ impl Planner {
         let value = gs.find_service_data("managerGsh").ok()?;
         let gsh = Gsh::parse(value.as_str()?).ok()?;
         Some(ManagerStub::bind(Arc::clone(&self.client), &gsh))
+    }
+
+    /// Whether the site advertises the batched wire protocol. Best-effort
+    /// and negotiated once per binding: absent/false/unreadable all mean
+    /// per-call getPR, so pre-batch sites keep working untouched.
+    fn discover_batch_support(&self, app: &ApplicationStub) -> bool {
+        let gs = GridServiceStub::bind(Arc::clone(&self.client), app.handle());
+        gs.find_service_data("supportsBatch")
+            .ok()
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false)
     }
 
     /// Hedge handles aligned with `primaries`, consulting the site's Manager

@@ -120,6 +120,12 @@ impl ServicePort for FederatedQueryService {
                 "leaseInvalidations",
                 Value::Int(snapshot.lease_invalidations as i64),
             )
+            .with("batchedCalls", Value::Int(snapshot.batched_calls as i64))
+            .with("batchEntries", Value::Int(snapshot.batch_entries as i64))
+            .with(
+                "batchFallbackCalls",
+                Value::Int(snapshot.batch_fallback_calls as i64),
+            )
             .with(
                 "planSnapshotHits",
                 Value::Int(snapshot.plan_snapshot_hits as i64),

@@ -121,8 +121,13 @@ fn federates_heterogeneous_sites_and_caches_repeats() {
     // 8 tiny-HPL executions + 2 scripted ones, one result set each.
     assert_eq!(first.rows.len(), 10);
     assert!(first.total_rows() >= 8 + 2 * 3);
-    assert_eq!(first.upstream_calls, 10);
+    // Both sites advertise supportsBatch, so the 10 targets collapse into
+    // one multi-call wire request per site.
+    assert_eq!(first.upstream_calls, 2);
     assert!(first.rows.iter().all(|r| !r.from_cache));
+    let snapshot = gateway.snapshot();
+    assert_eq!(snapshot.batched_calls, 2);
+    assert_eq!(snapshot.batch_entries, 10);
 
     // The identical query again: answered wholly from the gateway cache.
     let second = gateway.query(&query);
@@ -189,6 +194,9 @@ fn site_stopped_mid_query_yields_partial_result() {
             .with_hedging(None)
             .with_retries(0, Duration::from_millis(5))
             .with_per_site_concurrency(1)
+            // Per-call mode: the point here is calls *straddling* the
+            // shutdown, which a single batched exchange wouldn't.
+            .with_batching(false)
             .with_call_timeout(Duration::from_secs(10)),
     );
     let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);

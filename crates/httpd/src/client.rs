@@ -22,6 +22,9 @@ struct ExchangeError {
 struct PooledConn {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Serialization buffer, reused across exchanges on this connection so a
+    /// busy keep-alive stream doesn't reallocate per request.
+    wire: Vec<u8>,
 }
 
 impl PooledConn {
@@ -42,6 +45,7 @@ impl PooledConn {
                     return Ok(PooledConn {
                         reader: BufReader::new(stream.try_clone()?),
                         stream,
+                        wire: Vec::new(),
                     });
                 }
                 Err(e) => last_err = Some(e),
@@ -82,10 +86,11 @@ impl PooledConn {
         request: &Request,
         host: &str,
     ) -> std::result::Result<Response, ExchangeError> {
-        let mut wire = Vec::new();
+        self.wire.clear();
         request
-            .write_to(&mut wire, host)
+            .write_to(&mut self.wire, host)
             .expect("serializing to a Vec cannot fail");
+        let wire = &self.wire;
         let mut written = 0usize;
         while written < wire.len() {
             match self.stream.write(&wire[written..]) {

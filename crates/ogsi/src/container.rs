@@ -26,7 +26,10 @@ use crate::service::ServicePort;
 use crate::service_data::ServiceData;
 use parking_lot::{Mutex, RwLock};
 use pperf_httpd::{Handler, HttpClient, HttpServer, Request, Response, ServerConfig, Status};
-use pperf_soap::{decode_call_with_context, encode_fault, encode_response, Call, Fault, Value};
+use pperf_soap::{
+    decode_batch_call, decode_call_with_context, encode_batch_response, encode_fault,
+    encode_response, BatchEntry, BatchOutcome, Call, Fault, Value,
+};
 use ppg_context::CallContext;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,6 +107,10 @@ struct Inner {
     cancels_received: AtomicU64,
     /// Calls that completed with a cancellation fault.
     cancelled_calls: AtomicU64,
+    /// `POST /ogsa/batch` multi-call requests received.
+    batch_calls: AtomicU64,
+    /// Sub-call entries carried by those batches.
+    batch_entries: AtomicU64,
     /// In-flight calls by cancel key, so `POST /ogsa/cancel` can flip the
     /// right leg's flag while its handler is still running.
     active: Mutex<HashMap<String, CallContext>>,
@@ -192,6 +199,8 @@ impl Container {
             deadline_exceeded: AtomicU64::new(0),
             cancels_received: AtomicU64::new(0),
             cancelled_calls: AtomicU64::new(0),
+            batch_calls: AtomicU64::new(0),
+            batch_entries: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
         });
         let handler = Arc::new(Dispatch {
@@ -353,6 +362,15 @@ impl Container {
         )
     }
 
+    /// Batch counters: `(batch_calls, batch_entries)` — multi-call requests
+    /// received and the sub-call entries they carried.
+    pub fn batch_counters(&self) -> (u64, u64) {
+        (
+            self.inner.batch_calls.load(Ordering::Relaxed),
+            self.inner.batch_entries.load(Ordering::Relaxed),
+        )
+    }
+
     /// Currently open HTTP connections, parked keep-alive ones included.
     pub fn open_connections(&self) -> usize {
         self.server
@@ -455,6 +473,9 @@ fn dispatch_get(inner: &Arc<Inner>, request: &Request) -> Response {
 fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
     if request.path == "/ogsa/cancel" {
         return handle_cancel(inner, request);
+    }
+    if request.path == "/ogsa/batch" {
+        return handle_batch(inner, request);
     }
     let started = Instant::now();
     let (call, soap_ctx) = match decode_call_with_context(&request.body_str()) {
@@ -564,6 +585,200 @@ fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
     response
 }
 
+/// Cap on concurrently executing entries within one batch: enough to cover
+/// a full per-site fan-out without letting one huge batch monopolize the
+/// host's handler threads.
+const BATCH_PARALLELISM: usize = 8;
+
+/// `POST /ogsa/batch`: a multi-call envelope (see [`pperf_soap::batch`]).
+///
+/// All entries run under one shared [`CallContext`] — one deadline, one
+/// cancel key in the active-call registry — but each entry gets its own
+/// span and its own outcome. One entry faulting (or arriving after the
+/// budget is spent) never fails its neighbours; only a batch whose budget
+/// was already gone *on arrival* is refused wholesale.
+fn handle_batch(inner: &Arc<Inner>, request: &Request) -> Response {
+    let started = Instant::now();
+    let (entries, soap_ctx) = match decode_batch_call(&request.body_str()) {
+        Ok(parts) => parts,
+        Err(e) => {
+            let fault = Fault::client(format!("malformed batch request: {e}"));
+            return Response::xml(Status::BAD_REQUEST, encode_fault(&fault));
+        }
+    };
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    inner.batch_calls.fetch_add(1, Ordering::Relaxed);
+    inner
+        .batch_entries
+        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    // Same precedence as single calls: HTTP headers over the SOAP block.
+    let ctx = if request
+        .headers
+        .get(ppg_context::REQUEST_ID_HEADER)
+        .is_some()
+    {
+        CallContext::from_wire(
+            request.headers.get(ppg_context::REQUEST_ID_HEADER),
+            request.headers.get(ppg_context::DEADLINE_MS_HEADER),
+            request.headers.get(ppg_context::LEG_HEADER),
+        )
+    } else {
+        soap_ctx.unwrap_or_default()
+    };
+    let site = format!("{}:{}", inner.host, inner.port_u16());
+
+    let (outcome_tag, mut response) = if ctx.expired() {
+        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        let fault = Fault::deadline_exceeded(format!(
+            "batch {} arrived after its deadline",
+            ctx.request_id()
+        ));
+        ctx.record_span(
+            "ogsi.container",
+            "multiCall",
+            &site,
+            started,
+            "deadline-exceeded",
+        );
+        (
+            "deadline-exceeded",
+            Response::xml(Status::INTERNAL_SERVER_ERROR, encode_fault(&fault)),
+        )
+    } else {
+        let cancel_key = ctx.cancel_key();
+        inner.active.lock().insert(cancel_key.clone(), ctx.clone());
+        let outcomes = run_batch_entries(inner, &entries, &ctx);
+        inner.active.lock().remove(&cancel_key);
+        let mut faulted = 0usize;
+        for outcome in &outcomes {
+            match outcome {
+                Ok(_) => {}
+                Err(f) if f.is_deadline_exceeded() => {
+                    inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    faulted += 1;
+                }
+                Err(f) if f.is_cancelled() => {
+                    inner.cancelled_calls.fetch_add(1, Ordering::Relaxed);
+                    faulted += 1;
+                }
+                Err(_) => faulted += 1,
+            }
+        }
+        let tag = if faulted == 0 { "ok" } else { "partial" };
+        ctx.record_span("ogsi.container", "multiCall", &site, started, tag);
+        (
+            tag,
+            Response::xml(Status::OK, encode_batch_response(&outcomes)),
+        )
+    };
+
+    response
+        .headers
+        .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+    let spans = ctx.spans();
+    if !spans.is_empty() {
+        response
+            .headers
+            .set(ppg_context::TRACE_HEADER, ppg_context::encode_trace(&spans));
+    }
+    if inner.config.access_log {
+        eprintln!(
+            "ppg-access request_id={} leg={} op=multiCall entries={} path={} status={} outcome={} elapsed_us={} remaining_ms={}",
+            ctx.request_id(),
+            if ctx.leg_tag().is_empty() { "-" } else { ctx.leg_tag() },
+            entries.len(),
+            request.path,
+            response.status.0,
+            outcome_tag,
+            started.elapsed().as_micros(),
+            ctx.deadline_ms().map_or_else(|| "-".into(), |ms| ms.to_string()),
+        );
+    }
+    response
+}
+
+/// Execute a batch's entries, up to [`BATCH_PARALLELISM`] at a time, and
+/// collect per-entry outcomes in request order.
+fn run_batch_entries(
+    inner: &Arc<Inner>,
+    entries: &[BatchEntry],
+    ctx: &CallContext,
+) -> Vec<BatchOutcome> {
+    let workers = entries.len().min(BATCH_PARALLELISM);
+    if workers <= 1 {
+        return entries
+            .iter()
+            .map(|entry| run_batch_entry(inner, entry, ctx))
+            .collect();
+    }
+    let per = entries.len().div_ceil(workers);
+    let mut outcomes: Vec<BatchOutcome> = vec![Ok(Value::Nil); entries.len()];
+    std::thread::scope(|scope| {
+        for (entry_chunk, out_chunk) in entries.chunks(per).zip(outcomes.chunks_mut(per)) {
+            scope.spawn(move || {
+                for (entry, slot) in entry_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = run_batch_entry(inner, entry, ctx);
+                }
+            });
+        }
+    });
+    outcomes
+}
+
+/// One entry of a batch: the moral equivalent of a single `dispatch_post`,
+/// minus the envelope work the batch already paid for.
+fn run_batch_entry(inner: &Arc<Inner>, entry: &BatchEntry, ctx: &CallContext) -> BatchOutcome {
+    let started = Instant::now();
+    if ctx.expired() {
+        // Earlier entries (or the caller) spent the shared budget; this
+        // entry faults individually instead of failing the whole batch.
+        let (tag, fault) = if ctx.cancelled() {
+            (
+                "cancelled",
+                Fault::cancelled(format!(
+                    "batch {} cancelled before this entry ran",
+                    ctx.request_id()
+                )),
+            )
+        } else {
+            (
+                "deadline-exceeded",
+                Fault::deadline_exceeded(format!(
+                    "batch {} budget spent before this entry ran",
+                    ctx.request_id()
+                )),
+            )
+        };
+        ctx.record_span("ogsi.batch", &entry.method, &entry.path, started, tag);
+        return Err(fault);
+    }
+    let Some(dep) = inner.lookup(&entry.path) else {
+        ctx.record_span(
+            "ogsi.batch",
+            &entry.method,
+            &entry.path,
+            started,
+            "not-found",
+        );
+        return Err(Fault::client(format!("no service at {}", entry.path)));
+    };
+    let call = Call {
+        method: entry.method.clone(),
+        namespace: entry.namespace.clone(),
+        params: entry.params.clone(),
+    };
+    let _scope = ppg_context::scope(ctx);
+    let outcome = invoke_operation(inner, &entry.path, &dep, &call, ctx);
+    let tag = match &outcome {
+        Ok(_) => "ok",
+        Err(f) if f.is_deadline_exceeded() => "deadline-exceeded",
+        Err(f) if f.is_cancelled() => "cancelled",
+        Err(_) => "fault",
+    };
+    ctx.record_span("ogsi.batch", &call.method, &entry.path, started, tag);
+    outcome
+}
+
 /// `POST /ogsa/cancel` with a cancel key (`request_id` or
 /// `request_id#leg`) as the plain-text body: flips the matching in-flight
 /// call's cancellation flag so its handler stops at the next check.
@@ -601,6 +816,14 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
         (
             "ppg_cancelled_calls_total",
             inner.cancelled_calls.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_batch_calls_total",
+            inner.batch_calls.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_batch_entries_total",
+            inner.batch_entries.load(Ordering::Relaxed),
         ),
         (
             "ppg_instances_created_total",

@@ -7,7 +7,10 @@ use crate::error::{OgsiError, Result};
 use crate::gsh::Gsh;
 use pperf_httpd::{HttpClient, HttpError, Request, Url};
 use pperf_soap::wsdl::ServiceDescription;
-use pperf_soap::{decode_response, encode_call, encode_call_with_context, SoapError, Value};
+use pperf_soap::{
+    decode_batch_response, decode_response, encode_batch_call, encode_call,
+    encode_call_with_context, BatchEntry, BatchOutcome, SoapError, Value,
+};
 use ppg_context::CallContext;
 use std::sync::Arc;
 use std::time::Instant;
@@ -212,6 +215,103 @@ impl ServiceStub {
                 "{operation} returned a non-integer"
             )))
         })
+    }
+
+    /// Invoke a multi-call batch against the container hosting this stub's
+    /// service: N sub-calls (each naming its own target path) ride one HTTP
+    /// exchange to `POST /ogsa/batch`. Returns per-entry outcomes in request
+    /// order. Transport failures and whole-batch refusals are this call's
+    /// error; per-entry faults are each entry's own.
+    pub fn call_batch(
+        &self,
+        entries: &[BatchEntry],
+        ctx: &CallContext,
+    ) -> Result<Vec<BatchOutcome>> {
+        let started = Instant::now();
+        let site = self.url.authority();
+        if ctx.expired() {
+            let outcome = if ctx.cancelled() {
+                "cancelled-before-send"
+            } else {
+                "deadline-exceeded-before-send"
+            };
+            ctx.record_span("ogsi.stub", "multiCall", &site, started, outcome);
+            return Err(OgsiError::DeadlineExceeded(format!(
+                "multiCall on {site}: budget exhausted before send"
+            )));
+        }
+        let body = encode_batch_call(entries, Some(ctx));
+        let mut url = self.url.clone();
+        url.path = "/ogsa/batch".to_owned();
+        let mut request = Request::post(
+            url.path.clone(),
+            "text/xml; charset=utf-8",
+            body.into_bytes(),
+        );
+        request
+            .headers
+            .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+        if let Some(ms) = ctx.deadline_ms() {
+            request
+                .headers
+                .set(ppg_context::DEADLINE_MS_HEADER, ms.to_string());
+        }
+        if !ctx.leg_tag().is_empty() {
+            request.headers.set(ppg_context::LEG_HEADER, ctx.leg_tag());
+        }
+        let response = match self
+            .client
+            .send_with_deadline(&url, &request, ctx.deadline())
+        {
+            Ok(response) => response,
+            Err(HttpError::TimedOut) => {
+                ctx.record_span(
+                    "ogsi.stub",
+                    "multiCall",
+                    &site,
+                    started,
+                    "deadline-exceeded",
+                );
+                return Err(OgsiError::DeadlineExceeded(format!(
+                    "multiCall on {site}: no response within budget"
+                )));
+            }
+            Err(e) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "transport-error");
+                return Err(OgsiError::Transport(e));
+            }
+        };
+        if let Some(trace) = response.headers.get(ppg_context::TRACE_HEADER) {
+            ctx.extend_spans(ppg_context::decode_trace(trace));
+        }
+        if !response.status.is_success() && response.status.0 != 500 {
+            ctx.record_span("ogsi.stub", "multiCall", &site, started, "http-error");
+            return Err(OgsiError::HttpStatus(
+                response.status.0,
+                response.body_str().into_owned(),
+            ));
+        }
+        match decode_batch_response(&response.body_str()) {
+            Ok(outcomes) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "ok");
+                Ok(outcomes)
+            }
+            Err(SoapError::Fault(f)) => {
+                let outcome = if f.is_deadline_exceeded() {
+                    "deadline-exceeded"
+                } else if f.is_cancelled() {
+                    "cancelled"
+                } else {
+                    "fault"
+                };
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, outcome);
+                Err(OgsiError::Fault(f))
+            }
+            Err(e) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "soap-error");
+                Err(OgsiError::Soap(e))
+            }
+        }
     }
 
     /// Fetch the service description published at `?wsdl`.

@@ -63,12 +63,26 @@ pub fn application_description() -> ServiceDescription {
 pub struct ApplicationService {
     wrapper: Arc<dyn ApplicationWrapper>,
     manager: Arc<Manager>,
+    advertise_batch: bool,
 }
 
 impl ApplicationService {
     /// Wrap an application wrapper with its manager.
     pub fn new(wrapper: Arc<dyn ApplicationWrapper>, manager: Arc<Manager>) -> Self {
-        ApplicationService { wrapper, manager }
+        ApplicationService {
+            wrapper,
+            manager,
+            advertise_batch: true,
+        }
+    }
+
+    /// Control whether instances advertise `supportsBatch` service data.
+    /// Off models a pre-batch site: its container may still answer
+    /// `/ogsa/batch`, but federation clients won't try, falling back to
+    /// per-call getPR.
+    pub fn with_batch_advertised(mut self, advertise: bool) -> Self {
+        self.advertise_batch = advertise;
+        self
     }
 
     fn execs_to_gshs(&self, ids: Vec<String>) -> Result<Value, Fault> {
@@ -154,6 +168,13 @@ impl ServicePort for ApplicationService {
         if let Some(gsh) = self.manager.self_gsh() {
             data = data.with("managerGsh", Value::from(gsh.as_str()));
         }
+        // Capability negotiation for the batched wire protocol: clients that
+        // see `supportsBatch = true` may fold their per-instance getPR fan-out
+        // into one `/ogsa/batch` multi-call per site; absent or false means
+        // per-call only.
+        if self.advertise_batch {
+            data = data.with("supportsBatch", Value::Bool(true));
+        }
         data
     }
 }
@@ -162,12 +183,23 @@ impl ServicePort for ApplicationService {
 pub struct ApplicationFactory {
     wrapper: Arc<dyn ApplicationWrapper>,
     manager: Arc<Manager>,
+    advertise_batch: bool,
 }
 
 impl ApplicationFactory {
     /// A factory over the given wrapper and manager.
     pub fn new(wrapper: Arc<dyn ApplicationWrapper>, manager: Arc<Manager>) -> Self {
-        ApplicationFactory { wrapper, manager }
+        ApplicationFactory {
+            wrapper,
+            manager,
+            advertise_batch: true,
+        }
+    }
+
+    /// Control whether created instances advertise `supportsBatch`.
+    pub fn with_batch_advertised(mut self, advertise: bool) -> Self {
+        self.advertise_batch = advertise;
+        self
     }
 }
 
@@ -177,10 +209,10 @@ impl Factory for ApplicationFactory {
     }
 
     fn create(&self, _call: &Call) -> Result<Arc<dyn ServicePort>, Fault> {
-        Ok(Arc::new(ApplicationService::new(
-            Arc::clone(&self.wrapper),
-            Arc::clone(&self.manager),
-        )))
+        Ok(Arc::new(
+            ApplicationService::new(Arc::clone(&self.wrapper), Arc::clone(&self.manager))
+                .with_batch_advertised(self.advertise_batch),
+        ))
     }
 }
 

@@ -52,12 +52,14 @@ pub mod wrappers;
 
 pub use access::{ExecutionAccess, LocalSites};
 pub use application::{ApplicationFactory, ApplicationService, ApplicationStub};
-pub use execution::{ExecutionFactory, ExecutionService, ExecutionStub};
+pub use execution::{
+    decode_pr_tuple, encode_pr_tuple, ExecutionFactory, ExecutionService, ExecutionStub,
+};
 pub use manager::{Manager, ManagerService, ManagerStub, Placement};
 pub use prcache::{CachePolicy, PrCache};
 pub use site::{Site, SiteConfig};
 pub use timing::{TimedApplicationWrapper, TimingLog};
-pub use wrapper::{ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
+pub use wrapper::{pr_cache_key, ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
 
 /// Namespace for Application PortType calls.
 pub const APPLICATION_NS: &str = "urn:pperfgrid:Application";

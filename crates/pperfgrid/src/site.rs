@@ -24,6 +24,9 @@ pub struct SiteConfig {
     pub cache_capacity: usize,
     /// PR cache replacement policy.
     pub cache_policy: crate::prcache::CachePolicy,
+    /// Whether Application instances advertise `supportsBatch` service data
+    /// (the batched wire protocol capability). Off models a legacy site.
+    pub advertise_batch: bool,
 }
 
 impl SiteConfig {
@@ -34,7 +37,15 @@ impl SiteConfig {
             cache_enabled: true,
             cache_capacity: 4096,
             cache_policy: crate::prcache::CachePolicy::Fifo,
+            advertise_batch: true,
         }
+    }
+
+    /// Toggle `supportsBatch` advertisement (off ⇒ clients use per-call
+    /// getPR against this site).
+    pub fn with_batch_advertised(mut self, advertise: bool) -> SiteConfig {
+        self.advertise_batch = advertise;
+        self
     }
 
     /// Toggle Execution PR caching.
@@ -118,7 +129,10 @@ impl Site {
         let app_wrapper = Arc::clone(&replicas[0].1);
         let app_factory = primary.deploy_factory(
             &format!("{name}-app"),
-            Arc::new(ApplicationFactory::new(app_wrapper, Arc::clone(&manager))),
+            Arc::new(
+                ApplicationFactory::new(app_wrapper, Arc::clone(&manager))
+                    .with_batch_advertised(config.advertise_batch),
+            ),
         )?;
         Ok(Site {
             name: name.clone(),

@@ -57,7 +57,7 @@ pub struct PrQuery {
 }
 
 /// Backslash-escape the characters that double as separators in
-/// [`PrQuery::cache_key`] (`|` between fields, `,` between foci, `-`
+/// [`pr_cache_key`] (`|` between fields, `,` between foci, `-`
 /// between times, and `\` itself). Typical metric/focus names contain none
 /// of them, so common keys keep the exact thesis rendering.
 fn escape_key_component(out: &mut String, component: &str) {
@@ -69,38 +69,56 @@ fn escape_key_component(out: &mut String, component: &str) {
     }
 }
 
+/// The canonical Performance Result key — thesis §5.3.2.3's
+/// `"func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"`
+/// rendering, with separator characters escaped.
+///
+/// Every layer that needs a key for a `(metric, foci, type, window)` tuple —
+/// the per-instance [`crate::PrCache`], the gateway's result cache and
+/// coalescing flight keys, and the batch wire grouping — derives it from
+/// this one function, so the layers cannot drift apart and alias two
+/// different queries onto one cached row set.
+pub fn pr_cache_key(metric: &str, foci: &[String], start: &str, end: &str, rtype: &str) -> String {
+    let mut key = String::with_capacity(
+        metric.len()
+            + foci.iter().map(|f| f.len() + 1).sum::<usize>()
+            + rtype.len()
+            + start.len()
+            + end.len()
+            + 10,
+    );
+    escape_key_component(&mut key, metric);
+    key.push_str(" | ");
+    for (i, focus) in foci.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        escape_key_component(&mut key, focus);
+    }
+    key.push_str(" | ");
+    escape_key_component(&mut key, rtype);
+    key.push_str(" | ");
+    escape_key_component(&mut key, start);
+    key.push('-');
+    escape_key_component(&mut key, end);
+    key
+}
+
 impl PrQuery {
-    /// The cache key format of thesis §5.3.2.3:
-    /// `"func_calls | /Code/MPI/MPI_Allgather | UNDEFINED | 0.0-11.047856"`.
+    /// The cache key format of thesis §5.3.2.3 — see [`pr_cache_key`].
     ///
     /// Components are escaped so adversarial names cannot alias: without
     /// escaping, a metric containing `" | "`, a focus containing `","`, or a
     /// time containing `"-"` could collide with a *different* query's key
     /// and serve it the wrong cached rows.
     pub fn cache_key(&self) -> String {
-        let mut key = String::with_capacity(
-            self.metric.len()
-                + self.foci.iter().map(|f| f.len() + 1).sum::<usize>()
-                + self.rtype.len()
-                + self.start.len()
-                + self.end.len()
-                + 10,
-        );
-        escape_key_component(&mut key, &self.metric);
-        key.push_str(" | ");
-        for (i, focus) in self.foci.iter().enumerate() {
-            if i > 0 {
-                key.push(',');
-            }
-            escape_key_component(&mut key, focus);
-        }
-        key.push_str(" | ");
-        escape_key_component(&mut key, &self.rtype);
-        key.push_str(" | ");
-        escape_key_component(&mut key, &self.start);
-        key.push('-');
-        escape_key_component(&mut key, &self.end);
-        key
+        pr_cache_key(
+            &self.metric,
+            &self.foci,
+            &self.start,
+            &self.end,
+            &self.rtype,
+        )
     }
 
     /// Parse the start/end as f64 seconds, tolerating empty strings (empty ⇒
@@ -168,6 +186,18 @@ pub trait ExecutionWrapper: Send + Sync {
 
     /// Performance Results matching the query, as rendered strings.
     fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError>;
+
+    /// Performance Results for many queries at once — one outcome per query,
+    /// in order.
+    ///
+    /// `ExecutionService::getPRBatch` funnels every cache *miss* of a batch
+    /// through a single call here, so a wrapper backed by a real database can
+    /// answer the whole miss group with one data-layer round trip. The
+    /// default loops over [`ExecutionWrapper::get_pr`], which is correct for
+    /// every wrapper and merely forfeits that amortization.
+    fn get_pr_batch(&self, queries: &[PrQuery]) -> Vec<Result<Vec<String>, WrapperError>> {
+        queries.iter().map(|q| self.get_pr(q)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +257,70 @@ mod tests {
         // Escaping is deterministic: equal queries still share a key.
         let a = q("m|x", &["a,b", "c-d"], "0", "1", "t\\u");
         assert_eq!(a.cache_key(), a.clone().cache_key());
+    }
+
+    #[test]
+    fn shared_helper_and_method_agree_on_hostile_names() {
+        // `pr_cache_key` is the one source of truth: the method, the stub's
+        // wire parameters, and the gateway's cache/flight keys all derive
+        // from it. Guard the equivalence on names that exercise every
+        // escaped separator (`|`, `-`, `,`, `\`).
+        let q = PrQuery {
+            metric: "lat | p99-p50".into(),
+            foci: vec!["/a,b".into(), "/c\\d|e".into()],
+            start: "-1.5".into(),
+            end: "2-3".into(),
+            rtype: "tau-2.x".into(),
+        };
+        assert_eq!(
+            q.cache_key(),
+            pr_cache_key(&q.metric, &q.foci, &q.start, &q.end, &q.rtype)
+        );
+        // And the key still round-trips unambiguously: a hostile metric
+        // cannot fabricate the field separator.
+        assert!(q.cache_key().contains("lat \\| p99\\-p50 | "));
+    }
+
+    #[test]
+    fn default_batch_matches_per_query_calls() {
+        struct Fixed;
+        impl ExecutionWrapper for Fixed {
+            fn info(&self) -> Vec<(String, String)> {
+                vec![]
+            }
+            fn foci(&self) -> Vec<String> {
+                vec![]
+            }
+            fn metrics(&self) -> Vec<String> {
+                vec![]
+            }
+            fn types(&self) -> Vec<String> {
+                vec![]
+            }
+            fn time_start_end(&self) -> (String, String) {
+                (String::new(), String::new())
+            }
+            fn get_pr(&self, query: &PrQuery) -> Result<Vec<String>, WrapperError> {
+                if query.metric == "bad" {
+                    Err(WrapperError("no such metric".into()))
+                } else {
+                    Ok(vec![format!("{}|1.0", query.metric)])
+                }
+            }
+        }
+        let q = |metric: &str| PrQuery {
+            metric: metric.into(),
+            foci: vec![],
+            start: String::new(),
+            end: String::new(),
+            rtype: "t".into(),
+        };
+        let queries = [q("gflops"), q("bad"), q("walltime")];
+        let batch = Fixed.get_pr_batch(&queries);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], Ok(vec!["gflops|1.0".into()]));
+        assert!(batch[1].is_err());
+        assert_eq!(batch[2], Ok(vec!["walltime|1.0".into()]));
     }
 
     #[test]

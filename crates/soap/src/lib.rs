@@ -27,6 +27,7 @@
 //! assert_eq!(call.params[1].1.as_str().unwrap(), "8");
 //! ```
 
+pub mod batch;
 mod codec;
 pub mod context;
 mod envelope;
@@ -34,6 +35,10 @@ mod fault;
 mod value;
 pub mod wsdl;
 
+pub use batch::{
+    decode_batch_call, decode_batch_response, encode_batch_call, encode_batch_response, BatchEntry,
+    BatchOutcome, BATCH_NS,
+};
 pub use codec::{decode_call, decode_response, encode_call, encode_fault, encode_response, Call};
 pub use context::{
     context_from_header, context_header, decode_call_with_context, encode_call_with_context,
@@ -41,7 +46,7 @@ pub use context::{
 };
 pub use envelope::{Envelope, SOAP_ENV_NS, XSD_NS, XSI_NS};
 pub use fault::{Fault, FaultCode, CANCELLED_DETAIL, DEADLINE_EXCEEDED_DETAIL};
-pub use value::{Value, ValueError, ValueType};
+pub use value::{pack_strs, unpack_strs, Value, ValueError, ValueType, PACK_THRESHOLD};
 
 /// Errors raised while encoding or decoding SOAP messages.
 #[derive(Debug, Clone, PartialEq)]

@@ -8,6 +8,61 @@
 use pperf_xml::Element;
 use std::fmt;
 
+/// Item count at which [`Value::to_element`] switches a `StrArray` to the
+/// packed length-prefixed block (one text node) instead of one `<item>`
+/// element per row. Small arrays keep the classic Section-5 shape so
+/// foreign decoders and existing fixtures still read them.
+pub const PACK_THRESHOLD: usize = 4;
+
+/// `xsi:type` local name of the packed string-array encoding.
+const PACKED_TYPE: &str = "packedStrings";
+
+/// Encode `items` as a length-prefixed columnar block: each item is
+/// `len ':' bytes ';'`, where `len` is the item's UTF-8 byte length. The
+/// length prefix makes the block self-delimiting, so rows containing `|`,
+/// `:`, `;`, or newlines round-trip untouched.
+pub fn pack_strs(items: &[String]) -> String {
+    let mut out = String::with_capacity(items.iter().map(|s| s.len() + 8).sum());
+    for item in items {
+        out.push_str(&item.len().to_string());
+        out.push(':');
+        out.push_str(item);
+        out.push(';');
+    }
+    out
+}
+
+/// Decode a block produced by [`pack_strs`].
+pub fn unpack_strs(block: &str) -> Result<Vec<String>, ValueError> {
+    let mut out = Vec::new();
+    let mut rest = block;
+    loop {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            return Ok(out);
+        }
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| ValueError("packed block: missing ':' after length".into()))?;
+        let len: usize = rest[..colon]
+            .parse()
+            .map_err(|_| ValueError(format!("packed block: bad length {:?}", &rest[..colon])))?;
+        let data_start = colon + 1;
+        let data_end = data_start + len;
+        if data_end > rest.len() {
+            return Err(ValueError("packed block: truncated item".into()));
+        }
+        if !rest.is_char_boundary(data_end) {
+            return Err(ValueError("packed block: length splits a character".into()));
+        }
+        out.push(rest[data_start..data_end].to_owned());
+        if rest.as_bytes().get(data_end) != Some(&b';') {
+            return Err(ValueError("packed block: missing ';' terminator".into()));
+        }
+        rest = &rest[data_end + 1..];
+    }
+}
+
 /// A typed RPC value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -181,6 +236,12 @@ impl Value {
             Value::Bool(b) => {
                 el.push_text(if *b { "true" } else { "false" });
             }
+            Value::StrArray(items) if items.len() >= PACK_THRESHOLD => {
+                // Compact columnar form: one text node for the whole array.
+                el.set_attr("xsi:type", format!("ppg:{PACKED_TYPE}"));
+                el.set_attr("count", items.len().to_string());
+                el.push_text(pack_strs(items));
+            }
             Value::StrArray(items) => {
                 el.set_attr("soapenc:arrayType", format!("xsd:string[{}]", items.len()));
                 for item in items {
@@ -202,6 +263,23 @@ impl Value {
     pub fn from_element(el: &Element) -> Result<Value, ValueError> {
         if el.attr("xsi:nil") == Some("true") {
             return Ok(Value::Nil);
+        }
+        if let Some(t) = el.attr("xsi:type") {
+            if t.rsplit(':').next() == Some(PACKED_TYPE) {
+                let items = unpack_strs(&el.text())?;
+                if let Some(count) = el.attr("count") {
+                    let expected: usize = count
+                        .parse()
+                        .map_err(|_| ValueError(format!("bad packed count {count:?}")))?;
+                    if expected != items.len() {
+                        return Err(ValueError(format!(
+                            "packed count mismatch: declared {expected}, decoded {}",
+                            items.len()
+                        )));
+                    }
+                }
+                return Ok(Value::StrArray(items));
+            }
         }
         let ty = match el.attr("xsi:type") {
             Some(t) => ValueType::from_xsi(t)
@@ -388,5 +466,53 @@ mod tests {
     fn array_type_attribute_present() {
         let el = Value::StrArray(vec!["a".into(), "b".into()]).to_element("r");
         assert_eq!(el.attr("soapenc:arrayType"), Some("xsd:string[2]"));
+    }
+
+    #[test]
+    fn large_arrays_use_the_packed_form() {
+        let rows: Vec<String> = (0..PACK_THRESHOLD).map(|i| format!("gflops|{i}")).collect();
+        let v = Value::StrArray(rows);
+        let el = v.to_element("return");
+        assert_eq!(el.attr("xsi:type"), Some("ppg:packedStrings"));
+        assert_eq!(el.attr("count"), Some(PACK_THRESHOLD.to_string().as_str()));
+        assert_eq!(el.element_count(), 0, "packed form has no <item> children");
+        assert_eq!(Value::from_element(&el).unwrap(), v);
+    }
+
+    #[test]
+    fn packed_roundtrips_hostile_rows_through_the_wire() {
+        let rows = vec![
+            "plain".to_owned(),
+            String::new(),
+            "semi;colon:and|pipe".to_owned(),
+            "multi\nline ☃ 4:x;".to_owned(),
+            "ampersand & <angle>".to_owned(),
+        ];
+        let v = Value::StrArray(rows);
+        let wire = crate::encode_response("getPR", &v);
+        assert_eq!(crate::decode_response(&wire).unwrap(), v);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let items = vec!["a".to_owned(), String::new(), "1:2;".to_owned()];
+        assert_eq!(unpack_strs(&pack_strs(&items)).unwrap(), items);
+        assert_eq!(unpack_strs("").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn malformed_packed_blocks_rejected() {
+        assert!(unpack_strs("5:ab;").is_err(), "truncated");
+        assert!(unpack_strs("2:ab").is_err(), "missing terminator");
+        assert!(unpack_strs("x:ab;").is_err(), "bad length");
+        assert!(unpack_strs("ab;").is_err(), "no length");
+        assert!(unpack_strs("1:☃;").is_err(), "length splits a char");
+    }
+
+    #[test]
+    fn packed_count_mismatch_rejected() {
+        let mut el = Value::StrArray(vec!["a".into(); PACK_THRESHOLD]).to_element("r");
+        el.set_attr("count", "3");
+        assert!(Value::from_element(&el).is_err());
     }
 }

@@ -4,40 +4,55 @@
 //! references — the set SOAP payloads actually use.
 
 use crate::error::{Error, ErrorKind, Result};
+use std::borrow::Cow;
 
 /// Escape text content: `&`, `<`, `>` are replaced by entities.
 ///
-/// Returns the input unchanged (no allocation beyond the output string) when
-/// nothing needs escaping — the common case for performance-metric payloads.
-pub fn escape_text(s: &str) -> String {
+/// Borrows the input unchanged (no allocation at all) when nothing needs
+/// escaping — the common case for performance-metric payloads.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
     escape_impl(s, false)
 }
 
 /// Escape an attribute value: like [`escape_text`] but also escapes `"`.
-pub fn escape_attr(s: &str) -> String {
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
     escape_impl(s, true)
 }
 
-fn escape_impl(s: &str, attr: bool) -> String {
-    // Fast path: scan once; most payloads need no escaping.
-    if !s
-        .bytes()
-        .any(|b| b == b'&' || b == b'<' || b == b'>' || (attr && (b == b'"' || b == b'\'')))
-    {
-        return s.to_owned();
+fn needs_escape(b: u8, attr: bool) -> bool {
+    b == b'&' || b == b'<' || b == b'>' || (attr && (b == b'"' || b == b'\''))
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    // Fast path: scan once; most payloads need no escaping and borrow.
+    if !s.bytes().any(|b| needs_escape(b, attr)) {
+        return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' if attr => out.push_str("&quot;"),
-            '\'' if attr => out.push_str("&apos;"),
-            c => out.push(c),
+    escape_into(s, attr, &mut out);
+    Cow::Owned(out)
+}
+
+/// Append the escaped form of `s` to `out`, copying clean stretches as whole
+/// chunks instead of char by char.
+fn escape_into(s: &str, attr: bool, out: &mut String) {
+    let bytes = s.as_bytes();
+    let mut clean = 0; // start of the current unescaped run
+    for (i, &b) in bytes.iter().enumerate() {
+        if !needs_escape(b, attr) {
+            continue;
         }
+        out.push_str(&s[clean..i]);
+        out.push_str(match b {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'"' => "&quot;",
+            _ => "&apos;",
+        });
+        clean = i + 1;
     }
-    out
+    out.push_str(&s[clean..]);
 }
 
 /// Append the escaped form of `s` (text-content rules) to `out`.
@@ -45,28 +60,12 @@ fn escape_impl(s: &str, attr: bool) -> String {
 /// Used by the serializer to avoid intermediate allocations on the hot
 /// marshalling path.
 pub(crate) fn escape_text_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            c => out.push(c),
-        }
-    }
+    escape_into(s, false, out);
 }
 
 /// Append the escaped form of `s` (attribute-value rules) to `out`.
 pub(crate) fn escape_attr_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            c => out.push(c),
-        }
-    }
+    escape_into(s, true, out);
 }
 
 /// Resolve all entity references in `s`.
@@ -137,6 +136,10 @@ mod tests {
     fn escape_noop_is_cheap() {
         assert_eq!(escape_text("plain"), "plain");
         assert_eq!(escape_attr("plain"), "plain");
+        // Clean strings must borrow — no fresh String on the hot path.
+        assert!(matches!(escape_text("plain metric 1.5"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("urn:pperfgrid"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("a&b"), Cow::Owned(_)));
     }
 
     #[test]

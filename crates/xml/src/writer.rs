@@ -7,14 +7,14 @@ impl Element {
     /// Serialize compactly (no added whitespace). The output always reparses
     /// to an equal tree — the property the SOAP layer relies on.
     pub fn to_xml(&self) -> String {
-        let mut out = String::with_capacity(256);
+        let mut out = String::with_capacity(estimate_len(self));
         write_compact(self, &mut out);
         out
     }
 
     /// Serialize with an XML declaration prepended, as sent on the wire.
     pub fn to_document(&self) -> String {
-        let mut out = String::with_capacity(256 + 40);
+        let mut out = String::with_capacity(estimate_len(self) + 40);
         out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
         write_compact(self, &mut out);
         out
@@ -29,6 +29,23 @@ impl Element {
         write_pretty(self, 0, &mut out);
         out
     }
+}
+
+/// Lower-bound serialized size, so `to_xml` allocates once instead of
+/// growing through the doubling ladder on large result payloads.
+fn estimate_len(el: &Element) -> usize {
+    // `<name ...attrs>` + `</name>` (escaping only adds bytes).
+    let mut n = 2 * el.name.len() + 5;
+    for (k, v) in &el.attrs {
+        n += k.len() + v.len() + 4;
+    }
+    for child in &el.children {
+        n += match child {
+            Node::Element(e) => estimate_len(e),
+            Node::Text(t) => t.len(),
+        };
+    }
+    n
 }
 
 fn write_open_tag(el: &Element, out: &mut String) {

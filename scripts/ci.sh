@@ -27,6 +27,11 @@ cargo test -q -p pperf-httpd --features soak --test event_loop
 echo "==> httpd suite on the portable poll(2) backend"
 PPG_FORCE_POLL=1 cargo test -q -p pperf-httpd
 
+echo "==> batched wire protocol suite (mixed fleets, per-entry faults/deadlines)"
+cargo test -q -p pperf-soap batch
+cargo test -q -p pperf-gateway --test batch
+PPG_FORCE_POLL=1 cargo test -q -p pperf-gateway --test batch
+
 if [[ "${PPG_BENCH:-0}" == "1" ]]; then
     echo "==> gateway fan-out bench (quick scale)"
     PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
