@@ -124,12 +124,15 @@ fn repeats() -> usize {
 }
 
 /// Time `repeats` identical federated queries; the binding/priming query runs
-/// first, untimed, so both passes measure steady state.
+/// first, untimed, so both passes measure steady state. Also returns the
+/// HTTP payload bytes (request + response bodies) the client moved during
+/// the timed repeats — the bytes-on-the-wire cost of the codec in use.
 fn timed_pass(
     gateway: &FederatedGateway,
+    client: &HttpClient,
     query: &FederatedQuery,
     repeats: usize,
-) -> (Duration, u64) {
+) -> (Duration, u64, u64) {
     let prime = gateway.query(query);
     assert!(
         prime.errors.is_empty(),
@@ -137,14 +140,17 @@ fn timed_pass(
         prime.errors
     );
     let before = gateway.snapshot().upstream_calls;
+    let (sent_before, received_before) = client.payload_bytes();
     let started = Instant::now();
     for _ in 0..repeats {
         let result = gateway.query(query);
         assert!(result.errors.is_empty(), "{:?}", result.errors);
     }
+    let (sent_after, received_after) = client.payload_bytes();
     (
         started.elapsed(),
         gateway.snapshot().upstream_calls - before,
+        (sent_after - sent_before) + (received_after - received_before),
     )
 }
 
@@ -186,22 +192,27 @@ fn main() {
             .with_hedging(None)
             .with_batching(false),
     );
-    let (uncached_elapsed, uncached_upstream) = timed_pass(&uncached_gateway, &query, repeats);
+    let (uncached_elapsed, uncached_upstream, _) =
+        timed_pass(&uncached_gateway, &fed.client, &query, repeats);
     let uncached_qps = qps(repeats, uncached_elapsed);
     println!(
         "uncached: {repeats} queries in {uncached_elapsed:?} ({uncached_qps:.1} q/s, {uncached_upstream} upstream getPRs)"
     );
 
-    // Pass 1b: same cold federation, batched wire protocol — each site's 8
-    // targets fold into one multi-call exchange per query.
+    // Pass 1b: same cold federation, batched wire protocol pinned to XML —
+    // each site's 8 targets fold into one multi-call exchange per query.
+    // (Binary stays off here so this series remains the XML-batch baseline;
+    // the bulk pass below compares the codecs head to head.)
     let batched_gateway = FederatedGateway::new(
         Arc::clone(&fed.client),
         fed.registry.clone(),
         GatewayConfig::default()
             .with_cache(false)
-            .with_hedging(None),
+            .with_hedging(None)
+            .with_binary(false),
     );
-    let (batched_elapsed, batched_upstream) = timed_pass(&batched_gateway, &query, repeats);
+    let (batched_elapsed, batched_upstream, _) =
+        timed_pass(&batched_gateway, &fed.client, &query, repeats);
     let batched_qps = qps(repeats, batched_elapsed);
     let batched_calls_per_query = batched_upstream as f64 / repeats as f64;
     let batch_speedup = batched_qps / uncached_qps;
@@ -222,7 +233,8 @@ fn main() {
         fed.registry.clone(),
         GatewayConfig::default().with_hedging(None),
     );
-    let (cached_elapsed, cached_upstream) = timed_pass(&cached_gateway, &query, repeats);
+    let (cached_elapsed, cached_upstream, _) =
+        timed_pass(&cached_gateway, &fed.client, &query, repeats);
     let cached_qps = qps(repeats, cached_elapsed);
     let speedup = cached_qps / uncached_qps;
     println!(
@@ -266,6 +278,107 @@ fn main() {
         "gateway_fanout/batch_fallback_calls",
         batch_fallback_calls as f64,
         "calls",
+    ));
+
+    // Pass 2b: binary data plane vs the XML-batch baseline on a bulk
+    // federation — one site, many executions, no scripted delay, so codec
+    // serialize/parse cost and payload size dominate instead of backend
+    // latency. Each gateway gets its own HttpClient so payload-byte counters
+    // and per-peer codec memory don't interleave.
+    let bulk_execs = if std::env::var_os("PPG_QUICK").is_some() {
+        24
+    } else {
+        48
+    };
+    let bulk = {
+        let client = Arc::new(HttpClient::new());
+        let host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+        let registry = host
+            .deploy_service("registry", Arc::new(RegistryService::new()))
+            .unwrap();
+        let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(bulk_execs, 2, Duration::ZERO));
+        let site = Site::deploy(
+            &host,
+            Arc::clone(&client),
+            mem,
+            &SiteConfig::new("bulk").with_cache(false),
+        )
+        .unwrap();
+        let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+        stub.register_organization("BULK", "bench").unwrap();
+        site.publish(&stub, "BULK", "scripted store").unwrap();
+        Federation {
+            client,
+            registry,
+            containers: vec![host],
+        }
+    };
+    let xml_client = Arc::new(HttpClient::new());
+    let xml_bulk_gateway = FederatedGateway::new(
+        Arc::clone(&xml_client),
+        bulk.registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None)
+            .with_binary(false),
+    );
+    let (xml_bulk_elapsed, _, xml_bulk_bytes) =
+        timed_pass(&xml_bulk_gateway, &xml_client, &query, repeats);
+    let xml_bulk_qps = qps(repeats, xml_bulk_elapsed);
+    let bin_client = Arc::new(HttpClient::new());
+    let bin_bulk_gateway = FederatedGateway::new(
+        Arc::clone(&bin_client),
+        bulk.registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None),
+    );
+    let (bin_bulk_elapsed, _, bin_bulk_bytes) =
+        timed_pass(&bin_bulk_gateway, &bin_client, &query, repeats);
+    let bin_bulk_qps = qps(repeats, bin_bulk_elapsed);
+    let bulk_snapshot = bin_bulk_gateway.snapshot();
+    assert_eq!(
+        bulk_snapshot.binary_fallback_calls, 0,
+        "bulk binary pass downgraded to XML"
+    );
+    let bulk_speedup = bin_bulk_qps / xml_bulk_qps;
+    let xml_bulk_bpq = xml_bulk_bytes as f64 / repeats as f64;
+    let bin_bulk_bpq = bin_bulk_bytes as f64 / repeats as f64;
+    let bulk_byte_shrink = xml_bulk_bpq / bin_bulk_bpq.max(1.0);
+    println!(
+        "bulk:     {bulk_execs}-entry batches: XML {xml_bulk_qps:.1} q/s at {xml_bulk_bpq:.0} \
+         payload B/query; binary {bin_bulk_qps:.1} q/s at {bin_bulk_bpq:.0} B/query \
+         ({bulk_speedup:.2}x throughput, {bulk_byte_shrink:.1}x fewer bytes)"
+    );
+    entries.push(entry(
+        "gateway_fanout/bulk_xml_batch_throughput",
+        xml_bulk_qps,
+        "queries/s",
+    ));
+    entries.push(entry(
+        "gateway_fanout/bulk_binary_throughput",
+        bin_bulk_qps,
+        "queries/s",
+    ));
+    entries.push(entry(
+        "gateway_fanout/bulk_binary_speedup",
+        bulk_speedup,
+        "x",
+    ));
+    entries.push(entry(
+        "gateway_fanout/bulk_xml_batch_payload_bytes_per_query",
+        xml_bulk_bpq,
+        "bytes",
+    ));
+    entries.push(entry(
+        "gateway_fanout/bulk_binary_payload_bytes_per_query",
+        bin_bulk_bpq,
+        "bytes",
+    ));
+    entries.push(entry(
+        "gateway_fanout/bulk_binary_payload_shrink",
+        bulk_byte_shrink,
+        "x",
     ));
 
     // Pass 3: a storm of identical concurrent queries against a cold, slow
@@ -352,7 +465,7 @@ fn main() {
             .with_cache(false)
             .with_hedging(None),
     );
-    let (base_elapsed, _) = timed_pass(&parked_gateway, &query, repeats);
+    let (base_elapsed, _, _) = timed_pass(&parked_gateway, &client, &query, repeats);
     let base_qps = qps(repeats, base_elapsed);
     let authority = host
         .base_url()
@@ -371,7 +484,7 @@ fn main() {
         "only {} of {parked_target} parked connections registered",
         host.open_connections()
     );
-    let (parked_elapsed, _) = timed_pass(&parked_gateway, &query, repeats);
+    let (parked_elapsed, _, _) = timed_pass(&parked_gateway, &client, &query, repeats);
     let parked_qps = qps(repeats, parked_elapsed);
     let retention = parked_qps / base_qps;
     println!(
@@ -495,6 +608,20 @@ fn main() {
         eprintln!(
             "WARNING: batched throughput {batch_speedup:.2}x over per-call, below the \
              1.5x acceptance floor"
+        );
+        failed = true;
+    }
+    if bulk_speedup < 1.3 {
+        eprintln!(
+            "WARNING: binary bulk throughput {bulk_speedup:.2}x over XML-batch, below the \
+             1.3x acceptance floor"
+        );
+        failed = true;
+    }
+    if bulk_byte_shrink < 3.0 {
+        eprintln!(
+            "WARNING: binary payload only {bulk_byte_shrink:.1}x smaller than XML-batch \
+             (acceptance floor: 3x fewer bytes)"
         );
         failed = true;
     }

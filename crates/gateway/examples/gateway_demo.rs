@@ -145,5 +145,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.hedge_wins,
         snapshot.coalesced
     );
+    println!(
+        "wire planes: {} PPGB frames ({} entries), {} XML batches ({} entries), \
+         {} binary downgrades, {} batch fallbacks",
+        snapshot.binary_calls,
+        snapshot.binary_entries,
+        snapshot.batched_calls - snapshot.binary_calls,
+        snapshot.batch_entries - snapshot.binary_entries,
+        snapshot.binary_fallback_calls,
+        snapshot.batch_fallback_calls
+    );
     Ok(())
 }

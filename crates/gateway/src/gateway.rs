@@ -23,7 +23,7 @@ use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, Si
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use pperf_httpd::{HttpClient, Request};
-use pperf_ogsi::{Gsh, OgsiError, ServiceStub};
+use pperf_ogsi::{BatchWire, Gsh, OgsiError, ServiceStub};
 use pperf_soap::{BatchEntry, BatchOutcome};
 use pperfgrid::{ExecutionStub, PrQuery, EXECUTION_NS};
 use ppg_context::CallContext;
@@ -31,6 +31,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One uncached `(execution target, getPR tuple, cache key)` slot still
+/// awaiting a wire call after the cache/coalescing probe.
+type UncachedSlot<'a> = (&'a ExecTarget, Arc<PrQuery>, String);
 
 /// Tuning knobs for the gateway.
 #[derive(Debug, Clone)]
@@ -65,6 +69,11 @@ pub struct GatewayConfig {
     /// (and singleton target groups) transparently fall back to per-call
     /// getPR.
     pub batch_enabled: bool,
+    /// Let those multi-calls travel the binary data plane (PPGB frames)
+    /// against sites whose containers speak it, with per-connection codec
+    /// negotiation and transparent XML fallback. Off pins every batch to
+    /// XML regardless of what sites advertise.
+    pub binary_enabled: bool,
 }
 
 impl Default for GatewayConfig {
@@ -81,6 +90,7 @@ impl Default for GatewayConfig {
             cache_ttl: Duration::from_secs(30),
             plan_cache_ttl: Duration::from_millis(500),
             batch_enabled: true,
+            binary_enabled: true,
         }
     }
 }
@@ -142,6 +152,12 @@ impl GatewayConfig {
         self.batch_enabled = enabled;
         self
     }
+
+    /// Toggle the binary data plane for batched multi-calls.
+    pub fn with_binary(mut self, enabled: bool) -> GatewayConfig {
+        self.binary_enabled = enabled;
+        self
+    }
 }
 
 /// Rolling latency/error accounting for one site.
@@ -188,6 +204,13 @@ struct Stats {
     /// Per-call getPR calls issued while batching was enabled (site without
     /// `supportsBatch`, singleton target group, or hedge leg).
     batch_fallback: AtomicU64,
+    /// Batched wire requests that travelled as PPGB binary frames.
+    binary_calls: AtomicU64,
+    /// getPR entries that rode those binary frames.
+    binary_entries: AtomicU64,
+    /// Batched wire requests that tried binary but were transparently
+    /// re-sent as XML (legacy peer, corrupt frame, non-binary answer).
+    binary_fallbacks: AtomicU64,
     in_flight: AtomicI64,
     sites: Mutex<HashMap<String, SiteLatency>>,
 }
@@ -238,6 +261,13 @@ pub struct GatewaySnapshot {
     /// Per-call getPR calls issued while batching was enabled (no site
     /// capability, singleton group, or hedge leg).
     pub batch_fallback_calls: u64,
+    /// Batched wire requests that travelled as PPGB binary frames.
+    pub binary_calls: u64,
+    /// getPR entries that rode those binary frames.
+    pub binary_entries: u64,
+    /// Binary attempts transparently re-sent as XML (legacy peer, corrupt
+    /// frame, or non-binary answer).
+    pub binary_fallback_calls: u64,
     /// Registry-snapshot cache hits in the planner.
     pub plan_snapshot_hits: u64,
     /// Registry-snapshot refreshes (actual wire snapshots) in the planner.
@@ -270,6 +300,9 @@ pub struct FederatedGateway {
 struct PendingTarget {
     site: String,
     target: ExecTarget,
+    /// The `getPR` tuple this slot fetches (queries with `extra_metrics`
+    /// expand each target to several slots, one per tuple).
+    pr: Arc<PrQuery>,
     cache_key: String,
     deadline: Instant,
     hedge_at: Option<Instant>,
@@ -337,6 +370,9 @@ impl FederatedGateway {
                 batched_calls: AtomicU64::new(0),
                 batch_entries: AtomicU64::new(0),
                 batch_fallback: AtomicU64::new(0),
+                binary_calls: AtomicU64::new(0),
+                binary_entries: AtomicU64::new(0),
+                binary_fallbacks: AtomicU64::new(0),
                 in_flight: AtomicI64::new(0),
                 sites: Mutex::new(HashMap::new()),
             },
@@ -404,6 +440,9 @@ impl FederatedGateway {
             batched_calls: inner.stats.batched_calls.load(Ordering::Relaxed),
             batch_entries: inner.stats.batch_entries.load(Ordering::Relaxed),
             batch_fallback_calls: inner.stats.batch_fallback.load(Ordering::Relaxed),
+            binary_calls: inner.stats.binary_calls.load(Ordering::Relaxed),
+            binary_entries: inner.stats.binary_entries.load(Ordering::Relaxed),
+            binary_fallback_calls: inner.stats.binary_fallbacks.load(Ordering::Relaxed),
             plan_snapshot_hits,
             plan_snapshot_refreshes,
             per_site,
@@ -440,8 +479,17 @@ impl FederatedGateway {
         }
         let mut errors = plan.errors.clone();
         let sites_total = plan.sites.len() + errors.len();
-        let pr = Arc::new(query.pr_query());
-        let pr_key = pr.cache_key();
+        // Every tuple of the query (primary metric + extras) fans out to
+        // every target. Tuples of one instance land in the same batch group,
+        // so a multi-metric query still costs one wire call per host.
+        let prs: Vec<(Arc<PrQuery>, String)> = query
+            .pr_queries()
+            .into_iter()
+            .map(|pr| {
+                let key = pr.cache_key();
+                (Arc::new(pr), key)
+            })
+            .collect();
         let query_upstream = Arc::new(AtomicU64::new(0));
         let (tx, rx) = unbounded::<Outcome>();
         let mut rows: Vec<SiteRows> = Vec::new();
@@ -449,36 +497,44 @@ impl FederatedGateway {
         let scatter_start = Instant::now();
         for site_plan in &plan.sites {
             // Probe the shared cache first; only misses go upstream.
-            let mut uncached: Vec<(&ExecTarget, String)> = Vec::new();
+            let mut uncached: Vec<UncachedSlot<'_>> = Vec::new();
             for target in &site_plan.targets {
-                let cache_key = format!("{}::{pr_key}", target.primary.as_str());
-                if inner.config.cache_enabled {
-                    if let Some(cached) = inner.cache.get(&cache_key) {
-                        qctx.record_span("gateway.cache", "getPR", &site_plan.site, started, "hit");
-                        rows.push(SiteRows {
-                            site: site_plan.site.clone(),
-                            execution: target.primary.clone(),
-                            rows: cached,
-                            from_cache: true,
-                            hedged: false,
-                        });
-                        continue;
+                for (pr, pr_key) in &prs {
+                    let cache_key = format!("{}::{pr_key}", target.primary.as_str());
+                    if inner.config.cache_enabled {
+                        if let Some(cached) = inner.cache.get(&cache_key) {
+                            qctx.record_span(
+                                "gateway.cache",
+                                "getPR",
+                                &site_plan.site,
+                                started,
+                                "hit",
+                            );
+                            rows.push(SiteRows {
+                                site: site_plan.site.clone(),
+                                execution: target.primary.clone(),
+                                rows: cached,
+                                from_cache: true,
+                                hedged: false,
+                            });
+                            continue;
+                        }
                     }
+                    uncached.push((target, Arc::clone(pr), cache_key));
                 }
-                uncached.push((target, cache_key));
             }
             // Batch-capable sites fold their misses into one multi-call wire
             // request per host (a site's instances may be spread across
             // replica containers); everything else goes per-call.
-            let mut batch_groups: Vec<Vec<(&ExecTarget, String)>> = Vec::new();
-            let mut per_call: Vec<(&ExecTarget, String)> = Vec::new();
+            let mut batch_groups: Vec<Vec<UncachedSlot<'_>>> = Vec::new();
+            let mut per_call: Vec<UncachedSlot<'_>> = Vec::new();
             if inner.config.batch_enabled && site_plan.supports_batch {
-                let mut by_host: HashMap<String, Vec<(&ExecTarget, String)>> = HashMap::new();
-                for (target, key) in uncached {
+                let mut by_host: HashMap<String, Vec<UncachedSlot<'_>>> = HashMap::new();
+                for (target, pr, key) in uncached {
                     by_host
                         .entry(target.primary.url().authority())
                         .or_default()
-                        .push((target, key));
+                        .push((target, pr, key));
                 }
                 for (_, group) in by_host {
                     if group.len() > 1 {
@@ -492,7 +548,7 @@ impl FederatedGateway {
             } else {
                 per_call = uncached;
             }
-            for (target, cache_key) in per_call {
+            for (target, pr, cache_key) in per_call {
                 if inner.config.batch_enabled {
                     inner.stats.batch_fallback.fetch_add(1, Ordering::Relaxed);
                 }
@@ -506,6 +562,7 @@ impl FederatedGateway {
                 pending.push(PendingTarget {
                     site: site_plan.site.clone(),
                     target: target.clone(),
+                    pr: Arc::clone(&pr),
                     cache_key: cache_key.clone(),
                     deadline: query_deadline,
                     hedge_at,
@@ -522,7 +579,7 @@ impl FederatedGateway {
                     idx,
                     site_plan.site.clone(),
                     target.primary.clone(),
-                    Arc::clone(&pr),
+                    pr,
                     cache_key,
                     false,
                     primary_ctx,
@@ -541,8 +598,9 @@ impl FederatedGateway {
                     let margin = (rem / 8).min(Duration::from_millis(250));
                     shared_ctx = shared_ctx.with_remaining(rem.saturating_sub(margin));
                 }
-                let mut members: Vec<(usize, Gsh, String)> = Vec::with_capacity(group.len());
-                for (target, cache_key) in group {
+                let mut members: Vec<(usize, Gsh, Arc<PrQuery>, String)> =
+                    Vec::with_capacity(group.len());
+                for (target, pr, cache_key) in group {
                     let idx = pending.len();
                     let hedge_at = target
                         .hedge
@@ -552,6 +610,7 @@ impl FederatedGateway {
                     pending.push(PendingTarget {
                         site: site_plan.site.clone(),
                         target: target.clone(),
+                        pr: Arc::clone(&pr),
                         cache_key: cache_key.clone(),
                         deadline: query_deadline,
                         hedge_at,
@@ -563,13 +622,12 @@ impl FederatedGateway {
                         primary_ctx: shared_ctx.clone(),
                         hedge_ctx: None,
                     });
-                    members.push((idx, target.primary.clone(), cache_key));
+                    members.push((idx, target.primary.clone(), pr, cache_key));
                 }
                 self.submit_batch(
                     tx.clone(),
                     site_plan.site.clone(),
                     members,
-                    Arc::clone(&pr),
                     shared_ctx,
                     Arc::clone(&query_upstream),
                 );
@@ -657,7 +715,7 @@ impl FederatedGateway {
                                     idx,
                                     site,
                                     hedge,
-                                    Arc::clone(&pr),
+                                    Arc::clone(&p.pr),
                                     key,
                                     true,
                                     hedge_ctx,
@@ -698,7 +756,7 @@ impl FederatedGateway {
                                     idx,
                                     site,
                                     hedge,
-                                    Arc::clone(&pr),
+                                    Arc::clone(&p.pr),
                                     key,
                                     true,
                                     hedge_ctx,
@@ -832,8 +890,7 @@ impl FederatedGateway {
         &self,
         tx: Sender<Outcome>,
         site: String,
-        members: Vec<(usize, Gsh, String)>,
-        pr: Arc<PrQuery>,
+        members: Vec<(usize, Gsh, Arc<PrQuery>, String)>,
         leg_ctx: CallContext,
         query_upstream: Arc<AtomicU64>,
     ) {
@@ -841,7 +898,7 @@ impl FederatedGateway {
         self.pool.submit(move || {
             let started = Instant::now();
             inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-            let results = run_batch_flight(&inner, &site, &members, &pr, &leg_ctx, &query_upstream);
+            let results = run_batch_flight(&inner, &site, &members, &leg_ctx, &query_upstream);
             inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             let failed = results.iter().any(|(_, r)| r.is_err());
             inner.stats.record_site(&site, started.elapsed(), failed);
@@ -864,8 +921,7 @@ impl FederatedGateway {
 fn run_batch_flight(
     inner: &Arc<Inner>,
     site: &str,
-    members: &[(usize, Gsh, String)],
-    pr: &Arc<PrQuery>,
+    members: &[(usize, Gsh, Arc<PrQuery>, String)],
     leg_ctx: &CallContext,
     query_upstream: &Arc<AtomicU64>,
 ) -> Vec<(usize, FlightResult)> {
@@ -878,7 +934,7 @@ fn run_batch_flight(
             "deadline-exceeded-before-send"
         };
         leg_ctx.record_span("gateway.batch", "multiCall", site, started, outcome);
-        for (idx, _, _) in members {
+        for (idx, _, _, _) in members {
             results.push((
                 *idx,
                 Err((
@@ -891,8 +947,8 @@ fn run_batch_flight(
     }
     // Per-entry coalescing: an identical tuple already in flight (from this
     // query or another) answers its entry without a wire slot.
-    let mut leaders: Vec<(usize, Gsh, String, crate::coalesce::Token)> = Vec::new();
-    for (idx, exec, cache_key) in members {
+    let mut leaders: Vec<(usize, Gsh, Arc<PrQuery>, String, crate::coalesce::Token)> = Vec::new();
+    for (idx, exec, pr, cache_key) in members {
         let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
         match inner.flights.join(&flight_key) {
             Flight::Follower(outcome) => {
@@ -909,7 +965,7 @@ fn run_batch_flight(
                 results.push((*idx, outcome.result));
             }
             Flight::Leader(token) => {
-                leaders.push((*idx, exec.clone(), cache_key.clone(), token));
+                leaders.push((*idx, exec.clone(), Arc::clone(pr), cache_key.clone(), token));
             }
         }
     }
@@ -938,7 +994,7 @@ fn run_batch_flight(
                 let stub = ServiceStub::new(Arc::clone(&inner.client), leaders[0].1.clone());
                 let entries: Vec<BatchEntry> = leaders
                     .iter()
-                    .map(|(_, exec, _, _)| {
+                    .map(|(_, exec, pr, _, _)| {
                         BatchEntry::new(
                             exec.url().path,
                             "getPR",
@@ -962,9 +1018,33 @@ fn run_batch_flight(
                         .stats
                         .batch_entries
                         .fetch_add(entries.len() as u64, Ordering::Relaxed);
-                    match stub.call_batch(&entries, leg_ctx) {
-                        Ok(outcomes) if outcomes.len() == entries.len() => break Ok(outcomes),
-                        Ok(outcomes) => {
+                    // The codec-negotiating path opens with (or re-uses) the
+                    // binary plane when enabled; `with_binary(false)` pins
+                    // every batch to XML.
+                    let exchanged = if inner.config.binary_enabled {
+                        stub.call_batch_auto(&entries, leg_ctx)
+                    } else {
+                        stub.call_batch(&entries, leg_ctx)
+                            .map(|outcomes| (outcomes, BatchWire::Xml))
+                    };
+                    match exchanged {
+                        Ok((outcomes, wire)) => {
+                            match wire {
+                                BatchWire::Binary => {
+                                    inner.stats.binary_calls.fetch_add(1, Ordering::Relaxed);
+                                    inner
+                                        .stats
+                                        .binary_entries
+                                        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                                }
+                                BatchWire::BinaryFallback => {
+                                    inner.stats.binary_fallbacks.fetch_add(1, Ordering::Relaxed);
+                                }
+                                BatchWire::Xml => {}
+                            }
+                            if outcomes.len() == entries.len() {
+                                break Ok(outcomes);
+                            }
                             break Err((
                                 SiteErrorKind::Fault,
                                 format!(
@@ -972,7 +1052,7 @@ fn run_batch_flight(
                                     outcomes.len(),
                                     entries.len()
                                 ),
-                            ))
+                            ));
                         }
                         Err(e) => {
                             let (kind, retryable) = classify(&e);
@@ -998,7 +1078,8 @@ fn run_batch_flight(
     let flight_spans = spans.split_off(span_base.min(spans.len()));
     match wire_outcomes {
         Ok(outcomes) => {
-            for ((idx, _, cache_key, token), entry_outcome) in leaders.into_iter().zip(outcomes) {
+            for ((idx, _, _, cache_key, token), entry_outcome) in leaders.into_iter().zip(outcomes)
+            {
                 let result: FlightResult = match entry_outcome {
                     Ok(value) => match value.into_str_array() {
                         Some(entry_rows) => {
@@ -1038,7 +1119,7 @@ fn run_batch_flight(
             }
         }
         Err((kind, detail)) => {
-            for (idx, _, _, token) in leaders {
+            for (idx, _, _, _, token) in leaders {
                 let result: FlightResult = Err((kind, detail.clone()));
                 inner.flights.publish(
                     token,

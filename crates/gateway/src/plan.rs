@@ -41,6 +41,9 @@ pub struct SitePlan {
     /// The site advertises `supportsBatch` service data, so its targets may
     /// ride one multi-call wire request per host instead of one call each.
     pub supports_batch: bool,
+    /// The site also advertises `supportsBinary`: its container decodes
+    /// PPGB frames, so those multi-calls may travel the binary data plane.
+    pub supports_binary: bool,
 }
 
 /// A complete scatter plan: per-site target lists plus the sites that failed
@@ -71,6 +74,8 @@ struct BoundSite {
     manager: Option<ManagerStub>,
     /// Learned once at bind time from `supportsBatch` service data.
     supports_batch: bool,
+    /// Learned once at bind time from `supportsBinary` service data.
+    supports_binary: bool,
     /// Hedges already learned for primaries of this site (primary handle →
     /// hedge, `None` recorded for un-hedgeable primaries).
     hedges: HashMap<String, Option<Gsh>>,
@@ -266,12 +271,14 @@ impl Planner {
         }
         // Look up (and drop the lock on) the cached binding before any wire
         // work: createService and capability discovery must not run under it.
-        let cached = self
-            .bound
-            .lock()
-            .get(site)
-            .map(|bound| (bound.app.clone(), bound.supports_batch));
-        let (app, supports_batch) = match cached {
+        let cached = self.bound.lock().get(site).map(|bound| {
+            (
+                bound.app.clone(),
+                bound.supports_batch,
+                bound.supports_binary,
+            )
+        });
+        let (app, supports_batch, supports_binary) = match cached {
             Some(cached) => cached,
             None => {
                 let factory_gsh = Gsh::parse(entry.factory_url.as_str())?;
@@ -280,16 +287,26 @@ impl Planner {
                 let app = ApplicationStub::bind(Arc::clone(&self.client), &instance);
                 let manager = self.hedging.then(|| self.discover_manager(&app)).flatten();
                 let supports_batch = self.discover_batch_support(&app);
+                // Binary is an extension of the batch protocol, so only
+                // batch-capable sites are probed for it. A positive answer
+                // pre-seeds the client's per-peer codec memory: the first
+                // multi-call to this site opens with a PPGB frame instead of
+                // probing via an XML `Accept` advertisement.
+                let supports_binary = supports_batch && self.discover_binary_support(&app);
+                if supports_binary {
+                    self.client.mark_binary(&app.handle().url().authority());
+                }
                 self.bound.lock().insert(
                     site.to_owned(),
                     BoundSite {
                         app: app.clone(),
                         manager,
                         supports_batch,
+                        supports_binary,
                         hedges: HashMap::new(),
                     },
                 );
-                (app, supports_batch)
+                (app, supports_batch, supports_binary)
             }
         };
         let primaries = match &query.selector {
@@ -307,6 +324,7 @@ impl Planner {
             factory: Gsh::parse(entry.factory_url.as_str())?,
             targets,
             supports_batch,
+            supports_binary,
         })
     }
 
@@ -326,6 +344,17 @@ impl Planner {
     fn discover_batch_support(&self, app: &ApplicationStub) -> bool {
         let gs = GridServiceStub::bind(Arc::clone(&self.client), app.handle());
         gs.find_service_data("supportsBatch")
+            .ok()
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false)
+    }
+
+    /// Whether the site advertises the PPGB binary codec. Same best-effort
+    /// rules as [`Planner::discover_batch_support`]: absent, false, or
+    /// unreadable all mean XML.
+    fn discover_binary_support(&self, app: &ApplicationStub) -> bool {
+        let gs = GridServiceStub::bind(Arc::clone(&self.client), app.handle());
+        gs.find_service_data("supportsBinary")
             .ok()
             .and_then(|v| v.as_bool())
             .unwrap_or(false)

@@ -32,6 +32,12 @@ pub struct FederatedQuery {
     /// Restrict to sites whose `organization/service` label contains this
     /// substring; `None` fans out to every registered site.
     pub site_pattern: Option<String>,
+    /// Additional metrics fetched alongside `metric` from every matched
+    /// execution, sharing the same foci/time/type bounds. Each one expands
+    /// to another `getPR` tuple per execution; batch-capable sites receive
+    /// all tuples for an instance in the same envelope (one PPGB frame on
+    /// binary sites).
+    pub extra_metrics: Vec<String>,
 }
 
 impl FederatedQuery {
@@ -46,6 +52,7 @@ impl FederatedQuery {
             rtype: TYPE_UNDEFINED.to_owned(),
             selector: None,
             site_pattern: None,
+            extra_metrics: Vec::new(),
         }
     }
 
@@ -74,7 +81,15 @@ impl FederatedQuery {
         self
     }
 
-    /// The per-execution `getPR` tuple this query expands to.
+    /// Fetch `metric` as well (same foci/time/type bounds) from every
+    /// matched execution.
+    pub fn also_metric(mut self, metric: impl Into<String>) -> FederatedQuery {
+        self.extra_metrics.push(metric.into());
+        self
+    }
+
+    /// The per-execution `getPR` tuple this query expands to (primary
+    /// metric only; see [`FederatedQuery::pr_queries`]).
     pub fn pr_query(&self) -> PrQuery {
         PrQuery {
             metric: self.metric.clone(),
@@ -83,6 +98,21 @@ impl FederatedQuery {
             end: self.end.clone(),
             rtype: self.rtype.clone(),
         }
+    }
+
+    /// All per-execution `getPR` tuples: the primary metric first, then
+    /// each extra metric (duplicates dropped, order preserved).
+    pub fn pr_queries(&self) -> Vec<PrQuery> {
+        let mut tuples = vec![self.pr_query()];
+        for metric in &self.extra_metrics {
+            if tuples.iter().any(|t| t.metric == *metric) {
+                continue;
+            }
+            let mut pr = self.pr_query();
+            pr.metric = metric.clone();
+            tuples.push(pr);
+        }
+        tuples
     }
 }
 
@@ -207,6 +237,24 @@ mod tests {
         assert_eq!(pr.rtype, "RDBMS");
         assert_eq!(fq.selector.as_ref().unwrap().0, "numprocs");
         assert_eq!(fq.site_pattern.as_deref(), Some("PSU"));
+    }
+
+    #[test]
+    fn extra_metrics_expand_to_deduped_tuples() {
+        let fq = FederatedQuery::new("gflops", vec!["/Execution".into()])
+            .over("0", "100")
+            .also_metric("bandwidth_mbps")
+            .also_metric("gflops") // duplicate of the primary: dropped
+            .also_metric("bandwidth_mbps"); // duplicate extra: dropped
+        let tuples = fq.pr_queries();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].metric, "gflops");
+        assert_eq!(tuples[1].metric, "bandwidth_mbps");
+        // Extras share the primary's bounds.
+        assert_eq!(tuples[1].start, "0");
+        assert_eq!(tuples[1].end, "100");
+        // Single-metric queries still expand to exactly one tuple.
+        assert_eq!(FederatedQuery::new("gflops", vec![]).pr_queries().len(), 1);
     }
 
     #[test]

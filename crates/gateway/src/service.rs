@@ -126,6 +126,12 @@ impl ServicePort for FederatedQueryService {
                 "batchFallbackCalls",
                 Value::Int(snapshot.batch_fallback_calls as i64),
             )
+            .with("binaryCalls", Value::Int(snapshot.binary_calls as i64))
+            .with("binaryEntries", Value::Int(snapshot.binary_entries as i64))
+            .with(
+                "binaryFallbackCalls",
+                Value::Int(snapshot.binary_fallback_calls as i64),
+            )
             .with(
                 "planSnapshotHits",
                 Value::Int(snapshot.plan_snapshot_hits as i64),
@@ -165,6 +171,11 @@ impl FederatedQueryService {
                 if let Some(rtype) = call.param("type").and_then(Value::as_str) {
                     if !rtype.is_empty() {
                         query.rtype = rtype.to_owned();
+                    }
+                }
+                if let Some(extras) = call.param("extraMetrics").and_then(Value::as_str_array) {
+                    for extra in extras {
+                        query = query.also_metric(extra.clone());
                     }
                 }
                 let attribute = call.param("attribute").and_then(Value::as_str);

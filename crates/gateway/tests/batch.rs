@@ -98,12 +98,15 @@ fn mixed_fleet_batched_and_legacy_sites_agree() {
     publish(&client, &registry, "OLD", &old_site);
 
     let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+    // Binary is pinned off so this test exercises the XML batch plane in
+    // isolation (tests/binary.rs covers the PPGB plane).
     let batched_gw = FederatedGateway::new(
         Arc::clone(&client),
         registry.clone(),
         GatewayConfig::default()
             .with_cache(false)
-            .with_hedging(None),
+            .with_hedging(None)
+            .with_binary(false),
     );
     let batched = batched_gw.query(&query);
     assert!(batched.errors.is_empty(), "{:?}", batched.errors);

@@ -1,0 +1,72 @@
+//! `PPG_FORCE_XML=1` operational escape hatch: every exchange stays XML no
+//! matter what sites advertise. Lives in its own test binary because the
+//! variable is process-global.
+
+use pperf_gateway::{FederatedGateway, FederatedQuery, GatewayConfig};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, RegistryService, RegistryStub};
+use pperfgrid::wrappers::{MemApplicationWrapper, MemExecution};
+use pperfgrid::{ApplicationWrapper, Site, SiteConfig};
+use std::sync::Arc;
+
+#[test]
+fn force_xml_pins_every_exchange_to_xml() {
+    // Set before any stub call; nothing else runs in this process.
+    std::env::set_var("PPG_FORCE_XML", "1");
+
+    let client = Arc::new(HttpClient::new());
+    let container = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let registry = container
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+
+    let app = MemApplicationWrapper::new(vec![("name", "MemApp")]);
+    for i in 0..3 {
+        let mut exec = MemExecution {
+            info: vec![("runid".into(), i.to_string())],
+            foci: vec!["/Execution".into()],
+            metrics: vec!["gflops".into()],
+            types: vec!["MEM".into()],
+            time: ("0".into(), "10".into()),
+            ..Default::default()
+        };
+        exec.results.insert(
+            ("gflops".into(), "/Execution".into()),
+            vec![format!("gflops|{i}")],
+        );
+        app.add_execution(format!("mem-{i}"), exec);
+    }
+    // The site advertises binary and its container would decode it — only
+    // the environment override keeps the exchange on XML.
+    let site = Site::deploy(
+        &container,
+        Arc::clone(&client),
+        Arc::new(app) as Arc<dyn ApplicationWrapper>,
+        &SiteConfig::new("forced"),
+    )
+    .unwrap();
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    stub.register_organization("FORCED", "test").unwrap();
+    site.publish(&stub, "FORCED", "store").unwrap();
+
+    let gateway = FederatedGateway::new(
+        Arc::clone(&client),
+        registry.clone(),
+        GatewayConfig::default()
+            .with_cache(false)
+            .with_hedging(None),
+    );
+    let result = gateway.query(&FederatedQuery::new("gflops", vec!["/Execution".into()]));
+    assert!(result.errors.is_empty(), "{:?}", result.errors);
+    assert_eq!(result.rows.len(), 3);
+
+    let snapshot = gateway.snapshot();
+    assert_eq!(snapshot.batched_calls, 1, "batching itself stays on");
+    assert_eq!(snapshot.binary_calls, 0);
+    assert_eq!(
+        snapshot.binary_fallback_calls, 0,
+        "forced XML is not a downgrade"
+    );
+    assert_eq!(container.batch_counters(), (1, 3));
+    assert_eq!(container.binary_counters(), (0, 0));
+}

@@ -4,9 +4,10 @@ use crate::error::{HttpError, Result};
 use crate::message::{Request, Response};
 use crate::url::Url;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// An exchange failure, tagged with whether any request byte may already
@@ -179,6 +180,15 @@ fn read_timed_out(error: &HttpError) -> bool {
 pub struct HttpClient {
     pool: Mutex<HashMap<String, Vec<PooledConn>>>,
     connect_timeout: Duration,
+    /// Authorities that answered a PPGB-negotiated request in kind — the
+    /// per-connection codec memory of the binary data plane. An entry means
+    /// "send binary first"; a decode failure or downgrade forgets it.
+    binary_peers: Mutex<HashSet<String>>,
+    /// Request payload bytes flushed (bodies only, headers excluded) — the
+    /// bytes-on-wire metric the codec benchmarks compare.
+    bytes_sent: AtomicU64,
+    /// Response payload bytes received (bodies only).
+    bytes_received: AtomicU64,
 }
 
 impl Default for HttpClient {
@@ -190,10 +200,7 @@ impl Default for HttpClient {
 impl HttpClient {
     /// A client with a 10-second connect timeout.
     pub fn new() -> HttpClient {
-        HttpClient {
-            pool: Mutex::new(HashMap::new()),
-            connect_timeout: Duration::from_secs(10),
-        }
+        Self::with_connect_timeout(Duration::from_secs(10))
     }
 
     /// Override the connect timeout.
@@ -201,7 +208,36 @@ impl HttpClient {
         HttpClient {
             pool: Mutex::new(HashMap::new()),
             connect_timeout: timeout,
+            binary_peers: Mutex::new(HashSet::new()),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
         }
+    }
+
+    /// Remember that `authority` speaks the PPGB binary codec.
+    pub fn mark_binary(&self, authority: &str) {
+        self.binary_peers.lock().insert(authority.to_owned());
+    }
+
+    /// Whether `authority` previously answered in the binary codec.
+    pub fn is_binary(&self, authority: &str) -> bool {
+        self.binary_peers.lock().contains(authority)
+    }
+
+    /// Forget `authority`'s binary capability (legacy downgrade, corrupt
+    /// frame): subsequent requests go back to XML until renegotiated.
+    pub fn forget_binary(&self, authority: &str) {
+        self.binary_peers.lock().remove(authority);
+    }
+
+    /// `(request payload bytes sent, response payload bytes received)` over
+    /// this client's lifetime. Bodies only — header overhead is roughly
+    /// codec-independent, and the benchmarks compare codec payloads.
+    pub fn payload_bytes(&self) -> (u64, u64) {
+        (
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+        )
     }
 
     /// POST `body` to `url`.
@@ -247,6 +283,7 @@ impl HttpClient {
             } else {
                 match conn.exchange_with_deadline(request, &authority, deadline) {
                     Ok(resp) => {
+                        self.count_payload(request, &resp);
                         self.checkin(&authority, conn);
                         return Ok(resp);
                     }
@@ -277,6 +314,7 @@ impl HttpClient {
         let mut conn = PooledConn::connect(&authority, connect_timeout)?;
         match conn.exchange_with_deadline(request, &authority, deadline) {
             Ok(resp) => {
+                self.count_payload(request, &resp);
                 self.checkin(&authority, conn);
                 Ok(resp)
             }
@@ -290,6 +328,13 @@ impl HttpClient {
             Err(failure) if !failure.wrote => Err(failure.error),
             Err(failure) => Err(HttpError::ResponseLost(Box::new(failure.error))),
         }
+    }
+
+    fn count_payload(&self, request: &Request, response: &Response) {
+        self.bytes_sent
+            .fetch_add(request.body.len() as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(response.body.len() as u64, Ordering::Relaxed);
     }
 
     fn checkout(&self, authority: &str) -> Option<PooledConn> {
@@ -399,6 +444,39 @@ mod tests {
             0,
             "one stale hit must drain the whole authority pool"
         );
+    }
+
+    #[test]
+    fn payload_bytes_count_bodies_of_successful_exchanges() {
+        let handler = Arc::new(|_: &Request| Response::ok("text/plain", b"0123456789".to_vec()));
+        let server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        let client = HttpClient::new();
+        assert_eq!(client.payload_bytes(), (0, 0));
+        let url = format!("{}/x", server.base_url());
+        client.post(&url, "text/plain", b"abcd".to_vec()).unwrap();
+        assert_eq!(client.payload_bytes(), (4, 10));
+        // GET has an empty body; only the response side grows.
+        client.get(&url).unwrap();
+        assert_eq!(client.payload_bytes(), (4, 20));
+        // A failed exchange counts nothing.
+        let dead = HttpClient::with_connect_timeout(Duration::from_millis(300));
+        assert!(dead
+            .post("http://127.0.0.1:1/x", "t", b"xx".to_vec())
+            .is_err());
+        assert_eq!(dead.payload_bytes(), (0, 0));
+    }
+
+    #[test]
+    fn binary_peer_memory() {
+        let client = HttpClient::new();
+        assert!(!client.is_binary("a:1"));
+        client.mark_binary("a:1");
+        assert!(client.is_binary("a:1"));
+        assert!(!client.is_binary("b:2"));
+        client.forget_binary("a:1");
+        assert!(!client.is_binary("a:1"));
+        // Forgetting an unknown authority is a no-op, not an error.
+        client.forget_binary("never-seen:9");
     }
 
     #[test]

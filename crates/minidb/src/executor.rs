@@ -189,6 +189,32 @@ fn eval_truth(expr: &Expr, layout: &Layout, row: &[&DbValue]) -> Result<Truth> {
             let t = Truth::from_bool(v.is_null());
             Ok(if *negated { t.not() } else { t })
         }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_value(expr, layout, row)?;
+            if v.is_null() {
+                return Ok(Truth::Unknown);
+            }
+            // SQL membership: TRUE on any match; with no match, a NULL in
+            // the list makes the answer Unknown rather than FALSE.
+            let mut saw_null = false;
+            let mut t = Truth::False;
+            for item in list {
+                if item.is_null() {
+                    saw_null = true;
+                } else if v.sql_eq(item).unwrap_or(false) {
+                    t = Truth::True;
+                    break;
+                }
+            }
+            if t == Truth::False && saw_null {
+                t = Truth::Unknown;
+            }
+            Ok(if *negated { t.not() } else { t })
+        }
         Expr::Binary {
             op: BinOp::And,
             left,
@@ -282,7 +308,7 @@ fn collect_aliases(expr: &Expr, layout: &Layout, out: &mut Vec<String>) {
         }
         Expr::Literal(_) => {}
         Expr::Not(e) | Expr::Neg(e) => collect_aliases(e, layout, out),
-        Expr::IsNull { expr, .. } => collect_aliases(expr, layout, out),
+        Expr::IsNull { expr, .. } | Expr::InList { expr, .. } => collect_aliases(expr, layout, out),
         Expr::Binary { left, right, .. } => {
             collect_aliases(left, layout, out);
             collect_aliases(right, layout, out);

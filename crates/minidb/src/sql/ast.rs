@@ -157,6 +157,16 @@ pub enum Expr {
         /// Negated (`IS NOT NULL`)?
         negated: bool,
     },
+    /// `expr [NOT] IN (literal, ...)` — the set-membership form bulk
+    /// wrapper scans use to collapse N point lookups into one pass.
+    InList {
+        /// Operand.
+        expr: Box<Expr>,
+        /// The literal set.
+        list: Vec<DbValue>,
+        /// Negated (`NOT IN`)?
+        negated: bool,
+    },
 }
 
 impl Expr {

@@ -352,7 +352,7 @@ impl Parser {
     /// Expression grammar: or_expr := and_expr (OR and_expr)* ;
     /// and_expr := not_expr (AND not_expr)* ; not_expr := [NOT] cmp_expr ;
     /// cmp_expr := primary ((= | <> | < | <= | > | >= | LIKE) primary
-    ///           | IS [NOT] NULL)?
+    ///           | IS [NOT] NULL | [NOT] IN (literal, ...))?
     fn expr(&mut self) -> Result<Expr> {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
@@ -405,6 +405,18 @@ impl Parser {
                     negated,
                 });
             }
+            Some(Token::Ident(s)) if s == "in" => {
+                self.bump();
+                return self.in_list(left, false);
+            }
+            Some(Token::Ident(s))
+                if s == "not"
+                    && matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(n)) if n == "in") =>
+            {
+                self.bump(); // not
+                self.bump(); // in
+                return self.in_list(left, true);
+            }
             _ => None,
         };
         match op {
@@ -419,6 +431,26 @@ impl Parser {
             }
             None => Ok(left),
         }
+    }
+
+    /// The parenthesized literal set of `expr [NOT] IN (...)`. An empty set
+    /// is a syntax error, as in standard SQL.
+    fn in_list(&mut self, left: Expr, negated: bool) -> Result<Expr> {
+        self.expect(&Token::LParen)?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.literal()?);
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(DbError::Syntax(format!("expected , or ), got {other:?}"))),
+            }
+        }
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
     }
 
     /// sum := term ((+|-) term)*
@@ -616,6 +648,52 @@ mod tests {
             panic!()
         };
         assert!(sel.predicate.is_some());
+    }
+
+    #[test]
+    fn in_list_forms() {
+        let stmt =
+            parse_statement("SELECT * FROM t WHERE x IN (1, 2.5, 'a') AND y NOT IN (-3, NULL)")
+                .unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let Some(Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        }) = sel.predicate
+        else {
+            panic!("expected AND of two IN lists")
+        };
+        assert_eq!(
+            *left,
+            Expr::InList {
+                expr: Box::new(Expr::col("x")),
+                list: vec![
+                    DbValue::Int(1),
+                    DbValue::Double(2.5),
+                    DbValue::Text("a".into())
+                ],
+                negated: false,
+            }
+        );
+        assert_eq!(
+            *right,
+            Expr::InList {
+                expr: Box::new(Expr::col("y")),
+                list: vec![DbValue::Int(-3), DbValue::Null],
+                negated: true,
+            }
+        );
+        // NOT (x IN ...) still parses: the prefix-NOT path is untouched.
+        assert!(parse_statement("SELECT * FROM t WHERE NOT x IN (1)").is_ok());
+        // Empty and malformed sets are syntax errors.
+        assert!(parse_statement("SELECT * FROM t WHERE x IN ()").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE x IN (1, )").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE x IN 1").is_err());
+        // IN takes literals, not arbitrary expressions.
+        assert!(parse_statement("SELECT * FROM t WHERE x IN (y)").is_err());
     }
 
     #[test]

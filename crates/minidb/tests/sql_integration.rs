@@ -553,3 +553,78 @@ fn int_overflow_widens_to_double() {
         .unwrap();
     assert!(rs.get_f64(0, "v").unwrap() > 1e18);
 }
+
+#[test]
+fn in_list_membership() {
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query("SELECT id FROM runs WHERE id IN (100, 102, 999) ORDER BY id")
+        .unwrap();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
+    assert_eq!(ids, [100, 102]);
+
+    // Int/Double coercion follows sql_eq: numprocs IN (4.0) matches INT 4.
+    let rs = c
+        .query("SELECT id FROM runs WHERE numprocs IN (4.0) ORDER BY id")
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+
+    // Text membership.
+    let rs = c
+        .query("SELECT DISTINCT host FROM runs WHERE host IN ('beta', 'gamma')")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+    assert_eq!(rs.get_str(0, "host").unwrap(), "beta");
+}
+
+#[test]
+fn in_list_null_semantics() {
+    let db = fixture();
+    let c = db.connect();
+    // NULL operand: gflops is NULL for id 103 -> Unknown -> filtered out.
+    let rs = c
+        .query("SELECT id FROM runs WHERE gflops IN (1.5, 3.5) ORDER BY id")
+        .unwrap();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
+    assert_eq!(ids, [100, 102]);
+
+    // NOT IN with a NULL in the list is never TRUE (match -> FALSE,
+    // no match -> Unknown): standard SQL's classic empty result.
+    let rs = c
+        .query("SELECT id FROM runs WHERE id NOT IN (100, NULL)")
+        .unwrap();
+    assert!(rs.is_empty());
+
+    // NOT IN without NULLs excludes exactly the listed ids.
+    let rs = c
+        .query("SELECT id FROM runs WHERE id NOT IN (100, 101) ORDER BY id")
+        .unwrap();
+    let ids: Vec<i64> = (0..rs.len())
+        .map(|i| rs.get_i64(i, "id").unwrap())
+        .collect();
+    assert_eq!(ids, [102, 103]);
+}
+
+#[test]
+fn in_list_with_conjuncts_and_group_by() {
+    // The bulk-wrapper shape: IN-list + extra conjunct + GROUP BY.
+    let db = fixture();
+    let c = db.connect();
+    let rs = c
+        .query(
+            "SELECT numprocs, COUNT(*) AS n FROM runs \
+             WHERE id IN (101, 102, 103) AND numprocs > 2 \
+             GROUP BY numprocs ORDER BY numprocs",
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 2);
+    assert_eq!(rs.get_i64(0, "numprocs").unwrap(), 4);
+    assert_eq!(rs.get_i64(0, "n").unwrap(), 2);
+    assert_eq!(rs.get_i64(1, "numprocs").unwrap(), 8);
+    assert_eq!(rs.get_i64(1, "n").unwrap(), 1);
+}

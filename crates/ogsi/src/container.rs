@@ -27,8 +27,9 @@ use crate::service_data::ServiceData;
 use parking_lot::{Mutex, RwLock};
 use pperf_httpd::{Handler, HttpClient, HttpServer, Request, Response, ServerConfig, Status};
 use pperf_soap::{
-    decode_batch_call, decode_call_with_context, encode_batch_response, encode_fault,
-    encode_response, BatchEntry, BatchOutcome, Call, Fault, Value,
+    decode_batch_call, decode_binary_batch_call, decode_call_with_context, encode_batch_response,
+    encode_binary_batch_response, encode_binary_fault, encode_fault, encode_response, BatchEntry,
+    BatchOutcome, Call, Fault, Value, BINARY_CONTENT_TYPE,
 };
 use ppg_context::CallContext;
 use std::collections::HashMap;
@@ -59,6 +60,12 @@ pub struct ContainerConfig {
     /// Emit one structured log line per SOAP request (request id, operation,
     /// outcome, elapsed time). Defaults to the `PPG_ACCESS_LOG=1` env var.
     pub access_log: bool,
+    /// Speak the PPGB binary batch codec: serve `POST /ogsa/binary` and
+    /// answer `Accept: application/x-ppg-binary` batch requests in kind.
+    /// `false` models a legacy site — the binary route 404s and batches are
+    /// always answered in XML, which is exactly what drives a negotiating
+    /// client's transparent fallback.
+    pub binary_enabled: bool,
 }
 
 impl Default for ContainerConfig {
@@ -70,6 +77,7 @@ impl Default for ContainerConfig {
             sweep_interval: Duration::from_millis(250),
             max_connections: ServerConfig::default().max_connections,
             access_log: std::env::var("PPG_ACCESS_LOG").is_ok_and(|v| v == "1"),
+            binary_enabled: true,
         }
     }
 }
@@ -111,6 +119,10 @@ struct Inner {
     batch_calls: AtomicU64,
     /// Sub-call entries carried by those batches.
     batch_entries: AtomicU64,
+    /// `POST /ogsa/binary` PPGB-framed multi-call requests received.
+    binary_calls: AtomicU64,
+    /// Sub-call entries carried by those binary frames.
+    binary_entries: AtomicU64,
     /// In-flight calls by cancel key, so `POST /ogsa/cancel` can flip the
     /// right leg's flag while its handler is still running.
     active: Mutex<HashMap<String, CallContext>>,
@@ -201,6 +213,8 @@ impl Container {
             cancelled_calls: AtomicU64::new(0),
             batch_calls: AtomicU64::new(0),
             batch_entries: AtomicU64::new(0),
+            binary_calls: AtomicU64::new(0),
+            binary_entries: AtomicU64::new(0),
             active: Mutex::new(HashMap::new()),
         });
         let handler = Arc::new(Dispatch {
@@ -371,6 +385,17 @@ impl Container {
         )
     }
 
+    /// Binary codec counters: `(binary_calls, binary_entries)` — PPGB-framed
+    /// multi-call requests received and the sub-call entries they carried.
+    /// XML batches (even ones *answered* in binary during negotiation) count
+    /// under [`Container::batch_counters`] instead.
+    pub fn binary_counters(&self) -> (u64, u64) {
+        (
+            self.inner.binary_calls.load(Ordering::Relaxed),
+            self.inner.binary_entries.load(Ordering::Relaxed),
+        )
+    }
+
     /// Currently open HTTP connections, parked keep-alive ones included.
     pub fn open_connections(&self) -> usize {
         self.server
@@ -477,6 +502,9 @@ fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
     if request.path == "/ogsa/batch" {
         return handle_batch(inner, request);
     }
+    if request.path == "/ogsa/binary" {
+        return handle_binary(inner, request);
+    }
     let started = Instant::now();
     let (call, soap_ctx) = match decode_call_with_context(&request.body_str()) {
         Ok(parts) => parts,
@@ -486,23 +514,7 @@ fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
         }
     };
     inner.requests.fetch_add(1, Ordering::Relaxed);
-    // HTTP headers are authoritative (they carry the freshest remaining
-    // budget); the SOAP header block is the fallback for transports that
-    // only forwarded the envelope. With neither, a fresh root context is
-    // minted so the access log and trace still carry an id.
-    let ctx = if request
-        .headers
-        .get(ppg_context::REQUEST_ID_HEADER)
-        .is_some()
-    {
-        CallContext::from_wire(
-            request.headers.get(ppg_context::REQUEST_ID_HEADER),
-            request.headers.get(ppg_context::DEADLINE_MS_HEADER),
-            request.headers.get(ppg_context::LEG_HEADER),
-        )
-    } else {
-        soap_ctx.unwrap_or_default()
-    };
+    let ctx = resolve_context(request, soap_ctx);
     let site = format!("{}:{}", inner.host, inner.port_u16());
 
     let (outcome_tag, mut response) = if let Some(dep) = inner.lookup(&request.path) {
@@ -585,6 +597,27 @@ fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
     response
 }
 
+/// Resolve the request's [`CallContext`]: HTTP headers are authoritative
+/// (they carry the freshest remaining budget); the in-band context — SOAP
+/// header block or PPGB context section — is the fallback for transports
+/// that only forwarded the envelope. With neither, a fresh root context is
+/// minted so the access log and trace still carry an id.
+fn resolve_context(request: &Request, wire_ctx: Option<CallContext>) -> CallContext {
+    if request
+        .headers
+        .get(ppg_context::REQUEST_ID_HEADER)
+        .is_some()
+    {
+        CallContext::from_wire(
+            request.headers.get(ppg_context::REQUEST_ID_HEADER),
+            request.headers.get(ppg_context::DEADLINE_MS_HEADER),
+            request.headers.get(ppg_context::LEG_HEADER),
+        )
+    } else {
+        wire_ctx.unwrap_or_default()
+    }
+}
+
 /// Cap on concurrently executing entries within one batch: enough to cover
 /// a full per-site fan-out without letting one huge batch monopolize the
 /// host's handler threads.
@@ -611,21 +644,16 @@ fn handle_batch(inner: &Arc<Inner>, request: &Request) -> Response {
     inner
         .batch_entries
         .fetch_add(entries.len() as u64, Ordering::Relaxed);
-    // Same precedence as single calls: HTTP headers over the SOAP block.
-    let ctx = if request
-        .headers
-        .get(ppg_context::REQUEST_ID_HEADER)
-        .is_some()
-    {
-        CallContext::from_wire(
-            request.headers.get(ppg_context::REQUEST_ID_HEADER),
-            request.headers.get(ppg_context::DEADLINE_MS_HEADER),
-            request.headers.get(ppg_context::LEG_HEADER),
-        )
-    } else {
-        soap_ctx.unwrap_or_default()
-    };
+    let ctx = resolve_context(request, soap_ctx);
     let site = format!("{}:{}", inner.host, inner.port_u16());
+    // Codec negotiation: a client that advertised the PPGB codec gets its
+    // successful response in kind (and learns this site speaks binary).
+    // Legacy sites (`binary_enabled: false`) ignore the advertisement.
+    let answer_binary = inner.config.binary_enabled
+        && request
+            .headers
+            .get("Accept")
+            .is_some_and(|accept| accept.contains(BINARY_CONTENT_TYPE));
 
     let (outcome_tag, mut response) = if ctx.expired() {
         inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
@@ -649,27 +677,14 @@ fn handle_batch(inner: &Arc<Inner>, request: &Request) -> Response {
         inner.active.lock().insert(cancel_key.clone(), ctx.clone());
         let outcomes = run_batch_entries(inner, &entries, &ctx);
         inner.active.lock().remove(&cancel_key);
-        let mut faulted = 0usize;
-        for outcome in &outcomes {
-            match outcome {
-                Ok(_) => {}
-                Err(f) if f.is_deadline_exceeded() => {
-                    inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-                    faulted += 1;
-                }
-                Err(f) if f.is_cancelled() => {
-                    inner.cancelled_calls.fetch_add(1, Ordering::Relaxed);
-                    faulted += 1;
-                }
-                Err(_) => faulted += 1,
-            }
-        }
-        let tag = if faulted == 0 { "ok" } else { "partial" };
+        let tag = tally_batch_outcomes(inner, &outcomes);
         ctx.record_span("ogsi.container", "multiCall", &site, started, tag);
-        (
-            tag,
-            Response::xml(Status::OK, encode_batch_response(&outcomes)),
-        )
+        let response = if answer_binary {
+            Response::ok(BINARY_CONTENT_TYPE, encode_binary_batch_response(&outcomes))
+        } else {
+            Response::xml(Status::OK, encode_batch_response(&outcomes))
+        };
+        (tag, response)
     };
 
     response
@@ -684,6 +699,114 @@ fn handle_batch(inner: &Arc<Inner>, request: &Request) -> Response {
     if inner.config.access_log {
         eprintln!(
             "ppg-access request_id={} leg={} op=multiCall entries={} path={} status={} outcome={} elapsed_us={} remaining_ms={}",
+            ctx.request_id(),
+            if ctx.leg_tag().is_empty() { "-" } else { ctx.leg_tag() },
+            entries.len(),
+            request.path,
+            response.status.0,
+            outcome_tag,
+            started.elapsed().as_micros(),
+            ctx.deadline_ms().map_or_else(|| "-".into(), |ms| ms.to_string()),
+        );
+    }
+    response
+}
+
+/// Bump the deadline/cancel counters for a batch's per-entry outcomes and
+/// name the overall result: `"ok"` when every entry succeeded, `"partial"`
+/// otherwise.
+fn tally_batch_outcomes(inner: &Inner, outcomes: &[BatchOutcome]) -> &'static str {
+    let mut faulted = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(_) => {}
+            Err(f) if f.is_deadline_exceeded() => {
+                inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                faulted += 1;
+            }
+            Err(f) if f.is_cancelled() => {
+                inner.cancelled_calls.fetch_add(1, Ordering::Relaxed);
+                faulted += 1;
+            }
+            Err(_) => faulted += 1,
+        }
+    }
+    if faulted == 0 {
+        "ok"
+    } else {
+        "partial"
+    }
+}
+
+/// `POST /ogsa/binary`: the PPGB-framed twin of `/ogsa/batch`. Entry
+/// semantics are identical — one shared context, per-entry outcomes, a
+/// whole-batch fault only when the budget was spent on arrival — but both
+/// directions are length-prefixed binary frames instead of SOAP envelopes.
+///
+/// Error shape matters for negotiation: a site with the codec disabled
+/// answers 404 (the route "does not exist" on a legacy site) and a corrupt
+/// request frame gets a plain-text 400. Both are the stub's cue to forget
+/// the peer's binary capability and transparently re-send as XML.
+fn handle_binary(inner: &Arc<Inner>, request: &Request) -> Response {
+    if !inner.config.binary_enabled {
+        return Response::text(Status::NOT_FOUND, format!("no service at {}", request.path));
+    }
+    let started = Instant::now();
+    let (entries, frame_ctx) = match decode_binary_batch_call(&request.body) {
+        Ok(parts) => parts,
+        Err(e) => {
+            return Response::text(Status::BAD_REQUEST, format!("malformed PPGB frame: {e}"));
+        }
+    };
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    inner.binary_calls.fetch_add(1, Ordering::Relaxed);
+    inner
+        .binary_entries
+        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    let ctx = resolve_context(request, frame_ctx);
+    let site = format!("{}:{}", inner.host, inner.port_u16());
+
+    let (outcome_tag, mut response) = if ctx.expired() {
+        inner.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        let fault = Fault::deadline_exceeded(format!(
+            "batch {} arrived after its deadline",
+            ctx.request_id()
+        ));
+        ctx.record_span(
+            "ogsi.container",
+            "multiCall",
+            &site,
+            started,
+            "deadline-exceeded",
+        );
+        let mut response = Response::ok(BINARY_CONTENT_TYPE, encode_binary_fault(&fault));
+        response.status = Status::INTERNAL_SERVER_ERROR;
+        ("deadline-exceeded", response)
+    } else {
+        let cancel_key = ctx.cancel_key();
+        inner.active.lock().insert(cancel_key.clone(), ctx.clone());
+        let outcomes = run_batch_entries(inner, &entries, &ctx);
+        inner.active.lock().remove(&cancel_key);
+        let tag = tally_batch_outcomes(inner, &outcomes);
+        ctx.record_span("ogsi.container", "multiCall", &site, started, tag);
+        (
+            tag,
+            Response::ok(BINARY_CONTENT_TYPE, encode_binary_batch_response(&outcomes)),
+        )
+    };
+
+    response
+        .headers
+        .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+    let spans = ctx.spans();
+    if !spans.is_empty() {
+        response
+            .headers
+            .set(ppg_context::TRACE_HEADER, ppg_context::encode_trace(&spans));
+    }
+    if inner.config.access_log {
+        eprintln!(
+            "ppg-access request_id={} leg={} op=multiCallBinary entries={} path={} status={} outcome={} elapsed_us={} remaining_ms={}",
             ctx.request_id(),
             if ctx.leg_tag().is_empty() { "-" } else { ctx.leg_tag() },
             entries.len(),
@@ -824,6 +947,14 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
         (
             "ppg_batch_entries_total",
             inner.batch_entries.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_binary_calls_total",
+            inner.binary_calls.load(Ordering::Relaxed),
+        ),
+        (
+            "ppg_binary_entries_total",
+            inner.binary_entries.load(Ordering::Relaxed),
         ),
         (
             "ppg_instances_created_total",

@@ -48,7 +48,7 @@ pub use notification::{
 pub use registry::{Organization, RegistryService, RegistryStub, ServiceEntry};
 pub use service::{GridServiceStub, ServicePort};
 pub use service_data::ServiceData;
-pub use stub::ServiceStub;
+pub use stub::{BatchWire, ServiceStub};
 
 /// The namespace used by framework-level (OGSI) operations.
 pub const OGSI_NS: &str = "urn:ogsi:core";

@@ -5,15 +5,64 @@
 
 use crate::error::{OgsiError, Result};
 use crate::gsh::Gsh;
-use pperf_httpd::{HttpClient, HttpError, Request, Url};
+use pperf_httpd::{HttpClient, HttpError, Request, Response, Url};
 use pperf_soap::wsdl::ServiceDescription;
 use pperf_soap::{
-    decode_batch_response, decode_response, encode_batch_call, encode_call,
-    encode_call_with_context, BatchEntry, BatchOutcome, SoapError, Value,
+    decode_batch_response, decode_binary_batch_response, decode_response, encode_batch_call,
+    encode_binary_batch_call, encode_call, encode_call_with_context, BatchEntry, BatchOutcome,
+    Fault, SoapError, Value, WireError, BINARY_CONTENT_TYPE,
 };
 use ppg_context::CallContext;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Did the server answer in the PPGB binary codec? 200 carries outcomes,
+/// 500 a whole-batch fault frame; any other status is transport-level.
+fn is_binary_response(response: &Response) -> bool {
+    (response.status.is_success() || response.status.0 == 500)
+        && response
+            .headers
+            .get("Content-Type")
+            .is_some_and(|ct| ct.starts_with(BINARY_CONTENT_TYPE))
+}
+
+/// Span outcome tag for a whole-batch fault.
+fn fault_tag(fault: &Fault) -> &'static str {
+    if fault.is_deadline_exceeded() {
+        "deadline-exceeded"
+    } else if fault.is_cancelled() {
+        "cancelled"
+    } else {
+        "fault"
+    }
+}
+
+/// Which codec actually carried a [`ServiceStub::call_batch_auto`] exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchWire {
+    /// PPGB binary frames carried the exchange (or at least the response,
+    /// on the first negotiated contact).
+    Binary,
+    /// SOAP/XML carried both directions (legacy peer, or `PPG_FORCE_XML=1`).
+    Xml,
+    /// A binary attempt failed below the application layer (legacy site,
+    /// route gone, corrupt frame); the outcomes came from the transparent
+    /// XML re-send.
+    BinaryFallback,
+}
+
+/// How one binary `/ogsa/binary` attempt ended.
+enum BinaryAttempt {
+    /// Decoded per-entry outcomes.
+    Ok(Vec<BatchOutcome>),
+    /// The peer does not (or no longer does) speak PPGB — 404 from a legacy
+    /// site, a non-binary answer, or a corrupt frame. The caller should
+    /// forget the capability and re-send as XML.
+    Downgrade,
+    /// A real failure (transport error, deadline, whole-batch fault) that
+    /// re-sending would not cure; surfaced as-is.
+    Hard(OgsiError),
+}
 
 /// An untyped stub bound to one Grid service (or service instance).
 ///
@@ -227,6 +276,62 @@ impl ServiceStub {
         entries: &[BatchEntry],
         ctx: &CallContext,
     ) -> Result<Vec<BatchOutcome>> {
+        self.call_batch_xml(entries, ctx, false)
+            .map(|(outcomes, _)| outcomes)
+    }
+
+    /// Like [`ServiceStub::call_batch`], but codec-negotiating: binary PPGB
+    /// frames are used whenever the peer is known (or turns out) to speak
+    /// them, with transparent per-site fallback to XML.
+    ///
+    /// * `PPG_FORCE_XML=1` pins every exchange to XML (operational escape
+    ///   hatch, also how CI proves the two planes agree).
+    /// * A peer previously marked binary gets a PPGB frame on
+    ///   `POST /ogsa/binary`; if that site meanwhile downgraded (404, a
+    ///   non-binary answer, a corrupt frame) the capability is forgotten and
+    ///   the batch is re-sent as XML. Batch traffic is `getPR`-style reads,
+    ///   so the re-send cannot double-execute anything destructive.
+    /// * An unknown peer gets the XML batch with
+    ///   `Accept: application/x-ppg-binary`; a binary-capable container
+    ///   answers in kind and is remembered for next time.
+    ///
+    /// Returns the outcomes plus which wire actually carried them, so
+    /// callers can keep fallback counters without re-deriving the story.
+    pub fn call_batch_auto(
+        &self,
+        entries: &[BatchEntry],
+        ctx: &CallContext,
+    ) -> Result<(Vec<BatchOutcome>, BatchWire)> {
+        if std::env::var("PPG_FORCE_XML").is_ok_and(|v| v == "1") {
+            return self
+                .call_batch_xml(entries, ctx, false)
+                .map(|(outcomes, _)| (outcomes, BatchWire::Xml));
+        }
+        let site = self.url.authority();
+        if self.client.is_binary(&site) {
+            match self.call_batch_binary(entries, ctx) {
+                BinaryAttempt::Ok(outcomes) => return Ok((outcomes, BatchWire::Binary)),
+                BinaryAttempt::Hard(e) => return Err(e),
+                BinaryAttempt::Downgrade => {
+                    self.client.forget_binary(&site);
+                    return self
+                        .call_batch_xml(entries, ctx, false)
+                        .map(|(outcomes, _)| (outcomes, BatchWire::BinaryFallback));
+                }
+            }
+        }
+        self.call_batch_xml(entries, ctx, true)
+    }
+
+    /// The XML batch exchange. With `advertise`, the request carries
+    /// `Accept: application/x-ppg-binary` and a binary answer is accepted
+    /// (and the peer remembered); without it the response must be XML.
+    fn call_batch_xml(
+        &self,
+        entries: &[BatchEntry],
+        ctx: &CallContext,
+        advertise: bool,
+    ) -> Result<(Vec<BatchOutcome>, BatchWire)> {
         let started = Instant::now();
         let site = self.url.authority();
         if ctx.expired() {
@@ -248,17 +353,10 @@ impl ServiceStub {
             "text/xml; charset=utf-8",
             body.into_bytes(),
         );
-        request
-            .headers
-            .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
-        if let Some(ms) = ctx.deadline_ms() {
-            request
-                .headers
-                .set(ppg_context::DEADLINE_MS_HEADER, ms.to_string());
+        if advertise {
+            request.headers.set("Accept", BINARY_CONTENT_TYPE);
         }
-        if !ctx.leg_tag().is_empty() {
-            request.headers.set(ppg_context::LEG_HEADER, ctx.leg_tag());
-        }
+        self.set_context_headers(&mut request, ctx);
         let response = match self
             .client
             .send_with_deadline(&url, &request, ctx.deadline())
@@ -291,26 +389,123 @@ impl ServiceStub {
                 response.body_str().into_owned(),
             ));
         }
+        if advertise && is_binary_response(&response) {
+            // The container took the advertisement: the response is a PPGB
+            // frame, and this site speaks binary from here on.
+            return match decode_binary_batch_response(&response.body) {
+                Ok(outcomes) => {
+                    self.client.mark_binary(&site);
+                    ctx.record_span("ogsi.stub", "multiCall", &site, started, "ok");
+                    Ok((outcomes, BatchWire::Binary))
+                }
+                Err(WireError::Fault(f)) => {
+                    ctx.record_span("ogsi.stub", "multiCall", &site, started, fault_tag(&f));
+                    Err(OgsiError::Fault(f))
+                }
+                Err(_) => {
+                    // Corrupt negotiated answer: stay on XML and re-send.
+                    ctx.record_span("ogsi.stub", "multiCall", &site, started, "binary-corrupt");
+                    self.call_batch_xml(entries, ctx, false)
+                        .map(|(outcomes, _)| (outcomes, BatchWire::BinaryFallback))
+                }
+            };
+        }
         match decode_batch_response(&response.body_str()) {
             Ok(outcomes) => {
                 ctx.record_span("ogsi.stub", "multiCall", &site, started, "ok");
-                Ok(outcomes)
+                Ok((outcomes, BatchWire::Xml))
             }
             Err(SoapError::Fault(f)) => {
-                let outcome = if f.is_deadline_exceeded() {
-                    "deadline-exceeded"
-                } else if f.is_cancelled() {
-                    "cancelled"
-                } else {
-                    "fault"
-                };
-                ctx.record_span("ogsi.stub", "multiCall", &site, started, outcome);
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, fault_tag(&f));
                 Err(OgsiError::Fault(f))
             }
             Err(e) => {
                 ctx.record_span("ogsi.stub", "multiCall", &site, started, "soap-error");
                 Err(OgsiError::Soap(e))
             }
+        }
+    }
+
+    /// One PPGB attempt against `POST /ogsa/binary`.
+    fn call_batch_binary(&self, entries: &[BatchEntry], ctx: &CallContext) -> BinaryAttempt {
+        let started = Instant::now();
+        let site = self.url.authority();
+        if ctx.expired() {
+            let outcome = if ctx.cancelled() {
+                "cancelled-before-send"
+            } else {
+                "deadline-exceeded-before-send"
+            };
+            ctx.record_span("ogsi.stub", "multiCall", &site, started, outcome);
+            return BinaryAttempt::Hard(OgsiError::DeadlineExceeded(format!(
+                "multiCall on {site}: budget exhausted before send"
+            )));
+        }
+        let frame = encode_binary_batch_call(entries, Some(ctx));
+        let mut url = self.url.clone();
+        url.path = "/ogsa/binary".to_owned();
+        let mut request = Request::post(url.path.clone(), BINARY_CONTENT_TYPE, frame);
+        self.set_context_headers(&mut request, ctx);
+        let response = match self
+            .client
+            .send_with_deadline(&url, &request, ctx.deadline())
+        {
+            Ok(response) => response,
+            Err(HttpError::TimedOut) => {
+                ctx.record_span(
+                    "ogsi.stub",
+                    "multiCall",
+                    &site,
+                    started,
+                    "deadline-exceeded",
+                );
+                return BinaryAttempt::Hard(OgsiError::DeadlineExceeded(format!(
+                    "multiCall on {site}: no response within budget"
+                )));
+            }
+            Err(e) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "transport-error");
+                return BinaryAttempt::Hard(OgsiError::Transport(e));
+            }
+        };
+        if let Some(trace) = response.headers.get(ppg_context::TRACE_HEADER) {
+            ctx.extend_spans(ppg_context::decode_trace(trace));
+        }
+        if !is_binary_response(&response) {
+            // A legacy site (404), a proxy that stripped the codec, or an
+            // XML fault: whichever it is, this peer no longer answers in
+            // binary. Drop to XML, which will surface any real fault.
+            ctx.record_span("ogsi.stub", "multiCall", &site, started, "binary-downgrade");
+            return BinaryAttempt::Downgrade;
+        }
+        match decode_binary_batch_response(&response.body) {
+            Ok(outcomes) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "ok");
+                BinaryAttempt::Ok(outcomes)
+            }
+            Err(WireError::Fault(f)) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, fault_tag(&f));
+                BinaryAttempt::Hard(OgsiError::Fault(f))
+            }
+            Err(_) => {
+                ctx.record_span("ogsi.stub", "multiCall", &site, started, "binary-corrupt");
+                BinaryAttempt::Downgrade
+            }
+        }
+    }
+
+    /// Stamp the `X-PPG-*` context headers onto an outbound request.
+    fn set_context_headers(&self, request: &mut Request, ctx: &CallContext) {
+        request
+            .headers
+            .set(ppg_context::REQUEST_ID_HEADER, ctx.request_id());
+        if let Some(ms) = ctx.deadline_ms() {
+            request
+                .headers
+                .set(ppg_context::DEADLINE_MS_HEADER, ms.to_string());
+        }
+        if !ctx.leg_tag().is_empty() {
+            request.headers.set(ppg_context::LEG_HEADER, ctx.leg_tag());
         }
     }
 

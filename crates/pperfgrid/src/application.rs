@@ -64,6 +64,7 @@ pub struct ApplicationService {
     wrapper: Arc<dyn ApplicationWrapper>,
     manager: Arc<Manager>,
     advertise_batch: bool,
+    advertise_binary: bool,
 }
 
 impl ApplicationService {
@@ -73,6 +74,7 @@ impl ApplicationService {
             wrapper,
             manager,
             advertise_batch: true,
+            advertise_binary: true,
         }
     }
 
@@ -82,6 +84,14 @@ impl ApplicationService {
     /// per-call getPR.
     pub fn with_batch_advertised(mut self, advertise: bool) -> Self {
         self.advertise_batch = advertise;
+        self
+    }
+
+    /// Control whether instances advertise `supportsBinary` service data.
+    /// Off models a site whose container predates the PPGB frame codec:
+    /// federation clients keep speaking XML to it.
+    pub fn with_binary_advertised(mut self, advertise: bool) -> Self {
+        self.advertise_binary = advertise;
         self
     }
 
@@ -175,6 +185,12 @@ impl ServicePort for ApplicationService {
         if self.advertise_batch {
             data = data.with("supportsBatch", Value::Bool(true));
         }
+        // Second capability axis: `supportsBinary = true` means the hosting
+        // container decodes PPGB frames on `/ogsa/binary`, so batch-capable
+        // clients may skip the XML probe and open with binary directly.
+        if self.advertise_binary {
+            data = data.with("supportsBinary", Value::Bool(true));
+        }
         data
     }
 }
@@ -184,6 +200,7 @@ pub struct ApplicationFactory {
     wrapper: Arc<dyn ApplicationWrapper>,
     manager: Arc<Manager>,
     advertise_batch: bool,
+    advertise_binary: bool,
 }
 
 impl ApplicationFactory {
@@ -193,12 +210,19 @@ impl ApplicationFactory {
             wrapper,
             manager,
             advertise_batch: true,
+            advertise_binary: true,
         }
     }
 
     /// Control whether created instances advertise `supportsBatch`.
     pub fn with_batch_advertised(mut self, advertise: bool) -> Self {
         self.advertise_batch = advertise;
+        self
+    }
+
+    /// Control whether created instances advertise `supportsBinary`.
+    pub fn with_binary_advertised(mut self, advertise: bool) -> Self {
+        self.advertise_binary = advertise;
         self
     }
 }
@@ -211,7 +235,8 @@ impl Factory for ApplicationFactory {
     fn create(&self, _call: &Call) -> Result<Arc<dyn ServicePort>, Fault> {
         Ok(Arc::new(
             ApplicationService::new(Arc::clone(&self.wrapper), Arc::clone(&self.manager))
-                .with_batch_advertised(self.advertise_batch),
+                .with_batch_advertised(self.advertise_batch)
+                .with_binary_advertised(self.advertise_binary),
         ))
     }
 }

@@ -447,6 +447,7 @@ impl ServicePort for ExecutionService {
             .with("timeEnd", Value::Str(end))
             .with("cacheEnabled", Value::Bool(self.cache_enabled))
             .with("supportsBatch", Value::Bool(true))
+            .with("supportsBinary", Value::Bool(true))
             .with("cacheEntries", Value::Int(self.cache.len() as i64))
             .with("cacheHits", Value::Int(hits as i64))
             .with("cacheMisses", Value::Int(misses as i64))

@@ -27,6 +27,9 @@ pub struct SiteConfig {
     /// Whether Application instances advertise `supportsBatch` service data
     /// (the batched wire protocol capability). Off models a legacy site.
     pub advertise_batch: bool,
+    /// Whether Application instances advertise `supportsBinary` service data
+    /// (the PPGB frame codec). Off models a site that batches over XML only.
+    pub advertise_binary: bool,
 }
 
 impl SiteConfig {
@@ -38,6 +41,7 @@ impl SiteConfig {
             cache_capacity: 4096,
             cache_policy: crate::prcache::CachePolicy::Fifo,
             advertise_batch: true,
+            advertise_binary: true,
         }
     }
 
@@ -45,6 +49,13 @@ impl SiteConfig {
     /// getPR against this site).
     pub fn with_batch_advertised(mut self, advertise: bool) -> SiteConfig {
         self.advertise_batch = advertise;
+        self
+    }
+
+    /// Toggle `supportsBinary` advertisement (off ⇒ clients keep speaking
+    /// XML batches to this site).
+    pub fn with_binary_advertised(mut self, advertise: bool) -> SiteConfig {
+        self.advertise_binary = advertise;
         self
     }
 
@@ -131,7 +142,8 @@ impl Site {
             &format!("{name}-app"),
             Arc::new(
                 ApplicationFactory::new(app_wrapper, Arc::clone(&manager))
-                    .with_batch_advertised(config.advertise_batch),
+                    .with_batch_advertised(config.advertise_batch)
+                    .with_binary_advertised(config.advertise_binary),
             ),
         )?;
         Ok(Site {

@@ -144,6 +144,33 @@ impl PrQuery {
     }
 }
 
+/// Process-wide counters proving the bulk-scan collapse: SQL-backed
+/// wrappers record every set-oriented (`IN`-list / whole-row) scan they
+/// issue in place of per-query point lookups. Tests and benchmarks read
+/// the totals to assert that a miss group of N queries really cost one
+/// data-layer round trip, not N.
+pub mod bulk_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BULK_SCANS: AtomicU64 = AtomicU64::new(0);
+    static COLLAPSED_POINT_QUERIES: AtomicU64 = AtomicU64::new(0);
+
+    /// Record one bulk answer: `scans` statements issued where
+    /// `scans + collapsed` point queries would otherwise have run.
+    pub(crate) fn record(scans: u64, collapsed: u64) {
+        BULK_SCANS.fetch_add(scans, Ordering::Relaxed);
+        COLLAPSED_POINT_QUERIES.fetch_add(collapsed, Ordering::Relaxed);
+    }
+
+    /// `(bulk scans issued, point queries avoided)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            BULK_SCANS.load(Ordering::Relaxed),
+            COLLAPSED_POINT_QUERIES.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The Application side of the Mapping Layer (thesis Table 1 semantics).
 pub trait ApplicationWrapper: Send + Sync {
     /// General information about the application as `(name, value)` pairs —

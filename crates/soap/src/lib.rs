@@ -33,6 +33,7 @@ pub mod context;
 mod envelope;
 mod fault;
 mod value;
+pub mod wire;
 pub mod wsdl;
 
 pub use batch::{
@@ -47,6 +48,11 @@ pub use context::{
 pub use envelope::{Envelope, SOAP_ENV_NS, XSD_NS, XSI_NS};
 pub use fault::{Fault, FaultCode, CANCELLED_DETAIL, DEADLINE_EXCEEDED_DETAIL};
 pub use value::{pack_strs, unpack_strs, Value, ValueError, ValueType, PACK_THRESHOLD};
+pub use wire::{
+    decode_binary_batch_call, decode_binary_batch_response, encode_binary_batch_call,
+    encode_binary_batch_call_into, encode_binary_batch_response, encode_binary_fault, WireError,
+    BINARY_CONTENT_TYPE, PPGB_MAGIC, PPGB_VERSION,
+};
 
 /// Errors raised while encoding or decoding SOAP messages.
 #[derive(Debug, Clone, PartialEq)]

@@ -240,7 +240,10 @@ impl Value {
                 // Compact columnar form: one text node for the whole array.
                 el.set_attr("xsi:type", format!("ppg:{PACKED_TYPE}"));
                 el.set_attr("count", items.len().to_string());
-                el.push_text(pack_strs(items));
+                // The packed block is usually markup-free; `push_raw_text`
+                // proves it once at build time and the serializer then skips
+                // the escape scan on every emit.
+                el.push_raw_text(pack_strs(items));
             }
             Value::StrArray(items) => {
                 el.set_attr("soapenc:arrayType", format!("xsd:string[{}]", items.len()));

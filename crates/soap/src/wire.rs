@@ -1,0 +1,691 @@
+//! The PPGB binary frame format — the bulk data plane.
+//!
+//! XML-over-SOAP pays a marshaling tax on every bulk PerformanceResult hop:
+//! the packed columns are escaped into character data, wrapped in an
+//! envelope, and re-parsed on arrival. PPGB removes the tax for peers that
+//! negotiate it: one length-prefixed binary frame carries the same batch
+//! envelope — call header from the [`CallContext`], per-entry args, per-entry
+//! fault slots mirroring [`BatchOutcome`] — with every string as a raw
+//! length-prefixed byte run, zero escaping.
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"PPGB"
+//! 4       1     version (currently 1)
+//! 5       1     kind: 1 = batch call, 2 = batch response, 3 = whole fault
+//! 6       1     flags: bit 0 = call-header section present (kind 1)
+//! 7       1     reserved (0)
+//! 8       ...   sections, per kind (see below)
+//! ```
+//!
+//! Primitives: `str` = `u32 len` + that many UTF-8 bytes; `u8`/`u32`/`u64`/
+//! `i64`/`f64` are fixed-width LE. A [`Value`] is a 1-byte tag (0 Nil, 1 Str,
+//! 2 Int, 3 Double, 4 Bool, 5 StrArray) followed by its payload; a `StrArray`
+//! is `u32 count` + `count` raw `str` runs — the packed PerformanceResult
+//! columns ride here untouched.
+//!
+//! * kind 1 (call): optional call header (`str` request id, `u8` deadline
+//!   flag + `u64` remaining ms, `str` leg tag), then `u32` entry count, then
+//!   per entry: `str` path, `u8` repeat flag, and — when the flag is 0 —
+//!   `str` method, `u8` ns flag + `str` ns, `u32` param count, per param
+//!   `str` name + value. Repeat flag 1 means "same method/namespace/params
+//!   as the previous entry", the common bulk shape (one `getPR` tuple set
+//!   fanned across a host's instances), so those entries cost one path and
+//!   one byte. The encoder always dedups when the fields byte-match, which
+//!   keeps the encoding canonical; flag 1 on the first entry is malformed.
+//! * kind 2 (response): `u32` outcome count, then per outcome a 1-byte tag:
+//!   0 = value follows, 1 = per-entry fault follows (`u8` code, `str`
+//!   faultstring, `u8` detail flag + `str` detail).
+//! * kind 3 (whole-batch fault): one fault, same encoding — the container
+//!   refused the batch before dispatching any entry. Decodes to
+//!   [`WireError::Fault`], which is a *semantic* outcome, not corruption:
+//!   it must never trigger the XML fallback.
+//!
+//! Every other decode failure is a typed, non-panicking [`WireError`] whose
+//! [`WireError::is_corrupt`] is true — the caller's cue to forget the peer's
+//! binary capability and transparently re-send as XML.
+
+use crate::batch::{BatchEntry, BatchOutcome};
+use crate::fault::{Fault, FaultCode};
+use crate::value::Value;
+use ppg_context::CallContext;
+use std::fmt;
+
+/// Magic bytes opening every frame.
+pub const PPGB_MAGIC: [u8; 4] = *b"PPGB";
+/// Current frame format version.
+pub const PPGB_VERSION: u8 = 1;
+/// Content type advertised and answered during codec negotiation.
+pub const BINARY_CONTENT_TYPE: &str = "application/x-ppg-binary";
+
+const KIND_CALL: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+const KIND_FAULT: u8 = 3;
+const FLAG_CONTEXT: u8 = 1;
+
+/// Typed decode failure. Corrupt variants trigger XML fallback; a
+/// [`WireError::Fault`] is a well-formed refusal and does not.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The buffer ended before the structure it promised.
+    Truncated,
+    /// The first four bytes are not `PPGB`.
+    BadMagic,
+    /// A version this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// Structurally invalid content (bad tag, non-UTF-8 run, length lies).
+    Malformed(String),
+    /// A well-formed whole-batch fault frame (kind 3).
+    Fault(Fault),
+}
+
+impl WireError {
+    /// True when the frame itself is unusable and the sender should fall
+    /// back to XML; false for [`WireError::Fault`], which is an answer.
+    pub fn is_corrupt(&self) -> bool {
+        !matches!(self, WireError::Fault(_))
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "PPGB frame truncated"),
+            WireError::BadMagic => write!(f, "not a PPGB frame"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported PPGB version {v}"),
+            WireError::Malformed(m) => write!(f, "malformed PPGB frame: {m}"),
+            WireError::Fault(fault) => write!(f, "whole-batch fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- encoding
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Nil => out.push(0),
+        Value::Str(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(4);
+            out.push(u8::from(*b));
+        }
+        Value::StrArray(items) => {
+            out.push(5);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_str(out, item);
+            }
+        }
+    }
+}
+
+fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
+    out.push(match fault.code {
+        FaultCode::VersionMismatch => 0,
+        FaultCode::MustUnderstand => 1,
+        FaultCode::Client => 2,
+        FaultCode::Server => 3,
+    });
+    put_str(out, &fault.string);
+    match &fault.detail {
+        Some(d) => {
+            out.push(1);
+            put_str(out, d);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, kind: u8, flags: u8) {
+    out.extend_from_slice(&PPGB_MAGIC);
+    out.push(PPGB_VERSION);
+    out.push(kind);
+    out.push(flags);
+    out.push(0);
+}
+
+/// Encode a batch call frame into `out` (cleared first), so callers can
+/// reuse one wire buffer per connection.
+pub fn encode_binary_batch_call_into(
+    out: &mut Vec<u8>,
+    entries: &[BatchEntry],
+    ctx: Option<&CallContext>,
+) {
+    out.clear();
+    let flags = if ctx.is_some() { FLAG_CONTEXT } else { 0 };
+    put_header(out, KIND_CALL, flags);
+    if let Some(ctx) = ctx {
+        put_str(out, ctx.request_id());
+        match ctx.deadline_ms() {
+            Some(ms) => {
+                out.push(1);
+                out.extend_from_slice(&ms.to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+        put_str(out, ctx.leg_tag());
+    }
+    put_u32(out, entries.len() as u32);
+    // Bulk batches fan one tuple set across many instances: the args of
+    // consecutive entries are usually byte-identical. Encode each entry's
+    // args once into a scratch buffer and emit a 1-byte repeat marker
+    // instead of the bytes whenever they match the previous entry's.
+    let mut prev_args: Vec<u8> = Vec::new();
+    let mut args: Vec<u8> = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        put_str(out, &entry.path);
+        args.clear();
+        put_str(&mut args, &entry.method);
+        match &entry.namespace {
+            Some(ns) => {
+                args.push(1);
+                put_str(&mut args, ns);
+            }
+            None => args.push(0),
+        }
+        put_u32(&mut args, entry.params.len() as u32);
+        for (name, value) in &entry.params {
+            put_str(&mut args, name);
+            put_value(&mut args, value);
+        }
+        if i > 0 && args == prev_args {
+            out.push(1);
+        } else {
+            out.push(0);
+            out.extend_from_slice(&args);
+            std::mem::swap(&mut prev_args, &mut args);
+        }
+    }
+}
+
+/// Encode a batch call frame.
+pub fn encode_binary_batch_call(entries: &[BatchEntry], ctx: Option<&CallContext>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + entries.len() * 64);
+    encode_binary_batch_call_into(&mut out, entries, ctx);
+    out
+}
+
+/// Encode a batch response frame: one slot per outcome, in request order.
+pub fn encode_binary_batch_response(outcomes: &[BatchOutcome]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + outcomes.len() * 32);
+    put_header(&mut out, KIND_RESPONSE, 0);
+    put_u32(&mut out, outcomes.len() as u32);
+    for outcome in outcomes {
+        match outcome {
+            Ok(value) => {
+                out.push(0);
+                put_value(&mut out, value);
+            }
+            Err(fault) => {
+                out.push(1);
+                put_fault(&mut out, fault);
+            }
+        }
+    }
+    out
+}
+
+/// Encode a whole-batch fault frame (the binary analogue of a top-level
+/// `<soap:Fault>` body).
+pub fn encode_binary_fault(fault: &Fault) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + fault.string.len());
+    put_header(&mut out, KIND_FAULT, 0);
+    put_fault(&mut out, fault);
+    out
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("string run is not UTF-8".into()))
+    }
+
+    /// A count prefix, sanity-bounded by the bytes actually remaining so a
+    /// corrupt frame cannot coax a huge allocation (`min_item` is the
+    /// smallest possible encoding of one item).
+    fn count(&mut self, min_item: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item) > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Nil),
+            1 => Ok(Value::Str(self.str()?)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Double(self.f64()?)),
+            4 => match self.u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(WireError::Malformed(format!("bad bool byte {b}"))),
+            },
+            5 => {
+                let n = self.count(4)?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.str()?);
+                }
+                Ok(Value::StrArray(items))
+            }
+            t => Err(WireError::Malformed(format!("unknown value tag {t}"))),
+        }
+    }
+
+    fn fault(&mut self) -> Result<Fault, WireError> {
+        let code = match self.u8()? {
+            0 => FaultCode::VersionMismatch,
+            1 => FaultCode::MustUnderstand,
+            2 => FaultCode::Client,
+            3 => FaultCode::Server,
+            c => return Err(WireError::Malformed(format!("unknown fault code {c}"))),
+        };
+        let string = self.str()?;
+        let detail = match self.u8()? {
+            0 => None,
+            1 => Some(self.str()?),
+            b => return Err(WireError::Malformed(format!("bad detail flag {b}"))),
+        };
+        Ok(Fault {
+            code,
+            string,
+            detail,
+        })
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after frame",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn open_frame<'a>(buf: &'a [u8], want_kind: u8) -> Result<(Reader<'a>, u8), WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != PPGB_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != PPGB_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    let flags = r.u8()?;
+    let _reserved = r.u8()?;
+    if kind == KIND_FAULT {
+        // A whole-batch fault answers any expectation.
+        let fault = r.fault()?;
+        r.done()?;
+        return Err(WireError::Fault(fault));
+    }
+    if kind != want_kind {
+        return Err(WireError::Malformed(format!(
+            "expected frame kind {want_kind}, got {kind}"
+        )));
+    }
+    Ok((r, flags))
+}
+
+/// Decode a batch call frame into its entries and (optional) shared context.
+pub fn decode_binary_batch_call(
+    buf: &[u8],
+) -> Result<(Vec<BatchEntry>, Option<CallContext>), WireError> {
+    let (mut r, flags) = open_frame(buf, KIND_CALL)?;
+    let ctx = if flags & FLAG_CONTEXT != 0 {
+        let request_id = r.str()?;
+        let has_deadline = r.u8()?;
+        let deadline_ms = r.u64()?;
+        let leg = r.str()?;
+        let ms_text = deadline_ms.to_string();
+        Some(CallContext::from_wire(
+            Some(&request_id),
+            (has_deadline != 0).then_some(ms_text.as_str()),
+            Some(&leg),
+        ))
+    } else {
+        None
+    };
+    let n = r.count(13)?;
+    let mut entries: Vec<BatchEntry> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let path = r.str()?;
+        let repeat = r.u8()?;
+        let (method, namespace, pairs) = match repeat {
+            1 => {
+                let Some(prev) = entries.last() else {
+                    return Err(WireError::Malformed(
+                        "repeat-args flag on the first entry".to_owned(),
+                    ));
+                };
+                (
+                    prev.method.clone(),
+                    prev.namespace.clone(),
+                    prev.params.clone(),
+                )
+            }
+            0 => {
+                let method = r.str()?;
+                let namespace = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    b => return Err(WireError::Malformed(format!("bad namespace flag {b}"))),
+                };
+                let params = r.count(5)?;
+                let mut pairs = Vec::with_capacity(params);
+                for _ in 0..params {
+                    let name = r.str()?;
+                    pairs.push((name, r.value()?));
+                }
+                (method, namespace, pairs)
+            }
+            b => return Err(WireError::Malformed(format!("bad repeat-args flag {b}"))),
+        };
+        entries.push(BatchEntry {
+            path,
+            method,
+            namespace,
+            params: pairs,
+        });
+    }
+    r.done()?;
+    Ok((entries, ctx))
+}
+
+/// Decode a batch response frame into per-entry outcomes. A kind-3 frame
+/// surfaces as [`WireError::Fault`], mirroring
+/// [`crate::batch::decode_batch_response`]'s whole-batch fault rule.
+pub fn decode_binary_batch_response(buf: &[u8]) -> Result<Vec<BatchOutcome>, WireError> {
+    let (mut r, _flags) = open_frame(buf, KIND_RESPONSE)?;
+    let n = r.count(2)?;
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        outcomes.push(match r.u8()? {
+            0 => Ok(r.value()?),
+            1 => Err(r.fault()?),
+            t => return Err(WireError::Malformed(format!("unknown outcome tag {t}"))),
+        });
+    }
+    r.done()?;
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn entries() -> Vec<BatchEntry> {
+        vec![
+            BatchEntry::new(
+                "/ogsa/services/psu-app/instances/0",
+                "getPR",
+                "urn:pperfgrid:Execution",
+                &[
+                    ("metric", Value::from("gflops")),
+                    ("foci", Value::StrArray(vec!["/Execution".into()])),
+                    ("n", Value::Int(-7)),
+                    ("x", Value::Double(1.25)),
+                    ("flag", Value::Bool(true)),
+                    ("nothing", Value::Nil),
+                ],
+            ),
+            BatchEntry {
+                path: "/ogsa/services/x".into(),
+                method: "destroy".into(),
+                namespace: None,
+                params: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn call_roundtrip_with_context() {
+        let ctx = CallContext::with_budget(Duration::from_millis(750)).leg("h1", 1);
+        let frame = encode_binary_batch_call(&entries(), Some(&ctx));
+        let (decoded, dctx) = decode_binary_batch_call(&frame).unwrap();
+        assert_eq!(decoded, entries());
+        let dctx = dctx.expect("context section present");
+        assert_eq!(dctx.request_id(), ctx.request_id());
+        assert_eq!(dctx.leg_tag(), "h1");
+        assert!(dctx.remaining().unwrap() <= Duration::from_millis(750));
+    }
+
+    #[test]
+    fn call_roundtrip_without_context() {
+        let frame = encode_binary_batch_call(&[], None);
+        let (decoded, ctx) = decode_binary_batch_call(&frame).unwrap();
+        assert!(decoded.is_empty());
+        assert!(ctx.is_none());
+    }
+
+    #[test]
+    fn repeated_args_collapse_to_one_byte_per_entry() {
+        // The bulk shape: one getPR tuple set fanned across N instances.
+        let make = |i: usize| {
+            BatchEntry::new(
+                format!("/ogsa/services/bulk-exec/instances/{i}"),
+                "getPR",
+                "urn:pperfgrid:Execution",
+                &[
+                    ("metric", Value::from("gflops")),
+                    ("foci", Value::StrArray(vec!["/Execution".into()])),
+                ],
+            )
+        };
+        let bulk: Vec<BatchEntry> = (0..16).map(make).collect();
+        let frame = encode_binary_batch_call(&bulk, None);
+        let (decoded, _) = decode_binary_batch_call(&frame).unwrap();
+        assert_eq!(decoded, bulk);
+        // Entries 2..16 carry only their path + the repeat byte, so the
+        // whole frame stays under two full entries' worth plus paths.
+        let one_entry = encode_binary_batch_call(&bulk[..1], None);
+        let path_cost: usize = bulk
+            .iter()
+            .skip(1)
+            .map(|e| 4 + e.path.len() + 1) // str prefix + path + repeat byte
+            .sum();
+        assert!(
+            frame.len() <= one_entry.len() + path_cost + 4,
+            "{} bytes for 16 entries ({} for one)",
+            frame.len(),
+            one_entry.len()
+        );
+        // Mixed batches still round-trip: a differing entry breaks (and
+        // later restarts) the repeat run.
+        let mut mixed = bulk.clone();
+        mixed[7].method = "destroy".into();
+        let frame = encode_binary_batch_call(&mixed, None);
+        let (decoded, _) = decode_binary_batch_call(&frame).unwrap();
+        assert_eq!(decoded, mixed);
+    }
+
+    #[test]
+    fn repeat_flag_on_first_entry_is_malformed() {
+        let frame = encode_binary_batch_call(&entries(), None);
+        // Frame layout: 8-byte header, u32 entry count, then str path
+        // (u32 len + bytes) and the repeat byte of entry 0. Flip it to 1.
+        let path_len = entries()[0].path.len();
+        let mut bad = frame.clone();
+        let flag_at = 8 + 4 + 4 + path_len;
+        assert_eq!(bad[flag_at], 0);
+        bad[flag_at] = 1;
+        let err = decode_binary_batch_call(&bad).unwrap_err();
+        assert!(err.is_corrupt(), "{err}");
+    }
+
+    #[test]
+    fn response_roundtrip_mixed_outcomes() {
+        let outcomes = vec![
+            Ok(Value::StrArray(vec![
+                "row|with|pipes".into(),
+                "1 < 2 & 3 > 2".into(), // would need escaping in XML
+                String::new(),
+                "12:34;56".into(),
+            ])),
+            Err(Fault::client("no such metric").with_detail("metric=bogus")),
+            Ok(Value::Nil),
+            Err(Fault::deadline_exceeded("budget spent")),
+        ];
+        let frame = encode_binary_batch_response(&outcomes);
+        let decoded = decode_binary_batch_response(&frame).unwrap();
+        assert_eq!(decoded, outcomes);
+        assert!(decoded[3].as_ref().unwrap_err().is_deadline_exceeded());
+    }
+
+    #[test]
+    fn packed_columns_ride_unescaped() {
+        // The raw packed block appears verbatim in the frame bytes — the
+        // whole point of the binary plane.
+        let rows = vec!["a<b&c>d".into(), "x\"y'z".into()];
+        let block = crate::value::pack_strs(&rows);
+        let frame = encode_binary_batch_response(&[Ok(Value::Str(block.clone()))]);
+        assert!(frame.windows(block.len()).any(|w| w == block.as_bytes()));
+    }
+
+    #[test]
+    fn whole_batch_fault_is_semantic_not_corrupt() {
+        let frame = encode_binary_fault(&Fault::deadline_exceeded("batch refused"));
+        match decode_binary_batch_response(&frame) {
+            Err(WireError::Fault(f)) => {
+                assert!(f.is_deadline_exceeded());
+                assert!(!WireError::Fault(f).is_corrupt());
+            }
+            other => panic!("expected fault, got {other:?}"),
+        }
+        // The call decoder sees it the same way.
+        let frame = encode_binary_fault(&Fault::server("nope"));
+        assert!(matches!(
+            decode_binary_batch_call(&frame),
+            Err(WireError::Fault(_))
+        ));
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        assert_eq!(
+            decode_binary_batch_call(b"").unwrap_err(),
+            WireError::Truncated
+        );
+        assert_eq!(
+            decode_binary_batch_call(b"SOAP....").unwrap_err(),
+            WireError::BadMagic
+        );
+        let mut frame = encode_binary_batch_call(&entries(), None);
+        frame[4] = 9; // version
+        assert_eq!(
+            decode_binary_batch_call(&frame).unwrap_err(),
+            WireError::UnsupportedVersion(9)
+        );
+        let frame = encode_binary_batch_call(&entries(), None);
+        for cut in [5, 9, frame.len() - 1] {
+            let err = decode_binary_batch_call(&frame[..cut]).unwrap_err();
+            assert!(err.is_corrupt(), "cut at {cut}: {err}");
+        }
+        // Trailing garbage is rejected, not silently ignored.
+        let mut padded = frame.clone();
+        padded.extend_from_slice(b"xx");
+        assert!(matches!(
+            decode_binary_batch_call(&padded).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        // A response frame fed to the call decoder is malformed.
+        let resp = encode_binary_batch_response(&[Ok(Value::Nil)]);
+        assert!(matches!(
+            decode_binary_batch_call(&resp).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn huge_count_cannot_coax_allocation() {
+        // kind 1, no context, entry count u32::MAX with no entry bytes.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(b"PPGB");
+        frame.extend_from_slice(&[PPGB_VERSION, 1, 0, 0]);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_binary_batch_call(&frame).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn reusable_buffer_clears_between_frames() {
+        let mut wire = Vec::new();
+        encode_binary_batch_call_into(&mut wire, &entries(), None);
+        let first = wire.clone();
+        encode_binary_batch_call_into(&mut wire, &entries(), None);
+        assert_eq!(wire, first, "buffer reuse yields identical frames");
+    }
+}

@@ -2,9 +2,11 @@
 //! can carry, and the decoders never panic on arbitrary input.
 
 use pperf_soap::{
-    decode_batch_call, decode_batch_response, decode_call, decode_response, encode_batch_call,
-    encode_batch_response, encode_call, encode_fault, encode_response, pack_strs, unpack_strs,
-    BatchEntry, BatchOutcome, Fault, SoapError, Value,
+    decode_batch_call, decode_batch_response, decode_binary_batch_call,
+    decode_binary_batch_response, decode_call, decode_response, encode_batch_call,
+    encode_batch_response, encode_binary_batch_call, encode_binary_batch_response, encode_call,
+    encode_fault, encode_response, pack_strs, unpack_strs, BatchEntry, BatchOutcome, Fault,
+    SoapError, Value, WireError,
 };
 use proptest::prelude::*;
 
@@ -141,6 +143,106 @@ proptest! {
     fn batch_decoders_never_panic(input in "\\PC{0,300}") {
         let _ = decode_batch_call(&input);
         let _ = decode_batch_response(&input);
+    }
+
+    #[test]
+    fn ppgb_call_roundtrip_byte_identical(
+        entries in proptest::collection::vec(
+            (
+                "[a-zA-Z0-9/_-]{1,40}",
+                method_strategy(),
+                proptest::option::of("[a-z:]{1,20}"),
+                proptest::collection::vec(("[a-zA-Z][a-zA-Z0-9]{0,12}", value_strategy()), 0..4),
+            ),
+            0..6,
+        ),
+    ) {
+        let built: Vec<BatchEntry> = entries
+            .iter()
+            .map(|(path, method, ns, params)| BatchEntry {
+                path: format!("/{path}"),
+                method: method.clone(),
+                namespace: ns.clone(),
+                params: params.clone(),
+            })
+            .collect();
+        let frame = encode_binary_batch_call(&built, None);
+        let (decoded, ctx) = decode_binary_batch_call(&frame).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &built);
+        prop_assert!(ctx.is_none());
+        // The codec is canonical: re-encoding the decoded envelope yields
+        // the original frame byte for byte.
+        prop_assert_eq!(encode_binary_batch_call(&decoded, None), frame);
+    }
+
+    #[test]
+    fn ppgb_response_roundtrip_byte_identical(
+        outcomes in proptest::collection::vec(
+            prop_oneof![
+                value_strategy().prop_map(Ok),
+                ("\\PC{0,40}", proptest::option::of("\\PC{0,40}")).prop_map(|(msg, detail)| {
+                    let mut f = Fault::server(msg);
+                    if let Some(d) = detail {
+                        f = f.with_detail(d);
+                    }
+                    Err(f)
+                }),
+            ],
+            0..8,
+        ),
+    ) {
+        let frame = encode_binary_batch_response(&outcomes);
+        let decoded = decode_binary_batch_response(&frame).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &outcomes);
+        prop_assert_eq!(encode_binary_batch_response(&decoded), frame);
+    }
+
+    #[test]
+    fn ppgb_truncation_yields_typed_error(
+        outcomes in proptest::collection::vec(value_strategy().prop_map(Ok), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = encode_binary_batch_response(&outcomes);
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        match decode_binary_batch_response(&frame[..cut]) {
+            Ok(_) => prop_assert!(false, "truncated frame decoded"),
+            Err(e) => prop_assert!(e.is_corrupt(), "truncation must be corrupt, got {:?}", e),
+        }
+    }
+
+    #[test]
+    fn ppgb_bit_flips_never_panic(
+        entries in proptest::collection::vec(
+            ("[a-zA-Z0-9/_-]{1,30}", method_strategy()),
+            1..4,
+        ),
+        flip_seed in any::<u64>(),
+    ) {
+        let built: Vec<BatchEntry> = entries
+            .iter()
+            .map(|(path, method)| BatchEntry {
+                path: format!("/{path}"),
+                method: method.clone(),
+                namespace: None,
+                params: vec![],
+            })
+            .collect();
+        let mut frame = encode_binary_batch_call(&built, None);
+        let i = (flip_seed % frame.len() as u64) as usize;
+        frame[i] ^= 1 << ((flip_seed >> 32) % 8);
+        // The flip may still decode (a length byte that stays consistent, a
+        // character swap); what it must never do is panic or allocate wild.
+        match decode_binary_batch_call(&frame) {
+            Ok(_) => {}
+            Err(WireError::Fault(_)) => {} // kind byte flipped to 3
+            Err(e) => prop_assert!(e.is_corrupt()),
+        }
+    }
+
+    #[test]
+    fn ppgb_decoders_never_panic(input in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_binary_batch_call(&input);
+        let _ = decode_binary_batch_response(&input);
     }
 
     #[test]

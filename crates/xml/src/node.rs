@@ -7,6 +7,11 @@ pub enum Node {
     Element(Element),
     /// A run of character data (entity references already resolved).
     Text(String),
+    /// A run of character data guaranteed by its producer to contain no
+    /// markup bytes (`&`, `<`, `>`): the serializer emits it verbatim,
+    /// skipping even the escape scan. Built via [`Element::push_raw_text`];
+    /// the parser never produces this variant.
+    RawText(String),
 }
 
 impl Node {
@@ -14,14 +19,14 @@ impl Node {
     pub fn as_element(&self) -> Option<&Element> {
         match self {
             Node::Element(e) => Some(e),
-            Node::Text(_) => None,
+            Node::Text(_) | Node::RawText(_) => None,
         }
     }
 
     /// The contained text, if this node is character data.
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Node::Text(t) => Some(t),
+            Node::Text(t) | Node::RawText(t) => Some(t),
             Node::Element(_) => None,
         }
     }
@@ -96,6 +101,22 @@ impl Element {
     /// Append a text node. Returns `&mut self` for chaining.
     pub fn push_text(&mut self, text: impl Into<String>) -> &mut Self {
         self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Append a text node that bypasses escaping when it safely can: if the
+    /// text contains no markup bytes it is stored as [`Node::RawText`] and
+    /// serialized verbatim; otherwise this is exactly [`Element::push_text`].
+    /// Bulk marshallers (the packed PerformanceResult columns) call this so
+    /// large clean payloads skip the per-byte escape scan on every
+    /// serialization.
+    pub fn push_raw_text(&mut self, text: impl Into<String>) -> &mut Self {
+        let text = text.into();
+        if text.bytes().any(|b| matches!(b, b'&' | b'<' | b'>')) {
+            self.children.push(Node::Text(text));
+        } else {
+            self.children.push(Node::RawText(text));
+        }
         self
     }
 

@@ -42,7 +42,7 @@ fn estimate_len(el: &Element) -> usize {
     for child in &el.children {
         n += match child {
             Node::Element(e) => estimate_len(e),
-            Node::Text(t) => t.len(),
+            Node::Text(t) | Node::RawText(t) => t.len(),
         };
     }
     n
@@ -71,6 +71,8 @@ fn write_compact(el: &Element, out: &mut String) {
         match child {
             Node::Element(e) => write_compact(e, out),
             Node::Text(t) => escape_text_into(t, out),
+            // Producer-guaranteed markup-free: emit verbatim, no scan.
+            Node::RawText(t) => out.push_str(t),
         }
     }
     out.push_str("</");
@@ -83,7 +85,10 @@ fn write_pretty(el: &Element, indent: usize, out: &mut String) {
         out.push_str("  ");
     }
     // Any text child ⇒ whitespace inside would change meaning; stay compact.
-    let has_text = el.children.iter().any(|c| matches!(c, Node::Text(_)));
+    let has_text = el
+        .children
+        .iter()
+        .any(|c| matches!(c, Node::Text(_) | Node::RawText(_)));
     if el.children.is_empty() || has_text {
         write_compact(el, out);
         return;
@@ -94,7 +99,9 @@ fn write_pretty(el: &Element, indent: usize, out: &mut String) {
         out.push('\n');
         match child {
             Node::Element(e) => write_pretty(e, indent + 1, out),
-            Node::Text(_) => unreachable!("text-bearing elements stay compact"),
+            Node::Text(_) | Node::RawText(_) => {
+                unreachable!("text-bearing elements stay compact")
+            }
         }
     }
     out.push('\n');
@@ -144,6 +151,18 @@ mod tests {
         let pretty = root.to_xml_pretty();
         assert_eq!(pretty, "<r>\n  <leaf>v</leaf>\n  <empty/>\n</r>");
         assert_eq!(parse(&pretty).unwrap(), root);
+    }
+
+    #[test]
+    fn raw_text_emitted_verbatim_and_reparses() {
+        let mut e = Element::new("a");
+        e.push_raw_text("12:ab;3:c|d;"); // markup-free packed block
+        assert_eq!(e.to_xml(), "<a>12:ab;3:c|d;</a>");
+        // Unclean input silently takes the escaping path instead.
+        let mut unsafe_el = Element::new("a");
+        unsafe_el.push_raw_text("1 < 2 & 3");
+        assert_eq!(unsafe_el.to_xml(), "<a>1 &lt; 2 &amp; 3</a>");
+        assert_eq!(parse(&unsafe_el.to_xml()).unwrap().text(), "1 < 2 & 3");
     }
 
     #[test]

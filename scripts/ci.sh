@@ -32,6 +32,13 @@ cargo test -q -p pperf-soap batch
 cargo test -q -p pperf-gateway --test batch
 PPG_FORCE_POLL=1 cargo test -q -p pperf-gateway --test batch
 
+echo "==> binary data plane suite (PPGB codec, negotiation, mixed fleets)"
+cargo test -q -p pperf-soap wire
+cargo test -q -p pperf-gateway --test binary
+cargo test -q -p pperf-gateway --test force_xml
+echo "==> binary data plane: PPG_FORCE_XML=1 pass (fallback path stays green)"
+PPG_FORCE_XML=1 cargo test -q -p pperf-gateway --test batch --test federation --test deadline
+
 if [[ "${PPG_BENCH:-0}" == "1" ]]; then
     echo "==> gateway fan-out bench (quick scale)"
     PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
