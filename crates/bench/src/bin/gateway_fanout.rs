@@ -158,6 +158,49 @@ fn qps(repeats: usize, elapsed: Duration) -> f64 {
     repeats as f64 / elapsed.as_secs_f64().max(1e-9)
 }
 
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// One registry plus one tiny site, returning the handles needed to
+/// repeatedly withdraw and re-publish the site (the invalidation-latency
+/// pass). The container rides along so it stays alive.
+fn deploy_withdrawal_fixture() -> (Arc<HttpClient>, Gsh, RegistryStub, Site, Arc<Container>) {
+    let client = Arc::new(HttpClient::new());
+    let host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let registry = host
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(1, 1, Duration::ZERO));
+    let site = Site::deploy(
+        &host,
+        Arc::clone(&client),
+        mem,
+        &SiteConfig::new("mem").with_cache(false),
+    )
+    .unwrap();
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    stub.register_organization("INVAL", "bench").unwrap();
+    site.publish(&stub, "INVAL", "scripted store").unwrap();
+    (client, registry, stub, site, host)
+}
+
+/// Query until the plan includes exactly `sites` sites (bounded).
+fn wait_for_sites(gateway: &FederatedGateway, query: &FederatedQuery, sites: usize) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if gateway.query(query).sites_total == sites {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gateway never converged to {sites} site(s)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 fn render_json(entries: &[Entry]) -> String {
     let rows: Vec<String> = entries
         .iter()
@@ -589,6 +632,89 @@ fn main() {
         "cancels",
     ));
 
+    // Pass 6: invalidation latency — how long after a site's withdrawal the
+    // gateway's plan stops including it. Push membership deltas versus the
+    // 500 ms plan-cache TTL polling baseline.
+    let inval_rounds: usize = if std::env::var_os("PPG_QUICK").is_some() {
+        3
+    } else {
+        5
+    };
+    let mut push_samples = Vec::new();
+    {
+        let (client, registry, stub, site, _host) = deploy_withdrawal_fixture();
+        let push_gateway = FederatedGateway::new(
+            Arc::clone(&client),
+            registry.clone(),
+            GatewayConfig::default()
+                .with_hedging(None)
+                // Deliberately enormous: only push can explain a fast
+                // withdrawal, never a lucky poll.
+                .with_plan_cache(Duration::from_secs(60)),
+        );
+        for round in 0..inval_rounds {
+            if round > 0 {
+                site.publish(&stub, "INVAL", "scripted store").unwrap();
+            }
+            wait_for_sites(&push_gateway, &query, 1);
+            let before = push_gateway.snapshot().notify_invalidations;
+            let withdrawn_at = Instant::now();
+            stub.unregister_service("INVAL", "mem").unwrap();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while push_gateway.snapshot().notify_invalidations == before {
+                assert!(Instant::now() < deadline, "push invalidation never arrived");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            push_samples.push(withdrawn_at.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+    let mut poll_samples = Vec::new();
+    {
+        let (client, registry, stub, site, _host) = deploy_withdrawal_fixture();
+        let poll_gateway = FederatedGateway::new(
+            Arc::clone(&client),
+            registry.clone(),
+            // Default 500 ms plan-cache TTL; push disabled, so the lease
+            // diff on the next snapshot refresh is the only detector.
+            GatewayConfig::default()
+                .with_hedging(None)
+                .with_notifications(false),
+        );
+        for round in 0..inval_rounds {
+            if round > 0 {
+                site.publish(&stub, "INVAL", "scripted store").unwrap();
+            }
+            wait_for_sites(&poll_gateway, &query, 1);
+            let withdrawn_at = Instant::now();
+            stub.unregister_service("INVAL", "mem").unwrap();
+            wait_for_sites(&poll_gateway, &query, 0);
+            poll_samples.push(withdrawn_at.elapsed().as_secs_f64() * 1000.0);
+        }
+    }
+    let push_inval_ms = median(&mut push_samples);
+    let poll_inval_ms = median(&mut poll_samples);
+    let inval_speedup = poll_inval_ms / push_inval_ms.max(1e-3);
+    println!(
+        "invalidation: withdrawn site retired in {push_inval_ms:.1} ms via push vs \
+         {poll_inval_ms:.0} ms via 500 ms TTL polling ({inval_speedup:.0}x faster, \
+         median of {inval_rounds} rounds)"
+    );
+    entries.push(entry(
+        "gateway_fanout/push_invalidation_latency",
+        push_inval_ms,
+        "ms",
+    ));
+    entries.push(entry(
+        "gateway_fanout/poll_invalidation_latency",
+        poll_inval_ms,
+        "ms",
+    ));
+    entries.push(entry(
+        "gateway_fanout/push_invalidation_speedup",
+        inval_speedup,
+        "x",
+    ));
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());
     std::fs::write(&out, render_json(&entries)).unwrap();
     println!("\nwrote {out}");
@@ -622,6 +748,13 @@ fn main() {
         eprintln!(
             "WARNING: binary payload only {bulk_byte_shrink:.1}x smaller than XML-batch \
              (acceptance floor: 3x fewer bytes)"
+        );
+        failed = true;
+    }
+    if push_inval_ms > 100.0 {
+        eprintln!(
+            "WARNING: push invalidation took {push_inval_ms:.1} ms \
+             (acceptance floor: well under the 500 ms polling TTL, <= 100 ms)"
         );
         failed = true;
     }

@@ -17,7 +17,7 @@
 
 use crate::cache::TtlLru;
 use crate::coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight};
-use crate::plan::{ExecTarget, Planner};
+use crate::plan::{ExecTarget, Planner, SitePlan};
 use crate::pool::{SiteLimiter, WorkerPool};
 use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, SiteRows};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
@@ -27,9 +27,13 @@ use pperf_ogsi::{BatchWire, Gsh, OgsiError, ServiceStub};
 use pperf_soap::{BatchEntry, BatchOutcome};
 use pperfgrid::{ExecutionStub, PrQuery, EXECUTION_NS};
 use ppg_context::CallContext;
+use ppg_notify::{
+    Event, NotificationSink, NotifyError, SinkConfig, SinkHandler, TOPIC_CACHE_INVALIDATE,
+    TOPIC_REGISTRY_MEMBERS,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// One uncached `(execution target, getPR tuple, cache key)` slot still
@@ -74,6 +78,12 @@ pub struct GatewayConfig {
     /// negotiation and transparent XML fallback. Off pins every batch to
     /// XML regardless of what sites advertise.
     pub binary_enabled: bool,
+    /// Subscribe to the push notification plane: registry membership deltas
+    /// invalidate the planner snapshot the moment they happen (instead of
+    /// waiting out `plan_cache_ttl`), and per-site invalidation events drop
+    /// cached results ahead of their TTL. Sites that don't speak the plane
+    /// silently stay on TTL polling, as does everything when this is off.
+    pub notifications_enabled: bool,
 }
 
 impl Default for GatewayConfig {
@@ -91,6 +101,7 @@ impl Default for GatewayConfig {
             plan_cache_ttl: Duration::from_millis(500),
             batch_enabled: true,
             binary_enabled: true,
+            notifications_enabled: true,
         }
     }
 }
@@ -158,6 +169,12 @@ impl GatewayConfig {
         self.binary_enabled = enabled;
         self
     }
+
+    /// Toggle push-notification subscriptions (event-driven invalidation).
+    pub fn with_notifications(mut self, enabled: bool) -> GatewayConfig {
+        self.notifications_enabled = enabled;
+        self
+    }
 }
 
 /// Rolling latency/error accounting for one site.
@@ -195,8 +212,13 @@ struct Stats {
     /// deadline budget ran out.
     deadline_exceeded: AtomicU64,
     /// Sites whose cached results were dropped after their registry lease
-    /// expired or they republished.
+    /// expired or they republished — detected by TTL polling (snapshot
+    /// refresh diff).
     lease_invalidations: AtomicU64,
+    /// Invalidations driven by push notifications (registry membership
+    /// deltas and per-site `cache.invalidate` events), counted separately
+    /// from the TTL-expiry path above.
+    notify_invalidations: AtomicU64,
     /// Batched multi-call wire requests issued.
     batched_calls: AtomicU64,
     /// getPR entries that rode those batched requests.
@@ -252,8 +274,18 @@ pub struct GatewaySnapshot {
     pub hedges_cancelled: u64,
     /// Targets abandoned because the query deadline budget ran out.
     pub deadline_exceeded: u64,
-    /// Sites invalidated after a registry lease expiry or republish.
+    /// Sites invalidated after a registry lease expiry or republish,
+    /// detected by TTL polling.
     pub lease_invalidations: u64,
+    /// Invalidations driven by push notifications (membership deltas,
+    /// per-site cache invalidation events).
+    pub notify_invalidations: u64,
+    /// Push subscriptions currently connected (registry + sites).
+    pub notify_subscriptions: u64,
+    /// Events delivered over those subscriptions (lifetime).
+    pub notify_events: u64,
+    /// Poll-fallback resyncs after sequence gaps on those subscriptions.
+    pub notify_resyncs: u64,
     /// Batched multi-call wire requests issued.
     pub batched_calls: u64,
     /// getPR entries that rode those batched requests.
@@ -287,6 +319,167 @@ struct Inner {
     site_keys: Mutex<HashMap<String, HashSet<String>>>,
     flights: Arc<SingleFlight>,
     stats: Stats,
+    notify: NotifyState,
+}
+
+/// The gateway's push subscriptions (empty when notifications are off).
+#[derive(Default)]
+struct NotifyState {
+    /// Push connection to the registry's container (`registry.members`).
+    registry_sink: Mutex<Option<NotificationSink>>,
+    /// Per-site push connections keyed by factory authority
+    /// (`cache.invalidate` + `service.data`).
+    site_sinks: Mutex<HashMap<String, NotificationSink>>,
+    /// Authorities that answered subscribe with a non-200: legacy sites.
+    /// The gateway silently stays on TTL polling for them.
+    unsupported: Mutex<HashSet<String>>,
+}
+
+impl NotifyState {
+    /// `(connected, events_received, resyncs)` across every sink.
+    fn counters(&self) -> (u64, u64, u64) {
+        let mut connected = 0u64;
+        let mut events = 0u64;
+        let mut resyncs = 0u64;
+        let mut tally = |sink: &NotificationSink| {
+            connected += u64::from(sink.is_connected());
+            let c = sink.counters();
+            events += c.events_received;
+            resyncs += c.resyncs;
+        };
+        if let Some(sink) = self.registry_sink.lock().as_ref() {
+            tally(sink);
+        }
+        for sink in self.site_sinks.lock().values() {
+            tally(sink);
+        }
+        (connected, events, resyncs)
+    }
+}
+
+/// Drop one site's cached results. Returns whether anything was dropped.
+fn drop_site_cache(inner: &Inner, site: &str) -> bool {
+    match inner.site_keys.lock().remove(site) {
+        Some(keys) => {
+            for key in keys {
+                inner.cache.remove(&key);
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Registry-membership push events: any delta retires the planner snapshot
+/// immediately (the poll path would serve it for up to `plan_cache_ttl`);
+/// withdrawals additionally drop the site's cached results and binding.
+struct RegistryEvents {
+    inner: Weak<Inner>,
+}
+
+impl RegistryEvents {
+    /// Missed deltas (sequence gap or lost connection): fall back to a poll
+    /// resync — distrust the snapshot and let the next plan re-read the
+    /// registry.
+    fn resync(&self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.planner.invalidate_snapshot();
+        }
+    }
+}
+
+impl SinkHandler for RegistryEvents {
+    fn on_event(&self, event: &Event) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        if event.topic != TOPIC_REGISTRY_MEMBERS {
+            return;
+        }
+        inner.planner.invalidate_snapshot();
+        let mut parts = event.payload.splitn(3, '|');
+        let op = parts.next().unwrap_or("");
+        let site = parts.next().unwrap_or("");
+        if matches!(op, "unregister" | "expire") && !site.is_empty() {
+            inner.planner.unbind_site(site);
+            drop_site_cache(&inner, site);
+            inner
+                .stats
+                .notify_invalidations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_gap(&self, _topic: &str, _expected: u64, _got: u64) {
+        self.resync();
+    }
+
+    fn on_disconnect(&self) {
+        self.resync();
+    }
+}
+
+/// Per-site push events: a `cache.invalidate` for an instance path drops
+/// exactly the cached results bound to that instance.
+struct SiteEvents {
+    inner: Weak<Inner>,
+    /// The site container's `host:port`, used to reconstruct instance URLs.
+    authority: String,
+}
+
+impl SinkHandler for SiteEvents {
+    fn on_event(&self, event: &Event) {
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        if event.topic != TOPIC_CACHE_INVALIDATE {
+            return;
+        }
+        // Cache keys are `<instance url>::<tuple>`; the event carries the
+        // instance path on this authority.
+        let prefix = format!("http://{}{}::", self.authority, event.payload);
+        let mut dropped = false;
+        let mut site_keys = inner.site_keys.lock();
+        for keys in site_keys.values_mut() {
+            keys.retain(|key| {
+                if key.starts_with(&prefix) {
+                    inner.cache.remove(key);
+                    dropped = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        drop(site_keys);
+        if dropped {
+            inner
+                .stats
+                .notify_invalidations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_gap(&self, _topic: &str, _expected: u64, _got: u64) {
+        // Events were dropped: any of this site's cached results may be
+        // stale. Drop the whole authority's keys (every site label may map
+        // here, so clear by prefix).
+        let Some(inner) = self.inner.upgrade() else {
+            return;
+        };
+        let prefix = format!("http://{}/", self.authority);
+        let mut site_keys = inner.site_keys.lock();
+        for keys in site_keys.values_mut() {
+            keys.retain(|key| {
+                if key.starts_with(&prefix) {
+                    inner.cache.remove(key);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
 }
 
 /// The federation front door: one of these serves any number of concurrent
@@ -367,6 +560,7 @@ impl FederatedGateway {
                 hedges_cancelled: AtomicU64::new(0),
                 deadline_exceeded: AtomicU64::new(0),
                 lease_invalidations: AtomicU64::new(0),
+                notify_invalidations: AtomicU64::new(0),
                 batched_calls: AtomicU64::new(0),
                 batch_entries: AtomicU64::new(0),
                 batch_fallback: AtomicU64::new(0),
@@ -379,11 +573,84 @@ impl FederatedGateway {
             planner,
             client,
             config,
+            notify: NotifyState::default(),
         };
-        Arc::new(FederatedGateway {
+        let gateway = Arc::new(FederatedGateway {
             inner: Arc::new(inner),
             pool,
-        })
+        });
+        gateway.ensure_registry_subscription();
+        gateway
+    }
+
+    /// Subscribe to the registry container's membership deltas, once. A
+    /// non-notifying (legacy) registry is remembered and the gateway stays
+    /// on TTL polling; transient failures retry on the next query.
+    fn ensure_registry_subscription(&self) {
+        let inner = &self.inner;
+        if !inner.config.notifications_enabled {
+            return;
+        }
+        let authority = inner.planner.registry_authority();
+        if inner.notify.registry_sink.lock().is_some()
+            || inner.notify.unsupported.lock().contains(&authority)
+        {
+            return;
+        }
+        let handler = Arc::new(RegistryEvents {
+            inner: Arc::downgrade(inner),
+        });
+        let config = SinkConfig {
+            topics: vec![TOPIC_REGISTRY_MEMBERS.to_owned()],
+            ..SinkConfig::default()
+        };
+        match NotificationSink::connect(&authority, config, handler) {
+            Ok(sink) => *inner.notify.registry_sink.lock() = Some(sink),
+            Err(NotifyError::Unsupported(_)) => {
+                inner.notify.unsupported.lock().insert(authority);
+            }
+            Err(_) => {} // transient; retried on the next query
+        }
+    }
+
+    /// Subscribe to each planned site's invalidation events, once per
+    /// container authority. Legacy sites (subscribe answered non-200) are
+    /// remembered and silently stay on TTL polling.
+    fn ensure_site_subscriptions(&self, sites: &[SitePlan]) {
+        let inner = &self.inner;
+        if !inner.config.notifications_enabled {
+            return;
+        }
+        for plan in sites {
+            let authority = plan.factory.url().authority();
+            if inner.notify.site_sinks.lock().contains_key(&authority)
+                || inner.notify.unsupported.lock().contains(&authority)
+            {
+                continue;
+            }
+            let handler = Arc::new(SiteEvents {
+                inner: Arc::downgrade(inner),
+                authority: authority.clone(),
+            });
+            let config = SinkConfig {
+                topics: vec![TOPIC_CACHE_INVALIDATE.to_owned()],
+                ..SinkConfig::default()
+            };
+            match NotificationSink::connect(&authority, config, handler) {
+                Ok(sink) => {
+                    inner.notify.site_sinks.lock().insert(authority, sink);
+                }
+                Err(NotifyError::Unsupported(_)) => {
+                    inner.notify.unsupported.lock().insert(authority);
+                }
+                Err(_) => {} // transient; retried on the next query
+            }
+        }
+    }
+
+    /// Push subscriptions currently connected (diagnostics and tests).
+    pub fn notify_subscriptions(&self) -> u64 {
+        self.inner.notify.counters().0
     }
 
     /// The planner (exposed for diagnostics and tests).
@@ -399,12 +666,10 @@ impl FederatedGateway {
 
     /// Drop one site's cached results: its registry lease expired or it
     /// republished, so its instance handles (the cache keys) are stale.
+    /// This is the TTL-polling detection path; push-driven invalidations
+    /// count under `notify_invalidations` instead.
     pub fn invalidate_site(&self, site: &str) {
-        if let Some(keys) = self.inner.site_keys.lock().remove(site) {
-            for key in keys {
-                self.inner.cache.remove(&key);
-            }
-        }
+        drop_site_cache(&self.inner, site);
         self.inner
             .stats
             .lease_invalidations
@@ -424,6 +689,7 @@ impl FederatedGateway {
             .collect();
         per_site.sort_by(|a, b| a.0.cmp(&b.0));
         let (plan_snapshot_hits, plan_snapshot_refreshes) = inner.planner.snapshot_stats();
+        let (notify_subscriptions, notify_events, notify_resyncs) = inner.notify.counters();
         GatewaySnapshot {
             queries: inner.stats.queries.load(Ordering::Relaxed),
             upstream_calls: inner.stats.upstream.load(Ordering::Relaxed),
@@ -437,6 +703,10 @@ impl FederatedGateway {
             hedges_cancelled: inner.stats.hedges_cancelled.load(Ordering::Relaxed),
             deadline_exceeded: inner.stats.deadline_exceeded.load(Ordering::Relaxed),
             lease_invalidations: inner.stats.lease_invalidations.load(Ordering::Relaxed),
+            notify_invalidations: inner.stats.notify_invalidations.load(Ordering::Relaxed),
+            notify_subscriptions,
+            notify_events,
+            notify_resyncs,
             batched_calls: inner.stats.batched_calls.load(Ordering::Relaxed),
             batch_entries: inner.stats.batch_entries.load(Ordering::Relaxed),
             batch_fallback_calls: inner.stats.batch_fallback.load(Ordering::Relaxed),
@@ -477,6 +747,8 @@ impl FederatedGateway {
         for site in &plan.invalidated {
             self.invalidate_site(site);
         }
+        self.ensure_registry_subscription();
+        self.ensure_site_subscriptions(&plan.sites);
         let mut errors = plan.errors.clone();
         let sites_total = plan.sites.len() + errors.len();
         // Every tuple of the query (primary metric + extras) fans out to

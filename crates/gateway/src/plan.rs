@@ -81,10 +81,12 @@ struct BoundSite {
     hedges: HashMap<String, Option<Gsh>>,
 }
 
-/// A cached registry snapshot with its capture time.
+/// A cached registry snapshot with its capture time and the membership
+/// generation it was captured under.
 struct Snapshot {
     entries: Vec<ServiceEntry>,
     at: Instant,
+    generation: u64,
 }
 
 /// The planner: registry snapshotting plus Application-binding state.
@@ -99,6 +101,12 @@ pub struct Planner {
     /// `Duration::ZERO` disables the cache.
     snapshot_ttl: Duration,
     snapshot: Mutex<Option<Snapshot>>,
+    /// Registry-membership generation: bumped by every invalidation (push
+    /// delta, explicit call). A snapshot is only served while its recorded
+    /// generation still matches, so a delta arriving *mid-refresh* — after
+    /// the wire fetch started but before the snapshot was stored — can
+    /// never resurrect pre-delta entries.
+    generation: AtomicU64,
     snapshot_hits: AtomicU64,
     snapshot_refreshes: AtomicU64,
     /// `site label → factory URL` as of the previous fresh snapshot, diffed
@@ -122,6 +130,7 @@ impl Planner {
             bound: Mutex::new(HashMap::new()),
             snapshot_ttl,
             snapshot: Mutex::new(None),
+            generation: AtomicU64::new(0),
             snapshot_hits: AtomicU64::new(0),
             snapshot_refreshes: AtomicU64::new(0),
             last_seen: Mutex::new(HashMap::new()),
@@ -172,14 +181,18 @@ impl Planner {
     /// cache when fresh enough (the invalidated list is only ever non-empty
     /// on a refresh — a cached snapshot cannot observe lease changes).
     fn snapshot(&self) -> Result<(Vec<ServiceEntry>, Vec<String>), OgsiError> {
+        let generation = self.generation.load(Ordering::Acquire);
         if self.snapshot_ttl > Duration::ZERO {
             if let Some(cached) = self.snapshot.lock().as_ref() {
-                if cached.at.elapsed() <= self.snapshot_ttl {
+                if cached.at.elapsed() <= self.snapshot_ttl && cached.generation == generation {
                     self.snapshot_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((cached.entries.clone(), Vec::new()));
                 }
             }
         }
+        // `generation` was read before the wire fetch: if a membership delta
+        // lands while the fetch is in flight, the stored snapshot is already
+        // stale-by-generation and the next plan refreshes again.
         let registry = RegistryStub::bind(Arc::clone(&self.client), &self.registry);
         let mut entries = Vec::new();
         for org in registry.find_organizations("")? {
@@ -198,6 +211,7 @@ impl Planner {
         *self.snapshot.lock() = Some(Snapshot {
             entries: entries.clone(),
             at: Instant::now(),
+            generation,
         });
         Ok((entries, invalidated))
     }
@@ -234,10 +248,34 @@ impl Planner {
         )
     }
 
-    /// Drop the cached registry snapshot so the next plan refreshes (tests,
-    /// or callers that just changed the registry and can't wait out the TTL).
+    /// Drop the cached registry snapshot so the next plan refreshes (push
+    /// membership deltas, tests, or callers that just changed the registry
+    /// and can't wait out the TTL). Also bumps the membership generation,
+    /// which retires any refresh still in flight — without the bump, a
+    /// concurrent [`Planner::plan`] that fetched entries *before* this call
+    /// could store them *after* it, resurrecting the pre-delta view.
     pub fn invalidate_snapshot(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
         *self.snapshot.lock() = None;
+    }
+
+    /// The current membership generation (diagnostics and tests).
+    pub fn snapshot_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Drop one site's cached Application binding (its registry entry was
+    /// withdrawn, so the bound instance is — or is about to be — gone).
+    /// Also forgets the site's lease, so the next snapshot refresh does not
+    /// re-report a withdrawal that a push delta already handled.
+    pub fn unbind_site(&self, site: &str) {
+        self.bound.lock().remove(site);
+        self.last_seen.lock().remove(site);
+    }
+
+    /// The `host:port` of the registry this planner snapshots.
+    pub fn registry_authority(&self) -> String {
+        self.registry.url().authority()
     }
 
     /// Expand one site, retrying once with a fresh Application instance if a

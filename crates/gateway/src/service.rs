@@ -120,6 +120,16 @@ impl ServicePort for FederatedQueryService {
                 "leaseInvalidations",
                 Value::Int(snapshot.lease_invalidations as i64),
             )
+            .with(
+                "notifyInvalidations",
+                Value::Int(snapshot.notify_invalidations as i64),
+            )
+            .with(
+                "notifySubscriptions",
+                Value::Int(snapshot.notify_subscriptions as i64),
+            )
+            .with("notifyEvents", Value::Int(snapshot.notify_events as i64))
+            .with("notifyResyncs", Value::Int(snapshot.notify_resyncs as i64))
             .with("batchedCalls", Value::Int(snapshot.batched_calls as i64))
             .with("batchEntries", Value::Int(snapshot.batch_entries as i64))
             .with(

@@ -596,12 +596,17 @@ fn lapsed_registry_lease_invalidates_the_sites_cache() {
     stub.register_service_with_ttl(&entry, 1).unwrap();
 
     // Fresh snapshots every plan, so the lease lapse is seen promptly.
+    // Push notifications stay off: this test pins the TTL lease-diff
+    // detection path, which otherwise races the registry's `expire` push
+    // event for the same withdrawal (the push path is covered in
+    // tests/notify.rs).
     let gateway = FederatedGateway::new(
         Arc::clone(&client),
         registry.clone(),
         GatewayConfig::default()
             .with_hedging(None)
-            .with_plan_cache(Duration::ZERO),
+            .with_plan_cache(Duration::ZERO)
+            .with_notifications(false),
     );
     let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
     let first = gateway.query(&query);

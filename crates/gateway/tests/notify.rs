@@ -1,0 +1,301 @@
+//! Push notification plane, end to end: registry membership deltas retire
+//! the gateway's plan snapshot well under the polling TTL, per-site
+//! `cache.invalidate` events drop exactly the affected cached rows, a
+//! non-notifying (legacy) fleet silently stays on TTL polling, and the
+//! planner's membership generation retires a snapshot refresh that raced a
+//! push delta.
+
+use pperf_gateway::{FederatedGateway, FederatedQuery, GatewayConfig, Planner};
+use pperf_httpd::HttpClient;
+use pperf_ogsi::{Container, ContainerConfig, GridServiceStub, Gsh, RegistryService, RegistryStub};
+use pperfgrid::wrappers::{MemApplicationWrapper, MemExecution};
+use pperfgrid::{ApplicationWrapper, Site, SiteConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_container() -> Arc<Container> {
+    Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap()
+}
+
+fn registry_on(container: &Container) -> Gsh {
+    container
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap()
+}
+
+fn mem_wrapper(execs: usize, rows_per_exec: usize) -> MemApplicationWrapper {
+    let app = MemApplicationWrapper::new(vec![("name", "MemApp")]);
+    for i in 0..execs {
+        let mut exec = MemExecution {
+            info: vec![("runid".into(), i.to_string())],
+            foci: vec!["/Execution".into()],
+            metrics: vec!["gflops".into()],
+            types: vec!["MEM".into()],
+            time: ("0".into(), "10".into()),
+            ..Default::default()
+        };
+        exec.results.insert(
+            ("gflops".into(), "/Execution".into()),
+            (0..rows_per_exec)
+                .map(|r| format!("gflops|{i}.{r}"))
+                .collect(),
+        );
+        app.add_execution(format!("mem-{i}"), exec);
+    }
+    app
+}
+
+fn publish(client: &Arc<HttpClient>, registry: &Gsh, org: &str, site: &Site) {
+    let stub = RegistryStub::bind(Arc::clone(client), registry);
+    stub.register_organization(org, "test").unwrap();
+    site.publish(&stub, org, "scripted store").unwrap();
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// The acceptance path: a registry deregistration is *pushed* to the
+/// subscribed gateway and invalidates its plan cache well under the 500 ms
+/// polling TTL — with a plan-cache TTL of a minute, only push can explain
+/// the withdrawn site vanishing from the next plan.
+#[test]
+fn registry_push_invalidates_plan_cache_under_polling_ttl() {
+    let client = Arc::new(HttpClient::new());
+    let c_reg = start_container();
+    let c_site = start_container();
+    let registry = registry_on(&c_reg);
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(2, 2));
+    let site = Site::deploy(&c_site, Arc::clone(&client), mem, &SiteConfig::new("mem")).unwrap();
+    publish(&client, &registry, "MEM", &site);
+
+    let gateway = FederatedGateway::new(
+        Arc::clone(&client),
+        registry.clone(),
+        GatewayConfig::default()
+            // Deliberately enormous: TTL polling could never notice the
+            // withdrawal within this test.
+            .with_plan_cache(Duration::from_secs(60))
+            .with_call_timeout(Duration::from_secs(10)),
+    );
+    let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+    let first = gateway.query(&query);
+    assert!(first.errors.is_empty(), "{:?}", first.errors);
+    assert_eq!(first.sites_total, 1);
+    // One push subscription to the registry container (membership deltas)
+    // and one to the site container (cache invalidations).
+    assert!(
+        wait_until(Duration::from_secs(2), || gateway.notify_subscriptions()
+            == 2),
+        "subscriptions: {}",
+        gateway.notify_subscriptions()
+    );
+
+    // Withdraw the site; the registry pushes the membership delta.
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    let withdrawn_at = Instant::now();
+    assert!(stub.unregister_service("MEM", "mem").unwrap());
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            gateway.snapshot().notify_invalidations > 0
+        }),
+        "push invalidation never arrived: {:?}",
+        gateway.snapshot()
+    );
+    let latency = withdrawn_at.elapsed();
+    assert!(
+        latency < Duration::from_millis(500),
+        "push invalidation must beat the 500 ms polling TTL, took {latency:?}"
+    );
+
+    let snap = gateway.snapshot();
+    assert!(snap.notify_invalidations >= 1);
+    assert_eq!(
+        snap.lease_invalidations, 0,
+        "push, not TTL lease expiry, must handle the withdrawal"
+    );
+    assert!(snap.notify_events >= 1);
+    assert_eq!(snap.notify_resyncs, 0, "no gaps on a quiet connection");
+
+    // The minute-long plan snapshot was retired by the push: the withdrawn
+    // site is gone from the very next plan, not `plan_cache_ttl` later.
+    let after = gateway.query(&query);
+    assert_eq!(after.sites_total, 0, "{:?}", after.rows);
+    assert_eq!(
+        gateway.snapshot().lease_invalidations,
+        0,
+        "the refresh after a push-handled withdrawal must not re-count it"
+    );
+}
+
+/// A site-side `destroy` publishes `cache.invalidate` for the instance; the
+/// subscribed gateway drops exactly the cached rows bound to it.
+#[test]
+fn site_invalidation_event_drops_cached_rows() {
+    let client = Arc::new(HttpClient::new());
+    let c_reg = start_container();
+    let c_site = start_container();
+    let registry = registry_on(&c_reg);
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(2, 2));
+    let site = Site::deploy(&c_site, Arc::clone(&client), mem, &SiteConfig::new("mem")).unwrap();
+    publish(&client, &registry, "MEM", &site);
+
+    let gateway = FederatedGateway::new(
+        Arc::clone(&client),
+        registry.clone(),
+        GatewayConfig::default()
+            .with_plan_cache(Duration::from_secs(60))
+            .with_call_timeout(Duration::from_secs(10)),
+    );
+    let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+    let first = gateway.query(&query);
+    assert!(first.errors.is_empty(), "{:?}", first.errors);
+    assert_eq!(first.rows.len(), 2);
+    assert!(
+        wait_until(Duration::from_secs(2), || gateway.notify_subscriptions()
+            == 2),
+        "subscriptions: {}",
+        gateway.notify_subscriptions()
+    );
+
+    // Destroy the Execution instance behind one cached result: its
+    // container publishes the invalidation, and the gateway applies it.
+    let execution = first.rows[0].execution.clone();
+    let before = gateway.snapshot().notify_invalidations;
+    GridServiceStub::bind(Arc::clone(&client), &execution)
+        .destroy()
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            gateway.snapshot().notify_invalidations > before
+        }),
+        "cache.invalidate event never dropped the cached rows: {:?}",
+        gateway.snapshot()
+    );
+    assert_eq!(gateway.snapshot().lease_invalidations, 0);
+}
+
+/// Mixed fleet: against legacy containers (notifications disabled) the
+/// gateway's subscribes are answered 404 and it silently stays on TTL
+/// polling — queries keep working, withdrawals surface after the plan TTL,
+/// and every push counter stays at zero.
+#[test]
+fn legacy_fleet_silently_falls_back_to_ttl_polling() {
+    let client = Arc::new(HttpClient::new());
+    let legacy = Container::start(
+        "127.0.0.1:0",
+        ContainerConfig {
+            notifications_enabled: false,
+            ..ContainerConfig::default()
+        },
+    )
+    .unwrap();
+    let registry = registry_on(&legacy);
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(1, 2));
+    let site = Site::deploy(&legacy, Arc::clone(&client), mem, &SiteConfig::new("mem")).unwrap();
+    publish(&client, &registry, "MEM", &site);
+
+    let gateway = FederatedGateway::new(
+        Arc::clone(&client),
+        registry.clone(),
+        GatewayConfig::default()
+            .with_plan_cache(Duration::from_millis(100))
+            .with_call_timeout(Duration::from_secs(10)),
+    );
+    let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+    let first = gateway.query(&query);
+    assert!(first.errors.is_empty(), "{:?}", first.errors);
+    assert_eq!(first.sites_total, 1);
+    assert_eq!(
+        gateway.notify_subscriptions(),
+        0,
+        "subscribes 404 on a legacy container"
+    );
+
+    // Withdraw the site: only TTL polling can notice.
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    assert!(stub.unregister_service("MEM", "mem").unwrap());
+    std::thread::sleep(Duration::from_millis(150));
+    let after = gateway.query(&query);
+    assert_eq!(after.sites_total, 0, "{:?}", after.rows);
+
+    let snap = gateway.snapshot();
+    assert_eq!(snap.notify_invalidations, 0);
+    assert_eq!(snap.notify_events, 0);
+    assert_eq!(snap.notify_subscriptions, 0);
+    assert!(
+        snap.lease_invalidations >= 1,
+        "the TTL lease diff detected the withdrawal: {snap:?}"
+    );
+}
+
+/// Regression for the plan-cache staleness race: a membership delta landing
+/// *while a snapshot refresh is in flight* must not let the refresh store —
+/// and later plans serve — the pre-delta member list. The generation
+/// counter bumped by `invalidate_snapshot` retires the raced refresh.
+#[test]
+fn membership_delta_mid_refresh_retires_the_raced_snapshot() {
+    let client = Arc::new(HttpClient::new());
+    // The registry container answers slowly, so a snapshot refresh takes
+    // long enough for a delta to land mid-flight.
+    let c_reg = Container::start(
+        "127.0.0.1:0",
+        ContainerConfig {
+            injected_latency: Some(Duration::from_millis(150)),
+            ..ContainerConfig::default()
+        },
+    )
+    .unwrap();
+    let c_site = start_container();
+    let registry = registry_on(&c_reg);
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(mem_wrapper(1, 1));
+    let site = Site::deploy(&c_site, Arc::clone(&client), mem, &SiteConfig::new("mem")).unwrap();
+    publish(&client, &registry, "MEM", &site);
+
+    let planner = Arc::new(Planner::new(
+        Arc::clone(&client),
+        registry.clone(),
+        false,
+        Duration::from_secs(60),
+    ));
+    let query = FederatedQuery::new("gflops", vec!["/Execution".into()]);
+
+    // Refresh in flight (two registry calls at 150 ms each)...
+    let raced = {
+        let planner = Arc::clone(&planner);
+        let query = query.clone();
+        std::thread::spawn(move || planner.plan(&query))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // ...and mid-flight the site is withdrawn and the delta applied (what
+    // the registry-events push handler does).
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    assert!(stub.unregister_service("MEM", "mem").unwrap());
+    let generation_after_delta = {
+        planner.invalidate_snapshot();
+        planner.snapshot_generation()
+    };
+    let raced = raced.join().unwrap();
+    assert!(raced.errors.is_empty(), "{:?}", raced.errors);
+
+    // Whatever view the raced refresh fetched, it was captured under the
+    // pre-delta generation — the 60 s cache must NOT serve it. The next
+    // plan must re-read the registry (a cache hit here is the regression).
+    let after = planner.plan(&query);
+    assert_eq!(
+        after.sites.len(),
+        0,
+        "the post-delta plan must see the withdrawal"
+    );
+    let (hits, refreshes) = planner.snapshot_stats();
+    assert_eq!(hits, 0, "no plan may hit the retired snapshot");
+    assert_eq!(refreshes, 2, "the post-delta plan re-read the registry");
+    assert_eq!(planner.snapshot_generation(), generation_after_delta);
+}

@@ -29,6 +29,7 @@ mod message;
 pub mod poller;
 mod router;
 mod server;
+mod stream;
 mod url;
 
 pub use client::HttpClient;
@@ -36,4 +37,5 @@ pub use error::{HttpError, Result};
 pub use message::{Headers, Request, RequestParser, Response, Status};
 pub use router::Router;
 pub use server::{Handler, HttpServer, ServerConfig};
+pub use stream::{StreamHandle, StreamWriter};
 pub use url::Url;

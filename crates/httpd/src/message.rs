@@ -185,6 +185,10 @@ pub struct Response {
     pub headers: Headers,
     /// Response body.
     pub body: Vec<u8>,
+    /// When set, the body is produced incrementally: the event loop writes
+    /// chunked framing and parks the connection in push mode (see
+    /// [`Response::stream`]). `body` is ignored.
+    pub stream: Option<crate::stream::StreamHandle>,
 }
 
 impl Response {
@@ -196,6 +200,7 @@ impl Response {
             status: Status::OK,
             headers,
             body,
+            stream: None,
         }
     }
 
@@ -207,6 +212,7 @@ impl Response {
             status,
             headers,
             body: msg.into().into_bytes(),
+            stream: None,
         }
     }
 
@@ -218,7 +224,50 @@ impl Response {
             status,
             headers,
             body: body.into().into_bytes(),
+            stream: None,
         }
+    }
+
+    /// A 200 streaming response: the paired [`crate::StreamWriter`] feeds
+    /// the body one `Transfer-Encoding: chunked` chunk per payload while
+    /// the connection stays parked on the event loop. Closing the writer
+    /// ends the stream cleanly; peer death surfaces through
+    /// [`crate::StreamWriter::is_dead`].
+    pub fn stream(content_type: &str) -> (Response, crate::stream::StreamWriter) {
+        let (handle, writer) = crate::stream::stream_pair();
+        let mut headers = Headers::new();
+        headers.set("Content-Type", content_type);
+        (
+            Response {
+                status: Status::OK,
+                headers,
+                body: Vec::new(),
+                stream: Some(handle),
+            },
+            writer,
+        )
+    }
+
+    /// Serialize the head of a streaming response: chunked framing, no
+    /// `Content-Length`. The body chunks follow via the stream pump.
+    pub(crate) fn write_stream_head(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.0,
+            self.status.reason()
+        );
+        let _ = write!(out, "Transfer-Encoding: chunked\r\n");
+        for (name, value) in self.headers.iter() {
+            if name.eq_ignore_ascii_case("Content-Length")
+                || name.eq_ignore_ascii_case("Transfer-Encoding")
+            {
+                continue;
+            }
+            let _ = write!(out, "{name}: {value}\r\n");
+        }
+        let _ = out.write_all(b"\r\n");
     }
 
     /// Body interpreted as UTF-8 (lossy).
@@ -246,6 +295,7 @@ impl Response {
             status: Status(code),
             headers,
             body,
+            stream: None,
         })
     }
 

@@ -125,6 +125,9 @@ struct Conn {
     close_after_flush: bool,
     /// The peer closed its write side; no further bytes will arrive.
     eof: bool,
+    /// Push mode: a streaming response was adopted; the connection stays
+    /// parked while the paired [`crate::StreamWriter`] feeds chunks.
+    push: Option<crate::stream::StreamHandle>,
 }
 
 impl Conn {
@@ -138,6 +141,7 @@ impl Conn {
             handling: false,
             close_after_flush: false,
             eof: false,
+            push: None,
         }
     }
 
@@ -198,6 +202,7 @@ impl EventLoop {
                 }
             }
             self.drain_completions();
+            self.pump_streams();
         }
     }
 
@@ -283,6 +288,24 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            if conn.push.is_some() {
+                // Push mode: the peer sends nothing meaningful; reads only
+                // detect death. Discard stray bytes, close on EOF/error.
+                let mut chunk = [0u8; 1024];
+                let dead = loop {
+                    match (&conn.stream).read(&mut chunk) {
+                        Ok(0) => break true,
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break true,
+                    }
+                };
+                if dead {
+                    self.close_conn(token);
+                }
+                return;
+            }
             if conn.handling || !conn.flushed() {
                 return; // parked: level-triggered readiness will re-fire
             }
@@ -326,7 +349,7 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        if conn.handling || !conn.flushed() {
+        if conn.handling || !conn.flushed() || conn.push.is_some() {
             return;
         }
         match conn.parser.try_next() {
@@ -382,9 +405,51 @@ impl EventLoop {
         if close {
             conn.close_after_flush = true;
         }
+        if let Some(handle) = response.stream.clone() {
+            // Adopt push mode: chunked head now, body chunks as the paired
+            // writer produces them. The connection no longer serves
+            // requests; it ends when the writer closes or the peer hangs
+            // up.
+            response.write_stream_head(&mut conn.out);
+            conn.push = Some(handle.clone());
+            let shared = Arc::clone(&self.shared);
+            handle.set_waker(Box::new(move || shared.wake()));
+            self.pump_stream(token);
+            return;
+        }
         response
             .write_to(&mut conn.out)
             .expect("serializing to a Vec cannot fail");
+        self.flush(token);
+    }
+
+    /// Move queued stream payloads into every push connection's output
+    /// buffer and flush. Writer closure appends the terminator chunk and
+    /// closes the connection once it drains.
+    fn pump_streams(&mut self) {
+        let push: Vec<Token> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.push.is_some())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in push {
+            self.pump_stream(token);
+        }
+    }
+
+    fn pump_stream(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let Some(handle) = conn.push.clone() else {
+            return;
+        };
+        if handle.pump_into(&mut conn.out) {
+            conn.out.extend_from_slice(b"0\r\n\r\n");
+            conn.close_after_flush = true;
+            conn.push = None;
+        }
         self.flush(token);
     }
 
@@ -418,12 +483,23 @@ impl EventLoop {
             }
             outcome
         };
+        let push = self.conns.get(&token).is_some_and(|c| c.push.is_some());
         match outcome {
             IoOutcome::Dead => self.close_conn(token),
+            IoOutcome::Blocked if push => {
+                // Keep watching for peer death while the send buffer drains.
+                self.set_interest(
+                    token,
+                    Interest {
+                        readable: true,
+                        writable: true,
+                    },
+                );
+            }
             IoOutcome::Blocked => self.set_interest(token, Interest::WRITABLE),
             IoOutcome::Progress => {
                 let close = self.conns.get(&token).is_some_and(|c| c.close_after_flush);
-                if close {
+                if close && !push {
                     self.close_conn(token);
                 } else {
                     self.set_interest(token, Interest::READABLE);
@@ -453,6 +529,9 @@ impl EventLoop {
 
     fn close_conn(&mut self, token: Token) {
         if let Some(conn) = self.conns.remove(&token) {
+            if let Some(handle) = &conn.push {
+                handle.mark_dead();
+            }
             self.poller.deregister(conn.stream.as_raw_fd());
             self.publish_gauge();
         }
@@ -790,6 +869,127 @@ mod tests {
             let resp = Response::read_from(&mut reader).unwrap();
             assert_eq!(resp.body, format!("req-{i}").into_bytes(), "response {i}");
         }
+    }
+
+    fn stream_server() -> (
+        HttpServer,
+        Arc<parking_lot::Mutex<Vec<crate::StreamWriter>>>,
+    ) {
+        let writers: Arc<parking_lot::Mutex<Vec<crate::StreamWriter>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let slot = Arc::clone(&writers);
+        let handler = Arc::new(move |_: &Request| {
+            let (resp, writer) = Response::stream("text/plain");
+            slot.lock().push(writer);
+            resp
+        });
+        let server = HttpServer::bind("127.0.0.1:0", ServerConfig::default(), handler).unwrap();
+        (server, writers)
+    }
+
+    fn open_push(server: &HttpServer) -> TcpStream {
+        use std::io::Write;
+        let mut sock = TcpStream::connect(server.addr()).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut wire = Vec::new();
+        Request::get("/sub").write_to(&mut wire, "h:1").unwrap();
+        sock.write_all(&wire).unwrap();
+        sock
+    }
+
+    /// Read bytes until `needle` is seen; returns everything read.
+    fn read_until(sock: &mut TcpStream, needle: &[u8]) -> Vec<u8> {
+        let mut got = Vec::new();
+        let mut byte = [0u8; 1];
+        while !got.ends_with(needle) {
+            let n = sock.read(&mut byte).expect("read from push stream");
+            assert!(
+                n > 0,
+                "unexpected EOF; got {:?}",
+                String::from_utf8_lossy(&got)
+            );
+            got.push(byte[0]);
+        }
+        got
+    }
+
+    #[test]
+    fn streaming_response_delivers_chunks_incrementally() {
+        let (server, writers) = stream_server();
+        let mut sock = open_push(&server);
+        let head = read_until(&mut sock, b"\r\n\r\n");
+        let head = String::from_utf8_lossy(&head);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(
+            head.to_ascii_lowercase()
+                .contains("transfer-encoding: chunked"),
+            "{head}"
+        );
+        assert!(
+            !head.to_ascii_lowercase().contains("content-length"),
+            "{head}"
+        );
+
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while writers.lock().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let writer = writers.lock()[0].clone();
+
+        assert!(writer.send(b"one".to_vec()));
+        assert_eq!(read_until(&mut sock, b"one\r\n"), b"3\r\none\r\n");
+        assert!(writer.send(b"second".to_vec()));
+        assert_eq!(read_until(&mut sock, b"second\r\n"), b"6\r\nsecond\r\n");
+
+        // Closing the writer emits the terminator chunk and closes the
+        // socket.
+        writer.close();
+        assert_eq!(read_until(&mut sock, b"0\r\n\r\n"), b"0\r\n\r\n");
+        let mut rest = Vec::new();
+        assert_eq!(sock.read_to_end(&mut rest).unwrap(), 0, "clean EOF");
+    }
+
+    #[test]
+    fn dead_subscriber_is_detected_without_stalling_others() {
+        let (server, writers) = stream_server();
+        let mut alive = open_push(&server);
+        read_until(&mut alive, b"\r\n\r\n");
+        let doomed = open_push(&server);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while writers.lock().len() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (w_alive, w_doomed) = {
+            let w = writers.lock();
+            (w[0].clone(), w[1].clone())
+        };
+        drop(doomed); // peer vanishes mid-subscription
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !w_doomed.is_dead() && Instant::now() < deadline {
+            w_doomed.send(b"poke".to_vec());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(w_doomed.is_dead(), "event loop must notice the dead peer");
+        assert!(!w_doomed.send(b"x".to_vec()));
+        // The surviving subscriber still receives.
+        assert!(w_alive.send(b"still-here".to_vec()));
+        read_until(&mut alive, b"still-here\r\n");
+        w_alive.close();
+    }
+
+    #[test]
+    fn server_shutdown_marks_push_streams_dead() {
+        let (mut server, writers) = stream_server();
+        let mut sock = open_push(&server);
+        read_until(&mut sock, b"\r\n\r\n");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while writers.lock().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let writer = writers.lock()[0].clone();
+        assert!(writer.send(b"pre".to_vec()));
+        server.shutdown();
+        assert!(writer.is_dead(), "shutdown must reap parked push conns");
     }
 
     #[test]

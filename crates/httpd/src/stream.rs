@@ -1,0 +1,248 @@
+//! Streaming (chunked) response support for long-lived push connections.
+//!
+//! A normal [`crate::Response`] is a complete buffer: the event loop writes
+//! `Content-Length` framing and returns the connection to request parsing.
+//! The notification plane needs the opposite shape — a response whose body
+//! is produced over minutes, one event at a time, while the connection
+//! stays parked on the poll thread. [`crate::Response::stream`] builds such
+//! a response: the handler returns it like any other, but it carries a
+//! [`StreamHandle`] the event loop adopts. From then on the connection is
+//! in *push mode*: every payload the paired [`StreamWriter`] enqueues is
+//! written as one `Transfer-Encoding: chunked` chunk, and closing the
+//! writer emits the zero-length terminator chunk and closes the socket.
+//!
+//! The writer lives on arbitrary threads; the queue hand-off is a mutex'd
+//! `VecDeque` plus the event loop's waker, so a push costs one lock and one
+//! pipe byte. Peer death is reported back through [`StreamWriter::is_dead`]
+//! so a publisher can reap subscribers whose sockets are gone.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared state between one [`StreamWriter`] and the event loop.
+struct StreamInner {
+    /// Raw payloads not yet written; each becomes exactly one HTTP chunk.
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    /// The writer finished: once the queue drains, emit the terminator.
+    closed: AtomicBool,
+    /// The peer is gone (socket EOF/error, or the server shut down).
+    dead: AtomicBool,
+    /// Payloads evicted by bounded sends (drop-oldest overflow).
+    dropped: AtomicU64,
+    /// Set by the event loop when it adopts the stream; called after every
+    /// enqueue so the poll thread wakes and pumps.
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl StreamInner {
+    fn new() -> StreamInner {
+        StreamInner {
+            queue: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            waker: Mutex::new(None),
+        }
+    }
+
+    fn wake(&self) {
+        if let Some(w) = self.waker.lock().as_ref() {
+            w();
+        }
+    }
+}
+
+/// The producer half of a streaming response. Clonable; any thread may
+/// push. Dropping the last writer closes the stream cleanly.
+pub struct StreamWriter {
+    inner: Arc<StreamInner>,
+}
+
+impl StreamWriter {
+    /// Enqueue one payload as one chunk. Returns `false` when the peer is
+    /// gone or the stream already closed (the payload is discarded).
+    pub fn send(&self, payload: Vec<u8>) -> bool {
+        self.send_bounded(payload, usize::MAX).0
+    }
+
+    /// Enqueue one payload, evicting the oldest queued payloads until at
+    /// most `cap` remain (drop-oldest backpressure for slow consumers).
+    /// Returns `(delivered, dropped_now)` — `delivered` is `false` when the
+    /// peer is gone or the stream closed.
+    pub fn send_bounded(&self, payload: Vec<u8>, cap: usize) -> (bool, u64) {
+        if self.is_dead() || self.inner.closed.load(Ordering::Acquire) {
+            return (false, 0);
+        }
+        let mut dropped = 0u64;
+        {
+            let mut queue = self.inner.queue.lock();
+            while queue.len() >= cap.max(1) {
+                queue.pop_front();
+                dropped += 1;
+            }
+            queue.push_back(payload);
+        }
+        if dropped > 0 {
+            self.inner.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        self.inner.wake();
+        (true, dropped)
+    }
+
+    /// Finish the stream: queued payloads still flush, then the terminator
+    /// chunk is written and the connection closes. Idempotent.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.wake();
+    }
+
+    /// Whether the peer is gone (socket closed or server stopped). Sends
+    /// after this are discarded; publishers use it to reap subscribers.
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
+    }
+
+    /// Whether [`StreamWriter::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Total payloads evicted by bounded sends over this stream's life.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Payloads enqueued but not yet written to the socket.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+}
+
+impl Clone for StreamWriter {
+    fn clone(&self) -> StreamWriter {
+        StreamWriter {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamWriter")
+            .field("closed", &self.is_closed())
+            .field("dead", &self.is_dead())
+            .finish()
+    }
+}
+
+/// The event-loop half of a streaming response, carried inside
+/// [`crate::Response::stream`]. Opaque outside this crate.
+#[derive(Clone)]
+pub struct StreamHandle {
+    inner: Arc<StreamInner>,
+}
+
+impl StreamHandle {
+    /// Install the poll thread's waker (called when the loop adopts the
+    /// connection into push mode).
+    pub(crate) fn set_waker(&self, waker: Box<dyn Fn() + Send + Sync>) {
+        *self.inner.waker.lock() = Some(waker);
+    }
+
+    /// Drain queued payloads, encoding each as one HTTP chunk appended to
+    /// `out`. Returns `true` when the stream is finished (writer closed and
+    /// the queue drained) — the caller then appends the terminator chunk.
+    pub(crate) fn pump_into(&self, out: &mut Vec<u8>) -> bool {
+        let mut queue = self.inner.queue.lock();
+        while let Some(payload) = queue.pop_front() {
+            out.extend_from_slice(format!("{:X}\r\n", payload.len()).as_bytes());
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(b"\r\n");
+        }
+        // `closed` is checked while the queue lock is held: a concurrent
+        // send either landed above or will observe `closed` and refuse.
+        self.inner.closed.load(Ordering::Acquire) && queue.is_empty()
+    }
+
+    /// Mark the peer gone so the writer's sends start failing.
+    pub(crate) fn mark_dead(&self) {
+        self.inner.dead.store(true, Ordering::Release);
+    }
+
+    /// Test hook: simulate peer death without a socket.
+    #[doc(hidden)]
+    pub fn mark_dead_for_test(&self) {
+        self.mark_dead();
+    }
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StreamHandle")
+    }
+}
+
+/// Create a linked `(handle, writer)` pair.
+pub(crate) fn stream_pair() -> (StreamHandle, StreamWriter) {
+    let inner = Arc::new(StreamInner::new());
+    (
+        StreamHandle {
+            inner: Arc::clone(&inner),
+        },
+        StreamWriter { inner },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_send_drops_oldest() {
+        let (handle, writer) = stream_pair();
+        for i in 0..5u8 {
+            writer.send_bounded(vec![i], 3);
+        }
+        assert_eq!(writer.dropped(), 2);
+        let mut out = Vec::new();
+        assert!(!handle.pump_into(&mut out));
+        // Chunks 2, 3, 4 survive (oldest dropped first).
+        assert_eq!(out, b"1\r\n\x02\r\n1\r\n\x03\r\n1\r\n\x04\r\n");
+    }
+
+    #[test]
+    fn close_then_drain_reports_finished() {
+        let (handle, writer) = stream_pair();
+        assert!(writer.send(b"ev".to_vec()));
+        writer.close();
+        assert!(!writer.send(b"late".to_vec()), "send after close refused");
+        let mut out = Vec::new();
+        assert!(handle.pump_into(&mut out), "closed + drained = finished");
+        assert_eq!(out, b"2\r\nev\r\n");
+    }
+
+    #[test]
+    fn dead_peer_fails_sends() {
+        let (handle, writer) = stream_pair();
+        handle.mark_dead();
+        assert!(writer.is_dead());
+        assert!(!writer.send(b"x".to_vec()));
+        assert_eq!(writer.queued(), 0);
+    }
+
+    #[test]
+    fn waker_fires_on_send_and_close() {
+        use std::sync::atomic::AtomicUsize;
+        let (handle, writer) = stream_pair();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        handle.set_waker(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        writer.send(b"a".to_vec());
+        writer.close();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+}

@@ -57,7 +57,7 @@ proptest! {
         code in 100u16..600,
         body in proptest::collection::vec(any::<u8>(), 0..4096),
     ) {
-        let resp = Response { status: Status(code), headers: Default::default(), body: body.clone() };
+        let resp = Response { status: Status(code), headers: Default::default(), body: body.clone(), stream: None };
         let mut wire = Vec::new();
         resp.write_to(&mut wire).unwrap();
         let back = Response::read_from(&mut BufReader::new(&wire[..])).unwrap();

@@ -1,0 +1,382 @@
+//! The reusable subscription core: topic registry, per-subscriber bounded
+//! queues with drop-oldest overflow accounting, and lease-scoped
+//! subscriptions that expire with the OGSI soft-state lease.
+
+use crate::{encode_xml_event, Event};
+use parking_lot::Mutex;
+use pperf_httpd::StreamWriter;
+use pperf_soap::encode_binary_event;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a subscriber asked for.
+#[derive(Debug, Clone)]
+pub struct SubscribeSpec {
+    /// Topics to receive (empty means "none", which is legal but useless).
+    pub topics: Vec<String>,
+    /// Soft-state lease: the subscription is dropped once this elapses
+    /// without renewal, exactly like an OGSI instance lifetime.
+    pub lease: Duration,
+    /// Bounded queue depth; beyond it the oldest queued event is dropped
+    /// and the subscriber resyncs off the sequence gap.
+    pub queue: usize,
+    /// Deliver PPGB event frames (kind 4) instead of the XML fallback.
+    pub binary: bool,
+    /// The subscriber is re-subscribing after a gap or disconnect — counted
+    /// as a resync so the push-vs-poll economics stay observable.
+    pub resync: bool,
+}
+
+impl Default for SubscribeSpec {
+    fn default() -> Self {
+        SubscribeSpec {
+            topics: Vec::new(),
+            lease: Duration::from_secs(30),
+            queue: 256,
+            binary: false,
+            resync: false,
+        }
+    }
+}
+
+/// Counter snapshot for `GET /metrics` and service data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NotifyCounters {
+    /// Live subscriptions right now (gauge).
+    pub subscriptions_active: u64,
+    /// Events enqueued to subscribers (per subscriber, not per publish).
+    pub events_pushed: u64,
+    /// Events evicted from bounded queues (drop-oldest overflow).
+    pub events_dropped: u64,
+    /// Re-subscriptions flagged as resyncs by the subscriber.
+    pub resyncs: u64,
+    /// Subscriptions removed by lease expiry.
+    pub lease_expirations: u64,
+}
+
+struct SubEntry {
+    id: u64,
+    topics: Vec<String>,
+    writer: StreamWriter,
+    queue: usize,
+    binary: bool,
+    expires: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    subs: Vec<SubEntry>,
+    /// Next sequence number per topic (source-assigned, strictly
+    /// increasing; shared by every subscriber of the topic).
+    seqs: HashMap<String, u64>,
+    next_id: u64,
+}
+
+/// Topic registry plus subscriber bookkeeping. One per
+/// [`crate::NotificationSource`]; embeddable anywhere a process wants to
+/// fan events out over streaming responses.
+pub struct SubscriptionManager {
+    state: Mutex<State>,
+    events_pushed: AtomicU64,
+    events_dropped: AtomicU64,
+    resyncs: AtomicU64,
+    lease_expirations: AtomicU64,
+}
+
+impl Default for SubscriptionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubscriptionManager {
+    /// An empty manager.
+    pub fn new() -> SubscriptionManager {
+        SubscriptionManager {
+            state: Mutex::new(State::default()),
+            events_pushed: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
+            lease_expirations: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a subscriber whose events flow through `writer`. Returns
+    /// the subscription id (echo it to `unsubscribe`).
+    pub fn subscribe(&self, spec: &SubscribeSpec, writer: StreamWriter) -> u64 {
+        if spec.resync {
+            self.resyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut state = self.state.lock();
+        state.next_id += 1;
+        let id = state.next_id;
+        state.subs.push(SubEntry {
+            id,
+            topics: spec.topics.clone(),
+            writer,
+            queue: spec.queue.max(1),
+            binary: spec.binary,
+            expires: Instant::now() + spec.lease,
+        });
+        id
+    }
+
+    /// Remove one subscription, closing its stream cleanly. Returns whether
+    /// it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut state = self.state.lock();
+        let before = state.subs.len();
+        state.subs.retain(|s| {
+            if s.id == id {
+                s.writer.close();
+                false
+            } else {
+                true
+            }
+        });
+        state.subs.len() != before
+    }
+
+    /// Renew a subscription's lease. Returns whether it existed.
+    pub fn renew(&self, id: u64, lease: Duration) -> bool {
+        let mut state = self.state.lock();
+        match state.subs.iter_mut().find(|s| s.id == id) {
+            Some(sub) => {
+                sub.expires = Instant::now() + lease;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current sequence numbers for `topics` (the subscribe-time baseline a
+    /// sink seeds gap detection with).
+    pub fn topic_seqs(&self, topics: &[String]) -> Vec<(String, u64)> {
+        let state = self.state.lock();
+        topics
+            .iter()
+            .map(|t| (t.clone(), state.seqs.get(t).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Publish one event on `topic`: assign the next sequence number and
+    /// enqueue it to every live subscriber of the topic. Dead subscribers
+    /// (peer hung up mid-push) are reaped here without stalling the rest.
+    /// Returns the number of subscribers reached.
+    pub fn publish(&self, topic: &str, payload: &str) -> usize {
+        let mut state = self.state.lock();
+        let seq = {
+            let next = state.seqs.entry(topic.to_owned()).or_insert(0);
+            *next += 1;
+            *next
+        };
+        let event = Event {
+            topic: topic.to_owned(),
+            seq,
+            payload: payload.to_owned(),
+        };
+        let mut binary_frame: Option<Vec<u8>> = None;
+        let mut xml_frame: Option<Vec<u8>> = None;
+        let mut reached = 0usize;
+        let mut pushed = 0u64;
+        let mut dropped = 0u64;
+        state.subs.retain(|sub| {
+            if !sub.topics.iter().any(|t| t == topic) {
+                return !sub.writer.is_dead();
+            }
+            let frame = if sub.binary {
+                binary_frame.get_or_insert_with(|| encode_binary_event(&event))
+            } else {
+                xml_frame.get_or_insert_with(|| encode_xml_event(&event).into_bytes())
+            };
+            let (delivered, evicted) = sub.writer.send_bounded(frame.clone(), sub.queue);
+            if delivered {
+                reached += 1;
+                pushed += 1;
+                dropped += evicted;
+                true
+            } else {
+                // Peer gone or stream closed: reap without stalling others.
+                false
+            }
+        });
+        drop(state);
+        self.events_pushed.fetch_add(pushed, Ordering::Relaxed);
+        self.events_dropped.fetch_add(dropped, Ordering::Relaxed);
+        reached
+    }
+
+    /// Drop subscriptions whose soft-state lease has expired (their streams
+    /// close cleanly, so the subscriber sees a terminated response, not a
+    /// broken socket). Returns how many expired.
+    pub fn sweep(&self) -> usize {
+        let now = Instant::now();
+        let mut state = self.state.lock();
+        let before = state.subs.len();
+        state.subs.retain(|s| {
+            if s.expires <= now || s.writer.is_dead() {
+                s.writer.close();
+                false
+            } else {
+                true
+            }
+        });
+        let expired = before - state.subs.len();
+        drop(state);
+        if expired > 0 {
+            self.lease_expirations
+                .fetch_add(expired as u64, Ordering::Relaxed);
+        }
+        expired
+    }
+
+    /// Live subscription count (gauge).
+    pub fn active(&self) -> usize {
+        let mut state = self.state.lock();
+        state.subs.retain(|s| !s.writer.is_dead());
+        state.subs.len()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> NotifyCounters {
+        NotifyCounters {
+            subscriptions_active: self.active() as u64,
+            events_pushed: self.events_pushed.load(Ordering::Relaxed),
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
+            lease_expirations: self.lease_expirations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pperf_httpd::Response;
+
+    fn spec(topics: &[&str]) -> SubscribeSpec {
+        SubscribeSpec {
+            topics: topics.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn publish_reaches_matching_topics_only() {
+        let mgr = SubscriptionManager::new();
+        let (_ra, wa) = Response::stream("text/xml");
+        let (_rb, wb) = Response::stream("text/xml");
+        mgr.subscribe(&spec(&["a"]), wa.clone());
+        mgr.subscribe(&spec(&["b"]), wb.clone());
+        assert_eq!(mgr.publish("a", "x"), 1);
+        assert_eq!(wa.queued(), 1);
+        assert_eq!(wb.queued(), 0);
+        assert_eq!(mgr.counters().events_pushed, 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_topic_and_increasing() {
+        let mgr = SubscriptionManager::new();
+        let (_r, w) = Response::stream("text/xml");
+        mgr.subscribe(&spec(&["a", "b"]), w);
+        mgr.publish("a", "1");
+        mgr.publish("a", "2");
+        mgr.publish("b", "1");
+        assert_eq!(
+            mgr.topic_seqs(&["a".into(), "b".into(), "c".into()]),
+            vec![("a".into(), 2), ("b".into(), 1), ("c".into(), 0)]
+        );
+    }
+
+    #[test]
+    fn bounded_queue_drops_oldest_and_counts() {
+        let mgr = SubscriptionManager::new();
+        let (_r, w) = Response::stream("text/xml");
+        mgr.subscribe(
+            &SubscribeSpec {
+                queue: 2,
+                ..spec(&["a"])
+            },
+            w.clone(),
+        );
+        for i in 0..5 {
+            mgr.publish("a", &i.to_string());
+        }
+        assert_eq!(w.queued(), 2, "queue stays bounded");
+        let c = mgr.counters();
+        assert_eq!(c.events_pushed, 5);
+        assert_eq!(c.events_dropped, 3, "drop-oldest overflow counted");
+    }
+
+    #[test]
+    fn dead_subscriber_reaped_without_stalling_others() {
+        let mgr = SubscriptionManager::new();
+        let (ra, wa) = Response::stream("text/xml");
+        let (_rb, wb) = Response::stream("text/xml");
+        mgr.subscribe(&spec(&["a"]), wa);
+        mgr.subscribe(&spec(&["a"]), wb.clone());
+        // Simulate peer death on the first stream.
+        ra.stream.as_ref().unwrap().mark_dead_for_test();
+        assert_eq!(mgr.publish("a", "x"), 1, "only the live subscriber");
+        assert_eq!(mgr.active(), 1);
+        assert_eq!(wb.queued(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_unsubscribes() {
+        let mgr = SubscriptionManager::new();
+        let (_r, w) = Response::stream("text/xml");
+        mgr.subscribe(
+            &SubscribeSpec {
+                lease: Duration::from_millis(10),
+                ..spec(&["a"])
+            },
+            w.clone(),
+        );
+        assert_eq!(mgr.active(), 1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(mgr.sweep(), 1);
+        assert_eq!(mgr.active(), 0);
+        assert!(w.is_closed(), "expired stream closed cleanly");
+        assert_eq!(mgr.counters().lease_expirations, 1);
+        // A renewed lease survives the sweep.
+        let (_r2, w2) = Response::stream("text/xml");
+        let id = mgr.subscribe(
+            &SubscribeSpec {
+                lease: Duration::from_millis(10),
+                ..spec(&["a"])
+            },
+            w2,
+        );
+        assert!(mgr.renew(id, Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(mgr.sweep(), 0);
+        assert_eq!(mgr.active(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_closes_and_removes() {
+        let mgr = SubscriptionManager::new();
+        let (_r, w) = Response::stream("text/xml");
+        let id = mgr.subscribe(&spec(&["a"]), w.clone());
+        assert!(mgr.unsubscribe(id));
+        assert!(w.is_closed());
+        assert!(!mgr.unsubscribe(id), "second unsubscribe is a no-op");
+        assert_eq!(mgr.active(), 0);
+    }
+
+    #[test]
+    fn resync_flag_counted() {
+        let mgr = SubscriptionManager::new();
+        let (_r, w) = Response::stream("text/xml");
+        mgr.subscribe(
+            &SubscribeSpec {
+                resync: true,
+                ..spec(&["a"])
+            },
+            w,
+        );
+        assert_eq!(mgr.counters().resyncs, 1);
+    }
+}

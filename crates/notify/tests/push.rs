@@ -1,0 +1,295 @@
+//! End-to-end push tests: a [`NotificationSource`] mounted on a real
+//! [`HttpServer`], a [`NotificationSink`] holding the long-lived chunked
+//! connection, events flowing between them.
+
+use pperf_httpd::{Handler, HttpServer, Request, Response, ServerConfig, Status};
+use ppg_notify::{
+    Event, NotificationSink, NotificationSource, NotifyError, SinkConfig, SinkHandler,
+    SUBSCRIBE_PATH, UNSUBSCRIBE_PATH,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Mounts a NotificationSource the way a container would.
+struct SourceHost(Arc<NotificationSource>);
+
+impl Handler for SourceHost {
+    fn handle(&self, request: &Request) -> Response {
+        match request.path.as_str() {
+            SUBSCRIBE_PATH => self.0.handle_subscribe(request),
+            UNSUBSCRIBE_PATH => self.0.handle_unsubscribe(request),
+            _ => Response::text(Status::NOT_FOUND, "no such port"),
+        }
+    }
+}
+
+fn start_source() -> (HttpServer, Arc<NotificationSource>) {
+    let source = Arc::new(NotificationSource::new());
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(SourceHost(Arc::clone(&source))),
+    )
+    .expect("bind source server");
+    (server, source)
+}
+
+/// Records every callback for assertions.
+#[derive(Default)]
+struct Collector {
+    events: Mutex<Vec<Event>>,
+    gaps: Mutex<Vec<(String, u64, u64)>>,
+    disconnects: AtomicU64,
+}
+
+impl Collector {
+    fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    fn gap_count(&self) -> usize {
+        self.gaps.lock().unwrap().len()
+    }
+}
+
+impl SinkHandler for Collector {
+    fn on_event(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+
+    fn on_gap(&self, topic: &str, expected: u64, got: u64) {
+        self.gaps
+            .lock()
+            .unwrap()
+            .push((topic.into(), expected, got));
+    }
+
+    fn on_disconnect(&self) {
+        self.disconnects.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn config(topics: &[&str]) -> SinkConfig {
+    SinkConfig {
+        topics: topics.iter().map(|t| t.to_string()).collect(),
+        ..SinkConfig::default()
+    }
+}
+
+#[test]
+fn push_delivers_events_end_to_end() {
+    let (mut server, source) = start_source();
+    let collector = Arc::new(Collector::default());
+    let sink = NotificationSink::connect(
+        &server.addr().to_string(),
+        config(&["deltas"]),
+        Arc::clone(&collector),
+    )
+    .expect("subscribe");
+    assert_eq!(sink.authority(), server.addr().to_string());
+
+    wait_until("subscription active", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 1
+    });
+    assert_eq!(source.publish("deltas", "create|/svc/a"), 1);
+    assert_eq!(source.publish("deltas", "destroy|/svc/a"), 1);
+    assert_eq!(source.publish("other-topic", "ignored"), 0);
+
+    wait_until("both events", Duration::from_secs(5), || {
+        collector.events().len() == 2
+    });
+    let events = collector.events();
+    assert_eq!(events[0].topic, "deltas");
+    assert_eq!(events[0].seq, 1);
+    assert_eq!(events[0].payload, "create|/svc/a");
+    assert_eq!(events[1].seq, 2);
+    assert_eq!(events[1].payload, "destroy|/svc/a");
+    assert_eq!(collector.gap_count(), 0, "in-order stream has no gaps");
+    assert_eq!(sink.counters().events_received, 2);
+    assert_eq!(source.counters().events_pushed, 2);
+    drop(sink);
+    server.shutdown();
+}
+
+#[test]
+fn xml_codec_when_binary_not_negotiated() {
+    let (mut server, source) = start_source();
+    let collector = Arc::new(Collector::default());
+    let mut cfg = config(&["deltas"]);
+    cfg.binary = false;
+    let _sink = NotificationSink::connect(&server.addr().to_string(), cfg, Arc::clone(&collector))
+        .expect("subscribe");
+    wait_until("subscription active", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 1
+    });
+    source.publish("deltas", "payload with <markup> & \"quotes\"");
+    wait_until("XML event", Duration::from_secs(5), || {
+        !collector.events().is_empty()
+    });
+    assert_eq!(
+        collector.events()[0].payload,
+        "payload with <markup> & \"quotes\"",
+        "XML escaping round-trips"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn dead_subscriber_does_not_stall_others() {
+    let (mut server, source) = start_source();
+    let survivor = Arc::new(Collector::default());
+    let doomed = Arc::new(Collector::default());
+    let authority = server.addr().to_string();
+    let sink_a = NotificationSink::connect(&authority, config(&["t"]), Arc::clone(&survivor))
+        .expect("subscribe survivor");
+    let mut sink_b = NotificationSink::connect(&authority, config(&["t"]), Arc::clone(&doomed))
+        .expect("subscribe doomed");
+    wait_until("two subscriptions", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 2
+    });
+
+    // Kill one subscriber's socket outright; the source must keep serving
+    // the survivor and reap the dead entry as it publishes.
+    sink_b.stop();
+    wait_until("survivor still served", Duration::from_secs(5), || {
+        source.publish("t", "tick");
+        let n = survivor.events().len();
+        n > 0 && source.counters().subscriptions_active == 1
+    });
+    assert!(sink_a.is_connected());
+    server.shutdown();
+}
+
+#[test]
+fn overflow_drops_oldest_and_sink_detects_the_gap() {
+    let (mut server, source) = start_source();
+    let collector = Arc::new(Collector::default());
+    let mut cfg = config(&["burst"]);
+    cfg.queue = 1; // one-deep transport queue: bursts must drop
+    let sink = NotificationSink::connect(&server.addr().to_string(), cfg, Arc::clone(&collector))
+        .expect("subscribe");
+    wait_until("subscription active", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 1
+    });
+
+    // Publish bursts until the bounded queue provably evicted something
+    // (the event loop drains between wakes, so race a tight burst past it).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while source.counters().events_dropped == 0 {
+        assert!(Instant::now() < deadline, "never overflowed a 1-deep queue");
+        for _ in 0..64 {
+            source.publish("burst", "delta");
+        }
+    }
+    // One more event after the burst guarantees the sink sees a sequence
+    // jump over the evicted events.
+    source.publish("burst", "post-burst");
+    wait_until("gap detected", Duration::from_secs(5), || {
+        collector.gap_count() > 0
+    });
+    let (topic, expected, got) = collector.gaps.lock().unwrap()[0].clone();
+    assert_eq!(topic, "burst");
+    assert!(
+        got > expected,
+        "gap runs forward: expected {expected}, got {got}"
+    );
+    assert!(sink.counters().resyncs > 0);
+    assert!(source.counters().events_dropped > 0);
+    server.shutdown();
+}
+
+#[test]
+fn lease_expiry_unsubscribes_and_sink_observes_disconnect() {
+    let (mut server, source) = start_source();
+    let collector = Arc::new(Collector::default());
+    let mut cfg = config(&["t"]);
+    cfg.lease = Duration::from_secs(1);
+    cfg.reconnect = false;
+    let sink = NotificationSink::connect(&server.addr().to_string(), cfg, Arc::clone(&collector))
+        .expect("subscribe");
+    wait_until("subscription active", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 1
+    });
+    std::thread::sleep(Duration::from_millis(1100));
+    assert_eq!(source.sweep(), 1, "lease expired");
+    assert_eq!(source.counters().subscriptions_active, 0);
+    assert_eq!(source.counters().lease_expirations, 1);
+    wait_until("sink sees clean end", Duration::from_secs(5), || {
+        collector.disconnects.load(Ordering::SeqCst) == 1
+    });
+    assert!(!sink.is_connected());
+    server.shutdown();
+}
+
+#[test]
+fn non_notifying_source_reports_unsupported() {
+    // A host that does not speak the notification plane at all: every POST
+    // answers 404, the mixed-fleet cue to stay on TTL polling.
+    let mut server = HttpServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        Arc::new(|_req: &Request| Response::text(Status::NOT_FOUND, "no such port")),
+    )
+    .expect("bind legacy server");
+    let err = NotificationSink::connect(
+        &server.addr().to_string(),
+        config(&["t"]),
+        Arc::new(Collector::default()),
+    )
+    .expect_err("legacy host cannot subscribe");
+    match err {
+        NotifyError::Unsupported(status) => assert_eq!(status, 404),
+        other => panic!("expected Unsupported, got {other}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sink_reconnects_after_source_restart() {
+    let (mut server, source) = start_source();
+    let collector = Arc::new(Collector::default());
+    let mut cfg = config(&["t"]);
+    cfg.backoff_start = Duration::from_millis(20);
+    let sink = NotificationSink::connect(&server.addr().to_string(), cfg, Arc::clone(&collector))
+        .expect("subscribe");
+    wait_until("subscription active", Duration::from_secs(5), || {
+        source.counters().subscriptions_active == 1
+    });
+    source.publish("t", "before");
+    wait_until("first event", Duration::from_secs(5), || {
+        !collector.events().is_empty()
+    });
+
+    // Restart the source on the same port: the sink must notice the drop,
+    // re-subscribe with backoff, and resume delivery.
+    let addr = server.addr().to_string();
+    server.shutdown();
+    wait_until("disconnect observed", Duration::from_secs(5), || {
+        collector.disconnects.load(Ordering::SeqCst) >= 1
+    });
+    let source2 = Arc::new(NotificationSource::new());
+    let mut server2 = HttpServer::bind(
+        &addr,
+        ServerConfig::default(),
+        Arc::new(SourceHost(Arc::clone(&source2))),
+    )
+    .expect("rebind source server");
+    wait_until("re-subscribed", Duration::from_secs(10), || {
+        source2.counters().subscriptions_active == 1
+    });
+    source2.publish("t", "after");
+    wait_until("post-restart event", Duration::from_secs(5), || {
+        collector.events().iter().any(|e| e.payload == "after")
+    });
+    assert!(sink.counters().reconnects >= 1);
+    server2.shutdown();
+}

@@ -32,6 +32,10 @@ use pperf_soap::{
     BatchOutcome, Call, Fault, Value, BINARY_CONTENT_TYPE,
 };
 use ppg_context::CallContext;
+use ppg_notify::{
+    NotificationSource, SUBSCRIBE_PATH, TOPIC_CACHE_INVALIDATE, TOPIC_SERVICE_DATA,
+    UNSUBSCRIBE_PATH,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -66,6 +70,11 @@ pub struct ContainerConfig {
     /// always answered in XML, which is exactly what drives a negotiating
     /// client's transparent fallback.
     pub binary_enabled: bool,
+    /// Speak the push notification plane: serve `POST /ogsa/subscribe` /
+    /// `POST /ogsa/unsubscribe` and publish service-data deltas and
+    /// result-cache invalidations to subscribers. `false` models a legacy
+    /// site — subscribes 404 and clients fall back to TTL polling.
+    pub notifications_enabled: bool,
 }
 
 impl Default for ContainerConfig {
@@ -78,6 +87,7 @@ impl Default for ContainerConfig {
             max_connections: ServerConfig::default().max_connections,
             access_log: std::env::var("PPG_ACCESS_LOG").is_ok_and(|v| v == "1"),
             binary_enabled: true,
+            notifications_enabled: true,
         }
     }
 }
@@ -106,6 +116,8 @@ struct Inner {
     instances_destroyed: AtomicU64,
     config: ContainerConfig,
     hub: NotificationHub,
+    /// Push notification source; `None` models a legacy, poll-only site.
+    notify: Option<Arc<NotificationSource>>,
     stopping: AtomicBool,
     /// SOAP requests dispatched (POSTs that decoded to a call).
     requests: AtomicU64,
@@ -148,6 +160,11 @@ impl Inner {
             Some(dep) => {
                 dep.port.on_destroy();
                 self.instances_destroyed.fetch_add(1, Ordering::Relaxed);
+                if let Some(src) = &self.notify {
+                    src.publish(TOPIC_SERVICE_DATA, &format!("destroy|{path}"));
+                    // Cached results bound to this instance are now stale.
+                    src.publish(TOPIC_CACHE_INVALIDATE, path);
+                }
                 true
             }
             None => false,
@@ -206,6 +223,9 @@ impl Container {
             instances_destroyed: AtomicU64::new(0),
             config: config.clone(),
             hub: NotificationHub::new(Arc::new(HttpClient::new())),
+            notify: config
+                .notifications_enabled
+                .then(|| Arc::new(NotificationSource::new())),
             stopping: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
@@ -247,6 +267,10 @@ impl Container {
                             break;
                         }
                         inner.sweep_expired();
+                        // Subscriptions share the soft-state sweep cadence.
+                        if let Some(src) = &inner.notify {
+                            src.sweep();
+                        }
                     }
                     None => break,
                 }
@@ -296,11 +320,15 @@ impl Container {
     }
 
     fn deploy_at(&self, path: &str, deployed: Deployed) -> Result<Gsh> {
-        let mut services = self.inner.services.write();
-        if services.contains_key(path) {
-            return Err(OgsiError::Deployment(format!("{path} already deployed")));
+        let port = Arc::clone(&deployed.port);
+        {
+            let mut services = self.inner.services.write();
+            if services.contains_key(path) {
+                return Err(OgsiError::Deployment(format!("{path} already deployed")));
+            }
+            services.insert(path.to_owned(), Arc::new(deployed));
         }
-        services.insert(path.to_owned(), Arc::new(deployed));
+        port.on_deploy(self.inner.notify.as_ref());
         Ok(self.inner.gsh_for_path(path))
     }
 
@@ -396,6 +424,12 @@ impl Container {
         )
     }
 
+    /// The container's push notification source, or `None` when this
+    /// container models a legacy, poll-only site.
+    pub fn notification_source(&self) -> Option<&Arc<NotificationSource>> {
+        self.inner.notify.as_ref()
+    }
+
     /// Currently open HTTP connections, parked keep-alive ones included.
     pub fn open_connections(&self) -> usize {
         self.server
@@ -447,6 +481,7 @@ fn register_instance_inner(
     port: Arc<dyn ServicePort>,
 ) -> Gsh {
     let n = inner.instance_counter.fetch_add(1, Ordering::Relaxed);
+    let deployed_port = Arc::clone(&port);
     let path = format!("{factory_path}/instances/{n}");
     let termination = inner
         .config
@@ -463,6 +498,10 @@ fn register_instance_inner(
         }),
     );
     inner.instances_created.fetch_add(1, Ordering::Relaxed);
+    deployed_port.on_deploy(inner.notify.as_ref());
+    if let Some(src) = &inner.notify {
+        src.publish(TOPIC_SERVICE_DATA, &format!("create|{path}"));
+    }
     inner.gsh_for_path(&path)
 }
 
@@ -496,6 +535,15 @@ fn dispatch_get(inner: &Arc<Inner>, request: &Request) -> Response {
 }
 
 fn dispatch_post(inner: &Arc<Inner>, request: &Request) -> Response {
+    if request.path == SUBSCRIBE_PATH || request.path == UNSUBSCRIBE_PATH {
+        return match &inner.notify {
+            Some(src) if request.path == SUBSCRIBE_PATH => src.handle_subscribe(request),
+            Some(src) => src.handle_unsubscribe(request),
+            // A legacy site: the 404 is the subscriber's cue to stay on
+            // TTL polling.
+            None => Response::text(Status::NOT_FOUND, "notifications disabled"),
+        };
+    }
     if request.path == "/ogsa/cancel" {
         return handle_cancel(inner, request);
     }
@@ -968,6 +1016,18 @@ fn metrics_response(inner: &Arc<Inner>) -> Response {
     ];
     for (name, value) in counters {
         out.push_str(&format!("{name} {value}\n"));
+    }
+    if let Some(src) = &inner.notify {
+        let c = src.counters();
+        for (name, value) in [
+            ("ppg_notify_subscriptions_active", c.subscriptions_active),
+            ("ppg_notify_events_pushed_total", c.events_pushed),
+            ("ppg_notify_events_dropped_total", c.events_dropped),
+            ("ppg_notify_resyncs_total", c.resyncs),
+            ("ppg_notify_lease_expirations_total", c.lease_expirations),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
     }
     let services: Vec<(String, Arc<Deployed>)> = {
         let map = inner.services.read();

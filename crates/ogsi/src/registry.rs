@@ -14,10 +14,11 @@ use crate::gsh::Gsh;
 use crate::service::ServicePort;
 use crate::service_data::ServiceData;
 use crate::stub::ServiceStub;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pperf_httpd::HttpClient;
 use pperf_soap::wsdl::{Operation, PortType, ServiceDescription};
 use pperf_soap::{Call, Fault, Value, ValueType};
+use ppg_notify::{NotificationSource, TOPIC_REGISTRY_MEMBERS};
 use std::sync::Arc;
 
 /// A publisher organization.
@@ -71,11 +72,20 @@ impl State {
     /// Drop entries whose soft-state lease has lapsed (OGSI registration is
     /// soft-state: "Conduct soft-state registration of Grid service
     /// handles", Table 3 — publishers must refresh or their entries age
-    /// out). Called lazily on every access.
-    fn expire(&mut self) {
+    /// out). Called lazily on every access; the removed entries are
+    /// returned so the caller can push `expire|ORG/name` deltas.
+    fn expire(&mut self) -> Vec<ServiceEntry> {
         let now = std::time::Instant::now();
-        self.services
-            .retain(|(_, deadline)| deadline.is_none_or(|d| d > now));
+        let mut expired = Vec::new();
+        self.services.retain(|(entry, deadline)| {
+            if deadline.is_none_or(|d| d > now) {
+                true
+            } else {
+                expired.push(entry.clone());
+                false
+            }
+        });
+        expired
     }
 }
 
@@ -83,6 +93,10 @@ impl State {
 #[derive(Default)]
 pub struct RegistryService {
     state: RwLock<State>,
+    /// Push source for `registry.members` deltas, attached by the container
+    /// at deploy time (stays `None` on poll-only containers and in direct
+    /// in-process use).
+    notify: Mutex<Option<Arc<NotificationSource>>>,
 }
 
 impl RegistryService {
@@ -99,8 +113,25 @@ impl RegistryService {
     /// Direct (in-process) view of live service entries.
     pub fn services(&self) -> Vec<ServiceEntry> {
         let mut state = self.state.write();
-        state.expire();
-        state.services.iter().map(|(e, _)| e.clone()).collect()
+        let expired = state.expire();
+        let live = state.services.iter().map(|(e, _)| e.clone()).collect();
+        drop(state);
+        self.publish_expired(expired);
+        live
+    }
+
+    /// Push one `registry.members` delta, if a source is attached.
+    fn publish_members(&self, payload: &str) {
+        if let Some(src) = self.notify.lock().clone() {
+            src.publish(TOPIC_REGISTRY_MEMBERS, payload);
+        }
+    }
+
+    /// Push `expire|ORG/name` for entries whose soft-state lease lapsed.
+    fn publish_expired(&self, expired: Vec<ServiceEntry>) {
+        for entry in expired {
+            self.publish_members(&format!("expire|{}/{}", entry.organization, entry.name));
+        }
     }
 
     /// The registry's service description.
@@ -203,33 +234,56 @@ impl ServicePort for RegistryService {
                     None => None,
                 };
                 let mut state = self.state.write();
-                state.expire();
+                let expired = state.expire();
                 if !state
                     .organizations
                     .iter()
                     .any(|o| o.name == entry.organization)
                 {
+                    drop(state);
+                    self.publish_expired(expired);
                     return Err(Fault::client(format!(
                         "unknown organization {:?}; register it first",
                         entry.organization
                     )));
                 }
+                // A same-handle re-registration is a lease refresh, not a
+                // membership change — pushing it would churn subscribers.
+                let refresh = state.services.iter().any(|(s, _)| {
+                    s.organization == entry.organization
+                        && s.name == entry.name
+                        && s.factory_url == entry.factory_url
+                });
                 state.services.retain(|(s, _)| {
                     !(s.organization == entry.organization && s.name == entry.name)
                 });
-                state.services.push((entry, deadline));
+                state.services.push((entry.clone(), deadline));
+                drop(state);
+                self.publish_expired(expired);
+                if !refresh {
+                    self.publish_members(&format!(
+                        "register|{}/{}|{}",
+                        entry.organization, entry.name, entry.factory_url
+                    ));
+                }
                 Ok(Value::Bool(true))
             }
             "unregisterService" => {
                 let org = str_param("organization")?;
                 let name = str_param("name")?;
                 let mut state = self.state.write();
-                state.expire();
+                let expired = state.expire();
                 let before = state.services.len();
                 state
                     .services
                     .retain(|(s, _)| !(s.organization == org && s.name == name));
-                Ok(Value::Bool(state.services.len() != before))
+                let removed = state.services.len() != before;
+                drop(state);
+                self.publish_expired(expired);
+                if removed {
+                    self.publish_members(&format!("unregister|{org}/{name}"));
+                }
+                Ok(Value::Bool(removed))
             }
             "findOrganizations" => {
                 let pattern = str_param("pattern")?;
@@ -245,13 +299,15 @@ impl ServicePort for RegistryService {
             "listServices" => {
                 let org = str_param("organization")?;
                 let mut state = self.state.write();
-                state.expire();
+                let expired = state.expire();
                 let hits = state
                     .services
                     .iter()
                     .filter(|(s, _)| org.is_empty() || s.organization == org)
                     .map(|(s, _)| s.encode())
                     .collect();
+                drop(state);
+                self.publish_expired(expired);
                 Ok(Value::StrArray(hits))
             }
             other => Err(Fault::client(format!(
@@ -262,13 +318,17 @@ impl ServicePort for RegistryService {
 
     fn service_data(&self) -> ServiceData {
         let mut state = self.state.write();
-        state.expire();
+        let expired = state.expire();
+        let (orgs, services) = (state.organizations.len(), state.services.len());
+        drop(state);
+        self.publish_expired(expired);
         ServiceData::new()
-            .with(
-                "organizationCount",
-                Value::Int(state.organizations.len() as i64),
-            )
-            .with("serviceCount", Value::Int(state.services.len() as i64))
+            .with("organizationCount", Value::Int(orgs as i64))
+            .with("serviceCount", Value::Int(services as i64))
+    }
+
+    fn on_deploy(&self, notify: Option<&Arc<NotificationSource>>) {
+        *self.notify.lock() = notify.cloned();
     }
 }
 

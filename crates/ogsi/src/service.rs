@@ -45,6 +45,14 @@ pub trait ServicePort: Send + Sync {
         ServiceData::new()
     }
 
+    /// Called by the container when the port is deployed, handing it the
+    /// container's push [`NotificationSource`](ppg_notify::NotificationSource)
+    /// (`None` on poll-only containers). Default: ignore — most ports do
+    /// not publish. The registry stores it to push membership deltas.
+    fn on_deploy(&self, notify: Option<&Arc<ppg_notify::NotificationSource>>) {
+        let _ = notify;
+    }
+
     /// Called by the container when the instance is destroyed (explicitly or
     /// by lifetime expiry). Default: nothing to release.
     fn on_destroy(&self) {}

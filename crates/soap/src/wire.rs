@@ -14,7 +14,8 @@
 //! offset  size  field
 //! 0       4     magic  b"PPGB"
 //! 4       1     version (currently 1)
-//! 5       1     kind: 1 = batch call, 2 = batch response, 3 = whole fault
+//! 5       1     kind: 1 = batch call, 2 = batch response, 3 = whole fault,
+//!               4 = notification event
 //! 6       1     flags: bit 0 = call-header section present (kind 1)
 //! 7       1     reserved (0)
 //! 8       ...   sections, per kind (see below)
@@ -42,6 +43,9 @@
 //!   refused the batch before dispatching any entry. Decodes to
 //!   [`WireError::Fault`], which is a *semantic* outcome, not corruption:
 //!   it must never trigger the XML fallback.
+//! * kind 4 (notification event): `str` topic, `u64` per-topic sequence
+//!   number, `str` payload — one event of the push notification plane,
+//!   carried as one HTTP chunk on a long-lived subscription stream.
 //!
 //! Every other decode failure is a typed, non-panicking [`WireError`] whose
 //! [`WireError::is_corrupt`] is true — the caller's cue to forget the peer's
@@ -63,6 +67,7 @@ pub const BINARY_CONTENT_TYPE: &str = "application/x-ppg-binary";
 const KIND_CALL: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_FAULT: u8 = 3;
+const KIND_EVENT: u8 = 4;
 const FLAG_CONTEXT: u8 = 1;
 
 /// Typed decode failure. Corrupt variants trigger XML fallback; a
@@ -259,6 +264,46 @@ pub fn encode_binary_fault(fault: &Fault) -> Vec<u8> {
     put_header(&mut out, KIND_FAULT, 0);
     put_fault(&mut out, fault);
     out
+}
+
+/// A notification event as carried on the push plane: one topic, a
+/// per-topic sequence number assigned by the source, and an opaque payload.
+/// Subscribers detect queue-overflow drops by gaps in `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Topic name (e.g. `registry.members`).
+    pub topic: String,
+    /// Source-assigned, per-topic, strictly increasing sequence number.
+    pub seq: u64,
+    /// Opaque payload (topic-specific text).
+    pub payload: String,
+}
+
+/// Encode a notification event frame (kind 4): `str` topic, `u64` seq,
+/// `str` payload. One frame rides as one HTTP chunk on the push stream.
+pub fn encode_binary_event(event: &WireEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + event.topic.len() + event.payload.len());
+    put_header(&mut out, KIND_EVENT, 0);
+    put_str(&mut out, &event.topic);
+    out.extend_from_slice(&event.seq.to_le_bytes());
+    put_str(&mut out, &event.payload);
+    out
+}
+
+/// Decode a notification event frame. Corruption is a typed [`WireError`]
+/// whose [`WireError::is_corrupt`] drives the XML fallback, exactly like
+/// the batch frames.
+pub fn decode_binary_event(buf: &[u8]) -> Result<WireEvent, WireError> {
+    let (mut r, _flags) = open_frame(buf, KIND_EVENT)?;
+    let topic = r.str()?;
+    let seq = r.u64()?;
+    let payload = r.str()?;
+    r.done()?;
+    Ok(WireEvent {
+        topic,
+        seq,
+        payload,
+    })
 }
 
 // ---------------------------------------------------------------- decoding
@@ -664,6 +709,56 @@ mod tests {
         assert!(matches!(
             decode_binary_batch_call(&resp).unwrap_err(),
             WireError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let ev = WireEvent {
+            topic: "registry.members".into(),
+            seq: 41,
+            payload: "unregister|PSU/hpl".into(),
+        };
+        let frame = encode_binary_event(&ev);
+        assert_eq!(decode_binary_event(&frame).unwrap(), ev);
+        // Payloads with XML-hostile bytes ride untouched.
+        let nasty = WireEvent {
+            topic: "t".into(),
+            seq: u64::MAX,
+            payload: "a<b&c>\"d'|e\0f".into(),
+        };
+        let frame = encode_binary_event(&nasty);
+        assert_eq!(decode_binary_event(&frame).unwrap(), nasty);
+    }
+
+    #[test]
+    fn event_corruption_is_typed() {
+        let frame = encode_binary_event(&WireEvent {
+            topic: "topic".into(),
+            seq: 7,
+            payload: "payload".into(),
+        });
+        for cut in [0, 5, 9, frame.len() - 1] {
+            let err = decode_binary_event(&frame[..cut]).unwrap_err();
+            assert!(err.is_corrupt(), "cut at {cut}: {err}");
+        }
+        let mut padded = frame.clone();
+        padded.extend_from_slice(b"zz");
+        assert!(matches!(
+            decode_binary_event(&padded).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        // A batch frame fed to the event decoder is malformed, and a kind-3
+        // fault frame still decodes as a semantic fault.
+        let batch = encode_binary_batch_response(&[Ok(Value::Nil)]);
+        assert!(matches!(
+            decode_binary_event(&batch).unwrap_err(),
+            WireError::Malformed(_)
+        ));
+        let fault = encode_binary_fault(&Fault::server("refused"));
+        assert!(matches!(
+            decode_binary_event(&fault).unwrap_err(),
+            WireError::Fault(_)
         ));
     }
 

@@ -39,6 +39,13 @@ cargo test -q -p pperf-gateway --test force_xml
 echo "==> binary data plane: PPG_FORCE_XML=1 pass (fallback path stays green)"
 PPG_FORCE_XML=1 cargo test -q -p pperf-gateway --test batch --test federation --test deadline
 
+echo "==> push notification plane suite (subscriptions, delta push, invalidation)"
+cargo test -q -p ppg-notify
+cargo test -q -p pperf-gateway --test notify
+echo "==> push notification plane: PPG_FORCE_XML=1 pass (XML event codec stays green)"
+PPG_FORCE_XML=1 cargo test -q -p ppg-notify
+PPG_FORCE_XML=1 cargo test -q -p pperf-gateway --test notify
+
 if [[ "${PPG_BENCH:-0}" == "1" ]]; then
     echo "==> gateway fan-out bench (quick scale)"
     PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
