@@ -114,6 +114,60 @@ fn deploy_federation(mem_execs: usize, mem_delay: Duration) -> Federation {
     }
 }
 
+/// A scripted site whose rows carry `t=` interval markers (one row per unit
+/// interval `[t, t+1]`, `t` in `0..spans`) so gateway cache segments are
+/// range-filterable: a cached wide window answers narrower and overlapping
+/// ones without re-fetching.
+fn spanned_mem_wrapper(execs: usize, spans: usize, delay: Duration) -> MemApplicationWrapper {
+    let app = MemApplicationWrapper::new(vec![("name", "SpanMem")]);
+    for i in 0..execs {
+        let mut exec = MemExecution {
+            info: vec![("runid".into(), i.to_string())],
+            foci: vec!["/Execution".into()],
+            metrics: vec!["gflops".into()],
+            types: vec!["MEM".into()],
+            time: ("0".into(), spans.to_string()),
+            query_delay: Some(delay),
+            ..Default::default()
+        };
+        exec.results.insert(
+            ("gflops".into(), "/Execution".into()),
+            (0..spans)
+                .map(|t| format!("gflops|t={t}:{}|{i}.{t}", t + 1))
+                .collect(),
+        );
+        app.add_execution(format!("mem-{i}"), exec);
+    }
+    app
+}
+
+/// One registry plus one spanned scripted site (site-level PR cache off, so
+/// the gateway's segment cache is the only thing between a query and the
+/// delay-bearing backend).
+fn deploy_spanned_site(execs: usize, spans: usize, delay: Duration) -> Federation {
+    let client = Arc::new(HttpClient::new());
+    let host = Container::start("127.0.0.1:0", ContainerConfig::default()).unwrap();
+    let registry = host
+        .deploy_service("registry", Arc::new(RegistryService::new()))
+        .unwrap();
+    let mem: Arc<dyn ApplicationWrapper> = Arc::new(spanned_mem_wrapper(execs, spans, delay));
+    let site = Site::deploy(
+        &host,
+        Arc::clone(&client),
+        mem,
+        &SiteConfig::new("mem").with_cache(false),
+    )
+    .unwrap();
+    let stub = RegistryStub::bind(Arc::clone(&client), &registry);
+    stub.register_organization("SPAN", "bench").unwrap();
+    site.publish(&stub, "SPAN", "spanned store").unwrap();
+    Federation {
+        client,
+        registry,
+        containers: vec![host],
+    }
+}
+
 /// Repeats per timed pass (cached / uncached).
 fn repeats() -> usize {
     if std::env::var_os("PPG_QUICK").is_some() {
@@ -715,6 +769,136 @@ fn main() {
         "x",
     ));
 
+    // Pass 7: range subsumption — sliding windows with 50% overlap over one
+    // spanned site. The first sweep pays the wire (misses and narrowed
+    // partial fetches); later sweeps land inside segments the cache has
+    // already stitched, so they must answer with zero upstream calls.
+    let range_fed = deploy_spanned_site(4, 50, Duration::from_millis(2));
+    let range_gateway = FederatedGateway::new(
+        Arc::clone(&range_fed.client),
+        range_fed.registry.clone(),
+        GatewayConfig::default().with_hedging(None),
+    );
+    let windows: Vec<(String, String)> = (0..9u32)
+        .map(|i| ((5 * i).to_string(), (5 * i + 10).to_string()))
+        .collect();
+    let sweeps = 3;
+    let mut range_queries = 0usize;
+    let mut range_zero_wire = 0usize;
+    let range_started = Instant::now();
+    for _ in 0..sweeps {
+        for (start, end) in &windows {
+            let result = range_gateway.query(&query.clone().over(start.clone(), end.clone()));
+            assert!(result.errors.is_empty(), "{:?}", result.errors);
+            range_queries += 1;
+            if result.upstream_calls == 0 {
+                range_zero_wire += 1;
+            }
+        }
+    }
+    let range_elapsed = range_started.elapsed();
+    let range_hit_rate = range_zero_wire as f64 / range_queries as f64;
+    let range_snapshot = range_gateway.snapshot();
+    println!(
+        "ranges:   {range_queries} sliding-window queries (50% overlap, {sweeps} sweeps) in \
+         {range_elapsed:?}: {range_zero_wire} answered with zero wire calls \
+         ({:.0}% hit rate; {} range hits, {} partial hits, {} segments, {} cached bytes)",
+        range_hit_rate * 100.0,
+        range_snapshot.cache_range_hits,
+        range_snapshot.cache_partial_hits,
+        range_snapshot.cache_segments,
+        range_snapshot.cache_bytes
+    );
+    entries.push(entry(
+        "gateway_fanout/range_hit_rate",
+        range_hit_rate,
+        "ratio",
+    ));
+    entries.push(entry(
+        "gateway_fanout/range_partial_hits",
+        range_snapshot.cache_partial_hits as f64,
+        "lookups",
+    ));
+    entries.push(entry(
+        "gateway_fanout/range_workload_throughput",
+        qps(range_queries, range_elapsed),
+        "queries/s",
+    ));
+
+    // Pass 8: warm restart — a gateway that spilled its segments to disk is
+    // reborn over the same directory and answers its first overlapping query
+    // from PPGB frames; a cold twin pays the full scatter against the slow
+    // backend. Both timings include planning, so the ratio understates the
+    // pure data-path win.
+    let spill_dir = std::env::temp_dir().join(format!("ppg-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    std::fs::create_dir_all(&spill_dir).unwrap();
+    let warm_fed = deploy_spanned_site(4, 10, Duration::from_millis(30));
+    let warm_query = query.clone().over("2", "5");
+    let first_life = FederatedGateway::new(
+        Arc::clone(&warm_fed.client),
+        warm_fed.registry.clone(),
+        GatewayConfig::default()
+            .with_hedging(None)
+            .with_cache_spill(&spill_dir),
+    );
+    let primed = first_life.query(&query.clone().over("0", "10"));
+    assert!(primed.errors.is_empty(), "{:?}", primed.errors);
+    first_life.persist_cache();
+    let spill_writes = first_life.snapshot().cache_spill_writes;
+    assert!(spill_writes >= 1, "nothing spilled to disk");
+    drop(first_life);
+
+    let cold_gateway = FederatedGateway::new(
+        Arc::clone(&warm_fed.client),
+        warm_fed.registry.clone(),
+        GatewayConfig::default().with_hedging(None),
+    );
+    let cold_started = Instant::now();
+    let cold = cold_gateway.query(&warm_query);
+    let cold_ms = cold_started.elapsed().as_secs_f64() * 1000.0;
+    assert!(cold.errors.is_empty(), "{:?}", cold.errors);
+    assert!(cold.upstream_calls > 0);
+
+    let warm_gateway = FederatedGateway::new(
+        Arc::clone(&warm_fed.client),
+        warm_fed.registry.clone(),
+        GatewayConfig::default()
+            .with_hedging(None)
+            .with_cache_spill(&spill_dir),
+    );
+    let warm_started = Instant::now();
+    let warm = warm_gateway.query(&warm_query);
+    let warm_ms = warm_started.elapsed().as_secs_f64() * 1000.0;
+    assert!(warm.errors.is_empty(), "{:?}", warm.errors);
+    assert_eq!(
+        warm.upstream_calls, 0,
+        "warm restart answered over the wire instead of from the spill"
+    );
+    assert_eq!(warm.total_rows(), cold.total_rows());
+    let warm_restart_speedup = cold_ms / warm_ms.max(1e-3);
+    println!(
+        "restart:  first query after restart: cold {cold_ms:.1} ms vs warm {warm_ms:.1} ms from \
+         {spill_writes} spilled segment(s) ({warm_restart_speedup:.1}x, {} spill loads)",
+        warm_gateway.snapshot().cache_spill_loads
+    );
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    entries.push(entry(
+        "gateway_fanout/cold_restart_first_query_ms",
+        cold_ms,
+        "ms",
+    ));
+    entries.push(entry(
+        "gateway_fanout/warm_restart_first_query_ms",
+        warm_ms,
+        "ms",
+    ));
+    entries.push(entry(
+        "gateway_fanout/warm_restart_speedup",
+        warm_restart_speedup,
+        "x",
+    ));
+
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_gateway.json".to_owned());
     std::fs::write(&out, render_json(&entries)).unwrap();
     println!("\nwrote {out}");
@@ -748,6 +932,20 @@ fn main() {
         eprintln!(
             "WARNING: binary payload only {bulk_byte_shrink:.1}x smaller than XML-batch \
              (acceptance floor: 3x fewer bytes)"
+        );
+        failed = true;
+    }
+    if range_hit_rate < 0.5 {
+        eprintln!(
+            "WARNING: range hit rate {range_hit_rate:.2} on the 50%-overlap sliding-window \
+             workload, below the 0.5 acceptance floor"
+        );
+        failed = true;
+    }
+    if warm_restart_speedup < 3.0 {
+        eprintln!(
+            "WARNING: warm restart only {warm_restart_speedup:.1}x faster than cold \
+             (acceptance floor: 3x)"
         );
         failed = true;
     }

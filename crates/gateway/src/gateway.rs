@@ -8,15 +8,18 @@
 //!    under per-site concurrency permits, with retry + exponential backoff.
 //! 3. **Coalesce** — identical in-flight `getPR` tuples share one upstream
 //!    call ([`crate::coalesce::SingleFlight`]); completed results populate a
-//!    shared TTL + LRU cache checked before any job is submitted.
+//!    shared semantic segment cache ([`crate::cache::SegmentCache`]) checked
+//!    before any job is submitted. A cached wider window answers a narrower
+//!    one; a partially covered window narrows the upstream fetch to just the
+//!    missing sub-range and merges it with the cached prefix.
 //! 4. **Hedge** — a target that hasn't answered by `hedge_after` (or whose
 //!    primary fails outright) is retried against a replica instance on a
 //!    different host; the first answer wins.
 //! 5. **Gather** — a per-call deadline turns a silent site into a structured
 //!    [`SiteError`] while every surviving site's rows are still returned.
 
-use crate::cache::TtlLru;
-use crate::coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight};
+use crate::cache::{self, Lookup, SegmentCache, SegmentCacheConfig};
+use crate::coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight, Token};
 use crate::plan::{ExecTarget, Planner, SitePlan};
 use crate::pool::{SiteLimiter, WorkerPool};
 use crate::query::{FederatedQuery, FederatedResult, SiteError, SiteErrorKind, SiteRows};
@@ -32,13 +35,62 @@ use ppg_notify::{
     TOPIC_REGISTRY_MEMBERS,
 };
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-/// One uncached `(execution target, getPR tuple, cache key)` slot still
-/// awaiting a wire call after the cache/coalescing probe.
-type UncachedSlot<'a> = (&'a ExecTarget, Arc<PrQuery>, String);
+/// Where a fetched result should land in the segment cache: the series
+/// and the window the fetch covers (the *narrowed* window for a partial-
+/// coverage fetch). `None` when the cache is disabled or the query's time
+/// bounds don't parse.
+#[derive(Debug, Clone)]
+struct CacheFill {
+    series: String,
+    window: (f64, f64),
+}
+
+/// One uncached slot still awaiting a wire call after the cache probe:
+/// the target, the (possibly narrowed) getPR tuple, where to cache the
+/// fetch, and any cache-covered prefix rows to merge into the answer.
+type UncachedSlot<'a> = (
+    &'a ExecTarget,
+    Arc<PrQuery>,
+    Option<CacheFill>,
+    Option<Arc<Vec<String>>>,
+);
+
+/// One member of a batched wire call: original target index, Execution
+/// instance, getPR tuple, and where to cache the fetch.
+type BatchMember = (usize, Gsh, Arc<PrQuery>, Option<CacheFill>);
+
+/// A batch member that won its single-flight group and must ride the wire,
+/// carrying the coalescing token it will publish the outcome through.
+type BatchLeader = (usize, Gsh, Arc<PrQuery>, Option<CacheFill>, Token);
+
+/// Render one window bound back to the wire's string form (empty string
+/// for an unbounded side). `f64` Display round-trips through
+/// [`PrQuery::time_window`] exactly.
+fn fmt_time(t: f64) -> String {
+    if t.is_infinite() {
+        String::new()
+    } else {
+        format!("{t}")
+    }
+}
+
+/// Merge cache-covered prefix rows with a narrowed fetch, deduping by row
+/// text (the boundary instant appears in both).
+fn merge_prefix(prefix: &[String], fetched: &[String]) -> Arc<Vec<String>> {
+    let mut seen: HashSet<&str> = HashSet::with_capacity(prefix.len() + fetched.len());
+    let mut merged: Vec<String> = Vec::with_capacity(prefix.len() + fetched.len());
+    for row in prefix.iter().chain(fetched.iter()) {
+        if seen.insert(row.as_str()) {
+            merged.push(row.clone());
+        }
+    }
+    Arc::new(merged)
+}
 
 /// Tuning knobs for the gateway.
 #[derive(Debug, Clone)]
@@ -60,10 +112,20 @@ pub struct GatewayConfig {
     pub backoff: Duration,
     /// Shared result cache on/off.
     pub cache_enabled: bool,
-    /// Shared result cache capacity (entries).
+    /// Shared result cache capacity (segments; a backstop against many
+    /// tiny segments — the byte budget is the real capacity control).
     pub cache_capacity: usize,
     /// Shared result cache entry lifetime.
     pub cache_ttl: Duration,
+    /// Shared result cache byte budget (admission control rejects
+    /// segments over a quarter of it).
+    pub cache_max_bytes: usize,
+    /// Spill directory for evicted-but-fresh cache segments (PPGB kind-5
+    /// frames, one per file). A gateway restarted over a populated spill
+    /// directory rehydrates warm. `None` disables spill.
+    pub cache_spill_dir: Option<PathBuf>,
+    /// Byte budget for the spill directory (oldest files dropped beyond).
+    pub cache_spill_max_bytes: u64,
     /// How long a registry snapshot may be reused by the planner before the
     /// two snapshot wire calls are repeated. `Duration::ZERO` disables the
     /// snapshot cache.
@@ -98,6 +160,9 @@ impl Default for GatewayConfig {
             cache_enabled: true,
             cache_capacity: 1024,
             cache_ttl: Duration::from_secs(30),
+            cache_max_bytes: 32 << 20,
+            cache_spill_dir: None,
+            cache_spill_max_bytes: 256 << 20,
             plan_cache_ttl: Duration::from_millis(500),
             batch_enabled: true,
             binary_enabled: true,
@@ -148,6 +213,18 @@ impl GatewayConfig {
     pub fn with_cache_geometry(mut self, capacity: usize, ttl: Duration) -> GatewayConfig {
         self.cache_capacity = capacity;
         self.cache_ttl = ttl;
+        self
+    }
+
+    /// Set the shared result cache byte budget.
+    pub fn with_cache_budget(mut self, max_bytes: usize) -> GatewayConfig {
+        self.cache_max_bytes = max_bytes;
+        self
+    }
+
+    /// Set the cache spill directory (warm-restart persistence).
+    pub fn with_cache_spill(mut self, dir: impl Into<PathBuf>) -> GatewayConfig {
+        self.cache_spill_dir = Some(dir.into());
         self
     }
 
@@ -262,6 +339,22 @@ pub struct GatewaySnapshot {
     pub cache_misses: u64,
     /// `hits / (hits + misses)`, 0 before any lookup.
     pub cache_hit_rate: f64,
+    /// Hits answered by range containment or stitching rather than an
+    /// exact window repeat.
+    pub cache_range_hits: u64,
+    /// Lookups partially covered by cache (the fetch was narrowed to the
+    /// missing sub-range; also counted in `cache_misses`).
+    pub cache_partial_hits: u64,
+    /// Segments evicted under budget pressure.
+    pub cache_evictions: u64,
+    /// Live in-memory cache segments.
+    pub cache_segments: u64,
+    /// Bytes held by live cache segments.
+    pub cache_bytes: u64,
+    /// Segments spilled to disk (eviction or [`FederatedGateway::persist_cache`]).
+    pub cache_spill_writes: u64,
+    /// Segments rehydrated from the spill directory.
+    pub cache_spill_loads: u64,
     /// Callers coalesced onto another caller's in-flight call.
     pub coalesced: u64,
     /// Target calls currently in flight.
@@ -313,9 +406,9 @@ struct Inner {
     client: Arc<HttpClient>,
     planner: Planner,
     limiter: Arc<SiteLimiter>,
-    cache: TtlLru,
-    /// Which cache keys belong to which site, so a lease invalidation can
-    /// drop exactly that site's entries.
+    cache: SegmentCache,
+    /// Which cache series keys belong to which site, so a lease
+    /// invalidation can drop exactly that site's entries.
     site_keys: Mutex<HashMap<String, HashSet<String>>>,
     flights: Arc<SingleFlight>,
     stats: Stats,
@@ -435,8 +528,8 @@ impl SinkHandler for SiteEvents {
         if event.topic != TOPIC_CACHE_INVALIDATE {
             return;
         }
-        // Cache keys are `<instance url>::<tuple>`; the event carries the
-        // instance path on this authority.
+        // Cache series keys are `<instance url>::<window-blanked tuple>`;
+        // the event carries the instance path on this authority.
         let prefix = format!("http://{}{}::", self.authority, event.payload);
         let mut dropped = false;
         let mut site_keys = inner.site_keys.lock();
@@ -494,9 +587,13 @@ struct PendingTarget {
     site: String,
     target: ExecTarget,
     /// The `getPR` tuple this slot fetches (queries with `extra_metrics`
-    /// expand each target to several slots, one per tuple).
+    /// expand each target to several slots, one per tuple) — already
+    /// narrowed to the missing sub-range on a partial cache hit.
     pr: Arc<PrQuery>,
-    cache_key: String,
+    /// Where the fetched rows land in the segment cache.
+    cache_fill: Option<CacheFill>,
+    /// Cache-covered rows to merge in front of a narrowed fetch's answer.
+    prefix_rows: Option<Arc<Vec<String>>>,
     deadline: Instant,
     hedge_at: Option<Instant>,
     hedge_fired: bool,
@@ -549,7 +646,13 @@ impl FederatedGateway {
         let pool = WorkerPool::new(config.workers);
         let inner = Inner {
             limiter: SiteLimiter::new(config.per_site_concurrency),
-            cache: TtlLru::new(config.cache_capacity, config.cache_ttl),
+            cache: SegmentCache::new(SegmentCacheConfig {
+                max_segments: config.cache_capacity,
+                max_bytes: config.cache_max_bytes,
+                ttl: config.cache_ttl,
+                spill_dir: config.cache_spill_dir.clone(),
+                spill_max_bytes: config.cache_spill_max_bytes,
+            }),
             site_keys: Mutex::new(HashMap::new()),
             flights: SingleFlight::new(),
             stats: Stats {
@@ -676,10 +779,19 @@ impl FederatedGateway {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Write every fresh cache segment to the spill directory (the
+    /// graceful-shutdown path), so the next gateway started over the same
+    /// directory answers overlapping queries without contacting any site.
+    /// A no-op unless a spill directory is configured.
+    pub fn persist_cache(&self) {
+        self.inner.cache.spill_now();
+    }
+
     /// Current counters.
     pub fn snapshot(&self) -> GatewaySnapshot {
         let inner = &self.inner;
-        let (cache_hits, cache_misses) = inner.cache.stats();
+        let cache = inner.cache.counters();
+        let (cache_hits, cache_misses) = (cache.hits, cache.misses);
         let mut per_site: Vec<(String, SiteLatency)> = inner
             .stats
             .sites
@@ -696,6 +808,13 @@ impl FederatedGateway {
             cache_hits,
             cache_misses,
             cache_hit_rate: inner.cache.hit_rate(),
+            cache_range_hits: cache.range_hits,
+            cache_partial_hits: cache.partial_hits,
+            cache_evictions: cache.evictions,
+            cache_segments: cache.segments as u64,
+            cache_bytes: cache.bytes as u64,
+            cache_spill_writes: cache.spill_writes,
+            cache_spill_loads: cache.spill_loads,
             coalesced: inner.flights.coalesced(),
             in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
             hedges_fired: inner.stats.hedges_fired.load(Ordering::Relaxed),
@@ -754,45 +873,79 @@ impl FederatedGateway {
         // Every tuple of the query (primary metric + extras) fans out to
         // every target. Tuples of one instance land in the same batch group,
         // so a multi-metric query still costs one wire call per host.
-        let prs: Vec<(Arc<PrQuery>, String)> = query
-            .pr_queries()
-            .into_iter()
-            .map(|pr| {
-                let key = pr.cache_key();
-                (Arc::new(pr), key)
-            })
-            .collect();
+        let prs: Vec<Arc<PrQuery>> = query.pr_queries().into_iter().map(Arc::new).collect();
         let query_upstream = Arc::new(AtomicU64::new(0));
         let (tx, rx) = unbounded::<Outcome>();
         let mut rows: Vec<SiteRows> = Vec::new();
         let mut pending: Vec<PendingTarget> = Vec::new();
         let scatter_start = Instant::now();
         for site_plan in &plan.sites {
-            // Probe the shared cache first; only misses go upstream.
+            // Probe the shared segment cache first; only misses go
+            // upstream, and a partially covered window goes upstream
+            // *narrowed* to just the missing sub-range.
             let mut uncached: Vec<UncachedSlot<'_>> = Vec::new();
             for target in &site_plan.targets {
-                for (pr, pr_key) in &prs {
-                    let cache_key = format!("{}::{pr_key}", target.primary.as_str());
-                    if inner.config.cache_enabled {
-                        if let Some(cached) = inner.cache.get(&cache_key) {
-                            qctx.record_span(
-                                "gateway.cache",
-                                "getPR",
-                                &site_plan.site,
-                                started,
-                                "hit",
-                            );
-                            rows.push(SiteRows {
-                                site: site_plan.site.clone(),
-                                execution: target.primary.clone(),
+                for pr in &prs {
+                    let mut slot_pr = Arc::clone(pr);
+                    let mut cache_fill: Option<CacheFill> = None;
+                    let mut prefix_rows: Option<Arc<Vec<String>>> = None;
+                    // A query whose time bounds don't parse bypasses the
+                    // cache entirely (fetched, served, never stored).
+                    if let (true, Ok(window)) = (inner.config.cache_enabled, pr.time_window()) {
+                        let series = cache::series_key(
+                            target.primary.as_str(),
+                            &pr.metric,
+                            &pr.foci,
+                            &pr.rtype,
+                        );
+                        match inner.cache.lookup(&series, window) {
+                            Lookup::Hit {
                                 rows: cached,
-                                from_cache: true,
-                                hedged: false,
-                            });
-                            continue;
+                                exact,
+                            } => {
+                                qctx.record_span(
+                                    "gateway.cache",
+                                    "getPR",
+                                    &site_plan.site,
+                                    started,
+                                    if exact { "hit" } else { "range-hit" },
+                                );
+                                rows.push(SiteRows {
+                                    site: site_plan.site.clone(),
+                                    execution: target.primary.clone(),
+                                    rows: cached,
+                                    from_cache: true,
+                                    hedged: false,
+                                });
+                                continue;
+                            }
+                            Lookup::Partial {
+                                rows: covered,
+                                missing,
+                            } => {
+                                qctx.record_span(
+                                    "gateway.cache",
+                                    "getPR",
+                                    &site_plan.site,
+                                    started,
+                                    "partial-hit",
+                                );
+                                let mut narrowed = (**pr).clone();
+                                narrowed.start = fmt_time(missing.0);
+                                narrowed.end = fmt_time(missing.1);
+                                slot_pr = Arc::new(narrowed);
+                                prefix_rows = Some(Arc::new(covered));
+                                cache_fill = Some(CacheFill {
+                                    series,
+                                    window: missing,
+                                });
+                            }
+                            Lookup::Miss => {
+                                cache_fill = Some(CacheFill { series, window });
+                            }
                         }
                     }
-                    uncached.push((target, Arc::clone(pr), cache_key));
+                    uncached.push((target, slot_pr, cache_fill, prefix_rows));
                 }
             }
             // Batch-capable sites fold their misses into one multi-call wire
@@ -802,11 +955,11 @@ impl FederatedGateway {
             let mut per_call: Vec<UncachedSlot<'_>> = Vec::new();
             if inner.config.batch_enabled && site_plan.supports_batch {
                 let mut by_host: HashMap<String, Vec<UncachedSlot<'_>>> = HashMap::new();
-                for (target, pr, key) in uncached {
+                for slot in uncached {
                     by_host
-                        .entry(target.primary.url().authority())
+                        .entry(slot.0.primary.url().authority())
                         .or_default()
-                        .push((target, pr, key));
+                        .push(slot);
                 }
                 for (_, group) in by_host {
                     if group.len() > 1 {
@@ -820,7 +973,7 @@ impl FederatedGateway {
             } else {
                 per_call = uncached;
             }
-            for (target, pr, cache_key) in per_call {
+            for (target, pr, cache_fill, prefix_rows) in per_call {
                 if inner.config.batch_enabled {
                     inner.stats.batch_fallback.fetch_add(1, Ordering::Relaxed);
                 }
@@ -835,7 +988,8 @@ impl FederatedGateway {
                     site: site_plan.site.clone(),
                     target: target.clone(),
                     pr: Arc::clone(&pr),
-                    cache_key: cache_key.clone(),
+                    cache_fill: cache_fill.clone(),
+                    prefix_rows,
                     deadline: query_deadline,
                     hedge_at,
                     hedge_fired: false,
@@ -852,7 +1006,7 @@ impl FederatedGateway {
                     site_plan.site.clone(),
                     target.primary.clone(),
                     pr,
-                    cache_key,
+                    cache_fill,
                     false,
                     primary_ctx,
                     Arc::clone(&query_upstream),
@@ -870,9 +1024,8 @@ impl FederatedGateway {
                     let margin = (rem / 8).min(Duration::from_millis(250));
                     shared_ctx = shared_ctx.with_remaining(rem.saturating_sub(margin));
                 }
-                let mut members: Vec<(usize, Gsh, Arc<PrQuery>, String)> =
-                    Vec::with_capacity(group.len());
-                for (target, pr, cache_key) in group {
+                let mut members: Vec<BatchMember> = Vec::with_capacity(group.len());
+                for (target, pr, cache_fill, prefix_rows) in group {
                     let idx = pending.len();
                     let hedge_at = target
                         .hedge
@@ -883,7 +1036,8 @@ impl FederatedGateway {
                         site: site_plan.site.clone(),
                         target: target.clone(),
                         pr: Arc::clone(&pr),
-                        cache_key: cache_key.clone(),
+                        cache_fill: cache_fill.clone(),
+                        prefix_rows,
                         deadline: query_deadline,
                         hedge_at,
                         hedge_fired: false,
@@ -894,7 +1048,7 @@ impl FederatedGateway {
                         primary_ctx: shared_ctx.clone(),
                         hedge_ctx: None,
                     });
-                    members.push((idx, target.primary.clone(), pr, cache_key));
+                    members.push((idx, target.primary.clone(), pr, cache_fill));
                 }
                 self.submit_batch(
                     tx.clone(),
@@ -959,6 +1113,12 @@ impl FederatedGateway {
                                     inner.stats.hedges_cancelled.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
+                            // A narrowed fetch answers only the missing
+                            // sub-range: put the cache-covered prefix back.
+                            let data = match &p.prefix_rows {
+                                Some(prefix) => merge_prefix(prefix, &data),
+                                None => data,
+                            };
                             rows.push(SiteRows {
                                 site: p.site.clone(),
                                 execution: p.target.primary.clone(),
@@ -981,14 +1141,14 @@ impl FederatedGateway {
                                 inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
                                 let hedge_ctx = qctx.leg(ppg_context::leg_tag(idx, 1), 1);
                                 p.hedge_ctx = Some(hedge_ctx.clone());
-                                let (site, key) = (p.site.clone(), p.cache_key.clone());
+                                let (site, fill) = (p.site.clone(), p.cache_fill.clone());
                                 self.submit_call(
                                     tx.clone(),
                                     idx,
                                     site,
                                     hedge,
                                     Arc::clone(&p.pr),
-                                    key,
+                                    fill,
                                     true,
                                     hedge_ctx,
                                     Arc::clone(&query_upstream),
@@ -1022,14 +1182,14 @@ impl FederatedGateway {
                                 inner.stats.hedges_fired.fetch_add(1, Ordering::Relaxed);
                                 let hedge_ctx = qctx.leg(ppg_context::leg_tag(idx, 1), 1);
                                 p.hedge_ctx = Some(hedge_ctx.clone());
-                                let (site, key) = (p.site.clone(), p.cache_key.clone());
+                                let (site, fill) = (p.site.clone(), p.cache_fill.clone());
                                 self.submit_call(
                                     tx.clone(),
                                     idx,
                                     site,
                                     hedge,
                                     Arc::clone(&p.pr),
-                                    key,
+                                    fill,
                                     true,
                                     hedge_ctx,
                                     Arc::clone(&query_upstream),
@@ -1125,7 +1285,7 @@ impl FederatedGateway {
         site: String,
         exec: Gsh,
         pr: Arc<PrQuery>,
-        cache_key: String,
+        cache_fill: Option<CacheFill>,
         hedged: bool,
         leg_ctx: CallContext,
         query_upstream: Arc<AtomicU64>,
@@ -1139,7 +1299,7 @@ impl FederatedGateway {
                 &site,
                 &exec,
                 &pr,
-                &cache_key,
+                cache_fill.as_ref(),
                 &leg_ctx,
                 &query_upstream,
             );
@@ -1162,7 +1322,7 @@ impl FederatedGateway {
         &self,
         tx: Sender<Outcome>,
         site: String,
-        members: Vec<(usize, Gsh, Arc<PrQuery>, String)>,
+        members: Vec<BatchMember>,
         leg_ctx: CallContext,
         query_upstream: Arc<AtomicU64>,
     ) {
@@ -1193,7 +1353,7 @@ impl FederatedGateway {
 fn run_batch_flight(
     inner: &Arc<Inner>,
     site: &str,
-    members: &[(usize, Gsh, Arc<PrQuery>, String)],
+    members: &[BatchMember],
     leg_ctx: &CallContext,
     query_upstream: &Arc<AtomicU64>,
 ) -> Vec<(usize, FlightResult)> {
@@ -1219,8 +1379,8 @@ fn run_batch_flight(
     }
     // Per-entry coalescing: an identical tuple already in flight (from this
     // query or another) answers its entry without a wire slot.
-    let mut leaders: Vec<(usize, Gsh, Arc<PrQuery>, String, crate::coalesce::Token)> = Vec::new();
-    for (idx, exec, pr, cache_key) in members {
+    let mut leaders: Vec<BatchLeader> = Vec::new();
+    for (idx, exec, pr, cache_fill) in members {
         let flight_key = format!("{}::{}", exec.as_str(), pr.cache_key());
         match inner.flights.join(&flight_key) {
             Flight::Follower(outcome) => {
@@ -1237,7 +1397,13 @@ fn run_batch_flight(
                 results.push((*idx, outcome.result));
             }
             Flight::Leader(token) => {
-                leaders.push((*idx, exec.clone(), Arc::clone(pr), cache_key.clone(), token));
+                leaders.push((
+                    *idx,
+                    exec.clone(),
+                    Arc::clone(pr),
+                    cache_fill.clone(),
+                    token,
+                ));
             }
         }
     }
@@ -1350,22 +1516,24 @@ fn run_batch_flight(
     let flight_spans = spans.split_off(span_base.min(spans.len()));
     match wire_outcomes {
         Ok(outcomes) => {
-            for ((idx, _, _, cache_key, token), entry_outcome) in leaders.into_iter().zip(outcomes)
+            for ((idx, _, _, cache_fill, token), entry_outcome) in leaders.into_iter().zip(outcomes)
             {
                 let result: FlightResult = match entry_outcome {
                     Ok(value) => match value.into_str_array() {
                         Some(entry_rows) => {
                             let entry_rows = Arc::new(entry_rows);
-                            if inner.config.cache_enabled {
-                                inner
-                                    .cache
-                                    .insert(cache_key.clone(), Arc::clone(&entry_rows));
+                            if let (true, Some(fill)) = (inner.config.cache_enabled, cache_fill) {
+                                inner.cache.insert(
+                                    &fill.series,
+                                    fill.window,
+                                    Arc::clone(&entry_rows),
+                                );
                                 inner
                                     .site_keys
                                     .lock()
                                     .entry(site.to_owned())
                                     .or_default()
-                                    .insert(cache_key);
+                                    .insert(fill.series);
                             }
                             Ok(entry_rows)
                         }
@@ -1412,7 +1580,7 @@ fn run_flight(
     site: &str,
     exec: &Gsh,
     pr: &Arc<PrQuery>,
-    cache_key: &str,
+    cache_fill: Option<&CacheFill>,
     leg_ctx: &CallContext,
     query_upstream: &Arc<AtomicU64>,
 ) -> FlightResult {
@@ -1505,15 +1673,17 @@ fn run_flight(
                     }
                 }
             };
-            if let Ok(rows) = &outcome {
+            if let (Ok(rows), Some(fill)) = (&outcome, cache_fill) {
                 if inner.config.cache_enabled {
-                    inner.cache.insert(cache_key.to_owned(), Arc::clone(rows));
+                    inner
+                        .cache
+                        .insert(&fill.series, fill.window, Arc::clone(rows));
                     inner
                         .site_keys
                         .lock()
                         .entry(site.to_owned())
                         .or_default()
-                        .insert(cache_key.to_owned());
+                        .insert(fill.series.clone());
                 }
             }
             let mut spans = leg_ctx.spans();

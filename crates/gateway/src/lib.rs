@@ -19,9 +19,12 @@
 //! * **Coalescing** ([`coalesce`]) — identical in-flight `getPR` tuples
 //!   (same Execution instance, metric, foci, window, type) share a single
 //!   upstream call; the key reuses [`pperfgrid::PrQuery::cache_key`].
-//! * **Result cache** ([`cache`]) — a gateway-level TTL + LRU cache layered
-//!   above the per-Execution PR caches, so repeated federated queries skip
-//!   the network entirely.
+//! * **Result cache** ([`cache`]) — a gateway-level semantic segment cache
+//!   layered above the per-Execution PR caches: a cached wider time window
+//!   answers any narrower one, adjacent segments stitch, partial coverage
+//!   narrows the upstream fetch to the missing sub-range, a byte budget
+//!   with admission control bounds memory, and evicted-but-fresh segments
+//!   spill to disk as PPGB frames for warm restarts.
 //! * **Hedging** — targets silent past a configurable delay (or whose
 //!   primary fails) are retried against a replica instance on a different
 //!   host, obtained from the site's Manager; first answer wins.
@@ -47,7 +50,7 @@ pub mod pool;
 pub mod query;
 pub mod service;
 
-pub use cache::TtlLru;
+pub use cache::{series_key, CacheCounters, Lookup, SegmentCache, SegmentCacheConfig};
 pub use coalesce::{Flight, FlightOutcome, FlightResult, SingleFlight};
 pub use gateway::{FederatedGateway, GatewayConfig, GatewaySnapshot, SiteLatency};
 pub use plan::{ExecTarget, Planner, QueryPlan, SitePlan};

@@ -104,6 +104,28 @@ impl ServicePort for FederatedQueryService {
             .with("cacheHits", Value::Int(snapshot.cache_hits as i64))
             .with("cacheMisses", Value::Int(snapshot.cache_misses as i64))
             .with("cacheHitRate", Value::Double(snapshot.cache_hit_rate))
+            .with(
+                "cacheRangeHits",
+                Value::Int(snapshot.cache_range_hits as i64),
+            )
+            .with(
+                "cachePartialHits",
+                Value::Int(snapshot.cache_partial_hits as i64),
+            )
+            .with(
+                "cacheEvictions",
+                Value::Int(snapshot.cache_evictions as i64),
+            )
+            .with("cacheSegments", Value::Int(snapshot.cache_segments as i64))
+            .with("cacheBytes", Value::Int(snapshot.cache_bytes as i64))
+            .with(
+                "cacheSpillWrites",
+                Value::Int(snapshot.cache_spill_writes as i64),
+            )
+            .with(
+                "cacheSpillLoads",
+                Value::Int(snapshot.cache_spill_loads as i64),
+            )
             .with("coalescedCalls", Value::Int(snapshot.coalesced as i64))
             .with("inFlightCalls", Value::Int(snapshot.in_flight))
             .with("hedgesFired", Value::Int(snapshot.hedges_fired as i64))

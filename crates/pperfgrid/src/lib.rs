@@ -59,7 +59,9 @@ pub use manager::{Manager, ManagerService, ManagerStub, Placement};
 pub use prcache::{CachePolicy, PrCache};
 pub use site::{Site, SiteConfig};
 pub use timing::{TimedApplicationWrapper, TimingLog};
-pub use wrapper::{pr_cache_key, ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError};
+pub use wrapper::{
+    pr_cache_key, row_time_span, ApplicationWrapper, ExecutionWrapper, PrQuery, WrapperError,
+};
 
 /// Namespace for Application PortType calls.
 pub const APPLICATION_NS: &str = "urn:pperfgrid:Application";

@@ -144,6 +144,38 @@ impl PrQuery {
     }
 }
 
+/// The per-row time-span convention: a PerformanceResult row is
+/// *interval-shaped* when one of its `|`-separated fields starts with
+/// `t=`, carrying `t=<start>:<end>` or `t=<point>` (f64 seconds). Returns
+/// the row's `(start, end)` span, or `None` for rows without the marker.
+///
+/// Rows are otherwise opaque strings, so wrappers opt in: only a wrapper
+/// that knows every row's time extent emits the marker. A result set in
+/// which *every* row is interval-shaped can be cached once for a wide
+/// window and then filtered down to answer any narrower window — the
+/// monotone-narrowing guarantee (shrinking the window only removes rows)
+/// holds exactly when inclusion means "the row's span intersects the
+/// query window". Window-dependent aggregates (e.g. a per-function time
+/// total recomputed per window) must NOT carry the marker.
+pub fn row_time_span(row: &str) -> Option<(f64, f64)> {
+    for field in row.split('|') {
+        let Some(spec) = field.strip_prefix("t=") else {
+            continue;
+        };
+        let (a, b) = match spec.split_once(':') {
+            Some((a, b)) => (a, b),
+            None => (spec, spec),
+        };
+        let start: f64 = a.trim().parse().ok()?;
+        let end: f64 = b.trim().parse().ok()?;
+        if start.is_nan() || end.is_nan() || start > end {
+            return None;
+        }
+        return Some((start, end));
+    }
+    None
+}
+
 /// Process-wide counters proving the bulk-scan collapse: SQL-backed
 /// wrappers record every set-oriented (`IN`-list / whole-row) scan they
 /// issue in place of per-query point lookups. Tests and benchmarks read

@@ -151,9 +151,21 @@ impl ExecutionWrapper for MemExecution {
         } else {
             query.foci.clone()
         };
+        // Interval-shaped rows (the `t=` marker) honor the query window —
+        // included iff the row's span intersects it — so scripted stores
+        // behave like the real wrappers under narrowed range fetches.
+        // Unmarked rows keep the legacy "whole execution" semantics.
+        let (w_start, w_end) = query.time_window()?;
         for focus in &foci {
             if let Some(rows) = self.results.get(&(query.metric.clone(), focus.clone())) {
-                out.extend(rows.iter().cloned());
+                out.extend(
+                    rows.iter()
+                        .filter(|row| match crate::wrapper::row_time_span(row) {
+                            Some((a, b)) => b >= w_start && a <= w_end,
+                            None => true,
+                        })
+                        .cloned(),
+                );
             }
         }
         Ok(out)

@@ -50,9 +50,9 @@ pub use fault::{Fault, FaultCode, CANCELLED_DETAIL, DEADLINE_EXCEEDED_DETAIL};
 pub use value::{pack_strs, unpack_strs, Value, ValueError, ValueType, PACK_THRESHOLD};
 pub use wire::{
     decode_binary_batch_call, decode_binary_batch_response, decode_binary_event,
-    encode_binary_batch_call, encode_binary_batch_call_into, encode_binary_batch_response,
-    encode_binary_event, encode_binary_fault, WireError, WireEvent, BINARY_CONTENT_TYPE,
-    PPGB_MAGIC, PPGB_VERSION,
+    decode_binary_segment, encode_binary_batch_call, encode_binary_batch_call_into,
+    encode_binary_batch_response, encode_binary_event, encode_binary_fault, encode_binary_segment,
+    WireError, WireEvent, WireSegment, BINARY_CONTENT_TYPE, PPGB_MAGIC, PPGB_VERSION,
 };
 
 /// Errors raised while encoding or decoding SOAP messages.

@@ -46,6 +46,13 @@
 //! * kind 4 (notification event): `str` topic, `u64` per-topic sequence
 //!   number, `str` payload — one event of the push notification plane,
 //!   carried as one HTTP chunk on a long-lived subscription stream.
+//! * kind 5 (cached segment): `str` series key, `f64` window start, `f64`
+//!   window end, `u8` filterable flag, `u64` insertion wall clock (unix
+//!   ms), `u32` row count + `str` rows — one time-interval segment of the
+//!   gateway's semantic result cache, spilled to disk so a restarted
+//!   gateway rehydrates warm. The on-disk spill format IS this frame: one
+//!   frame per file, decoded with the same typed-corruption discipline
+//!   (a damaged file is treated as cold, never a panic).
 //!
 //! Every other decode failure is a typed, non-panicking [`WireError`] whose
 //! [`WireError::is_corrupt`] is true — the caller's cue to forget the peer's
@@ -68,6 +75,7 @@ const KIND_CALL: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 const KIND_FAULT: u8 = 3;
 const KIND_EVENT: u8 = 4;
+const KIND_SEGMENT: u8 = 5;
 const FLAG_CONTEXT: u8 = 1;
 
 /// Typed decode failure. Corrupt variants trigger XML fallback; a
@@ -303,6 +311,81 @@ pub fn decode_binary_event(buf: &[u8]) -> Result<WireEvent, WireError> {
         topic,
         seq,
         payload,
+    })
+}
+
+/// One time-interval segment of the gateway result cache, as persisted in
+/// a spill file (kind 5). The series key names the `(site instance,
+/// metric, foci, type)` tuple the segment belongs to; the window bounds
+/// may be infinite for unbounded queries; `inserted_unix_ms` lets a
+/// restarted process apply the cache TTL across the restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegment {
+    /// Series key: `<instance url>::<window-blanked query tuple>`.
+    pub series: String,
+    /// Window start (may be `-inf` for an unbounded query).
+    pub start: f64,
+    /// Window end (may be `+inf`).
+    pub end: f64,
+    /// True when every row carries a `t=` span, so the segment can answer
+    /// narrower windows by per-row filtering.
+    pub filterable: bool,
+    /// Wall-clock insertion time, milliseconds since the unix epoch.
+    pub inserted_unix_ms: u64,
+    /// The cached PerformanceResult rows, verbatim.
+    pub rows: Vec<String>,
+}
+
+/// Encode a cached-segment frame (kind 5) — the on-disk spill format of
+/// the gateway's semantic result cache.
+pub fn encode_binary_segment(segment: &WireSegment) -> Vec<u8> {
+    let rows_len: usize = segment.rows.iter().map(|r| r.len() + 4).sum();
+    let mut out = Vec::with_capacity(64 + segment.series.len() + rows_len);
+    put_header(&mut out, KIND_SEGMENT, 0);
+    put_str(&mut out, &segment.series);
+    out.extend_from_slice(&segment.start.to_le_bytes());
+    out.extend_from_slice(&segment.end.to_le_bytes());
+    out.push(u8::from(segment.filterable));
+    out.extend_from_slice(&segment.inserted_unix_ms.to_le_bytes());
+    put_u32(&mut out, segment.rows.len() as u32);
+    for row in &segment.rows {
+        put_str(&mut out, row);
+    }
+    out
+}
+
+/// Decode a cached-segment frame. Corruption is a typed [`WireError`]; a
+/// spill loader treats any error as "this segment is cold" and deletes
+/// the file — never a panic.
+pub fn decode_binary_segment(buf: &[u8]) -> Result<WireSegment, WireError> {
+    let (mut r, _flags) = open_frame(buf, KIND_SEGMENT)?;
+    let series = r.str()?;
+    let start = r.f64()?;
+    let end = r.f64()?;
+    let filterable = match r.u8()? {
+        0 => false,
+        1 => true,
+        b => return Err(WireError::Malformed(format!("bad filterable flag {b}"))),
+    };
+    let inserted_unix_ms = r.u64()?;
+    if start.is_nan() || end.is_nan() || start > end {
+        return Err(WireError::Malformed(format!(
+            "segment window [{start}, {end}] is not a valid interval"
+        )));
+    }
+    let n = r.count(4)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(r.str()?);
+    }
+    r.done()?;
+    Ok(WireSegment {
+        series,
+        start,
+        end,
+        filterable,
+        inserted_unix_ms,
+        rows,
     })
 }
 
@@ -782,5 +865,80 @@ mod tests {
         let first = wire.clone();
         encode_binary_batch_call_into(&mut wire, &entries(), None);
         assert_eq!(wire, first, "buffer reuse yields identical frames");
+    }
+
+    fn segment() -> WireSegment {
+        WireSegment {
+            series: "http://h:1/svc/execution/mem-0::gflops|/Execution|-|MEM".into(),
+            start: 2.0,
+            end: 10.5,
+            filterable: true,
+            inserted_unix_ms: 1_700_000_000_123,
+            rows: vec!["gflops|t=2:3|a".into(), "gflops|t=9.5:10.5|b".into()],
+        }
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let seg = segment();
+        let frame = encode_binary_segment(&seg);
+        assert_eq!(decode_binary_segment(&frame).unwrap(), seg);
+    }
+
+    #[test]
+    fn segment_roundtrip_infinite_window() {
+        let seg = WireSegment {
+            start: f64::NEG_INFINITY,
+            end: f64::INFINITY,
+            filterable: false,
+            rows: vec![],
+            ..segment()
+        };
+        let back = decode_binary_segment(&encode_binary_segment(&seg)).unwrap();
+        assert_eq!(back, seg);
+        assert!(back.start.is_infinite() && back.end.is_infinite());
+    }
+
+    #[test]
+    fn segment_corruption_is_typed() {
+        let frame = encode_binary_segment(&segment());
+        // Truncation anywhere yields a typed, corrupt error.
+        for cut in [0, 4, 8, frame.len() / 2, frame.len() - 1] {
+            let err = decode_binary_segment(&frame[..cut]).unwrap_err();
+            assert!(err.is_corrupt(), "cut at {cut}: {err}");
+        }
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            decode_binary_segment(&bad).unwrap_err(),
+            WireError::BadMagic
+        );
+        // Wrong kind: an event frame is not a segment.
+        let event = encode_binary_event(&WireEvent {
+            topic: "t".into(),
+            seq: 1,
+            payload: "p".into(),
+        });
+        assert!(decode_binary_segment(&event).unwrap_err().is_corrupt());
+        // A row-count lie cannot coax a huge allocation.
+        let mut lied = frame.clone();
+        let count_at =
+            frame.len() - (4 + 4 + "gflops|t=2:3|a".len() + 4 + "gflops|t=9.5:10.5|b".len());
+        lied[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_binary_segment(&lied).unwrap_err(),
+            WireError::Truncated
+        );
+        // An inverted window is malformed, not a panic.
+        let seg = WireSegment {
+            start: 9.0,
+            end: 1.0,
+            ..segment()
+        };
+        assert!(matches!(
+            decode_binary_segment(&encode_binary_segment(&seg)).unwrap_err(),
+            WireError::Malformed(_)
+        ));
     }
 }

@@ -46,6 +46,12 @@ echo "==> push notification plane: PPG_FORCE_XML=1 pass (XML event codec stays g
 PPG_FORCE_XML=1 cargo test -q -p ppg-notify
 PPG_FORCE_XML=1 cargo test -q -p pperf-gateway --test notify
 
+echo "==> semantic segment cache suite (range subsumption, stress, spill)"
+cargo test -q -p pperf-gateway cache
+cargo test -q -p pperf-gateway --test segment_cache
+echo "==> semantic segment cache: PPG_FORCE_XML=1 pass (spill is codec-negotiation independent)"
+PPG_FORCE_XML=1 cargo test -q -p pperf-gateway --test segment_cache
+
 if [[ "${PPG_BENCH:-0}" == "1" ]]; then
     echo "==> gateway fan-out bench (quick scale)"
     PPG_QUICK=1 cargo run --release -p pperf-bench --bin gateway_fanout
